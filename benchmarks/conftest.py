@@ -1,0 +1,94 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation (a table, a
+figure or a quoted number).  Dataset generation — the expensive part — happens
+once per architecture in a session fixture and is cached on disk under
+``benchmarks/.cache``, so re-running the harness is cheap.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_IMPLS``   — implementations per group (default 36; paper: 500)
+* ``REPRO_BENCH_SCALE``   — workload scale factor      (default 0.18; paper: 1.0)
+* ``REPRO_BENCH_REPEATS`` — training repetitions       (default 2; paper: 10)
+* ``REPRO_BENCH_TRACE``   — simulated trace budget     (default 100000 accesses)
+
+Results are printed and written to ``benchmarks/results/`` so they can be
+compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import DatasetConfig, ExperimentConfig, load_or_generate_dataset
+
+BENCH_DIR = Path(__file__).parent
+CACHE_DIR = BENCH_DIR / ".cache"
+RESULTS_DIR = BENCH_DIR / "results"
+
+IMPLEMENTATIONS = int(os.environ.get("REPRO_BENCH_IMPLS", "36"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.18"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+TRACE_BUDGET = int(os.environ.get("REPRO_BENCH_TRACE", "100000"))
+GROUPS = (0, 1, 2, 3, 4)
+ARCHS = ("x86", "arm", "riscv")
+
+
+def experiment_config() -> ExperimentConfig:
+    """The experiment configuration used by all prediction benchmarks."""
+    return ExperimentConfig(
+        implementations_per_group=IMPLEMENTATIONS,
+        test_fraction=0.2,
+        n_training_repeats=REPEATS,
+        groups=GROUPS,
+        scale=SCALE,
+        trace_max_accesses=TRACE_BUDGET,
+        seed=0,
+    )
+
+
+def dataset_config(arch: str) -> DatasetConfig:
+    """The dataset configuration for one architecture."""
+    return DatasetConfig(
+        arch=arch,
+        implementations_per_group=IMPLEMENTATIONS,
+        groups=GROUPS,
+        scale=SCALE,
+        trace_max_accesses=TRACE_BUDGET,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_experiment_config() -> ExperimentConfig:
+    return experiment_config()
+
+
+@pytest.fixture(scope="session")
+def dataset_factory():
+    """Factory returning the (cached) dataset of one architecture."""
+    cache: dict = {}
+
+    def get(arch: str):
+        if arch not in cache:
+            cache[arch] = load_or_generate_dataset(
+                dataset_config(arch), cache_dir=CACHE_DIR, verbose=True
+            )
+        return cache[arch]
+
+    return get
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered result table and echo it to stdout."""
+    (results_dir / name).write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n")

@@ -1,0 +1,88 @@
+"""Ablation: feature set of the score predictor.
+
+The paper uses every statistic both in its raw form (Equation 1) and in its
+group-normalised form (Equation 2).  This ablation compares the full feature
+vector against (a) raw ratios only and (b) instruction mix only (no cache
+statistics), using the XGBoost predictor on one architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import evaluate_predictions
+from repro.predictor import FeatureExtractor, ScorePredictor
+from repro.utils.rng import derive_seed
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import write_result
+
+ARCH = "arm"
+
+
+class RawOnlyExtractor(FeatureExtractor):
+    """Feature extractor without the group-normalised copies (Equation 2 off)."""
+
+    def vector(self, flat_stats, group_means):
+        raw = self.raw_features(flat_stats)
+        return np.asarray(
+            [value for name, value in raw.items() if name != self.TOTAL_INSTRUCTIONS], dtype=float
+        )
+
+
+class InstructionMixExtractor(FeatureExtractor):
+    """Feature extractor that ignores all cache statistics."""
+
+    def __init__(self):
+        super().__init__(cache_levels=())
+
+
+def _evaluate(dataset, extractor, config, repeats=2):
+    metrics = []
+    for repeat in range(repeats):
+        train, test = dataset.train_test_split(
+            config.test_fraction, seed=derive_seed(0, "ablation_features", repeat)
+        )
+        predictor = ScorePredictor("xgboost", extractor=extractor, seed=repeat)
+        predictor.fit(train)
+        for group_id in test.group_ids():
+            samples = test.group(group_id)
+            scores = predictor.predict_dataset(samples, window="exact")
+            times = [s.measured_time_s for s in samples]
+            metrics.append(evaluate_predictions(times, scores))
+    return {
+        "Etop1": float(np.mean([m.e_top1 for m in metrics])),
+        "Rtop1": float(np.mean([m.r_top1 for m in metrics])),
+        "Qlow": float(np.mean([m.q_low for m in metrics])),
+        "Qhigh": float(np.mean([m.q_high for m in metrics])),
+    }
+
+
+def test_bench_ablation_features(benchmark, dataset_factory, bench_experiment_config, results_dir):
+    dataset = dataset_factory(ARCH)
+
+    def run():
+        return {
+            "raw + normalised (paper)": _evaluate(dataset, FeatureExtractor(), bench_experiment_config),
+            "raw ratios only": _evaluate(dataset, RawOnlyExtractor(), bench_experiment_config),
+            "instruction mix only": _evaluate(
+                dataset, InstructionMixExtractor(), bench_experiment_config
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name, data["Etop1"], data["Qlow"], data["Qhigh"], data["Rtop1"]]
+        for name, data in results.items()
+    ]
+    text = format_table(
+        ["feature set", "Etop1 %", "Qlow %", "Qhigh %", "Rtop1 %"],
+        rows,
+        title=f"Ablation - predictor feature sets ({ARCH}, XGBoost)",
+    )
+    write_result(results_dir, "ablation_features.txt", text)
+
+    for data in results.values():
+        assert 0.0 <= data["Rtop1"] <= 100.0

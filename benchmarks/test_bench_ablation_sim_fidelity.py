@@ -1,0 +1,92 @@
+"""Ablation: how much simulator detail does the score predictor need?
+
+The paper's premise is that *instruction-accurate* statistics (counts plus
+cache behaviour, no timing) are enough to rank implementations.  This ablation
+compares the learned predictor against two cheaper signals that need no cache
+simulation at all: the raw executed-instruction count and the analytic FLOP
+count (which is identical for every implementation of a group and therefore
+carries no ranking information).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import evaluate_predictions
+from repro.predictor import ScorePredictor
+from repro.utils.rng import derive_seed
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import write_result
+
+ARCH = "x86"
+
+
+def _learned(dataset, config, repeats=2):
+    metrics = []
+    for repeat in range(repeats):
+        train, test = dataset.train_test_split(
+            config.test_fraction, seed=derive_seed(2, "ablation_fidelity", repeat)
+        )
+        predictor = ScorePredictor("xgboost", seed=repeat).fit(train)
+        for group_id in test.group_ids():
+            samples = test.group(group_id)
+            scores = predictor.predict_dataset(samples, window="exact")
+            times = [s.measured_time_s for s in samples]
+            metrics.append(evaluate_predictions(times, scores))
+    return metrics
+
+
+def _baseline(dataset, config, stat_key, repeats=2):
+    metrics = []
+    for repeat in range(repeats):
+        _, test = dataset.train_test_split(
+            config.test_fraction, seed=derive_seed(2, "ablation_fidelity", repeat)
+        )
+        for group_id in test.group_ids():
+            samples = test.group(group_id)
+            scores = [s.flat_stats.get(stat_key, 0.0) for s in samples]
+            times = [s.measured_time_s for s in samples]
+            metrics.append(evaluate_predictions(times, scores))
+    return metrics
+
+
+def _summarise(metrics):
+    return {
+        "Etop1": float(np.mean([m.e_top1 for m in metrics])),
+        "Rtop1": float(np.mean([m.r_top1 for m in metrics])),
+        "Qlow": float(np.mean([m.q_low for m in metrics])),
+    }
+
+
+def test_bench_ablation_sim_fidelity(
+    benchmark, dataset_factory, bench_experiment_config, results_dir
+):
+    dataset = dataset_factory(ARCH)
+
+    def run():
+        return {
+            "learned score (counts + caches)": _summarise(_learned(dataset, bench_experiment_config)),
+            "instruction count only": _summarise(
+                _baseline(dataset, bench_experiment_config, "cpu.num_insts")
+            ),
+            "memory references only": _summarise(
+                _baseline(dataset, bench_experiment_config, "cpu.num_mem_refs")
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name, d["Etop1"], d["Qlow"], d["Rtop1"]] for name, d in results.items()]
+    text = format_table(
+        ["score source", "Etop1 %", "Qlow %", "Rtop1 %"],
+        rows,
+        title=f"Ablation - simulator fidelity ({ARCH})",
+    )
+    write_result(results_dir, "ablation_sim_fidelity.txt", text)
+
+    learned = results["learned score (counts + caches)"]
+    baseline = results["instruction count only"]
+    # The learned score must not be worse than the raw instruction count by a
+    # large margin (it usually is substantially better).
+    assert learned["Rtop1"] <= baseline["Rtop1"] + 15.0

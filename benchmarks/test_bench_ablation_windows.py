@@ -1,0 +1,66 @@
+"""Ablation: group-mean approximation at inference time (Section III-E).
+
+At inference time the exact group means are unknown; the paper approximates
+them with a static or a dynamic window and reports no accuracy loss for
+realistic batch sizes.  This ablation compares exact means, static windows of
+several sizes and the dynamic window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import evaluate_predictions
+from repro.predictor import ScorePredictor
+from repro.utils.rng import derive_seed
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import write_result
+
+ARCH = "riscv"
+
+
+def _evaluate(dataset, config, window, window_size=16, repeats=2):
+    metrics = []
+    for repeat in range(repeats):
+        train, test = dataset.train_test_split(
+            config.test_fraction, seed=derive_seed(1, "ablation_windows", repeat)
+        )
+        predictor = ScorePredictor("xgboost", seed=repeat).fit(train)
+        for group_id in test.group_ids():
+            samples = test.group(group_id)
+            scores = predictor.predict_dataset(samples, window=window, window_size=window_size)
+            times = [s.measured_time_s for s in samples]
+            metrics.append(evaluate_predictions(times, scores))
+    return {
+        "Etop1": float(np.mean([m.e_top1 for m in metrics])),
+        "Rtop1": float(np.mean([m.r_top1 for m in metrics])),
+    }
+
+
+def test_bench_ablation_windows(benchmark, dataset_factory, bench_experiment_config, results_dir):
+    dataset = dataset_factory(ARCH)
+
+    def run():
+        return {
+            "exact group means": _evaluate(dataset, bench_experiment_config, "exact"),
+            "static window (w=4)": _evaluate(dataset, bench_experiment_config, "static", 4),
+            "static window (w=16)": _evaluate(dataset, bench_experiment_config, "static", 16),
+            "dynamic window": _evaluate(dataset, bench_experiment_config, "dynamic"),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name, data["Etop1"], data["Rtop1"]] for name, data in results.items()]
+    text = format_table(
+        ["group-mean estimate", "Etop1 %", "Rtop1 %"],
+        rows,
+        title=f"Ablation - inference-time window approximation ({ARCH}, XGBoost)",
+    )
+    write_result(results_dir, "ablation_windows.txt", text)
+
+    exact = results["exact group means"]["Rtop1"]
+    dynamic = results["dynamic window"]["Rtop1"]
+    # The paper observes no accuracy loss from window approximations; allow a
+    # generous margin at laptop scale.
+    assert dynamic <= exact + 30.0

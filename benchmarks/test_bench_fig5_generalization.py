@@ -1,0 +1,76 @@
+"""Figure 5: sorted run-time predictions with group 3 included vs. excluded.
+
+The paper trains Bayesian predictors with and without group 3 in the training
+data and shows that the prediction quality on group 3's test set is visually
+indistinguishable.  This benchmark regenerates both curves per architecture
+and checks that excluding the group does not catastrophically degrade the
+metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline import generalization_curves
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import ARCHS, write_result
+
+HELD_OUT_GROUP = 3
+
+
+@pytest.mark.parametrize("arch", ARCHS)
+def test_bench_fig5(benchmark, arch, dataset_factory, bench_experiment_config, results_dir):
+    dataset = dataset_factory(arch)
+
+    curves = benchmark.pedantic(
+        generalization_curves,
+        args=(dataset,),
+        kwargs={
+            "held_out_group": HELD_OUT_GROUP,
+            "config": bench_experiment_config,
+            "predictor_name": "bayes",
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for variant, data in curves.items():
+        metrics = data["metrics"]
+        rows.append(
+            [
+                variant,
+                metrics.e_top1,
+                metrics.q_low,
+                metrics.q_high,
+                metrics.r_top1,
+            ]
+        )
+    text = format_table(
+        ["training", "Etop1 %", "Qlow %", "Qhigh %", "Rtop1 %"],
+        rows,
+        title=f"Figure 5 ({arch}) - group {HELD_OUT_GROUP} test set, included vs. excluded",
+    )
+    curve_lines = []
+    for variant, data in curves.items():
+        t_ref = ", ".join(f"{v:.6f}" for v in data["t_ref"])
+        t_pred = ", ".join(f"{v:.6f}" for v in data["t_pred"])
+        curve_lines.append(f"{variant}.t_ref  = [{t_ref}]")
+        curve_lines.append(f"{variant}.t_pred = [{t_pred}]")
+    write_result(results_dir, f"fig5_{arch}.txt", text + "\n" + "\n".join(curve_lines))
+
+    included = curves["included"]
+    excluded = curves["excluded"]
+    # Both variants produce predictions over the same measured samples.
+    np.testing.assert_allclose(included["t_ref"], excluded["t_ref"])
+    # An ascending trend must be visible: the first half of the prediction
+    # order is on average faster than the second half (both variants).
+    for data in (included, excluded):
+        ordered = data["t_pred"]
+        half = len(ordered) // 2
+        assert ordered[:half].mean() < ordered[half:].mean()
+    # Excluding the group from training must not blow up the top-1 rank
+    # catastrophically (the paper finds no clear disadvantage).
+    assert excluded["metrics"].r_top1 <= 60.0

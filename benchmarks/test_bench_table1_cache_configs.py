@@ -1,0 +1,73 @@
+"""Table I: cache sizes and hierarchies of the evaluated CPUs.
+
+The benchmark instantiates each Table I hierarchy, regenerates the table rows
+from the instantiated caches (not from the config constants), and measures the
+cost of driving a representative access stream through each hierarchy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import CACHE_HIERARCHIES, CacheHierarchy, cache_hierarchy_for
+from repro.utils.tabulate import format_table
+
+from benchmarks.conftest import write_result
+
+#: Table I of the paper, as (arch, level) -> (size KiB, sets, associativity).
+PAPER_TABLE1 = {
+    ("x86", "l1d"): (32, 64, 8),
+    ("x86", "l1i"): (32, 64, 8),
+    ("x86", "l2"): (512, 1024, 8),
+    ("x86", "l3"): (32768, 32768, 16),
+    ("arm", "l1d"): (32, 256, 2),
+    ("arm", "l1i"): (48, 256, 3),
+    ("arm", "l2"): (1024, 1024, 16),
+    ("riscv", "l1d"): (32, 64, 8),
+    ("riscv", "l1i"): (32, 64, 8),
+    ("riscv", "l2"): (2048, 2048, 16),
+}
+
+
+def _rows_from_instantiated_hierarchies():
+    rows = []
+    for arch in ("x86", "arm", "riscv"):
+        hierarchy = cache_hierarchy_for(arch)
+        for level, cache in hierarchy.all_caches().items():
+            config = cache.config
+            rows.append(
+                (arch, level, config.size_bytes // 1024, config.sets, config.associativity)
+            )
+    return rows
+
+
+def test_bench_table1(benchmark, results_dir):
+    rows = benchmark(_rows_from_instantiated_hierarchies)
+
+    # Every instantiated level must match the paper's Table I exactly.
+    observed = {(arch, level): (size, sets, assoc) for arch, level, size, sets, assoc in rows}
+    assert observed == PAPER_TABLE1
+
+    text = format_table(
+        ["arch", "level", "size KiB", "sets", "assoc"],
+        rows,
+        title="Table I - cache sizes and hierarchy of the used CPUs",
+    )
+    write_result(results_dir, "table1_cache_configs.txt", text)
+
+
+@pytest.mark.parametrize("arch", ["x86", "arm", "riscv"])
+def test_bench_table1_hierarchy_throughput(benchmark, arch):
+    """Cost of simulating a mixed access stream on each Table I hierarchy."""
+    hierarchy = CacheHierarchy(CACHE_HIERARCHIES[arch])
+    rng = np.random.default_rng(0)
+    addresses = (rng.integers(0, 1 << 22, size=20_000) * 4).astype(np.int64)
+    writes = rng.random(20_000) < 0.3
+
+    def run():
+        hierarchy.access_data_batch(addresses, writes)
+        return hierarchy.l1d.accesses
+
+    total = benchmark(run)
+    assert total >= 20_000

@@ -1,0 +1,67 @@
+"""Table II: the Conv2D+Bias+ReLU kernel groups of the evaluation.
+
+The benchmark regenerates the table from the workload definitions, checks the
+shapes against the paper and measures the cost of building the compute DAG and
+design space for each group (at reduced scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autotune.sketch import ComputeDAG, generate_sketches
+from repro.utils.tabulate import format_table
+from repro.workloads import TABLE2_ROWS, conv2d_bias_relu_workload, group_params, scaled_group_params
+
+from benchmarks.conftest import SCALE, write_result
+
+#: Table II of the paper: group -> (N, H, W, CO, CI, KH, KW, stride, pad).
+PAPER_TABLE2 = {
+    0: (1, 224, 224, 64, 3, 7, 7, (2, 2), (3, 3)),
+    1: (1, 56, 56, 64, 64, 3, 3, (1, 1), (1, 1)),
+    2: (1, 56, 56, 128, 64, 3, 3, (2, 2), (1, 1)),
+    3: (1, 28, 28, 256, 128, 3, 3, (2, 2), (1, 1)),
+    4: (1, 14, 24, 512, 256, 3, 3, (2, 2), (1, 1)),
+}
+
+
+def test_bench_table2(benchmark, results_dir):
+    rows = benchmark(lambda: list(TABLE2_ROWS))
+
+    observed = {row[0]: tuple(row[1:]) for row in rows}
+    assert observed == PAPER_TABLE2
+
+    text = format_table(
+        ["group", "N", "H", "W", "CO", "CI", "KH", "KW", "stride", "pad"],
+        rows,
+        title="Table II - shapes of the used Conv2D+Bias+ReLU kernels",
+    )
+    write_result(results_dir, "table2_workloads.txt", text)
+
+
+@pytest.mark.parametrize("group_id", [0, 1, 2, 3, 4])
+def test_bench_table2_design_space(benchmark, group_id):
+    """Cost of deriving the compute DAG and sketches for one (scaled) group."""
+    params = scaled_group_params(group_id, SCALE)
+
+    def build():
+        tensors = conv2d_bias_relu_workload(*params.as_args())
+        dag = ComputeDAG([tensors[-1]])
+        return len(generate_sketches(dag))
+
+    n_sketches = benchmark(build)
+    assert n_sketches >= 1
+
+
+def test_bench_table2_macs_match_resnet_shapes(benchmark):
+    """The full-size groups have the MAC counts implied by the paper's shapes."""
+    benchmark(lambda: [group_params(gid).macs() for gid in range(5)])
+    expected_macs = {
+        0: 1 * 64 * 112 * 112 * 3 * 7 * 7,
+        1: 1 * 64 * 56 * 56 * 64 * 3 * 3,
+        2: 1 * 128 * 28 * 28 * 64 * 3 * 3,
+        3: 1 * 256 * 14 * 14 * 128 * 3 * 3,
+        4: 1 * 512 * 7 * 12 * 256 * 3 * 3,
+    }
+    for group_id, macs in expected_macs.items():
+        assert group_params(group_id).macs() == macs

@@ -1,0 +1,28 @@
+"""Table V: prediction results for the RISC-V-based CPU (SiFive U74 class)."""
+
+from __future__ import annotations
+
+from repro.pipeline import format_comparison_table, predictor_comparison_table
+
+from benchmarks.conftest import write_result
+
+ARCH = "riscv"
+MAX_MEAN_RTOP1 = 35.0
+
+
+def test_bench_table5_riscv(benchmark, dataset_factory, bench_experiment_config, results_dir):
+    dataset = dataset_factory(ARCH)
+
+    rows = benchmark.pedantic(
+        predictor_comparison_table,
+        args=(dataset, bench_experiment_config),
+        rounds=1,
+        iterations=1,
+    )
+
+    text = format_comparison_table(rows, title=f"Table V - prediction results for {ARCH}")
+    write_result(results_dir, "table5_riscv.txt", text)
+
+    assert len(rows) == 4 * len(dataset.group_ids())
+    learned = [row["Rtop1"] for row in rows if row["predictor"] in ("dnn", "bayes", "xgboost")]
+    assert sum(learned) / len(learned) <= MAX_MEAN_RTOP1

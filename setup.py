@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on systems without the
+``wheel`` package (pip falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro: instruction-accurate simulators for autotuning performance estimation.
+
+Reproduction of "Introducing Instruction-Accurate Simulators for Performance
+Estimation of Autotuning Workloads" (DAC 2025).  The package couples a
+tensor-expression autotuning framework with a gem5-style instruction-accurate
+simulator and trains score predictors that rank schedule implementations by
+their expected run time on a target CPU.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "te",
+    "codegen",
+    "sim",
+    "hardware",
+    "autotune",
+    "predictor",
+    "metrics",
+    "workloads",
+    "pipeline",
+    "utils",
+]

@@ -1,0 +1,103 @@
+"""Autotuning framework (AutoTVM / Auto-Scheduler stand-in).
+
+Two tuning flows are provided, mirroring the paper's Figure 2:
+
+* the **template flow** (AutoTVM): an expert writes a schedule template with
+  tunable knobs (:func:`~repro.autotune.space.ConfigSpace.define_split`,
+  ``define_knob``); tuners search the resulting configuration space.
+* the **sketch flow** (Auto-Scheduler / Ansor): sketches are derived
+  automatically from the kernel's compute DAG and annotated with concrete
+  tile sizes, vectorisation and unrolling; an evolutionary search with a
+  learned cost model explores the space.
+
+Both flows measure candidate implementations through a ``Builder`` and a
+``Runner``.  The paper's contribution I is the :class:`SimulatorRunner` (and
+the registry override for the sketch flow), which replaces native execution
+with parallel instruction-accurate simulations.
+"""
+
+from repro.autotune.space import (
+    ConfigSpace,
+    ConfigEntity,
+    SplitEntity,
+    OtherOptionEntity,
+    all_factorizations,
+)
+from repro.autotune.template import template, get_template, list_templates
+from repro.autotune.task import Task, create_task
+from repro.autotune.measure import (
+    MeasureInput,
+    MeasureResult,
+    BuildResult,
+    MeasureErrorNo,
+    Builder,
+    Runner,
+)
+from repro.autotune.builder import LocalBuilder
+from repro.autotune.runner import LocalRunner, SimulatorRunner, RunnerStatsCollector
+from repro.autotune.registry import register_func, get_func, override_func
+from repro.autotune.callbacks import log_to_records, progress_callback
+from repro.autotune.record import (
+    save_records,
+    load_records,
+    logging_callback,
+    best_record,
+    apply_history_best,
+)
+from repro.autotune.tuner import (
+    Tuner,
+    RandomTuner,
+    GridSearchTuner,
+    GATuner,
+    ModelBasedTuner,
+)
+from repro.autotune.sketch import (
+    ComputeDAG,
+    SearchTask,
+    TuningOptions,
+    SketchPolicy,
+    auto_schedule,
+)
+
+__all__ = [
+    "ConfigSpace",
+    "ConfigEntity",
+    "SplitEntity",
+    "OtherOptionEntity",
+    "all_factorizations",
+    "template",
+    "get_template",
+    "list_templates",
+    "Task",
+    "create_task",
+    "MeasureInput",
+    "MeasureResult",
+    "BuildResult",
+    "MeasureErrorNo",
+    "Builder",
+    "Runner",
+    "LocalBuilder",
+    "LocalRunner",
+    "SimulatorRunner",
+    "RunnerStatsCollector",
+    "register_func",
+    "get_func",
+    "override_func",
+    "log_to_records",
+    "progress_callback",
+    "save_records",
+    "load_records",
+    "logging_callback",
+    "best_record",
+    "apply_history_best",
+    "Tuner",
+    "RandomTuner",
+    "GridSearchTuner",
+    "GATuner",
+    "ModelBasedTuner",
+    "ComputeDAG",
+    "SearchTask",
+    "TuningOptions",
+    "SketchPolicy",
+    "auto_schedule",
+]

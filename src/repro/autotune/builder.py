@@ -1,0 +1,56 @@
+"""Local builder: template instantiation, lowering and code generation.
+
+This is the stand-in for TVM's ``LocalBuilder``: it turns a (task, config)
+pair into a standalone executable artefact.  In the paper the executable
+prepares input tensors, calls the compiled workload and is handed to the
+simulator by path; here the artefact is the abstract instruction
+:class:`~repro.codegen.program.Program`, which plays the same role.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from repro.autotune.measure import BuildResult, Builder, MeasureErrorNo, MeasureInput
+from repro.codegen.codegen import CodegenError, build_program
+
+
+class LocalBuilder(Builder):
+    """Builds measure inputs on the local machine."""
+
+    def __init__(self, verbose: bool = False):
+        self.verbose = verbose
+
+    def build(self, measure_inputs: Sequence[MeasureInput]) -> List[BuildResult]:
+        """Lower and code-generate every measure input; never raises."""
+        results: List[BuildResult] = []
+        for measure_input in measure_inputs:
+            start = time.perf_counter()
+            try:
+                func = measure_input.task.lower(measure_input.config)
+                program = build_program(
+                    func,
+                    measure_input.task.target,
+                    name=f"{measure_input.task.template_name}_{measure_input.config.index}",
+                )
+                results.append(BuildResult(program=program, build_seconds=time.perf_counter() - start))
+            except (CodegenError, ValueError, KeyError) as error:
+                results.append(
+                    BuildResult(
+                        program=None,
+                        build_seconds=time.perf_counter() - start,
+                        error_no=MeasureErrorNo.COMPILE_ERROR,
+                        error_msg=f"{type(error).__name__}: {error}",
+                    )
+                )
+            except Exception as error:  # pragma: no cover - defensive
+                results.append(
+                    BuildResult(
+                        program=None,
+                        build_seconds=time.perf_counter() - start,
+                        error_no=MeasureErrorNo.INSTANTIATION_ERROR,
+                        error_msg=f"{type(error).__name__}: {error}",
+                    )
+                )
+        return results

@@ -1,0 +1,50 @@
+"""Tuning callbacks: record logging and progress reporting."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.autotune.measure import MeasureInput, MeasureResult
+
+Callback = Callable[[object, Sequence[MeasureInput], Sequence[MeasureResult]], None]
+
+
+def log_to_records(records: List[dict]) -> Callback:
+    """Append one dictionary per measurement to ``records``."""
+
+    def callback(tuner, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        for measure_input, result in zip(inputs, results):
+            records.append(
+                {
+                    "task": measure_input.task.name,
+                    "config_index": measure_input.config.index,
+                    "config": {
+                        name: repr(measure_input.config[name])
+                        for name in measure_input.config.knob_names()
+                    },
+                    "cost": result.mean_cost,
+                    "error_no": result.error_no,
+                    "extra": dict(result.extra),
+                }
+            )
+
+    return callback
+
+
+def progress_callback(prefix: str = "tuning", every: int = 1, printer=print) -> Callback:
+    """Print the running best cost every ``every`` batches."""
+    state = {"batch": 0, "best": float("inf"), "trials": 0}
+
+    def callback(tuner, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        state["batch"] += 1
+        state["trials"] += len(results)
+        for result in results:
+            if result.ok and result.mean_cost < state["best"]:
+                state["best"] = result.mean_cost
+        if state["batch"] % every == 0:
+            printer(
+                f"[{prefix}] batch {state['batch']}: {state['trials']} trials, "
+                f"best cost {state['best']:.6g}"
+            )
+
+    return callback

@@ -1,0 +1,98 @@
+"""Tuning-record logging (the equivalent of AutoTVM's JSON log files).
+
+Every measurement can be appended to a JSON-lines log; logs can be reloaded to
+resume tuning, to pick the best configuration without re-measuring, or to feed
+offline analysis (for instance, training a score predictor from previously
+collected runs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.autotune.measure import MeasureInput, MeasureResult
+from repro.autotune.task import Task
+
+
+def record_to_dict(measure_input: MeasureInput, result: MeasureResult) -> dict:
+    """Serialise one measurement as a plain dictionary."""
+    return {
+        "task": measure_input.task.name,
+        "template": measure_input.task.template_name,
+        "args": list(measure_input.task.args),
+        "target": measure_input.task.target.name,
+        "config_index": measure_input.config.index,
+        "costs": list(result.costs),
+        "error_no": result.error_no,
+        "all_cost": result.all_cost,
+        "timestamp": result.timestamp,
+        "extra": dict(result.extra),
+    }
+
+
+def save_records(
+    path: str | Path,
+    measurements: Iterable[Tuple[MeasureInput, MeasureResult]],
+    append: bool = True,
+) -> int:
+    """Append measurements to a JSON-lines log file; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "a" if append else "w"
+    count = 0
+    with path.open(mode, encoding="utf-8") as handle:
+        for measure_input, result in measurements:
+            handle.write(json.dumps(record_to_dict(measure_input, result)) + "\n")
+            count += 1
+    return count
+
+
+def load_records(path: str | Path) -> List[dict]:
+    """Load all records from a JSON-lines log file."""
+    path = Path(path)
+    records: List[dict] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def logging_callback(path: str | Path):
+    """A tuner callback that appends every finished batch to ``path``."""
+
+    def callback(tuner, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        save_records(path, zip(inputs, results), append=True)
+
+    return callback
+
+
+def best_record(records: Sequence[dict], task_name: Optional[str] = None) -> Optional[dict]:
+    """The record with the lowest mean cost (optionally restricted to one task)."""
+    best: Optional[dict] = None
+    best_cost = float("inf")
+    for record in records:
+        if task_name is not None and record["task"] != task_name:
+            continue
+        if record.get("error_no", 0) != 0 or not record.get("costs"):
+            continue
+        cost = sum(record["costs"]) / len(record["costs"])
+        if cost < best_cost:
+            best_cost = cost
+            best = record
+    return best
+
+
+def apply_history_best(task: Task, records: Sequence[dict]):
+    """Return the configuration of the best logged measurement for ``task``.
+
+    This is the equivalent of ``autotvm.apply_history_best``: it lets a
+    compilation flow reuse a previous tuning session without re-measuring.
+    """
+    best = best_record(records, task_name=task.name)
+    if best is None:
+        return None
+    return task.config_space.get(int(best["config_index"]))

@@ -1,0 +1,231 @@
+"""Runners: native execution and the paper's simulator interface.
+
+``LocalRunner`` executes built implementations on a target board with the
+full measurement protocol — this is what classic autotuning does and what the
+training phase of the score predictor needs.
+
+``SimulatorRunner`` is Contribution I of the paper (Listing 3): it executes
+the implementations on ``n_parallel`` instruction-accurate simulator
+instances and returns a *score* per implementation.  The function that maps a
+finished simulation to a score is pluggable; during the execution phase it is
+a trained score predictor, and it can also be overridden globally through the
+function registry under the name ``"autotvm.simulator_run"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.autotune.measure import (
+    BuildResult,
+    MeasureErrorNo,
+    MeasureInput,
+    MeasureResult,
+    Runner,
+)
+from repro.autotune.registry import get_func
+from repro.hardware.board import TargetBoard
+from repro.sim.cpu import TraceOptions
+from repro.sim.simulator import SimulationResult, SimulatorPool
+
+#: Signature of a score function: (simulation result, measure input) -> score.
+ScoreFunction = Callable[[SimulationResult, MeasureInput], float]
+
+
+class LocalRunner(Runner):
+    """Runs implementations natively on a target board (sequentially).
+
+    Native runs are never parallelised: the paper notes that concurrent
+    workloads on the device would disturb the measurements.
+    """
+
+    def __init__(self, board: TargetBoard, timeout_s: float = 0.0):
+        super().__init__(n_parallel=1, timeout_s=timeout_s)
+        self.board = board
+
+    def run(
+        self,
+        measure_inputs: Sequence[MeasureInput],
+        build_results: Sequence[BuildResult],
+    ) -> List[MeasureResult]:
+        results: List[MeasureResult] = []
+        for build in build_results:
+            start = time.perf_counter()
+            if not build.ok:
+                results.append(
+                    MeasureResult(
+                        costs=[],
+                        error_no=build.error_no,
+                        error_msg=build.error_msg,
+                        all_cost=time.perf_counter() - start,
+                    )
+                )
+                continue
+            record = self.board.measure(build.program)
+            results.append(
+                MeasureResult(
+                    costs=list(record.times_s),
+                    all_cost=record.benchmarking_seconds,
+                    extra={"t_ref": record.median_s, "t_std": record.std_s},
+                )
+            )
+        return results
+
+
+class SimulatorRunner(Runner):
+    """Custom runner executing autotuning workloads on simulators (Listing 3)."""
+
+    def __init__(
+        self,
+        arch: str,
+        n_parallel: int = 16,
+        trace_options: TraceOptions = TraceOptions(),
+        score_function: Optional[ScoreFunction] = None,
+        backend: str = "serial",
+        collect_results: bool = True,
+    ):
+        super().__init__(n_parallel=n_parallel)
+        self.arch = arch
+        self.trace_options = trace_options
+        self.score_function = score_function
+        self.pool = SimulatorPool(
+            arch=arch,
+            n_parallel=n_parallel,
+            trace_options=trace_options,
+            backend=backend,
+        )
+        self.collect_results = collect_results
+        #: Simulation results of every successful run, in measurement order.
+        self.simulation_results: List[SimulationResult] = []
+
+    # -- the simulator interface -------------------------------------------
+    def simulator_run(self, programs) -> List[SimulationResult]:
+        """Execute the built programs on the simulator pool.
+
+        This is the override point of the paper's interface: registering a
+        function under ``"autotvm.simulator_run"`` replaces the built-in pool
+        (for instance to drive an external simulator).
+        """
+        external = get_func("autotvm.simulator_run")
+        if external is not None:
+            return external(programs, self.arch, self.n_parallel)
+        return self.pool.run_many(programs)
+
+    def default_score(self, result: SimulationResult, measure_input: MeasureInput) -> float:
+        """Fallback score when no predictor is attached: total executed instructions.
+
+        Instruction count alone is a weak but monotone-ish proxy; the paper's
+        predictors (Contribution II) replace it with a learned score.
+        """
+        return float(result.stats.get("cpu.num_insts"))
+
+    def run(
+        self,
+        measure_inputs: Sequence[MeasureInput],
+        build_results: Sequence[BuildResult],
+    ) -> List[MeasureResult]:
+        start = time.perf_counter()
+        indexed_programs = [
+            (position, build.program)
+            for position, build in enumerate(build_results)
+            if build.ok
+        ]
+        simulation_results = self.simulator_run([program for _, program in indexed_programs])
+        if self.collect_results:
+            self.simulation_results.extend(simulation_results)
+        by_position: Dict[int, SimulationResult] = {
+            position: result
+            for (position, _), result in zip(indexed_programs, simulation_results)
+        }
+        elapsed = time.perf_counter() - start
+
+        results: List[MeasureResult] = []
+        for position, (measure_input, build) in enumerate(zip(measure_inputs, build_results)):
+            if not build.ok:
+                results.append(
+                    MeasureResult(
+                        costs=[],
+                        error_no=build.error_no,
+                        error_msg=build.error_msg,
+                        all_cost=elapsed / max(len(build_results), 1),
+                    )
+                )
+                continue
+            simulation = by_position[position]
+            score_fn = self.score_function or self.default_score
+            try:
+                score = float(score_fn(simulation, measure_input))
+            except Exception as error:
+                results.append(
+                    MeasureResult(
+                        costs=[],
+                        error_no=MeasureErrorNo.RUNTIME_ERROR,
+                        error_msg=f"score function failed: {error}",
+                        all_cost=simulation.host_seconds,
+                    )
+                )
+                continue
+            results.append(
+                MeasureResult(
+                    costs=[score],
+                    all_cost=simulation.host_seconds,
+                    extra={
+                        "sim_host_seconds": simulation.host_seconds,
+                        "sim_instructions": simulation.stats.get("cpu.num_insts"),
+                    },
+                )
+            )
+        return results
+
+
+class RunnerStatsCollector(Runner):
+    """Training-phase runner: measures natively *and* simulates (Figure 4-I).
+
+    Every successful measurement produces a paired record (simulator
+    statistics, native measurement) which is exactly the training data the
+    score predictors need.
+    """
+
+    def __init__(
+        self,
+        board: TargetBoard,
+        arch: Optional[str] = None,
+        trace_options: TraceOptions = TraceOptions(),
+        n_parallel: int = 1,
+        backend: str = "serial",
+    ):
+        super().__init__(n_parallel=n_parallel)
+        self.board = board
+        self.arch = arch or board.arch
+        self.pool = SimulatorPool(
+            arch=self.arch, n_parallel=n_parallel, trace_options=trace_options, backend=backend
+        )
+        #: Paired training records: (measure input, simulation result, measurement record).
+        self.records: List[tuple] = []
+
+    def run(
+        self,
+        measure_inputs: Sequence[MeasureInput],
+        build_results: Sequence[BuildResult],
+    ) -> List[MeasureResult]:
+        results: List[MeasureResult] = []
+        ok_programs = [build.program for build in build_results if build.ok]
+        simulations = iter(self.pool.run_many(ok_programs))
+        for measure_input, build in zip(measure_inputs, build_results):
+            if not build.ok:
+                results.append(
+                    MeasureResult(costs=[], error_no=build.error_no, error_msg=build.error_msg)
+                )
+                continue
+            simulation = next(simulations)
+            record = self.board.measure(build.program)
+            self.records.append((measure_input, simulation, record))
+            results.append(
+                MeasureResult(
+                    costs=list(record.times_s),
+                    all_cost=record.benchmarking_seconds + simulation.host_seconds,
+                    extra={"t_ref": record.median_s},
+                )
+            )
+        return results

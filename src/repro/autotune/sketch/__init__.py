@@ -1,0 +1,28 @@
+"""Auto-Scheduler (Ansor-style) sketch-based tuning flow."""
+
+from repro.autotune.sketch.dag import ComputeDAG
+from repro.autotune.sketch.sketch import Sketch, generate_sketches
+from repro.autotune.sketch.annotation import ScheduleCandidate, AnnotationSampler
+from repro.autotune.sketch.cost_model import RandomCostModel, LearnedCostModel
+from repro.autotune.sketch.auto_scheduler import (
+    SearchTask,
+    TuningOptions,
+    SketchPolicy,
+    auto_schedule,
+    LOCAL_RUNNER_FUNC_NAME,
+)
+
+__all__ = [
+    "ComputeDAG",
+    "Sketch",
+    "generate_sketches",
+    "ScheduleCandidate",
+    "AnnotationSampler",
+    "RandomCostModel",
+    "LearnedCostModel",
+    "SearchTask",
+    "TuningOptions",
+    "SketchPolicy",
+    "auto_schedule",
+    "LOCAL_RUNNER_FUNC_NAME",
+]

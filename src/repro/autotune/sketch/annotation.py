@@ -1,0 +1,207 @@
+"""Annotation phase: turning sketches into concrete schedule candidates.
+
+Annotation fills a sketch's placeholders: concrete tile sizes for every
+tiling level, vectorisation of the innermost spatial loop, and unrolling of
+small inner loops.  Candidates know how to apply themselves to a fresh
+schedule, how to mutate (for the evolutionary search) and how to encode
+themselves as a feature vector (for the cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autotune.space import all_factorizations
+from repro.autotune.sketch.sketch import Sketch, loop_order
+from repro.te.operation import ComputeOp
+from repro.te.schedule import Schedule, create_schedule
+from repro.te.tensor import IterVar, Tensor
+
+
+@dataclass
+class ScheduleCandidate:
+    """One fully annotated implementation of a kernel."""
+
+    sketch: Sketch
+    #: Tile sizes per axis name (level extents, outermost first; product == extent).
+    tile_sizes: Dict[str, Tuple[int, ...]]
+    vectorize_inner: bool = True
+    unroll_inner: bool = False
+    annotate_consumers: bool = True
+
+    # -- identity -----------------------------------------------------------
+    def key(self) -> Tuple:
+        """Hashable identity used for de-duplication."""
+        tiles = tuple(sorted((name, sizes) for name, sizes in self.tile_sizes.items()))
+        return (
+            self.sketch.order_rule,
+            tiles,
+            self.vectorize_inner,
+            self.unroll_inner,
+            self.annotate_consumers,
+        )
+
+    def features(self) -> List[float]:
+        """Numeric encoding of the candidate (input of the search cost model)."""
+        encoded: List[float] = []
+        for name in sorted(self.tile_sizes):
+            for size in self.tile_sizes[name]:
+                encoded.append(float(np.log2(max(size, 1))))
+        encoded.append(1.0 if self.vectorize_inner else 0.0)
+        encoded.append(1.0 if self.unroll_inner else 0.0)
+        encoded.append(1.0 if self.annotate_consumers else 0.0)
+        encoded.append(0.0 if self.sketch.order_rule == "ssrsrs" else 1.0)
+        return encoded
+
+    # -- application -----------------------------------------------------------
+    def apply(self, output_tensors: List[Tensor]) -> Schedule:
+        """Build a concrete schedule implementing this candidate."""
+        schedule = create_schedule(output_tensors)
+
+        # Rule: always inline element-wise producers (padding, broadcasts).
+        inline_names = set(self.sketch.inline_ops)
+        for stage in schedule.compute_stages():
+            if stage.op.name in inline_names:
+                stage.compute_inline()
+
+        heavy_op = self._find_op(schedule, self.sketch.heavy_op_name)
+        if heavy_op is not None:
+            self._apply_heavy_op(schedule, heavy_op)
+
+        if self.annotate_consumers:
+            self._annotate_consumers(schedule, inline_names)
+        return schedule
+
+    def _find_op(self, schedule: Schedule, name: str) -> Optional[ComputeOp]:
+        for stage in schedule.compute_stages():
+            if stage.op.name == name:
+                return stage.op
+        return None
+
+    def _apply_heavy_op(self, schedule: Schedule, op: ComputeOp) -> None:
+        stage = schedule[op.output_tensor]
+        spatial_axes: Dict[str, List[IterVar]] = {}
+        reduce_axes: Dict[str, List[IterVar]] = {}
+
+        for plan, mapping, axes in (
+            [(p, spatial_axes, op.axis) for p in self.sketch.spatial_plans]
+            + [(p, reduce_axes, op.reduce_axis) for p in self.sketch.reduce_plans]
+        ):
+            axis = next(a for a in axes if a.name == plan.name)
+            sizes = self.tile_sizes.get(plan.name, (axis.extent,))
+            current = axis
+            for size in sizes[:0:-1]:
+                current, _ = stage.split(current, factor=size)
+            # The stage tracks which leaf loops each original axis decomposed
+            # into (outermost first).
+            mapping[plan.name] = self._split_chain(stage, axis, sizes)
+
+        order = loop_order(self.sketch, spatial_axes, reduce_axes)
+        if order:
+            stage.reorder(*order)
+
+        innermost_spatial = self._innermost_spatial(spatial_axes)
+        if innermost_spatial is not None:
+            if self.vectorize_inner and innermost_spatial.extent > 1:
+                stage.vectorize(innermost_spatial)
+            elif self.unroll_inner and innermost_spatial.extent <= 16:
+                stage.unroll(innermost_spatial)
+
+    def _split_chain(self, stage, axis: IterVar, sizes: Tuple[int, ...]) -> List[IterVar]:
+        """Return the loops produced for ``axis`` (outermost first) from the stage state."""
+        decomposition = stage.axis_decomposition()
+        return decomposition.get(axis, [axis])
+
+    def _innermost_spatial(self, spatial_axes: Dict[str, List[IterVar]]) -> Optional[IterVar]:
+        if not self.sketch.spatial_plans:
+            return None
+        last_plan = self.sketch.spatial_plans[-1]
+        loops = spatial_axes.get(last_plan.name)
+        if not loops:
+            return None
+        return loops[-1]
+
+    def _annotate_consumers(self, schedule: Schedule, inline_names: set) -> None:
+        for stage in schedule.compute_stages():
+            if stage.inlined or stage.op.name == self.sketch.heavy_op_name:
+                continue
+            if stage.op.name in inline_names or not stage.leaf_iter_vars:
+                continue
+            innermost = stage.leaf_iter_vars[-1]
+            if innermost.extent > 1:
+                stage.vectorize(innermost)
+
+    def __repr__(self) -> str:
+        tiles = {name: list(sizes) for name, sizes in self.tile_sizes.items()}
+        return (
+            f"ScheduleCandidate(order={self.sketch.order_rule}, tiles={tiles}, "
+            f"vec={self.vectorize_inner}, unroll={self.unroll_inner})"
+        )
+
+
+class AnnotationSampler:
+    """Randomly samples and mutates schedule candidates for a set of sketches."""
+
+    def __init__(self, rng: np.random.Generator, max_inner_tile: int = 64):
+        self.rng = rng
+        self.max_inner_tile = max_inner_tile
+        self._factorization_cache: Dict[Tuple[int, int], List[Tuple[int, ...]]] = {}
+
+    # -- sampling -----------------------------------------------------------
+    def _factorizations(self, extent: int, parts: int) -> List[Tuple[int, ...]]:
+        key = (extent, parts)
+        if key not in self._factorization_cache:
+            self._factorization_cache[key] = all_factorizations(extent, parts)
+        return self._factorization_cache[key]
+
+    def sample_tiles(self, sketch: Sketch) -> Dict[str, Tuple[int, ...]]:
+        """Random tile sizes for every tunable axis of ``sketch``."""
+        tiles: Dict[str, Tuple[int, ...]] = {}
+        for plan in sketch.axis_plans():
+            if plan.levels <= 1 or plan.extent <= 1:
+                tiles[plan.name] = (plan.extent,)
+                continue
+            options = self._factorizations(plan.extent, plan.levels)
+            choice = options[int(self.rng.integers(0, len(options)))]
+            tiles[plan.name] = tuple(choice)
+        return tiles
+
+    def sample(self, sketch: Sketch) -> ScheduleCandidate:
+        """One random candidate for ``sketch``."""
+        return ScheduleCandidate(
+            sketch=sketch,
+            tile_sizes=self.sample_tiles(sketch),
+            vectorize_inner=bool(self.rng.random() < 0.7),
+            unroll_inner=bool(self.rng.random() < 0.3),
+            annotate_consumers=bool(self.rng.random() < 0.7),
+        )
+
+    def mutate(self, candidate: ScheduleCandidate) -> ScheduleCandidate:
+        """Return a copy of ``candidate`` with one decision re-sampled."""
+        tiles = dict(candidate.tile_sizes)
+        sketch = candidate.sketch
+        tunable = [plan for plan in sketch.tunable_axes()]
+        mutation_kind = self.rng.random()
+        vectorize = candidate.vectorize_inner
+        unroll = candidate.unroll_inner
+        consumers = candidate.annotate_consumers
+        if tunable and mutation_kind < 0.7:
+            plan = tunable[int(self.rng.integers(0, len(tunable)))]
+            options = self._factorizations(plan.extent, plan.levels)
+            tiles[plan.name] = tuple(options[int(self.rng.integers(0, len(options)))])
+        elif mutation_kind < 0.8:
+            vectorize = not vectorize
+        elif mutation_kind < 0.9:
+            unroll = not unroll
+        else:
+            consumers = not consumers
+        return ScheduleCandidate(
+            sketch=sketch,
+            tile_sizes=tiles,
+            vectorize_inner=vectorize,
+            unroll_inner=unroll,
+            annotate_consumers=consumers,
+        )

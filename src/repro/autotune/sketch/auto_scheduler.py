@@ -1,0 +1,248 @@
+"""Auto-Scheduler entry points: search tasks, tuning options and the policy.
+
+The measurement backend is resolved through the function registry under
+``"auto_scheduler.local_runner.run"`` — exactly the override point the paper
+uses (Listing 4) to redirect measurements to simulators — and falls back to a
+runner object passed to :func:`auto_schedule`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autotune.builder import LocalBuilder  # noqa: F401  (re-exported convenience)
+from repro.autotune.measure import BuildResult, MeasureErrorNo, MeasureResult, Runner
+from repro.autotune.registry import get_func
+from repro.autotune.sketch.annotation import AnnotationSampler, ScheduleCandidate
+from repro.autotune.sketch.cost_model import LearnedCostModel, RandomCostModel
+from repro.autotune.sketch.dag import ComputeDAG
+from repro.autotune.sketch.sketch import Sketch, generate_sketches
+from repro.codegen.codegen import CodegenError, build_program
+from repro.codegen.target import Target
+from repro.te.lower import lower
+from repro.te.tensor import Tensor
+from repro.utils.rng import new_generator
+
+#: Registry name of the measurement callback (mirrors TVM's function name).
+LOCAL_RUNNER_FUNC_NAME = "auto_scheduler.local_runner.run"
+
+
+class SearchTask:
+    """A kernel to optimise with the sketch-based flow.
+
+    ``workload_fn(*args)`` must return the kernel's argument tensors in call
+    order (inputs first, outputs last), as in the paper's Listing 5.
+    """
+
+    def __init__(self, workload_fn: Callable[..., List[Tensor]], args: tuple, target: Target,
+                 name: Optional[str] = None):
+        self.workload_fn = workload_fn
+        self.args = tuple(args)
+        self.target = target
+        self.arg_tensors = list(workload_fn(*self.args))
+        self.output_tensors = [
+            t for t in self.arg_tensors if type(t.op).__name__ == "ComputeOp"
+        ]
+        if not self.output_tensors:
+            raise ValueError("the workload function must return at least one computed tensor")
+        self.dag = ComputeDAG(self.output_tensors)
+        self.name = name or f"{getattr(workload_fn, '__name__', 'workload')}{list(self.args)}"
+
+    def __repr__(self) -> str:
+        return f"SearchTask({self.name}, target={self.target.name})"
+
+
+@dataclass
+class SketchMeasureInput:
+    """A candidate scheduled implementation queued for measurement."""
+
+    task: SearchTask
+    candidate: ScheduleCandidate
+
+
+@dataclass
+class MeasureRecord:
+    """One measured candidate (kept by the policy for later analysis)."""
+
+    candidate: ScheduleCandidate
+    cost: float
+    result: MeasureResult
+
+
+@dataclass
+class TuningOptions:
+    """Search budget and behaviour of the sketch policy."""
+
+    num_measure_trials: int = 64
+    num_measures_per_round: int = 16
+    population_size: int = 128
+    evolution_fraction: float = 0.7
+    verbose: bool = False
+    seed: int = 0
+
+
+class SketchPolicy:
+    """Sketch generation + random annotation + evolutionary refinement."""
+
+    def __init__(
+        self,
+        task: SearchTask,
+        options: TuningOptions = TuningOptions(),
+        cost_model=None,
+    ):
+        self.task = task
+        self.options = options
+        self.cost_model = cost_model if cost_model is not None else LearnedCostModel(seed=options.seed)
+        self.rng = new_generator(options.seed, "sketch_policy", task.name)
+        self.sampler = AnnotationSampler(self.rng)
+        self.sketches: List[Sketch] = generate_sketches(task.dag)
+        self.records: List[MeasureRecord] = []
+        self._seen: set = set()
+
+    # -- candidate generation -------------------------------------------------
+    def sample_candidates(self, count: int) -> List[ScheduleCandidate]:
+        """Sample ``count`` fresh random candidates across all sketches."""
+        candidates: List[ScheduleCandidate] = []
+        attempts = 0
+        while len(candidates) < count and attempts < 50 * count:
+            attempts += 1
+            sketch = self.sketches[int(self.rng.integers(0, len(self.sketches)))]
+            candidate = self.sampler.sample(sketch)
+            if candidate.key() in self._seen:
+                continue
+            self._seen.add(candidate.key())
+            candidates.append(candidate)
+        return candidates
+
+    def evolve_candidates(self, count: int) -> List[ScheduleCandidate]:
+        """Mutate the best measured candidates, ranked by the cost model."""
+        if not self.records:
+            return self.sample_candidates(count)
+        ranked = sorted(self.records, key=lambda record: record.cost)
+        parents = [record.candidate for record in ranked[: max(4, count)]]
+        pool: List[ScheduleCandidate] = []
+        attempts = 0
+        while len(pool) < self.options.population_size and attempts < 20 * self.options.population_size:
+            attempts += 1
+            parent = parents[int(self.rng.integers(0, len(parents)))]
+            child = self.sampler.mutate(parent)
+            if child.key() in self._seen:
+                continue
+            pool.append(child)
+        if not pool:
+            return self.sample_candidates(count)
+        predicted = self.cost_model.predict(pool)
+        order = np.argsort(predicted)
+        chosen = [pool[int(i)] for i in order[:count]]
+        for candidate in chosen:
+            self._seen.add(candidate.key())
+        return chosen
+
+    def next_batch(self, count: int) -> List[ScheduleCandidate]:
+        """Candidates for the next measurement round (evolution + exploration)."""
+        if not self.records:
+            return self.sample_candidates(count)
+        evolved = int(round(count * self.options.evolution_fraction))
+        batch = self.evolve_candidates(evolved)
+        batch.extend(self.sample_candidates(count - len(batch)))
+        return batch
+
+    # -- building and measuring -------------------------------------------------
+    def build_candidates(
+        self, candidates: Sequence[ScheduleCandidate]
+    ) -> Tuple[List[SketchMeasureInput], List[BuildResult]]:
+        """Lower and code-generate a batch of candidates (never raises)."""
+        inputs: List[SketchMeasureInput] = []
+        build_results: List[BuildResult] = []
+        for position, candidate in enumerate(candidates):
+            start = time.perf_counter()
+            inputs.append(SketchMeasureInput(self.task, candidate))
+            try:
+                schedule = candidate.apply(self.task.output_tensors)
+                func = lower(
+                    schedule,
+                    self.task.arg_tensors,
+                    name=f"{self.task.name}_cand{len(self.records) + position}",
+                )
+                program = build_program(func, self.task.target, name=func.name)
+                build_results.append(
+                    BuildResult(program=program, build_seconds=time.perf_counter() - start)
+                )
+            except (CodegenError, ValueError, KeyError) as error:
+                build_results.append(
+                    BuildResult(
+                        program=None,
+                        build_seconds=time.perf_counter() - start,
+                        error_no=MeasureErrorNo.COMPILE_ERROR,
+                        error_msg=f"{type(error).__name__}: {error}",
+                    )
+                )
+        return inputs, build_results
+
+    def measure(
+        self,
+        inputs: Sequence[SketchMeasureInput],
+        build_results: Sequence[BuildResult],
+        runner: Optional[Runner] = None,
+    ) -> List[MeasureResult]:
+        """Measure built candidates through the registry override or ``runner``."""
+        run_func = get_func(LOCAL_RUNNER_FUNC_NAME)
+        if run_func is not None:
+            return run_func(inputs, build_results)
+        if runner is None:
+            raise RuntimeError(
+                "no measurement backend: register a function under "
+                f"{LOCAL_RUNNER_FUNC_NAME!r} or pass a runner to auto_schedule()"
+            )
+        return runner.run(inputs, build_results)
+
+    # -- search loop ---------------------------------------------------------------
+    def search(self, runner: Optional[Runner] = None) -> Optional[ScheduleCandidate]:
+        """Run the full search; returns the best measured candidate."""
+        measured = 0
+        best: Optional[MeasureRecord] = None
+        while measured < self.options.num_measure_trials:
+            batch_size = min(
+                self.options.num_measures_per_round,
+                self.options.num_measure_trials - measured,
+            )
+            candidates = self.next_batch(batch_size)
+            if not candidates:
+                break
+            inputs, build_results = self.build_candidates(candidates)
+            results = self.measure(inputs, build_results, runner)
+            measured += len(results)
+
+            round_candidates: List[ScheduleCandidate] = []
+            round_costs: List[float] = []
+            for measure_input, result in zip(inputs, results):
+                cost = result.mean_cost if result.ok else float("inf")
+                record = MeasureRecord(measure_input.candidate, cost, result)
+                self.records.append(record)
+                if np.isfinite(cost):
+                    round_candidates.append(measure_input.candidate)
+                    round_costs.append(cost)
+                if best is None or cost < best.cost:
+                    best = record
+            if round_candidates:
+                self.cost_model.update(round_candidates, round_costs)
+            if self.options.verbose:
+                best_cost = best.cost if best else float("inf")
+                print(f"[auto_scheduler] {measured} trials, best cost {best_cost:.6g}")
+        return best.candidate if best else None
+
+
+def auto_schedule(
+    task: SearchTask,
+    options: TuningOptions = TuningOptions(),
+    runner: Optional[Runner] = None,
+    cost_model=None,
+) -> Tuple[Optional[ScheduleCandidate], List[MeasureRecord]]:
+    """Search for a good schedule of ``task``; returns (best candidate, records)."""
+    policy = SketchPolicy(task, options, cost_model=cost_model)
+    best = policy.search(runner)
+    return best, policy.records

@@ -1,0 +1,82 @@
+"""Search cost models for the sketch-based flow.
+
+The cost model ranks unmeasured candidates so that the evolutionary search
+spends measurements on promising implementations.  It is distinct from the
+paper's *score predictor*: the cost model learns from whatever costs the
+runner returns (native times or simulator-derived scores), while the score
+predictor maps simulator statistics to scores.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.autotune.sketch.annotation import ScheduleCandidate
+
+
+class RandomCostModel:
+    """Assigns random scores; turns the search into random sampling."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def update(self, candidates: Sequence[ScheduleCandidate], costs: Sequence[float]) -> None:
+        """Random model: nothing to learn."""
+
+    def predict(self, candidates: Sequence[ScheduleCandidate]) -> np.ndarray:
+        """Random scores (lower is better, as for real costs)."""
+        return self.rng.random(len(candidates))
+
+
+class LearnedCostModel:
+    """Gradient-boosted-tree model over the candidates' decision features."""
+
+    def __init__(self, min_samples: int = 16, seed: int = 0):
+        self.min_samples = min_samples
+        self.seed = seed
+        self._features: List[List[float]] = []
+        self._costs: List[float] = []
+        self._model = None
+
+    def update(self, candidates: Sequence[ScheduleCandidate], costs: Sequence[float]) -> None:
+        """Add measured candidates and refit once enough samples are available."""
+        for candidate, cost in zip(candidates, costs):
+            if not np.isfinite(cost):
+                continue
+            self._features.append(candidate.features())
+            self._costs.append(float(cost))
+        if len(self._costs) >= self.min_samples:
+            self._fit()
+
+    def _fit(self) -> None:
+        from repro.predictor.xgboost import GradientBoostedTrees
+
+        features = self._padded_features(self._features)
+        targets = np.log(np.maximum(np.asarray(self._costs), 1e-30))
+        self._model = GradientBoostedTrees(
+            n_estimators=80, max_depth=3, learning_rate=0.15, subsample=0.9, random_state=self.seed
+        )
+        self._model.fit(features, targets)
+
+    @staticmethod
+    def _padded_features(rows: Sequence[Sequence[float]]) -> np.ndarray:
+        width = max(len(row) for row in rows)
+        out = np.zeros((len(rows), width), dtype=float)
+        for i, row in enumerate(rows):
+            out[i, : len(row)] = row
+        return out
+
+    def predict(self, candidates: Sequence[ScheduleCandidate]) -> np.ndarray:
+        """Predicted (relative) cost per candidate; random before the first fit."""
+        if self._model is None:
+            rng = np.random.default_rng(self.seed)
+            return rng.random(len(candidates))
+        features = self._padded_features([c.features() for c in candidates])
+        trained_width = self._model.n_features_
+        if features.shape[1] < trained_width:
+            features = np.pad(features, ((0, 0), (0, trained_width - features.shape[1])))
+        elif features.shape[1] > trained_width:
+            features = features[:, :trained_width]
+        return self._model.predict(features)

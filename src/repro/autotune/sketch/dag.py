@@ -1,0 +1,62 @@
+"""Compute DAG analysis for sketch generation."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.te.operation import ComputeOp, Operation, PlaceholderOp, collect_ops
+from repro.te.tensor import Tensor
+
+
+class ComputeDAG:
+    """The operator DAG of one kernel, with the classification sketch rules need."""
+
+    def __init__(self, output_tensors: Sequence[Tensor]):
+        if isinstance(output_tensors, Tensor):
+            output_tensors = [output_tensors]
+        self.outputs = list(output_tensors)
+        self.ops: List[Operation] = collect_ops([t.op for t in self.outputs])
+
+    # -- classification -----------------------------------------------------
+    def compute_ops(self) -> List[ComputeOp]:
+        """All compute operations in producer-before-consumer order."""
+        return [op for op in self.ops if isinstance(op, ComputeOp)]
+
+    def placeholder_ops(self) -> List[PlaceholderOp]:
+        """All input placeholders."""
+        return [op for op in self.ops if isinstance(op, PlaceholderOp)]
+
+    def reduction_ops(self) -> List[ComputeOp]:
+        """Compute operations with at least one reduction axis (the heavy ops)."""
+        return [op for op in self.compute_ops() if op.reduce_axis]
+
+    def elementwise_ops(self) -> List[ComputeOp]:
+        """Compute operations without reductions (candidates for inlining)."""
+        return [op for op in self.compute_ops() if not op.reduce_axis]
+
+    def output_ops(self) -> List[Operation]:
+        """Operations producing the kernel outputs (never inlined)."""
+        return [t.op for t in self.outputs]
+
+    def inlinable_ops(self) -> List[ComputeOp]:
+        """Element-wise operations that are not outputs (always inlined by the sketch rules)."""
+        output_ids = {id(op) for op in self.output_ops()}
+        return [op for op in self.elementwise_ops() if id(op) not in output_ids]
+
+    def flop_estimate(self) -> float:
+        """Rough floating-point operation count of the kernel (for reporting)."""
+        total = 0.0
+        for op in self.compute_ops():
+            points = 1.0
+            for axis in op.axis:
+                points *= axis.extent
+            reduce_size = 1.0
+            for axis in op.reduce_axis:
+                reduce_size *= axis.extent
+            # One multiply-accumulate per reduction point, one op per element otherwise.
+            total += points * (2.0 * reduce_size if op.reduce_axis else 1.0)
+        return total
+
+    def __repr__(self) -> str:
+        names = [op.name for op in self.compute_ops()]
+        return f"ComputeDAG({names})"

@@ -1,0 +1,180 @@
+"""Sketch generation: loop structures with tile-size placeholders.
+
+A sketch fixes the *structure* of a schedule — which stages are inlined, how
+many tiling levels each axis of the heavy (reduction) operation gets, and the
+relative loop order — while leaving the concrete tile sizes and annotations
+to the annotation phase (as in Ansor's sketch/annotation split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.autotune.sketch.dag import ComputeDAG
+from repro.te.operation import ComputeOp
+
+
+@dataclass(frozen=True)
+class AxisPlan:
+    """Tiling plan for one axis of the heavy operation."""
+
+    name: str
+    extent: int
+    levels: int  # number of loops this axis is split into (1 = not split)
+    is_reduce: bool
+
+
+@dataclass
+class Sketch:
+    """A structural schedule plan for one kernel."""
+
+    dag: ComputeDAG
+    heavy_op_name: str
+    spatial_plans: List[AxisPlan]
+    reduce_plans: List[AxisPlan]
+    inline_ops: Tuple[str, ...]
+    #: Identifier of the loop-order rule (see :func:`loop_order`).
+    order_rule: str = "ssrsrs"
+
+    def axis_plans(self) -> List[AxisPlan]:
+        """All axis plans (spatial then reduce)."""
+        return list(self.spatial_plans) + list(self.reduce_plans)
+
+    def tunable_axes(self) -> List[AxisPlan]:
+        """Axes whose tile sizes are chosen during annotation."""
+        return [plan for plan in self.axis_plans() if plan.levels > 1 and plan.extent > 1]
+
+    def __repr__(self) -> str:
+        spatial = {p.name: p.levels for p in self.spatial_plans}
+        reduce_ = {p.name: p.levels for p in self.reduce_plans}
+        return (
+            f"Sketch({self.heavy_op_name}, spatial={spatial}, reduce={reduce_}, "
+            f"order={self.order_rule}, inline={list(self.inline_ops)})"
+        )
+
+
+def generate_sketches(dag: ComputeDAG, max_spatial_levels: int = 3) -> List[Sketch]:
+    """Derive sketches from the kernel's compute DAG.
+
+    The derivation rules are the ones the paper's workloads exercise:
+
+    * element-wise producers (padding, broadcasting) are always inlined;
+    * the reduction operation is multi-level tiled; one sketch is generated
+      per tiling depth (2 and ``max_spatial_levels``) and loop-order rule.
+    """
+    reduction_ops = dag.reduction_ops()
+    if not reduction_ops:
+        # Purely element-wise kernel: a single trivial sketch.
+        output_op = dag.output_ops()[0]
+        assert isinstance(output_op, ComputeOp)
+        spatial = [
+            AxisPlan(axis.name, axis.extent, 1, False) for axis in output_op.axis
+        ]
+        return [
+            Sketch(
+                dag=dag,
+                heavy_op_name=output_op.name,
+                spatial_plans=spatial,
+                reduce_plans=[],
+                inline_ops=tuple(op.name for op in dag.inlinable_ops()),
+                order_rule="flat",
+            )
+        ]
+
+    heavy_op = reduction_ops[-1]  # the last (outermost consumer) heavy op
+    inline_names = tuple(op.name for op in dag.inlinable_ops())
+
+    sketches: List[Sketch] = []
+    for spatial_levels in (2, max_spatial_levels):
+        for order_rule in ("ssrsrs", "srs"):
+            spatial_plans = [
+                AxisPlan(
+                    axis.name,
+                    axis.extent,
+                    spatial_levels if axis.extent > 1 else 1,
+                    False,
+                )
+                for axis in heavy_op.axis
+            ]
+            reduce_plans = [
+                AxisPlan(axis.name, axis.extent, 2 if axis.extent > 1 else 1, True)
+                for axis in heavy_op.reduce_axis
+            ]
+            sketches.append(
+                Sketch(
+                    dag=dag,
+                    heavy_op_name=heavy_op.name,
+                    spatial_plans=spatial_plans,
+                    reduce_plans=reduce_plans,
+                    inline_ops=inline_names,
+                    order_rule=order_rule,
+                )
+            )
+    # Deduplicate sketches that collapse to the same structure (e.g. when
+    # max_spatial_levels == 2).
+    unique: Dict[str, Sketch] = {}
+    for sketch in sketches:
+        key = repr(sketch)
+        unique.setdefault(key, sketch)
+    return list(unique.values())
+
+
+def loop_order(
+    sketch: Sketch,
+    spatial_axes: Dict[str, Sequence],
+    reduce_axes: Dict[str, Sequence],
+) -> List:
+    """Compute the loop order for a fully tiled candidate.
+
+    ``spatial_axes``/``reduce_axes`` map axis names to their split loops
+    (outermost first).  Two order rules are supported:
+
+    * ``ssrsrs``: spatial outer, spatial middle, reduce outer, reduce inner,
+      spatial inner — the classic blocked GEMM/conv structure;
+    * ``srs``: spatial outer, reduce (all), spatial remaining — a simpler
+      structure closer to untiled code.
+    """
+    spatial_names = [plan.name for plan in sketch.spatial_plans]
+    reduce_names = [plan.name for plan in sketch.reduce_plans]
+
+    def level(axes: Dict[str, Sequence], axis_names: List[str], idx: int) -> List:
+        out = []
+        for axis_name in axis_names:
+            loops = list(axes[axis_name])
+            if idx < len(loops):
+                out.append(loops[idx])
+        return out
+
+    max_spatial = max((len(spatial_axes[n]) for n in spatial_names), default=1)
+    max_reduce = max((len(reduce_axes[n]) for n in reduce_names), default=0)
+
+    order: List = []
+    if sketch.order_rule == "flat" or not reduce_names:
+        for name in spatial_names:
+            order.extend(spatial_axes[name])
+        return order
+
+    if sketch.order_rule == "srs":
+        order.extend(level(spatial_axes, spatial_names, 0))
+        for idx in range(max_reduce):
+            order.extend(level(reduce_axes, reduce_names, idx))
+        for idx in range(1, max_spatial):
+            order.extend(level(spatial_axes, spatial_names, idx))
+        return order
+
+    # "ssrsrs": interleave spatial and reduce tiling levels, keeping the last
+    # spatial level innermost (the classic blocked GEMM/conv structure, e.g.
+    # S0 R0 S1 R1 S2 for three spatial and two reduce levels).
+    order.extend(level(spatial_axes, spatial_names, 0))
+    reduce_idx, spatial_idx = 0, 1
+    while reduce_idx < max_reduce or spatial_idx < max_spatial - 1:
+        if reduce_idx < max_reduce:
+            order.extend(level(reduce_axes, reduce_names, reduce_idx))
+            reduce_idx += 1
+        if spatial_idx < max_spatial - 1:
+            order.extend(level(spatial_axes, spatial_names, spatial_idx))
+            spatial_idx += 1
+    if max_spatial > 1:
+        order.extend(level(spatial_axes, spatial_names, max_spatial - 1))
+    return order

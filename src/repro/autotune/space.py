@@ -1,0 +1,238 @@
+"""Configuration spaces for the template-based (AutoTVM-style) tuning flow.
+
+A schedule template calls ``cfg.define_split`` / ``cfg.define_knob`` to
+declare its tunable parameters; the cartesian product of all declared knobs is
+the design space.  A :class:`ConfigEntity` is one point of that space and can
+be applied to a concrete schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.te.schedule import Stage
+from repro.te.tensor import IterVar
+
+
+def factorize(value: int) -> List[int]:
+    """All divisors of ``value`` in ascending order."""
+    if value <= 0:
+        raise ValueError("can only factorise positive integers")
+    small, large = [], []
+    divisor = 1
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            small.append(divisor)
+            if divisor != value // divisor:
+                large.append(value // divisor)
+        divisor += 1
+    return small + large[::-1]
+
+
+def all_factorizations(extent: int, parts: int, max_factor: Optional[int] = None) -> List[Tuple[int, ...]]:
+    """All ways to write ``extent`` as an ordered product of ``parts`` factors.
+
+    ``max_factor`` bounds every factor except the first (outermost), matching
+    AutoTVM's ``max_factor`` option for ``define_split``.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if parts == 1:
+        return [(extent,)]
+    results: List[Tuple[int, ...]] = []
+    for first in factorize(extent):
+        for rest in all_factorizations(extent // first, parts - 1, max_factor):
+            if max_factor is not None and any(f > max_factor for f in rest):
+                continue
+            results.append((first,) + rest)
+    return results
+
+
+class SplitEntity:
+    """A concrete loop split: the extents of the produced sub-loops (outer first)."""
+
+    def __init__(self, sizes: Sequence[int]):
+        self.size = tuple(int(s) for s in sizes)
+
+    def apply(self, schedule, tensor, axis: IterVar) -> List[IterVar]:
+        """Split ``axis`` of ``tensor``'s stage into ``len(self.size)`` loops."""
+        stage: Stage = schedule[tensor]
+        axes: List[IterVar] = []
+        current = axis
+        # The outermost factor is implicit; split off the inner factors right to left.
+        for factor in self.size[:0:-1]:
+            current, inner = stage.split(current, factor=factor)
+            axes.insert(0, inner)
+        axes.insert(0, current)
+        return axes
+
+    def __repr__(self) -> str:
+        return f"SplitEntity(size={list(self.size)})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SplitEntity) and self.size == other.size
+
+    def __hash__(self) -> int:
+        return hash(self.size)
+
+
+class OtherOptionEntity:
+    """A concrete value of a free-form knob."""
+
+    def __init__(self, value):
+        self.val = value
+
+    def __repr__(self) -> str:
+        return f"OtherOptionEntity({self.val!r})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, OtherOptionEntity) and self.val == other.val
+
+    def __hash__(self) -> int:
+        return hash(self.val)
+
+
+class ConfigSpace:
+    """The declared design space of one template.
+
+    While the template runs, every ``define_*`` call registers a knob; reading
+    ``cfg["name"]`` returns the currently selected entity (the first candidate
+    during space construction, the chosen one for a :class:`ConfigEntity`).
+    """
+
+    def __init__(self):
+        self._knobs: Dict[str, List[object]] = {}
+        self._selection: Dict[str, int] = {}
+
+    # -- definition API (called by templates) -----------------------------
+    def define_split(
+        self,
+        name: str,
+        axis: IterVar | int,
+        num_outputs: int = 2,
+        max_factor: Optional[int] = None,
+        policy: str = "factors",
+    ) -> None:
+        """Declare a split knob over ``axis`` producing ``num_outputs`` loops."""
+        extent = axis.extent if isinstance(axis, IterVar) else int(axis)
+        if policy == "factors":
+            candidates = [SplitEntity(sizes) for sizes in all_factorizations(extent, num_outputs, max_factor)]
+        elif policy == "power2":
+            powers = [p for p in (2**i for i in range(0, extent.bit_length())) if p <= extent]
+            combos = itertools.product(powers, repeat=num_outputs - 1)
+            candidates = [
+                SplitEntity((-1,) + combo)
+                for combo in combos
+                if int(np.prod(combo)) <= extent
+            ]
+            candidates = [
+                SplitEntity((max(extent // int(np.prod(c.size[1:])), 1),) + c.size[1:])
+                for c in candidates
+            ]
+        else:
+            raise ValueError(f"unknown split policy {policy!r}")
+        self._register(name, candidates)
+
+    def define_knob(self, name: str, candidates: Sequence[object]) -> None:
+        """Declare a free-form knob with explicit ``candidates``."""
+        if not candidates:
+            raise ValueError(f"knob {name!r} needs at least one candidate")
+        self._register(name, [OtherOptionEntity(value) for value in candidates])
+
+    def _register(self, name: str, candidates: List[object]) -> None:
+        if name in self._knobs:
+            # Templates are re-run for every configuration; keep the first definition.
+            return
+        if not candidates:
+            raise ValueError(f"knob {name!r} has an empty candidate list")
+        self._knobs[name] = candidates
+        self._selection.setdefault(name, 0)
+
+    # -- access API ---------------------------------------------------------
+    def __getitem__(self, name: str):
+        if name not in self._knobs:
+            raise KeyError(f"unknown knob {name!r}")
+        return self._knobs[name][self._selection[name]]
+
+    def knob_names(self) -> List[str]:
+        """Names of all declared knobs, in definition order."""
+        return list(self._knobs)
+
+    def candidates(self, name: str) -> List[object]:
+        """All candidate entities of one knob."""
+        return list(self._knobs[name])
+
+    def __len__(self) -> int:
+        total = 1
+        for candidates in self._knobs.values():
+            total *= len(candidates)
+        return total
+
+    # -- configuration enumeration -------------------------------------------
+    def get(self, index: int) -> "ConfigEntity":
+        """The ``index``-th configuration (row-major over the knobs)."""
+        if index < 0 or index >= len(self):
+            raise IndexError(f"configuration index {index} out of range (space size {len(self)})")
+        selection: Dict[str, int] = {}
+        remaining = index
+        for name in reversed(list(self._knobs)):
+            count = len(self._knobs[name])
+            selection[name] = remaining % count
+            remaining //= count
+        return ConfigEntity(self, selection, index)
+
+    def sample(self, n_samples: int, rng: np.random.Generator) -> List["ConfigEntity"]:
+        """Sample ``n_samples`` distinct configurations uniformly (without replacement)."""
+        size = len(self)
+        n_samples = min(n_samples, size)
+        if size <= 10_000_000:
+            indices = rng.choice(size, size=n_samples, replace=False)
+        else:
+            indices = np.unique(rng.integers(0, size, size=2 * n_samples))[:n_samples]
+        return [self.get(int(i)) for i in indices]
+
+    def __iter__(self) -> Iterator["ConfigEntity"]:
+        for index in range(len(self)):
+            yield self.get(index)
+
+    def __repr__(self) -> str:
+        return f"ConfigSpace({len(self._knobs)} knobs, {len(self)} configurations)"
+
+
+class ConfigEntity(ConfigSpace):
+    """One concrete point of a :class:`ConfigSpace`."""
+
+    def __init__(self, space: ConfigSpace, selection: Dict[str, int], index: int):
+        super().__init__()
+        self._knobs = space._knobs
+        self._selection = dict(selection)
+        self.index = index
+
+    def to_dict(self) -> Dict[str, object]:
+        """Chosen entity per knob (for logging)."""
+        return {name: self[name] for name in self._knobs}
+
+    def features(self) -> List[float]:
+        """A numeric encoding of the configuration (used by cost-model tuners)."""
+        encoded: List[float] = []
+        for name in self._knobs:
+            entity = self[name]
+            if isinstance(entity, SplitEntity):
+                encoded.extend(float(np.log2(max(s, 1))) for s in entity.size)
+            elif isinstance(entity, OtherOptionEntity):
+                if isinstance(entity.val, bool):
+                    encoded.append(1.0 if entity.val else 0.0)
+                elif isinstance(entity.val, (int, float)):
+                    encoded.append(float(entity.val))
+                else:
+                    encoded.append(float(self._selection[name]))
+            else:
+                encoded.append(float(self._selection[name]))
+        return encoded
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}={self[name]!r}" for name in self._knobs)
+        return f"ConfigEntity(#{self.index}: {parts})"

@@ -1,0 +1,53 @@
+"""Tuning tasks: a template, its arguments and a compilation target."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.autotune.template import instantiate as _instantiate_template
+from repro.autotune.space import ConfigEntity, ConfigSpace
+from repro.codegen.target import Target
+from repro.te.ir import LoweredFunc
+from repro.te.lower import lower
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+
+class Task:
+    """One tunable kernel instance (template + arguments + target)."""
+
+    def __init__(self, template_name: str, args: tuple, target: Target):
+        self.template_name = template_name
+        self.args = tuple(args)
+        self.target = target
+        self.config_space = self._build_space()
+
+    @property
+    def name(self) -> str:
+        """A stable, human-readable task name."""
+        rendered_args = "x".join(str(a) for a in self.args)
+        return f"{self.template_name}[{rendered_args}]@{self.target.name}"
+
+    def _build_space(self) -> ConfigSpace:
+        cfg = ConfigSpace()
+        _instantiate_template(self.template_name, self.args, cfg)
+        return cfg
+
+    # -- instantiation ------------------------------------------------------
+    def instantiate(self, config: ConfigEntity) -> Tuple[Schedule, List[Tensor]]:
+        """Apply ``config`` and return the concrete schedule and argument tensors."""
+        return _instantiate_template(self.template_name, self.args, config)
+
+    def lower(self, config: ConfigEntity, name: str | None = None) -> LoweredFunc:
+        """Lower the schedule selected by ``config`` to the loop-nest IR."""
+        schedule, arg_tensors = self.instantiate(config)
+        func_name = name or f"{self.template_name}_{config.index}"
+        return lower(schedule, arg_tensors, name=func_name)
+
+    def __repr__(self) -> str:
+        return f"Task({self.name}, space={len(self.config_space)})"
+
+
+def create_task(template_name: str, args: tuple, target: Target) -> Task:
+    """Create a :class:`Task` (mirrors ``autotvm.task.create``)."""
+    return Task(template_name, args, target)

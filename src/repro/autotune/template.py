@@ -1,0 +1,52 @@
+"""Schedule-template registry for the AutoTVM-style flow.
+
+A template is a function ``template_fn(cfg, *args) -> (schedule, arg_tensors)``
+that builds the compute definition, declares its tunable knobs on ``cfg`` and
+applies the currently selected configuration.  Pre-designed templates for the
+paper's kernels live in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.autotune.space import ConfigSpace
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+TemplateFn = Callable[..., Tuple[Schedule, List[Tensor]]]
+
+_TEMPLATES: Dict[str, TemplateFn] = {}
+
+
+def template(name: str) -> Callable[[TemplateFn], TemplateFn]:
+    """Decorator registering a schedule template under ``name``."""
+
+    def decorator(func: TemplateFn) -> TemplateFn:
+        if name in _TEMPLATES:
+            raise ValueError(f"a template named {name!r} is already registered")
+        _TEMPLATES[name] = func
+        func.template_name = name
+        return func
+
+    return decorator
+
+
+def get_template(name: str) -> TemplateFn:
+    """Look up a registered template."""
+    try:
+        return _TEMPLATES[name]
+    except KeyError:
+        raise KeyError(
+            f"no template named {name!r}; registered templates: {sorted(_TEMPLATES)}"
+        ) from None
+
+
+def list_templates() -> List[str]:
+    """Names of all registered templates."""
+    return sorted(_TEMPLATES)
+
+
+def instantiate(name: str, args: tuple, cfg: ConfigSpace) -> Tuple[Schedule, List[Tensor]]:
+    """Run template ``name`` with ``cfg`` and positional ``args``."""
+    return get_template(name)(cfg, *args)

@@ -1,0 +1,9 @@
+"""Tuners for the template-based flow."""
+
+from repro.autotune.tuner.tuner import Tuner
+from repro.autotune.tuner.random_tuner import RandomTuner
+from repro.autotune.tuner.grid_tuner import GridSearchTuner
+from repro.autotune.tuner.ga_tuner import GATuner
+from repro.autotune.tuner.model_based_tuner import ModelBasedTuner
+
+__all__ = ["Tuner", "RandomTuner", "GridSearchTuner", "GATuner", "ModelBasedTuner"]

@@ -1,0 +1,29 @@
+"""Exhaustive grid-search tuner."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.autotune.space import ConfigEntity
+from repro.autotune.task import Task
+from repro.autotune.tuner.tuner import Tuner
+
+
+class GridSearchTuner(Tuner):
+    """Enumerates the configuration space in index order."""
+
+    def __init__(self, task: Task, seed: int = 0):
+        super().__init__(task, seed)
+        self._cursor = 0
+
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        space = self.task.config_space
+        batch: List[ConfigEntity] = []
+        while len(batch) < batch_size and self._cursor < len(space):
+            if self._cursor not in self.visited:
+                batch.append(space.get(self._cursor))
+            self._cursor += 1
+        return batch
+
+    def has_next(self) -> bool:
+        return self._cursor < len(self.task.config_space)

@@ -1,0 +1,101 @@
+"""Cost-model-guided tuner (AutoTVM's ``XGBTuner`` equivalent).
+
+A gradient-boosted-tree regression model is fitted on the configurations
+measured so far (numeric knob encoding -> cost); candidate configurations are
+then ranked by predicted cost and the most promising unvisited ones are
+measured next, with an epsilon of random exploration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autotune.measure import MeasureInput, MeasureResult
+from repro.autotune.space import ConfigEntity
+from repro.autotune.task import Task
+from repro.autotune.tuner.tuner import Tuner
+
+
+class ModelBasedTuner(Tuner):
+    """Proposes configurations ranked by a learned cost model."""
+
+    def __init__(
+        self,
+        task: Task,
+        plan_size: int = 32,
+        candidate_pool: int = 256,
+        epsilon_greedy: float = 0.15,
+        model_factory=None,
+        seed: int = 0,
+    ):
+        super().__init__(task, seed)
+        self.plan_size = plan_size
+        self.candidate_pool = candidate_pool
+        self.epsilon_greedy = epsilon_greedy
+        self._model_factory = model_factory or self._default_model_factory
+        self._model = None
+        self._train_features: List[List[float]] = []
+        self._train_costs: List[float] = []
+
+    @staticmethod
+    def _default_model_factory():
+        from repro.predictor.xgboost import GradientBoostedTrees
+
+        return GradientBoostedTrees(
+            n_estimators=60, max_depth=3, learning_rate=0.15, subsample=0.9, random_state=0
+        )
+
+    # -- tuner interface -----------------------------------------------------
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        if self._model is None or len(self._train_costs) < self.plan_size:
+            return self._sample_unvisited(batch_size)
+
+        candidates = self._sample_unvisited(self.candidate_pool)
+        if not candidates:
+            return []
+        features = np.asarray([config.features() for config in candidates], dtype=float)
+        predicted = self._model.predict(features)
+        order = np.argsort(predicted)
+
+        batch: List[ConfigEntity] = []
+        for position in order:
+            if len(batch) >= batch_size:
+                break
+            if self.rng.random() < self.epsilon_greedy:
+                continue
+            batch.append(candidates[int(position)])
+        while len(batch) < batch_size:
+            extra = self._sample_unvisited(1)
+            if not extra:
+                break
+            if any(c.index == extra[0].index for c in batch):
+                continue
+            batch.append(extra[0])
+        return batch
+
+    def update(self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        for measure_input, result in zip(inputs, results):
+            if not result.ok or not np.isfinite(result.mean_cost):
+                continue
+            self._train_features.append(measure_input.config.features())
+            self._train_costs.append(result.mean_cost)
+        if len(self._train_costs) >= self.plan_size:
+            self._fit_model()
+
+    def _fit_model(self) -> None:
+        features = np.asarray(self._train_features, dtype=float)
+        costs = np.asarray(self._train_costs, dtype=float)
+        # Train on log-cost: the dynamic range of run times is large and the
+        # model only needs to rank configurations.
+        targets = np.log(np.maximum(costs, 1e-30))
+        self._model = self._model_factory()
+        self._model.fit(features, targets)
+
+    def predicted_cost(self, config: ConfigEntity) -> Optional[float]:
+        """Predicted cost for ``config`` (None before the model is first fitted)."""
+        if self._model is None:
+            return None
+        features = np.asarray([config.features()], dtype=float)
+        return float(np.exp(self._model.predict(features)[0]))

@@ -1,0 +1,15 @@
+"""Random search tuner."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.autotune.space import ConfigEntity
+from repro.autotune.tuner.tuner import Tuner
+
+
+class RandomTuner(Tuner):
+    """Proposes uniformly random, unvisited configurations."""
+
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        return self._sample_unvisited(batch_size)

@@ -1,0 +1,100 @@
+"""Base class of all tuners."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.autotune.builder import LocalBuilder
+from repro.autotune.measure import (
+    Builder,
+    MeasureInput,
+    MeasureResult,
+    Runner,
+    measure_batch,
+)
+from repro.autotune.space import ConfigEntity
+from repro.autotune.task import Task
+from repro.utils.rng import new_generator
+
+
+class Tuner:
+    """Iteratively proposes configurations and learns from their measured cost."""
+
+    def __init__(self, task: Task, seed: int = 0):
+        self.task = task
+        self.seed = seed
+        self.rng = new_generator(seed, "tuner", type(self).__name__, task.name)
+        self.best_config: Optional[ConfigEntity] = None
+        self.best_cost: float = float("inf")
+        self.best_measure: Optional[MeasureResult] = None
+        self.visited: set = set()
+        self.trial_count = 0
+
+    # -- to be provided by concrete tuners ---------------------------------
+    def next_batch(self, batch_size: int) -> List[ConfigEntity]:
+        """Propose up to ``batch_size`` configurations to measure next."""
+        raise NotImplementedError
+
+    def update(self, inputs: Sequence[MeasureInput], results: Sequence[MeasureResult]) -> None:
+        """Learn from a finished measurement batch (optional for subclasses)."""
+
+    def has_next(self) -> bool:
+        """Whether the tuner can still propose unvisited configurations."""
+        return len(self.visited) < len(self.task.config_space)
+
+    # -- main loop -----------------------------------------------------------
+    def tune(
+        self,
+        n_trial: int,
+        runner: Runner,
+        builder: Optional[Builder] = None,
+        batch_size: int = 16,
+        callbacks: Iterable = (),
+        early_stopping: Optional[int] = None,
+    ) -> None:
+        """Run the tuning loop for at most ``n_trial`` measurements."""
+        builder = builder or LocalBuilder()
+        trials_without_improvement = 0
+        while self.trial_count < n_trial and self.has_next():
+            remaining = n_trial - self.trial_count
+            configs = self.next_batch(min(batch_size, remaining))
+            if not configs:
+                break
+            inputs = [MeasureInput(self.task, config) for config in configs]
+            results = measure_batch(builder, runner, inputs)
+            self.trial_count += len(results)
+
+            improved = False
+            for measure_input, result in zip(inputs, results):
+                self.visited.add(measure_input.config.index)
+                if result.ok and result.mean_cost < self.best_cost:
+                    self.best_cost = result.mean_cost
+                    self.best_config = measure_input.config
+                    self.best_measure = result
+                    improved = True
+            trials_without_improvement = 0 if improved else trials_without_improvement + len(results)
+
+            self.update(inputs, results)
+            for callback in callbacks:
+                callback(self, inputs, results)
+
+            if early_stopping is not None and trials_without_improvement >= early_stopping:
+                break
+
+    # -- helpers --------------------------------------------------------------
+    def _sample_unvisited(self, count: int) -> List[ConfigEntity]:
+        """Uniformly sample ``count`` configurations not measured yet."""
+        space = self.task.config_space
+        size = len(space)
+        picked: List[ConfigEntity] = []
+        attempts = 0
+        while len(picked) < count and attempts < 20 * count and len(self.visited) + len(picked) < size:
+            index = int(self.rng.integers(0, size))
+            if index in self.visited or any(c.index == index for c in picked):
+                attempts += 1
+                continue
+            picked.append(space.get(index))
+        return picked
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.task.name}, trials={self.trial_count})"

@@ -1,0 +1,186 @@
+"""Command-line interface for the reproduction experiments.
+
+Usage examples::
+
+    python -m repro.cli simulate --arch riscv --group 1 --scale 0.2
+    python -m repro.cli table --arch x86 --implementations 36 --repeats 2
+    python -m repro.cli fig5 --arch arm
+    python -m repro.cli eq4
+
+Each sub-command prints the same artefact the corresponding benchmark
+regenerates; the CLI exists so the experiments can be driven without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.autotune.sketch import SearchTask, SketchPolicy, TuningOptions
+from repro.autotune.sketch.cost_model import RandomCostModel
+from repro.codegen import Target, build_program
+from repro.hardware import TargetBoard
+from repro.pipeline import (
+    DatasetConfig,
+    ExperimentConfig,
+    format_comparison_table,
+    generalization_curves,
+    load_or_generate_dataset,
+    predictor_comparison_table,
+    speedup_summary,
+)
+from repro.sim import Simulator, TraceOptions
+from repro.utils.tabulate import format_table
+from repro.workloads import conv2d_bias_relu_workload, scaled_group_params
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--arch", choices=["x86", "arm", "riscv"], default="riscv")
+    parser.add_argument("--implementations", type=int, default=36,
+                        help="implementations per group (paper: 500)")
+    parser.add_argument("--scale", type=float, default=0.18,
+                        help="workload scale relative to Table II (paper: 1.0)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="training repetitions (paper: 10)")
+    parser.add_argument("--trace", type=int, default=100_000,
+                        help="simulated memory references per implementation")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for cached datasets (optional)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _dataset(args: argparse.Namespace):
+    config = DatasetConfig(
+        arch=args.arch,
+        implementations_per_group=args.implementations,
+        scale=args.scale,
+        trace_max_accesses=args.trace,
+        seed=args.seed,
+    )
+    return load_or_generate_dataset(config, cache_dir=args.cache_dir, verbose=True)
+
+
+def _experiment(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        implementations_per_group=args.implementations,
+        n_training_repeats=args.repeats,
+        scale=args.scale,
+        trace_max_accesses=args.trace,
+        seed=args.seed,
+    )
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Simulate a few random schedules of one kernel group and print their statistics."""
+    params = scaled_group_params(args.group, args.scale)
+    target = Target.from_name(args.arch)
+    task = SearchTask(conv2d_bias_relu_workload, params.as_args(), target, name="cli")
+    policy = SketchPolicy(task, TuningOptions(seed=args.seed), cost_model=RandomCostModel(args.seed))
+    candidates = policy.sample_candidates(args.count)
+    _, builds = policy.build_candidates(candidates)
+    simulator = Simulator(args.arch, trace_options=TraceOptions(max_accesses=args.trace))
+    board = TargetBoard(args.arch, trace_options=TraceOptions(max_accesses=args.trace), seed=args.seed)
+    rows = []
+    for index, build in enumerate(builds):
+        if not build.ok:
+            continue
+        stats = simulator.run(build.program).flat_stats()
+        record = board.measure(build.program)
+        rows.append(
+            [
+                index,
+                f"{stats['cpu.num_insts']:.3e}",
+                f"{stats['l1d.miss_rate'] * 100:.2f}",
+                f"{stats['l2.miss_rate'] * 100:.2f}",
+                f"{record.median_s * 1e3:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["impl", "instructions", "L1D miss %", "L2 miss %", "t_ref [ms]"],
+            rows,
+            title=f"group {args.group} on {args.arch} (scale {args.scale})",
+        )
+    )
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    """Regenerate the predictor-comparison table (Table III/IV/V) for one architecture."""
+    dataset = _dataset(args)
+    rows = predictor_comparison_table(dataset, _experiment(args))
+    titles = {"x86": "Table III", "arm": "Table IV", "riscv": "Table V"}
+    print(format_comparison_table(rows, title=f"{titles[args.arch]} - prediction results ({args.arch})"))
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    """Regenerate the Figure 5 generalisation experiment for one architecture."""
+    dataset = _dataset(args)
+    curves = generalization_curves(
+        dataset, held_out_group=args.group, config=_experiment(args), predictor_name="bayes"
+    )
+    rows = []
+    for variant, data in curves.items():
+        metrics = data["metrics"]
+        rows.append([variant, metrics.e_top1, metrics.q_low, metrics.q_high, metrics.r_top1])
+    print(
+        format_table(
+            ["training", "Etop1 %", "Qlow %", "Qhigh %", "Rtop1 %"],
+            rows,
+            title=f"Figure 5 ({args.arch}) - group {args.group} included vs. excluded",
+        )
+    )
+    return 0
+
+
+def cmd_eq4(args: argparse.Namespace) -> int:
+    """Recompute the Equation 4 break-even parallelism ranges."""
+    summary = speedup_summary(scale=args.scale, n_schedules=args.count, trace_max_accesses=args.trace)
+    rows = [[arch, data["k_min"], data["k_max"]] for arch, data in summary.items()]
+    print(format_table(["arch", "K min", "K max"], rows, title="Equation 4 - break-even K"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Instruction-accurate simulators for autotuning performance estimation "
+        "(DAC 2025 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="simulate random schedules of one group")
+    _add_dataset_arguments(simulate)
+    simulate.add_argument("--group", type=int, default=1, choices=range(5))
+    simulate.add_argument("--count", type=int, default=5, help="number of schedules")
+    simulate.set_defaults(func=cmd_simulate)
+
+    table = commands.add_parser("table", help="regenerate Table III/IV/V for one architecture")
+    _add_dataset_arguments(table)
+    table.set_defaults(func=cmd_table)
+
+    fig5 = commands.add_parser("fig5", help="regenerate the Figure 5 experiment")
+    _add_dataset_arguments(fig5)
+    fig5.add_argument("--group", type=int, default=3, choices=range(5), help="held-out group")
+    fig5.set_defaults(func=cmd_fig5)
+
+    eq4 = commands.add_parser("eq4", help="recompute the Equation 4 K ranges")
+    eq4.add_argument("--scale", type=float, default=1.0)
+    eq4.add_argument("--count", type=int, default=3, help="schedules per group")
+    eq4.add_argument("--trace", type=int, default=120_000)
+    eq4.set_defaults(func=cmd_eq4)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Code generation: lowered loop nests to abstract instruction programs.
+
+The code generator plays the role LLVM plays in the paper's flow: it turns the
+lowered tensor program into an executable artefact for a specific target ISA.
+Because the downstream consumer is an instruction-accurate simulator, the
+artefact does not contain encoded machine instructions; it is an
+:class:`~repro.codegen.program.Program` that records, per loop body, the exact
+instruction mix and the exact memory references (as strided access
+descriptors), from which instruction counts and address traces are derived.
+"""
+
+from repro.codegen.isa import InstructionCategory, ISA_SPECS, IsaSpec
+from repro.codegen.target import Target, target_from_string
+from repro.codegen.program import (
+    Buffer,
+    MemoryAccess,
+    LinearPredicate,
+    Block,
+    Loop,
+    Guard,
+    Program,
+    PerfectNest,
+)
+from repro.codegen.codegen import build_program
+
+__all__ = [
+    "InstructionCategory",
+    "ISA_SPECS",
+    "IsaSpec",
+    "Target",
+    "target_from_string",
+    "Buffer",
+    "MemoryAccess",
+    "LinearPredicate",
+    "Block",
+    "Loop",
+    "Guard",
+    "Program",
+    "PerfectNest",
+    "build_program",
+]

@@ -1,0 +1,359 @@
+"""Code generation from the lowered loop-nest IR to an abstract instruction program.
+
+The generator mirrors what the LLVM backend does in the paper's flow, at the
+granularity the instruction-accurate simulator needs: it expands every store
+statement into the memory references and the arithmetic/branch instructions a
+compiler would emit for the requested target, applies simple but important
+compiler behaviours (register promotion of loop-invariant references,
+vectorisation of annotated loops, loop-overhead elimination for unrolled
+loops), and lays out the kernel's buffers in a flat address space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.isa import InstructionCategory as IC
+from repro.codegen.program import (
+    Block,
+    Buffer,
+    Guard,
+    LinearPredicate,
+    Loop,
+    MemoryAccess,
+    Node,
+    Program,
+)
+from repro.codegen.target import Target
+from repro.te.expr import (
+    BinaryOp,
+    CmpOp,
+    Expr,
+    FloatImm,
+    IntImm,
+    LogicalOp,
+    NotOp,
+    Select,
+    Var,
+    affine_form,
+)
+from repro.te.ir import (
+    BufferLoad,
+    BufferStore,
+    For,
+    ForKind,
+    IfThenElse,
+    LoweredFunc,
+    Seq,
+    Stmt,
+)
+from repro.te.tensor import Tensor
+
+
+class CodegenError(Exception):
+    """Raised when the lowered IR contains a construct the backend cannot handle."""
+
+
+class _VectorContext:
+    """Information about the enclosing vectorised loop, if any."""
+
+    def __init__(self, var: Var, lanes: int):
+        self.var = var
+        self.lanes = lanes
+
+
+class _Codegen:
+    def __init__(self, func: LoweredFunc, target: Target):
+        self.func = func
+        self.target = target
+        self.buffer_map: Dict[int, Buffer] = {}
+        for tensor in func.buffers:
+            self.buffer_map[id(tensor)] = Buffer(
+                name=tensor.name,
+                size_bytes=tensor.nbytes,
+                element_bytes=tensor.dtype_bytes,
+            )
+        #: Loop variables currently in scope, innermost last.
+        self.loop_vars: List[Tuple[Var, int]] = []
+
+    # -- entry point ------------------------------------------------------
+    def run(self, name: Optional[str] = None) -> Program:
+        roots = [self._build_node(stmt, None) for stmt in self._flatten_roots(self.func.body)]
+        return Program(
+            name=name or self.func.name,
+            target=self.target,
+            buffers=list(self.buffer_map.values()),
+            roots=roots,
+        )
+
+    def _flatten_roots(self, stmt: Stmt) -> List[Stmt]:
+        if isinstance(stmt, Seq):
+            out: List[Stmt] = []
+            for child in stmt.stmts:
+                out.extend(self._flatten_roots(child))
+            return out
+        return [stmt]
+
+    # -- statement lowering ------------------------------------------------
+    def _build_node(self, stmt: Stmt, vector: Optional[_VectorContext]) -> Node:
+        if isinstance(stmt, For):
+            return self._build_loop(stmt, vector)
+        if isinstance(stmt, IfThenElse):
+            return self._build_guard(stmt, vector)
+        if isinstance(stmt, BufferStore):
+            return self._build_block(stmt, vector)
+        if isinstance(stmt, Seq):
+            raise CodegenError(
+                "nested statement sequences are not supported inside loop nests"
+            )
+        raise CodegenError(f"cannot generate code for statement {type(stmt).__name__}")
+
+    def _build_loop(self, stmt: For, vector: Optional[_VectorContext]) -> Node:
+        kind = stmt.kind
+        extent = stmt.extent
+        overhead = {IC.INT_ALU: 2.0, IC.BRANCH: 1.0}
+        code_replication = 1
+        inner_vector = vector
+
+        if kind == ForKind.VECTORIZED and self.target.enable_vectorization:
+            lanes = self.target.isa.vector_lanes(dtype_bytes=4)
+            if lanes > 1:
+                if vector is not None:
+                    raise CodegenError("nested vectorised loops are not supported")
+                inner_vector = _VectorContext(stmt.loop_var, min(lanes, extent))
+                extent = -(-stmt.extent // inner_vector.lanes)  # ceil division
+            else:
+                kind = ForKind.SERIAL
+        elif kind == ForKind.VECTORIZED:
+            kind = ForKind.SERIAL
+
+        if kind == ForKind.UNROLLED:
+            overhead = {}
+            code_replication = min(stmt.extent, 64)
+
+        self.loop_vars.append((stmt.loop_var, extent))
+        try:
+            body = self._build_node(stmt.body, inner_vector)
+        finally:
+            self.loop_vars.pop()
+
+        loop = Loop(
+            var=stmt.loop_var.name,
+            extent=extent,
+            kind=kind,
+            body=body,
+            overhead=overhead,
+            code_replication=code_replication,
+        )
+        self._hoist_invariant_accesses(loop)
+        return loop
+
+    def _build_guard(self, stmt: IfThenElse, vector: Optional[_VectorContext]) -> Node:
+        if stmt.else_body is not None:
+            raise CodegenError("if/else statements are not generated by the lowering pass")
+        predicates = self._extract_predicates(stmt.cond, vector)
+        penalty = {IC.INT_ALU: float(len(predicates)), IC.BRANCH: 1.0}
+        body = self._build_node(stmt.then_body, vector)
+        return Guard(predicates=predicates, body=body, penalty=penalty)
+
+    # -- block construction -------------------------------------------------
+    def _build_block(self, stmt: BufferStore, vector: Optional[_VectorContext]) -> Block:
+        block = Block()
+        self._analyze_value(stmt.value, block, [], vector)
+        store_access = self._make_access(
+            stmt.buffer, stmt.index, is_store=True, predicates=[], vector=vector
+        )
+        block.accesses.append(store_access)
+        instruction_estimate = sum(block.counts.values()) + sum(
+            access.instructions_per_access() + sum(access.extra_counts.values())
+            for access in block.accesses
+        )
+        block.code_bytes = instruction_estimate * self.target.isa.avg_instruction_bytes
+        return block
+
+    def _analyze_value(
+        self,
+        expr: Expr,
+        block: Block,
+        predicates: List[LinearPredicate],
+        vector: Optional[_VectorContext],
+    ) -> None:
+        """Accumulate instruction counts and memory accesses of a value expression."""
+        if isinstance(expr, BufferLoad):
+            block.accesses.append(
+                self._make_access(expr.buffer, expr.index, False, list(predicates), vector)
+            )
+            return
+        if isinstance(expr, (IntImm, FloatImm, Var)):
+            return
+        if isinstance(expr, Select):
+            select_predicates = self._extract_predicates(expr.cond, vector)
+            if self.target.isa.has_predication:
+                self._add_vectorizable(block, IC.INT_ALU, float(len(select_predicates) + 1), vector)
+            else:
+                block.add_count(IC.INT_ALU, float(len(select_predicates)))
+                block.add_count(IC.BRANCH, 1.0)
+            self._analyze_value(expr.true_value, block, predicates + select_predicates, vector)
+            self._analyze_value(expr.false_value, block, predicates, vector)
+            return
+        if isinstance(expr, BinaryOp):
+            if self.target.isa.has_fma and expr.op in ("add", "sub"):
+                fused = self._try_fma(expr, block, predicates, vector)
+                if fused:
+                    return
+            self._analyze_value(expr.a, block, predicates, vector)
+            self._analyze_value(expr.b, block, predicates, vector)
+            category = {
+                "add": IC.FP_ADD,
+                "sub": IC.FP_ADD,
+                "mul": IC.FP_MUL,
+            }.get(expr.op, IC.FP_OTHER)
+            self._add_fp(block, category, vector)
+            return
+        if isinstance(expr, (CmpOp, LogicalOp, NotOp)):
+            # Comparisons at value level only appear inside Select conditions,
+            # which are handled above.
+            raise CodegenError("unexpected comparison outside a select condition")
+        raise CodegenError(f"cannot generate code for expression {type(expr).__name__}")
+
+    def _try_fma(
+        self,
+        expr: BinaryOp,
+        block: Block,
+        predicates: List[LinearPredicate],
+        vector: Optional[_VectorContext],
+    ) -> bool:
+        """Fuse ``a + b * c`` into one FMA when the target supports it."""
+        a, b = expr.a, expr.b
+        mul = None
+        other = None
+        if isinstance(b, BinaryOp) and b.op == "mul":
+            mul, other = b, a
+        elif isinstance(a, BinaryOp) and a.op == "mul":
+            mul, other = a, b
+        if mul is None:
+            return False
+        self._analyze_value(other, block, predicates, vector)
+        self._analyze_value(mul.a, block, predicates, vector)
+        self._analyze_value(mul.b, block, predicates, vector)
+        self._add_fp(block, IC.FP_FMA, vector)
+        return True
+
+    def _add_fp(self, block: Block, category: str, vector: Optional[_VectorContext]) -> None:
+        if vector is not None:
+            block.add_count(IC.VEC_FP, 1.0)
+        else:
+            block.add_count(category, 1.0)
+
+    def _add_vectorizable(
+        self, block: Block, category: str, amount: float, vector: Optional[_VectorContext]
+    ) -> None:
+        """Add counts for operations that stay one-per-vector under SIMD."""
+        block.add_count(category, amount)
+
+    # -- memory access construction -----------------------------------------
+    def _make_access(
+        self,
+        tensor: Tensor,
+        index: Expr,
+        is_store: bool,
+        predicates: List[LinearPredicate],
+        vector: Optional[_VectorContext],
+    ) -> MemoryAccess:
+        buffer = self.buffer_map.get(id(tensor))
+        if buffer is None:
+            raise CodegenError(f"tensor {tensor.name} is not a buffer of this function")
+        loop_var_objects = [var for var, _ in self.loop_vars]
+        affine = affine_form(index, loop_var_objects)
+        if affine is None:
+            raise CodegenError(
+                f"index expression for buffer {tensor.name} is not affine in the loop "
+                "variables (fused loops are not supported by the backend)"
+            )
+        coeffs_by_var, const = affine
+        coeffs = {var.name: coeff for var, coeff in coeffs_by_var.items()}
+
+        width = 1
+        gather_stride = 0
+        if vector is not None:
+            lane_coeff = coeffs.get(vector.var.name, 0)
+            if lane_coeff == 0:
+                width = 1
+            elif lane_coeff == 1:
+                width = vector.lanes
+                coeffs[vector.var.name] = vector.lanes
+            else:
+                width = vector.lanes
+                gather_stride = lane_coeff
+                coeffs[vector.var.name] = lane_coeff * vector.lanes
+
+        n_terms = len([c for c in coeffs.values() if c != 0])
+        if self.target.isa.complex_addressing:
+            address_alu = max(0, n_terms - 2)
+        else:
+            address_alu = max(0, n_terms - 1) + (1 if n_terms else 0)
+        extra = {IC.INT_ALU: float(address_alu)} if address_alu else {}
+
+        return MemoryAccess(
+            buffer=buffer,
+            coeffs=coeffs,
+            const=const,
+            is_store=is_store,
+            width=width,
+            gather_stride=gather_stride,
+            predicates=list(predicates),
+            extra_counts=extra,
+        )
+
+    # -- predicates -----------------------------------------------------------
+    def _extract_predicates(
+        self, cond: Expr, vector: Optional[_VectorContext]
+    ) -> List[LinearPredicate]:
+        if isinstance(cond, LogicalOp):
+            if cond.op != "and":
+                raise CodegenError("only conjunctive conditions are generated")
+            return self._extract_predicates(cond.a, vector) + self._extract_predicates(
+                cond.b, vector
+            )
+        if isinstance(cond, CmpOp):
+            loop_var_objects = [var for var, _ in self.loop_vars]
+            difference = BinaryOp("sub", cond.a, cond.b)
+            affine = affine_form(difference, loop_var_objects)
+            if affine is None:
+                raise CodegenError("condition is not affine in the loop variables")
+            coeffs_by_var, const = affine
+            coeffs = {var.name: coeff for var, coeff in coeffs_by_var.items()}
+            if vector is not None and coeffs.get(vector.var.name, 0) != 0:
+                coeffs[vector.var.name] = coeffs[vector.var.name] * vector.lanes
+            return [LinearPredicate(coeffs=coeffs, const=const, op=cond.op)]
+        raise CodegenError(f"unsupported condition expression {type(cond).__name__}")
+
+    # -- register promotion ----------------------------------------------------
+    def _hoist_invariant_accesses(self, loop: Loop) -> None:
+        """Promote loop-invariant references of the innermost loop to registers.
+
+        A load whose address does not depend on the innermost loop variable is
+        performed once before the loop (modelled as executing only on the
+        first iteration); the matching store of an accumulator is performed
+        once after it (modelled as executing only on the last iteration).
+        """
+        if not self.target.enable_scalar_replacement:
+            return
+        node = loop.body
+        while isinstance(node, Guard):
+            node = node.body
+        if not isinstance(node, Block):
+            return  # not the innermost loop
+        first = LinearPredicate(coeffs={loop.var: 1}, const=0, op="eq")
+        last = LinearPredicate(coeffs={loop.var: 1}, const=-(loop.extent - 1), op="eq")
+        for access in node.accesses:
+            if access.coeffs.get(loop.var, 0) != 0:
+                continue
+            if any(loop.var in predicate.coeffs for predicate in access.predicates):
+                continue
+            access.predicates = list(access.predicates) + [last if access.is_store else first]
+
+
+def build_program(func: LoweredFunc, target: Target, name: Optional[str] = None) -> Program:
+    """Generate an abstract instruction :class:`Program` for ``func`` on ``target``."""
+    return _Codegen(func, target).run(name)

@@ -1,0 +1,121 @@
+"""Instruction-set abstractions for the supported target architectures.
+
+The simulator is instruction-accurate but not timing-accurate, so what matters
+about an ISA is *how many* instructions of each category a given source
+construct expands to, not how fast they run.  The per-ISA expansion rules here
+capture the first-order differences between x86-64 (complex addressing modes,
+AVX2), AArch64 (NEON, simpler addressing) and RV64GC (scalar only, explicit
+address arithmetic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class InstructionCategory:
+    """Categories used for instruction counting (mirrors gem5's opClass split)."""
+
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    INT_ALU = "int_alu"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_FMA = "fp_fma"
+    FP_OTHER = "fp_other"
+    VEC_LOAD = "vec_load"
+    VEC_STORE = "vec_store"
+    VEC_FP = "vec_fp"
+    OTHER = "other"
+
+    ALL = (
+        LOAD,
+        STORE,
+        BRANCH,
+        INT_ALU,
+        FP_ADD,
+        FP_MUL,
+        FP_FMA,
+        FP_OTHER,
+        VEC_LOAD,
+        VEC_STORE,
+        VEC_FP,
+        OTHER,
+    )
+
+    #: Categories that perform a data-memory access.
+    MEMORY = (LOAD, STORE, VEC_LOAD, VEC_STORE)
+
+
+@dataclass(frozen=True)
+class IsaSpec:
+    """Static properties of one instruction-set architecture.
+
+    Attributes
+    ----------
+    name:
+        Short architecture name used throughout the library.
+    triple:
+        LLVM-style target triple (kept for interface fidelity with TVM, where
+        cross-compilation is requested through the triple).
+    vector_bits:
+        SIMD register width in bits; 0 means no usable vector unit.
+    has_fma:
+        Whether fused multiply-add instructions are available.
+    has_predication:
+        Whether small selects compile to conditional moves/selects instead of
+        branches.
+    complex_addressing:
+        Whether base+index*scale addressing folds index arithmetic into the
+        memory instruction (x86) or explicit address arithmetic is needed.
+    avg_instruction_bytes:
+        Average encoded instruction size, used for code-footprint (L1I)
+        estimation.
+    """
+
+    name: str
+    triple: str
+    vector_bits: int
+    has_fma: bool
+    has_predication: bool
+    complex_addressing: bool
+    avg_instruction_bytes: float
+
+    def vector_lanes(self, dtype_bytes: int) -> int:
+        """Number of SIMD lanes for elements of ``dtype_bytes`` (0 = no SIMD)."""
+        if self.vector_bits <= 0:
+            return 0
+        return max(self.vector_bits // (8 * dtype_bytes), 1)
+
+
+#: The three ISAs evaluated in the paper.
+ISA_SPECS = {
+    "x86": IsaSpec(
+        name="x86",
+        triple="x86_64-unknown-linux-gnu",
+        vector_bits=256,
+        has_fma=True,
+        has_predication=True,
+        complex_addressing=True,
+        avg_instruction_bytes=4.2,
+    ),
+    "arm": IsaSpec(
+        name="arm",
+        triple="aarch64-unknown-linux-gnu",
+        vector_bits=128,
+        has_fma=True,
+        has_predication=True,
+        complex_addressing=False,
+        avg_instruction_bytes=4.0,
+    ),
+    "riscv": IsaSpec(
+        name="riscv",
+        triple="riscv64-unknown-linux-gnu",
+        vector_bits=0,
+        has_fma=True,
+        has_predication=False,
+        complex_addressing=False,
+        avg_instruction_bytes=4.0,
+    ),
+}

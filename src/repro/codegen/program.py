@@ -1,0 +1,457 @@
+"""Abstract instruction programs: the executable artefact of code generation.
+
+A :class:`Program` is a tree of :class:`Loop`, :class:`Guard` and
+:class:`Block` nodes.  Each block records the instruction mix of one innermost
+iteration and the memory references it performs, expressed as affine access
+descriptors over the enclosing loop variables.  From this representation the
+simulator derives exact instruction counts analytically and generates the
+memory reference trace in vectorised chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.codegen.isa import InstructionCategory as IC
+from repro.codegen.target import Target
+
+#: Maximum number of points enumerated exactly when computing the fraction of
+#: iterations that satisfy a predicate; larger domains are sampled.
+_MAX_ENUMERATION = 1 << 20
+
+
+# ---------------------------------------------------------------------------
+# buffers and access descriptors
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Buffer:
+    """A contiguous memory region backing one tensor."""
+
+    name: str
+    size_bytes: int
+    element_bytes: int
+    base_address: int = 0
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this buffer."""
+        return self.base_address <= address < self.base_address + self.size_bytes
+
+
+@dataclass
+class LinearPredicate:
+    """An affine predicate ``sum(coeff_i * var_i) + const  OP  0``."""
+
+    coeffs: Dict[str, int]
+    const: int
+    op: str  # one of lt, le, gt, ge, eq, ne
+
+    _OPS = {
+        "lt": np.less,
+        "le": np.less_equal,
+        "gt": np.greater,
+        "ge": np.greater_equal,
+        "eq": np.equal,
+        "ne": np.not_equal,
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown predicate operator {self.op!r}")
+
+    def variables(self) -> Tuple[str, ...]:
+        """Loop variables referenced by the predicate."""
+        return tuple(sorted(self.coeffs))
+
+    def evaluate(self, env: Dict[str, np.ndarray]) -> np.ndarray:
+        """Evaluate the predicate for vectors of loop-variable values."""
+        value: Union[int, np.ndarray] = self.const
+        for var, coeff in self.coeffs.items():
+            value = value + coeff * env[var]
+        return self._OPS[self.op](value, 0)
+
+    def satisfaction_fraction(self, extents: Dict[str, int], rng: Optional[np.random.Generator] = None) -> float:
+        """Fraction of the iteration sub-space on which the predicate holds."""
+        return predicate_fraction([self], extents, rng)
+
+
+def predicate_fraction(
+    predicates: Sequence[LinearPredicate],
+    extents: Dict[str, int],
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Fraction of iterations satisfying *all* ``predicates``.
+
+    The involved loop variables are enumerated exactly when the joint domain
+    is small, otherwise a fixed-size uniform sample is used.
+    """
+    if not predicates:
+        return 1.0
+    variables = sorted({v for p in predicates for v in p.coeffs})
+    if not variables:
+        env0 = {v: np.zeros(1, dtype=np.int64) for v in variables}
+        mask = np.ones(1, dtype=bool)
+        for pred in predicates:
+            mask &= pred.evaluate(env0)
+        return float(mask[0])
+    sizes = []
+    for var in variables:
+        if var not in extents:
+            raise KeyError(f"predicate references unknown loop variable {var!r}")
+        sizes.append(extents[var])
+    total = 1
+    for size in sizes:
+        total *= size
+    if total <= _MAX_ENUMERATION:
+        flat = np.arange(total, dtype=np.int64)
+        env = _unflatten(flat, variables, sizes)
+    else:
+        rng = rng or np.random.default_rng(0)
+        flat = rng.integers(0, total, size=_MAX_ENUMERATION, dtype=np.int64)
+        env = _unflatten(flat, variables, sizes)
+    mask = np.ones(flat.shape, dtype=bool)
+    for pred in predicates:
+        mask &= pred.evaluate(env)
+    return float(mask.mean())
+
+
+def _unflatten(flat: np.ndarray, variables: Sequence[str], sizes: Sequence[int]) -> Dict[str, np.ndarray]:
+    env: Dict[str, np.ndarray] = {}
+    divisor = np.ones_like(flat)
+    for var, size in zip(reversed(list(variables)), reversed(list(sizes))):
+        env[var] = (flat // divisor) % size
+        divisor = divisor * size
+    return env
+
+
+@dataclass
+class MemoryAccess:
+    """One memory reference of a block, affine in the enclosing loop variables.
+
+    The referenced element index is ``const + sum(coeff_i * var_i)``; the byte
+    address adds the buffer base and scales by the element size.  ``width``
+    is the number of contiguous elements touched (``> 1`` for vector
+    accesses); ``gather_stride`` > 0 marks a strided gather/scatter of
+    ``width`` elements.  ``predicates`` restrict the iterations on which the
+    access actually happens (padding selects, split guards and
+    register-promotion of loop-invariant references).
+    """
+
+    buffer: Buffer
+    coeffs: Dict[str, int]
+    const: int
+    is_store: bool
+    width: int = 1
+    gather_stride: int = 0
+    predicates: List[LinearPredicate] = field(default_factory=list)
+    #: Extra instructions charged per performed access (address arithmetic).
+    extra_counts: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def category(self) -> str:
+        """Instruction category of the access."""
+        if self.width > 1 and self.gather_stride == 0:
+            return IC.VEC_STORE if self.is_store else IC.VEC_LOAD
+        return IC.STORE if self.is_store else IC.LOAD
+
+    def instructions_per_access(self) -> float:
+        """Number of memory instructions issued each time the access executes."""
+        if self.gather_stride > 0:
+            return float(self.width)
+        return 1.0
+
+    def addresses_per_access(self) -> int:
+        """Number of distinct addresses emitted into the trace per execution."""
+        if self.gather_stride > 0:
+            return self.width
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# program tree nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    """Straight-line code executed once per innermost iteration."""
+
+    accesses: List[MemoryAccess] = field(default_factory=list)
+    counts: Dict[str, float] = field(default_factory=dict)
+    code_bytes: float = 0.0
+
+    def add_count(self, category: str, amount: float = 1.0) -> None:
+        """Add ``amount`` instructions of ``category`` to the block."""
+        self.counts[category] = self.counts.get(category, 0.0) + amount
+
+
+@dataclass
+class Loop:
+    """A counted loop around a single child node."""
+
+    var: str
+    extent: int
+    kind: str
+    body: "Node"
+    #: Loop bookkeeping instructions per iteration (increment, compare, branch).
+    overhead: Dict[str, float] = field(default_factory=dict)
+    #: Code-size multiplier: unrolled loops replicate their body in memory.
+    code_replication: int = 1
+
+
+@dataclass
+class Guard:
+    """A conditional region: ``body`` executes only when all predicates hold."""
+
+    predicates: List[LinearPredicate]
+    body: "Node"
+    #: Instructions charged for evaluating the condition, per evaluation.
+    penalty: Dict[str, float] = field(default_factory=dict)
+
+
+Node = Union[Loop, Guard, Block]
+
+
+@dataclass
+class PerfectNest:
+    """A block together with its enclosing loops and guard predicates."""
+
+    loops: List[Tuple[str, int]]
+    block: Block
+    guards: List[LinearPredicate]
+
+    @property
+    def iterations(self) -> int:
+        """Total iteration count of the nest (ignoring guards)."""
+        total = 1
+        for _, extent in self.loops:
+            total *= extent
+        return total
+
+
+# ---------------------------------------------------------------------------
+# program
+# ---------------------------------------------------------------------------
+
+
+class Program:
+    """An executable artefact: buffers plus a list of loop-nest roots."""
+
+    #: Base address of the first buffer (an arbitrary, page-aligned location).
+    BASE_ADDRESS = 0x1000_0000
+    #: Alignment of each buffer in bytes.
+    BUFFER_ALIGN = 4096
+
+    def __init__(
+        self,
+        name: str,
+        target: Target,
+        buffers: Sequence[Buffer],
+        roots: Sequence[Node],
+        static_code_bytes: float = 512.0,
+    ):
+        self.name = name
+        self.target = target
+        self.buffers = list(buffers)
+        self.roots = list(roots)
+        self.static_code_bytes = static_code_bytes
+        self._assign_buffer_addresses()
+
+    def _assign_buffer_addresses(self) -> None:
+        address = self.BASE_ADDRESS
+        for buffer in self.buffers:
+            buffer.base_address = address
+            aligned = (buffer.size_bytes + self.BUFFER_ALIGN - 1) // self.BUFFER_ALIGN
+            address += (aligned + 1) * self.BUFFER_ALIGN
+
+    # -- analytic instruction counting -----------------------------------
+    def instruction_counts(self) -> Dict[str, float]:
+        """Exact per-category instruction counts for one program execution."""
+        counts: Dict[str, float] = {category: 0.0 for category in IC.ALL}
+        for root in self.roots:
+            self._count_node(root, 1.0, {}, counts)
+        counts[IC.OTHER] += 16.0  # prologue/epilogue of the generated main()
+        return counts
+
+    def total_instructions(self) -> float:
+        """Total executed instructions."""
+        return float(sum(self.instruction_counts().values()))
+
+    def _count_node(
+        self,
+        node: Node,
+        iterations: float,
+        extents: Dict[str, int],
+        counts: Dict[str, float],
+    ) -> None:
+        if isinstance(node, Loop):
+            for category, amount in node.overhead.items():
+                counts[category] = counts.get(category, 0.0) + amount * iterations * node.extent
+            inner_extents = dict(extents)
+            inner_extents[node.var] = node.extent
+            self._count_node(node.body, iterations * node.extent, inner_extents, counts)
+        elif isinstance(node, Guard):
+            for category, amount in node.penalty.items():
+                counts[category] = counts.get(category, 0.0) + amount * iterations
+            fraction = predicate_fraction(node.predicates, extents)
+            self._count_node(node.body, iterations * fraction, extents, counts)
+        elif isinstance(node, Block):
+            for category, amount in node.counts.items():
+                counts[category] = counts.get(category, 0.0) + amount * iterations
+            for access in node.accesses:
+                fraction = predicate_fraction(access.predicates, extents)
+                executed = iterations * fraction
+                counts[access.category] = (
+                    counts.get(access.category, 0.0) + access.instructions_per_access() * executed
+                )
+                for category, amount in access.extra_counts.items():
+                    counts[category] = counts.get(category, 0.0) + amount * executed
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown program node {type(node).__name__}")
+
+    # -- code footprint ---------------------------------------------------
+    def code_footprint_bytes(self) -> float:
+        """Approximate size of the generated machine code in bytes."""
+        total = self.static_code_bytes
+        for root in self.roots:
+            total += self._code_bytes(root)
+        return total
+
+    def _code_bytes(self, node: Node) -> float:
+        if isinstance(node, Loop):
+            return node.code_replication * self._code_bytes(node.body) + 12.0
+        if isinstance(node, Guard):
+            return self._code_bytes(node.body) + 8.0
+        return node.code_bytes
+
+    # -- perfect-nest decomposition and trace generation ------------------
+    def perfect_nests(self) -> List[PerfectNest]:
+        """Decompose the program into perfect nests in execution order."""
+        nests: List[PerfectNest] = []
+        for root in self.roots:
+            self._collect_nests(root, [], [], nests)
+        return nests
+
+    def _collect_nests(
+        self,
+        node: Node,
+        loops: List[Tuple[str, int]],
+        guards: List[LinearPredicate],
+        out: List[PerfectNest],
+    ) -> None:
+        if isinstance(node, Loop):
+            self._collect_nests(node.body, loops + [(node.var, node.extent)], guards, out)
+        elif isinstance(node, Guard):
+            self._collect_nests(node.body, loops, guards + list(node.predicates), out)
+        elif isinstance(node, Block):
+            out.append(PerfectNest(loops=list(loops), block=node, guards=list(guards)))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown program node {type(node).__name__}")
+
+    def memory_trace(
+        self,
+        chunk_iterations: int = 1 << 14,
+        max_accesses: Optional[int] = None,
+        sample_fraction: float = 1.0,
+        seed: int = 0,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield the data-memory reference trace as ``(addresses, is_write)`` chunks.
+
+        The trace is generated in program order.  ``sample_fraction`` < 1
+        keeps only a systematic sample of iteration chunks (used to bound the
+        cost of cache simulation for large kernels); ``max_accesses`` stops
+        the trace early once the budget is exhausted.
+        """
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        emitted = 0
+        rng = np.random.default_rng(seed)
+        for nest in self.perfect_nests():
+            for addresses, is_write in self._nest_trace(nest, chunk_iterations, sample_fraction, rng):
+                if max_accesses is not None and emitted + addresses.size > max_accesses:
+                    keep = max_accesses - emitted
+                    if keep > 0:
+                        yield addresses[:keep], is_write[:keep]
+                        emitted += keep
+                    return
+                emitted += addresses.size
+                yield addresses, is_write
+
+    def _nest_trace(
+        self,
+        nest: PerfectNest,
+        chunk_iterations: int,
+        sample_fraction: float,
+        rng: np.random.Generator,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        block = nest.block
+        if not block.accesses:
+            return
+        variables = [var for var, _ in nest.loops]
+        sizes = [extent for _, extent in nest.loops]
+        total = nest.iterations
+        element_bytes = [access.buffer.element_bytes for access in block.accesses]
+
+        start = 0
+        while start < total:
+            stop = min(start + chunk_iterations, total)
+            if sample_fraction < 1.0 and rng.random() > sample_fraction:
+                start = stop
+                continue
+            flat = np.arange(start, stop, dtype=np.int64)
+            env = _unflatten(flat, variables, sizes) if variables else {}
+            guard_mask = np.ones(flat.shape, dtype=bool)
+            for predicate in nest.guards:
+                guard_mask &= predicate.evaluate(env)
+
+            chunk_addresses: List[np.ndarray] = []
+            chunk_writes: List[np.ndarray] = []
+            chunk_valid: List[np.ndarray] = []
+            for access, elem_bytes in zip(block.accesses, element_bytes):
+                index = np.full(flat.shape, access.const, dtype=np.int64)
+                for var, coeff in access.coeffs.items():
+                    index += coeff * env[var]
+                base = access.buffer.base_address
+                mask = guard_mask.copy()
+                for predicate in access.predicates:
+                    mask &= predicate.evaluate(env)
+                if access.gather_stride > 0:
+                    for lane in range(access.width):
+                        chunk_addresses.append(
+                            base + (index + lane * access.gather_stride) * elem_bytes
+                        )
+                        chunk_writes.append(
+                            np.full(flat.shape, access.is_store, dtype=bool)
+                        )
+                        chunk_valid.append(mask)
+                else:
+                    chunk_addresses.append(base + index * elem_bytes)
+                    chunk_writes.append(np.full(flat.shape, access.is_store, dtype=bool))
+                    chunk_valid.append(mask)
+
+            addresses = np.stack(chunk_addresses, axis=1).reshape(-1)
+            writes = np.stack(chunk_writes, axis=1).reshape(-1)
+            valid = np.stack(chunk_valid, axis=1).reshape(-1)
+            if valid.all():
+                yield addresses.astype(np.uint64), writes
+            else:
+                yield addresses[valid].astype(np.uint64), writes[valid]
+            start = stop
+
+    # -- convenience ------------------------------------------------------
+    def buffer_by_name(self, name: str) -> Buffer:
+        """Look up a buffer by name."""
+        for buffer in self.buffers:
+            if buffer.name == name:
+                return buffer
+        raise KeyError(f"no buffer named {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name}, target={self.target.name}, "
+            f"buffers={[b.name for b in self.buffers]})"
+        )

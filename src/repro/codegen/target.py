@@ -1,0 +1,112 @@
+"""Compilation targets.
+
+A :class:`Target` bundles the ISA spec with code-generation options.  Targets
+can also be constructed from a TVM-style string such as
+``"llvm -mtriple=riscv64-unknown-linux-gnu"`` so the autotuning API mirrors
+how targets are specified in the paper's flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.codegen.isa import ISA_SPECS, IsaSpec
+
+
+@dataclass(frozen=True)
+class Target:
+    """A code-generation target.
+
+    Attributes
+    ----------
+    isa:
+        The instruction-set specification.
+    enable_vectorization:
+        If False, ``vectorize`` annotations are lowered as plain unrolled
+        loops even when the ISA has SIMD registers.
+    enable_scalar_replacement:
+        If True (default), loads and stores that are invariant with respect to
+        the innermost loop are hoisted out of it, mimicking LLVM register
+        promotion; this is what makes loop order matter for the generated
+        instruction stream.
+    """
+
+    isa: IsaSpec
+    enable_vectorization: bool = True
+    enable_scalar_replacement: bool = True
+    options: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def name(self) -> str:
+        """Short architecture name (``x86``, ``arm`` or ``riscv``)."""
+        return self.isa.name
+
+    @property
+    def triple(self) -> str:
+        """LLVM-style target triple."""
+        return self.isa.triple
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def x86(**kwargs) -> "Target":
+        """The x86-64 target (AMD Ryzen 7 5800X class, AVX2)."""
+        return Target(isa=ISA_SPECS["x86"], **kwargs)
+
+    @staticmethod
+    def arm(**kwargs) -> "Target":
+        """The AArch64 target (ARM Cortex-A72 class, NEON)."""
+        return Target(isa=ISA_SPECS["arm"], **kwargs)
+
+    @staticmethod
+    def riscv(**kwargs) -> "Target":
+        """The RV64GC target (SiFive U74 class, no vector unit)."""
+        return Target(isa=ISA_SPECS["riscv"], **kwargs)
+
+    @staticmethod
+    def from_name(name: str, **kwargs) -> "Target":
+        """Create a target from a short architecture name."""
+        key = name.strip().lower()
+        aliases = {
+            "x86": "x86",
+            "x86_64": "x86",
+            "amd64": "x86",
+            "arm": "arm",
+            "aarch64": "arm",
+            "arm64": "arm",
+            "riscv": "riscv",
+            "riscv64": "riscv",
+            "rv64": "riscv",
+        }
+        if key not in aliases:
+            raise ValueError(f"unknown target name {name!r}")
+        return Target(isa=ISA_SPECS[aliases[key]], **kwargs)
+
+    def __repr__(self) -> str:
+        return f"Target({self.name})"
+
+
+def target_from_string(spec: str) -> Target:
+    """Parse a TVM-style target string.
+
+    Supported forms::
+
+        "llvm"                                        -> x86 host target
+        "llvm -mtriple=aarch64-unknown-linux-gnu"     -> ARM target
+        "llvm -mtriple=riscv64-unknown-linux-gnu"     -> RISC-V target
+        "x86" / "arm" / "riscv"                       -> shorthand names
+    """
+    text = spec.strip()
+    if not text:
+        raise ValueError("empty target string")
+    if not text.startswith("llvm"):
+        return Target.from_name(text)
+    triple = None
+    for token in text.split():
+        if token.startswith("-mtriple="):
+            triple = token.split("=", 1)[1]
+    if triple is None:
+        return Target.x86()
+    for name, isa in ISA_SPECS.items():
+        if isa.triple == triple or triple.split("-")[0] in isa.triple:
+            return Target(isa=isa)
+    raise ValueError(f"unsupported target triple {triple!r}")

@@ -1,0 +1,34 @@
+"""Target-hardware substitute: cycle-approximate boards with measurement noise.
+
+The paper measures reference run times on three physical CPUs (an AMD Ryzen 7
+5800X, a Raspberry Pi 4's Cortex-A72 and a SiFive U74).  This package stands
+in for those boards: a :class:`TargetBoard` executes the same abstract
+instruction programs on a cycle-approximate timing model (out-of-order
+overlap, per-level cache latencies, hardware prefetching, vector issue) with
+realistic measurement noise (system load, thermal drift, outliers), and
+applies the paper's measurement protocol (15 repetitions, 1 s cooldown,
+median).
+
+The timing model deliberately includes effects the instruction-accurate
+simulator cannot see; this is what makes score prediction a learning problem
+rather than an identity mapping, exactly as on real hardware.
+"""
+
+from repro.hardware.specs import CpuSpec, CPU_SPECS, cpu_spec_for
+from repro.hardware.noise import NoiseModel, NoiseConfig
+from repro.hardware.timing_model import TimingModel, TimingBreakdown
+from repro.hardware.measurement import MeasurementProtocol, MeasurementRecord
+from repro.hardware.board import TargetBoard
+
+__all__ = [
+    "CpuSpec",
+    "CPU_SPECS",
+    "cpu_spec_for",
+    "NoiseModel",
+    "NoiseConfig",
+    "TimingModel",
+    "TimingBreakdown",
+    "MeasurementProtocol",
+    "MeasurementRecord",
+    "TargetBoard",
+]

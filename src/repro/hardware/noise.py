@@ -1,0 +1,65 @@
+"""Measurement-noise models for native execution.
+
+The paper motivates simulator-based autotuning partly by the
+non-determinism of native measurements: background system load, cache
+collisions with other processes, thermal throttling and DVFS.  The noise
+model reproduces those effects as (i) log-normal run-to-run jitter,
+(ii) occasional positive outliers and (iii) a slow thermal drift across the
+repetitions of one benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.specs import CpuSpec
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Parameters of the measurement-noise model."""
+
+    sigma: float
+    outlier_probability: float
+    outlier_scale: float
+    thermal_drift: float = 0.01
+    enabled: bool = True
+
+    @staticmethod
+    def from_spec(spec: CpuSpec, enabled: bool = True) -> "NoiseConfig":
+        """Build the noise configuration of a CPU from its specification."""
+        return NoiseConfig(
+            sigma=spec.noise_sigma,
+            outlier_probability=spec.outlier_probability,
+            outlier_scale=spec.outlier_scale,
+            enabled=enabled,
+        )
+
+
+class NoiseModel:
+    """Samples multiplicative noise factors for repeated measurements."""
+
+    def __init__(self, config: NoiseConfig, rng: np.random.Generator):
+        self.config = config
+        self.rng = rng
+
+    def factors(self, n_samples: int, cooldown_s: float = 1.0) -> np.ndarray:
+        """Noise factors for ``n_samples`` back-to-back runs of one benchmark.
+
+        All factors are >= 1: interference and throttling only ever slow a
+        measurement down relative to the undisturbed run time.  A longer
+        cooldown reduces the thermal drift component.
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if not self.config.enabled:
+            return np.ones(n_samples)
+        jitter = np.abs(self.rng.normal(0.0, self.config.sigma, size=n_samples))
+        outliers = (
+            self.rng.random(n_samples) < self.config.outlier_probability
+        ) * self.rng.exponential(self.config.outlier_scale, size=n_samples)
+        cooling = 1.0 / (1.0 + cooldown_s)
+        drift = self.config.thermal_drift * cooling * np.linspace(0.0, 1.0, n_samples)
+        return 1.0 + jitter + outliers + drift

@@ -1,0 +1,147 @@
+"""Microarchitectural descriptions of the evaluated CPUs.
+
+The numbers are representative of the published microarchitectures (Zen 3,
+Cortex-A72, SiFive U74); they do not need to be exact — the reproduction only
+requires that the boards respond to schedule quality the way real CPUs do and
+that the three architectures differ in the ways the paper discusses
+(out-of-order depth, vector width, prefetching, clock frequency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Timing-relevant properties of one target CPU.
+
+    Attributes
+    ----------
+    issue_width:
+        Peak instructions issued per cycle.
+    effective_ipc_factor:
+        Fraction of the peak issue rate sustained on scalar integer code
+        (captures in-order stalls, dependency chains, decode limits).
+    mem_parallelism:
+        Average number of outstanding misses the core can overlap (MLP).
+    prefetch_efficiency:
+        Fraction of *sequential* misses hidden by the hardware prefetcher.
+    load_latency / l2_latency / l3_latency / dram_latency:
+        Access latencies in cycles (to L1, L2, L3 and DRAM respectively).
+    branch_mispredict_rate / branch_mispredict_penalty:
+        Average misprediction rate on loop-heavy code and its cost in cycles.
+    vector_issue_per_cycle:
+        SIMD arithmetic instructions issued per cycle (0 for no SIMD).
+    noise_sigma:
+        Log-normal run-to-run variability of native measurements; the paper
+        observes larger relative variability on the fast x86 machine.
+    outlier_probability / outlier_scale:
+        Probability and magnitude of occasional measurement outliers
+        (scheduler interference, thermal events).
+    """
+
+    name: str
+    arch: str
+    frequency_ghz: float
+    out_of_order: bool
+    issue_width: float
+    effective_ipc_factor: float
+    mem_parallelism: float
+    prefetch_efficiency: float
+    load_latency: float
+    l2_latency: float
+    l3_latency: float
+    dram_latency: float
+    branch_mispredict_rate: float
+    branch_mispredict_penalty: float
+    fp_issue_per_cycle: float
+    vector_issue_per_cycle: float
+    load_issue_per_cycle: float
+    store_issue_per_cycle: float
+    noise_sigma: float
+    outlier_probability: float
+    outlier_scale: float
+
+
+#: The three boards used in the paper's evaluation (Section IV).
+CPU_SPECS: Dict[str, CpuSpec] = {
+    "x86": CpuSpec(
+        name="AMD Ryzen 7 5800X",
+        arch="x86",
+        frequency_ghz=2.2,
+        out_of_order=True,
+        issue_width=6.0,
+        effective_ipc_factor=0.75,
+        mem_parallelism=8.0,
+        prefetch_efficiency=0.85,
+        load_latency=4.0,
+        l2_latency=12.0,
+        l3_latency=40.0,
+        dram_latency=230.0,
+        branch_mispredict_rate=0.02,
+        branch_mispredict_penalty=16.0,
+        fp_issue_per_cycle=2.0,
+        vector_issue_per_cycle=2.0,
+        load_issue_per_cycle=3.0,
+        store_issue_per_cycle=2.0,
+        noise_sigma=0.035,
+        outlier_probability=0.08,
+        outlier_scale=0.18,
+    ),
+    "arm": CpuSpec(
+        name="ARM Cortex-A72 (Raspberry Pi 4 Model B)",
+        arch="arm",
+        frequency_ghz=1.5,
+        out_of_order=True,
+        issue_width=3.0,
+        effective_ipc_factor=0.65,
+        mem_parallelism=4.0,
+        prefetch_efficiency=0.60,
+        load_latency=4.0,
+        l2_latency=16.0,
+        l3_latency=0.0,
+        dram_latency=190.0,
+        branch_mispredict_rate=0.025,
+        branch_mispredict_penalty=15.0,
+        fp_issue_per_cycle=1.0,
+        vector_issue_per_cycle=1.0,
+        load_issue_per_cycle=1.0,
+        store_issue_per_cycle=1.0,
+        noise_sigma=0.015,
+        outlier_probability=0.05,
+        outlier_scale=0.10,
+    ),
+    "riscv": CpuSpec(
+        name="SiFive U74-MC",
+        arch="riscv",
+        frequency_ghz=1.2,
+        out_of_order=False,
+        issue_width=2.0,
+        effective_ipc_factor=0.60,
+        mem_parallelism=1.5,
+        prefetch_efficiency=0.25,
+        load_latency=3.0,
+        l2_latency=21.0,
+        l3_latency=0.0,
+        dram_latency=166.0,
+        branch_mispredict_rate=0.03,
+        branch_mispredict_penalty=6.0,
+        fp_issue_per_cycle=1.0,
+        vector_issue_per_cycle=0.0,
+        load_issue_per_cycle=1.0,
+        store_issue_per_cycle=1.0,
+        noise_sigma=0.012,
+        outlier_probability=0.04,
+        outlier_scale=0.08,
+    ),
+}
+
+
+def cpu_spec_for(arch: str) -> CpuSpec:
+    """Return the CPU specification for ``arch`` (x86/arm/riscv)."""
+    key = arch.strip().lower()
+    if key not in CPU_SPECS:
+        raise KeyError(f"no CPU specification for architecture {arch!r}")
+    return CPU_SPECS[key]

@@ -1,0 +1,142 @@
+"""Cycle-approximate timing model of the target CPUs.
+
+The model converts the instruction mix and the cache behaviour of a program
+into an execution-time estimate.  It intentionally captures effects the
+instruction-accurate simulator does not report — issue-width limits,
+out-of-order miss overlap, hardware prefetching, branch misprediction — so
+that the mapping from simulator statistics to run time is architecture
+specific and must be *learned*, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.codegen.isa import InstructionCategory as IC
+from repro.hardware.specs import CpuSpec
+
+
+@dataclass
+class TimingBreakdown:
+    """Cycle breakdown of one execution-time estimate."""
+
+    issue_cycles: float
+    memory_cycles: float
+    branch_cycles: float
+    total_cycles: float
+    seconds: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Breakdown as a plain dictionary (for experiment records)."""
+        return {
+            "issue_cycles": self.issue_cycles,
+            "memory_cycles": self.memory_cycles,
+            "branch_cycles": self.branch_cycles,
+            "total_cycles": self.total_cycles,
+            "seconds": self.seconds,
+        }
+
+
+class TimingModel:
+    """Estimates execution time from instruction counts and cache statistics."""
+
+    def __init__(self, spec: CpuSpec):
+        self.spec = spec
+
+    # -- components -------------------------------------------------------
+    def issue_cycles(self, counts: Dict[str, float]) -> float:
+        """Cycles needed to issue the instruction stream, ignoring memory stalls."""
+        spec = self.spec
+        scalar_fp = (
+            counts.get(IC.FP_ADD, 0.0)
+            + counts.get(IC.FP_MUL, 0.0)
+            + counts.get(IC.FP_FMA, 0.0)
+            + counts.get(IC.FP_OTHER, 0.0)
+        )
+        vector_fp = counts.get(IC.VEC_FP, 0.0)
+        loads = counts.get(IC.LOAD, 0.0) + counts.get(IC.VEC_LOAD, 0.0)
+        stores = counts.get(IC.STORE, 0.0) + counts.get(IC.VEC_STORE, 0.0)
+        int_alu = counts.get(IC.INT_ALU, 0.0)
+        branches = counts.get(IC.BRANCH, 0.0)
+        other = counts.get(IC.OTHER, 0.0)
+
+        # Each functional-unit class imposes a lower bound; the front end
+        # imposes an overall issue-width bound.
+        fp_bound = scalar_fp / max(spec.fp_issue_per_cycle, 1e-9)
+        if spec.vector_issue_per_cycle > 0:
+            fp_bound += vector_fp / spec.vector_issue_per_cycle
+        else:
+            fp_bound += vector_fp / max(spec.fp_issue_per_cycle, 1e-9)
+        load_bound = loads / max(spec.load_issue_per_cycle, 1e-9)
+        store_bound = stores / max(spec.store_issue_per_cycle, 1e-9)
+        total_instructions = (
+            scalar_fp + vector_fp + loads + stores + int_alu + branches + other
+        )
+        frontend_bound = total_instructions / (
+            spec.issue_width * spec.effective_ipc_factor
+        )
+        return max(frontend_bound, fp_bound, load_bound, store_bound)
+
+    def memory_cycles(self, cache_stats: Dict[str, Dict[str, float]]) -> float:
+        """Stall cycles caused by cache misses, after prefetching and overlap."""
+        spec = self.spec
+        l1 = cache_stats.get("l1d", {})
+        l2 = cache_stats.get("l2", {})
+        l3 = cache_stats.get("l3")
+
+        def misses(level: Dict[str, float]) -> float:
+            return level.get("read_misses", 0.0) + level.get("write_misses", 0.0)
+
+        def effective_misses(level: Dict[str, float]) -> float:
+            raw = misses(level)
+            hidden = spec.prefetch_efficiency * level.get("sequential_misses", 0.0)
+            return max(raw - hidden, 0.0)
+
+        cycles = effective_misses(l1) * spec.l2_latency
+        if l3 is not None:
+            cycles += effective_misses(l2) * spec.l3_latency
+            cycles += effective_misses(l3) * spec.dram_latency
+        else:
+            cycles += effective_misses(l2) * spec.dram_latency
+        # L1 hits still pay the load-to-use latency, partially pipelined.
+        hits = l1.get("read_hits", 0.0) + l1.get("write_hits", 0.0)
+        cycles += hits * (spec.load_latency / 8.0)
+        overlap = spec.mem_parallelism if spec.out_of_order else max(spec.mem_parallelism, 1.0)
+        return cycles / overlap
+
+    def branch_cycles(self, counts: Dict[str, float]) -> float:
+        """Cycles lost to branch mispredictions."""
+        branches = counts.get(IC.BRANCH, 0.0)
+        return branches * self.spec.branch_mispredict_rate * self.spec.branch_mispredict_penalty
+
+    # -- combination -------------------------------------------------------
+    def estimate(
+        self,
+        counts: Dict[str, float],
+        cache_stats: Dict[str, Dict[str, float]],
+        trace_scale: float = 1.0,
+    ) -> TimingBreakdown:
+        """Estimate run time.
+
+        ``trace_scale`` compensates for sampled memory traces: when only a
+        fraction of the reference stream was simulated, the miss counts are
+        scaled back up to the full execution.
+        """
+        issue = self.issue_cycles(counts)
+        memory = self.memory_cycles(cache_stats) * trace_scale
+        branch = self.branch_cycles(counts)
+        if self.spec.out_of_order:
+            # Out-of-order cores overlap compute with outstanding misses.
+            total = max(issue, memory) + 0.25 * min(issue, memory) + branch
+        else:
+            # In-order cores serialise compute and memory stalls.
+            total = issue + memory + branch
+        seconds = total / (self.spec.frequency_ghz * 1e9)
+        return TimingBreakdown(
+            issue_cycles=issue,
+            memory_cycles=memory,
+            branch_cycles=branch,
+            total_cycles=total,
+            seconds=seconds,
+        )

@@ -1,0 +1,29 @@
+"""Evaluation metrics of the paper (Section IV-B) and the speedup model (Eq. 4)."""
+
+from repro.metrics.evaluation import (
+    prediction_order,
+    e_top1,
+    r_top1,
+    quality_scores,
+    evaluate_predictions,
+    PredictionMetrics,
+)
+from repro.metrics.speedup import (
+    break_even_parallelism,
+    estimate_simulation_seconds,
+    native_benchmarking_seconds,
+    SpeedupModel,
+)
+
+__all__ = [
+    "prediction_order",
+    "e_top1",
+    "r_top1",
+    "quality_scores",
+    "evaluate_predictions",
+    "PredictionMetrics",
+    "break_even_parallelism",
+    "estimate_simulation_seconds",
+    "native_benchmarking_seconds",
+    "SpeedupModel",
+]

@@ -1,0 +1,104 @@
+"""Prediction-quality metrics: E_top1, R_top1, Q_low and Q_high (Equations 5-7).
+
+All metrics operate on pairs of arrays: the measured reference run times
+``t_ref`` and the predicted scores of the same implementations.  Smaller is
+better for every metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def _validate(times: Sequence[float], scores: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    times = np.asarray(times, dtype=float)
+    scores = np.asarray(scores, dtype=float)
+    if times.ndim != 1 or scores.ndim != 1:
+        raise ValueError("times and scores must be one-dimensional")
+    if times.shape != scores.shape:
+        raise ValueError("times and scores must have the same length")
+    if times.size == 0:
+        raise ValueError("cannot evaluate empty predictions")
+    if np.any(times <= 0):
+        raise ValueError("run times must be positive")
+    return times, scores
+
+
+def prediction_order(times: Sequence[float], scores: Sequence[float]) -> np.ndarray:
+    """Measured run times re-ordered by ascending predicted score (``t_pred``)."""
+    times, scores = _validate(times, scores)
+    return times[np.argsort(scores, kind="stable")]
+
+
+def e_top1(times: Sequence[float], scores: Sequence[float]) -> float:
+    """Equation 5: relative error between the truly fastest sample and the
+    sample the predictor ranks first, in percent."""
+    times, scores = _validate(times, scores)
+    t_pred = prediction_order(times, scores)
+    t_ref_best = float(np.min(times))
+    return float(abs(1.0 - t_ref_best / t_pred[0]) * 100.0)
+
+
+def r_top1(times: Sequence[float], scores: Sequence[float]) -> float:
+    """Equation 6: relative rank (in percent) at which the predictor places the
+    truly fastest sample."""
+    times, scores = _validate(times, scores)
+    t_pred = prediction_order(times, scores)
+    t_ref_best = float(np.min(times))
+    position = int(np.argmax(t_pred == t_ref_best))
+    return float(100.0 / times.size * (position + 1))
+
+
+def quality_scores(times: Sequence[float], scores: Sequence[float]) -> Tuple[float, float]:
+    """``(Q_low, Q_high)``: sorting quality (Equation 7) of the prediction order.
+
+    The per-pair penalty ``(t[i] - min(t[i], t[i+1])) / t[i]`` is evaluated on
+    the prediction-ordered run times; pairs in the lower 50 % of the order
+    contribute to ``Q_low`` and the remaining pairs to ``Q_high``.  Both are
+    scaled by ``100 / |t_ref|`` as in the paper.
+    """
+    times, scores = _validate(times, scores)
+    t_pred = prediction_order(times, scores)
+    if t_pred.size < 2:
+        return 0.0, 0.0
+    current = t_pred[:-1]
+    following = t_pred[1:]
+    penalties = (current - np.minimum(current, following)) / current
+    half = t_pred.size // 2
+    scale = 100.0 / t_pred.size
+    q_low = float(scale * penalties[:half].sum())
+    q_high = float(scale * penalties[half:].sum())
+    return q_low, q_high
+
+
+@dataclass(frozen=True)
+class PredictionMetrics:
+    """All four metrics of one predictor on one group's test set."""
+
+    e_top1: float
+    q_low: float
+    q_high: float
+    r_top1: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metric values keyed like the paper's table headers."""
+        return {
+            "Etop1": self.e_top1,
+            "Qlow": self.q_low,
+            "Qhigh": self.q_high,
+            "Rtop1": self.r_top1,
+        }
+
+
+def evaluate_predictions(times: Sequence[float], scores: Sequence[float]) -> PredictionMetrics:
+    """Compute E_top1, Q_low, Q_high and R_top1 for one test set."""
+    q_low, q_high = quality_scores(times, scores)
+    return PredictionMetrics(
+        e_top1=e_top1(times, scores),
+        q_low=q_low,
+        q_high=q_high,
+        r_top1=r_top1(times, scores),
+    )

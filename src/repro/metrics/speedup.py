@@ -1,0 +1,74 @@
+"""The parallel-simulation break-even factor K (Equation 4).
+
+Native benchmarking of one implementation costs ``(t_cooldown + t_ref) * N_exe``
+seconds on the board; simulating it costs ``t_simulator`` seconds on the host.
+K is the number of simulator instances that must run in parallel for the
+simulator-based flow to match the native throughput; the paper reports
+K in [7, 97] for x86, [4, 31] for ARM and [3, 21] for RISC-V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+def native_benchmarking_seconds(t_ref_s: float, n_exe: int = 15, cooldown_s: float = 1.0) -> float:
+    """Wall-clock cost of benchmarking one implementation natively."""
+    if t_ref_s <= 0:
+        raise ValueError("t_ref_s must be positive")
+    if n_exe <= 0:
+        raise ValueError("n_exe must be positive")
+    return (cooldown_s + t_ref_s) * n_exe
+
+
+def estimate_simulation_seconds(instructions: float, simulator_mips: float = 5.0) -> float:
+    """Host time needed to simulate ``instructions`` at ``simulator_mips`` MIPS.
+
+    Instruction-accurate simulators such as gem5's atomic mode sustain a few
+    million instructions per second on a desktop host; the default of 5 MIPS
+    is in that range.
+    """
+    if instructions <= 0:
+        raise ValueError("instructions must be positive")
+    if simulator_mips <= 0:
+        raise ValueError("simulator_mips must be positive")
+    return instructions / (simulator_mips * 1e6)
+
+
+def break_even_parallelism(
+    t_simulator_s: float,
+    t_ref_s: float,
+    n_exe: int = 15,
+    cooldown_s: float = 1.0,
+) -> int:
+    """Equation 4: K = ceil(t_simulator / ((t_cooldown + t_ref) * N_exe))."""
+    if t_simulator_s <= 0:
+        raise ValueError("t_simulator_s must be positive")
+    return max(1, math.ceil(t_simulator_s / native_benchmarking_seconds(t_ref_s, n_exe, cooldown_s)))
+
+
+@dataclass(frozen=True)
+class SpeedupModel:
+    """Computes K ranges for a set of workloads on one architecture."""
+
+    simulator_mips: float = 5.0
+    n_exe: int = 15
+    cooldown_s: float = 1.0
+
+    def k_for(self, instructions: float, t_ref_s: float) -> int:
+        """K for a single workload."""
+        t_simulator = estimate_simulation_seconds(instructions, self.simulator_mips)
+        return break_even_parallelism(t_simulator, t_ref_s, self.n_exe, self.cooldown_s)
+
+    def k_range(self, workloads: Sequence[Tuple[float, float]]) -> Tuple[int, int]:
+        """(min K, max K) over ``(instructions, t_ref_s)`` pairs."""
+        if not workloads:
+            raise ValueError("at least one workload is required")
+        values = [self.k_for(instructions, t_ref) for instructions, t_ref in workloads]
+        return min(values), max(values)
+
+    def summary(self, workloads_by_arch: Dict[str, Sequence[Tuple[float, float]]]) -> Dict[str, Tuple[int, int]]:
+        """K ranges per architecture."""
+        return {arch: self.k_range(workloads) for arch, workloads in workloads_by_arch.items()}

@@ -1,0 +1,41 @@
+"""End-to-end workflows: dataset generation, predictor training and execution.
+
+The package mirrors Figure 4 of the paper: a *training phase* in which
+implementations are executed both on the instruction-accurate simulator and
+natively on the target board, and an *execution phase* in which only the
+simulator (plus the trained score predictor) is needed.  The experiment module
+regenerates the paper's evaluation artefacts (Figure 5, Tables III-V, the
+Equation 4 speedup ranges).
+"""
+
+from repro.pipeline.dataset import (
+    DatasetConfig,
+    generate_group_samples,
+    generate_dataset,
+    load_or_generate_dataset,
+)
+from repro.pipeline.training_phase import TrainingPhase, TrainingPhaseResult
+from repro.pipeline.execution_phase import ExecutionPhase, ExecutionPhaseResult
+from repro.pipeline.experiment import (
+    ExperimentConfig,
+    predictor_comparison_table,
+    generalization_curves,
+    speedup_summary,
+    format_comparison_table,
+)
+
+__all__ = [
+    "DatasetConfig",
+    "generate_group_samples",
+    "generate_dataset",
+    "load_or_generate_dataset",
+    "TrainingPhase",
+    "TrainingPhaseResult",
+    "ExecutionPhase",
+    "ExecutionPhaseResult",
+    "ExperimentConfig",
+    "predictor_comparison_table",
+    "generalization_curves",
+    "speedup_summary",
+    "format_comparison_table",
+]

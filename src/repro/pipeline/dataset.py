@@ -1,0 +1,191 @@
+"""Training-dataset generation: paired simulator statistics and native run times.
+
+For every kernel group the Auto-Scheduler's annotation sampler generates many
+schedule implementations; each implementation is executed on the
+instruction-accurate simulator (statistics) and on the target board (reference
+run time).  Because generation is the most expensive part of the reproduction,
+datasets can be cached on disk as JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.autotune.sketch.auto_scheduler import SearchTask, SketchPolicy, TuningOptions
+from repro.autotune.sketch.cost_model import RandomCostModel
+from repro.codegen.target import Target
+from repro.hardware.board import TargetBoard
+from repro.hardware.measurement import MeasurementProtocol
+from repro.predictor.training import PredictorDataset, TrainingSample
+from repro.sim.cpu import TraceOptions
+from repro.sim.simulator import Simulator
+from repro.utils.serialization import dump_json, load_json
+from repro.workloads.conv2d import Conv2DParams, conv2d_bias_relu_workload
+from repro.workloads.resnet import TABLE2_GROUPS, scaled_group_params
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Configuration of one dataset-generation run."""
+
+    arch: str
+    implementations_per_group: int = 60
+    groups: tuple = (0, 1, 2, 3, 4)
+    scale: float = 0.2
+    trace_max_accesses: int = 120_000
+    n_exe: int = 15
+    cooldown_s: float = 1.0
+    seed: int = 0
+    kernel_type: str = "conv2d_bias_relu"
+
+    def group_parameters(self) -> Dict[int, Conv2DParams]:
+        """Conv2D parameters per group at the configured scale."""
+        return {gid: scaled_group_params(gid, self.scale) for gid in self.groups}
+
+    def cache_key(self) -> str:
+        """A stable hash identifying this configuration."""
+        payload = json.dumps(
+            {
+                "arch": self.arch,
+                "implementations_per_group": self.implementations_per_group,
+                "groups": list(self.groups),
+                "scale": self.scale,
+                "trace_max_accesses": self.trace_max_accesses,
+                "n_exe": self.n_exe,
+                "cooldown_s": self.cooldown_s,
+                "seed": self.seed,
+                "kernel_type": self.kernel_type,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def generate_group_samples(
+    arch: str,
+    group_id: int,
+    params: Conv2DParams,
+    n_implementations: int,
+    seed: int = 0,
+    trace_options: Optional[TraceOptions] = None,
+    protocol: Optional[MeasurementProtocol] = None,
+) -> List[TrainingSample]:
+    """Generate paired (simulator statistics, native run time) samples for one group."""
+    trace_options = trace_options or TraceOptions(max_accesses=120_000)
+    protocol = protocol or MeasurementProtocol()
+    target = Target.from_name(arch)
+    task = SearchTask(
+        conv2d_bias_relu_workload,
+        params.as_args(),
+        target,
+        name=f"conv2d_g{group_id}_{arch}",
+    )
+    policy = SketchPolicy(
+        task,
+        TuningOptions(seed=seed + group_id),
+        cost_model=RandomCostModel(seed=seed + group_id),
+    )
+    simulator = Simulator(arch, trace_options=trace_options)
+    board = TargetBoard(
+        arch, protocol=protocol, trace_options=trace_options, seed=seed + 1000 + group_id
+    )
+
+    samples: List[TrainingSample] = []
+    # Over-sample candidates: some may fail to build (they are skipped).
+    candidates = policy.sample_candidates(int(n_implementations * 1.3) + 4)
+    inputs, build_results = policy.build_candidates(candidates)
+    for index, (measure_input, build) in enumerate(zip(inputs, build_results)):
+        if len(samples) >= n_implementations:
+            break
+        if not build.ok:
+            continue
+        simulation = simulator.run(build.program)
+        record = board.measure(build.program)
+        samples.append(
+            TrainingSample(
+                group_id=group_id,
+                flat_stats=simulation.flat_stats(),
+                measured_time_s=record.median_s,
+                implementation_id=f"{arch}_g{group_id}_i{index}",
+            )
+        )
+    return samples
+
+
+def generate_dataset(config: DatasetConfig, verbose: bool = False) -> PredictorDataset:
+    """Generate the full dataset for one architecture (all groups)."""
+    trace_options = TraceOptions(max_accesses=config.trace_max_accesses)
+    protocol = MeasurementProtocol(n_exe=config.n_exe, cooldown_s=config.cooldown_s)
+    dataset = PredictorDataset(arch=config.arch, kernel_type=config.kernel_type)
+    for group_id, params in config.group_parameters().items():
+        if verbose:
+            print(f"[dataset] {config.arch}: generating group {group_id} ({params})")
+        dataset.extend(
+            generate_group_samples(
+                config.arch,
+                group_id,
+                params,
+                config.implementations_per_group,
+                seed=config.seed,
+                trace_options=trace_options,
+                protocol=protocol,
+            )
+        )
+    return dataset
+
+
+# ---------------------------------------------------------------------------
+# disk cache
+# ---------------------------------------------------------------------------
+
+
+def _dataset_to_jsonable(dataset: PredictorDataset) -> dict:
+    return {
+        "arch": dataset.arch,
+        "kernel_type": dataset.kernel_type,
+        "samples": [
+            {
+                "group_id": sample.group_id,
+                "flat_stats": sample.flat_stats,
+                "measured_time_s": sample.measured_time_s,
+                "implementation_id": sample.implementation_id,
+            }
+            for sample in dataset.samples
+        ],
+    }
+
+
+def _dataset_from_jsonable(payload: dict) -> PredictorDataset:
+    dataset = PredictorDataset(arch=payload["arch"], kernel_type=payload["kernel_type"])
+    for entry in payload["samples"]:
+        dataset.add(
+            TrainingSample(
+                group_id=int(entry["group_id"]),
+                flat_stats={k: float(v) for k, v in entry["flat_stats"].items()},
+                measured_time_s=float(entry["measured_time_s"]),
+                implementation_id=entry.get("implementation_id", ""),
+            )
+        )
+    return dataset
+
+
+def load_or_generate_dataset(
+    config: DatasetConfig,
+    cache_dir: Optional[str | Path] = None,
+    verbose: bool = False,
+) -> PredictorDataset:
+    """Load a cached dataset for ``config`` or generate (and cache) it."""
+    if cache_dir is None:
+        return generate_dataset(config, verbose=verbose)
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    cache_file = cache_dir / f"dataset_{config.arch}_{config.cache_key()}.json"
+    if cache_file.exists():
+        return _dataset_from_jsonable(load_json(cache_file))
+    dataset = generate_dataset(config, verbose=verbose)
+    dump_json(_dataset_to_jsonable(dataset), cache_file)
+    return dataset

@@ -1,0 +1,100 @@
+"""Execution phase of the score-predictor workflow (Figure 4-II).
+
+Once a predictor is trained, autotuning no longer needs the target CPU: every
+candidate implementation is simulated, its statistics are turned into a score
+by the predictor, and the score steers the search.  Optionally, the top
+predictions are re-executed on the board afterwards (the paper notes that
+re-running the top 2-3 % recovers the true optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.autotune.runner import SimulatorRunner
+from repro.autotune.sketch.auto_scheduler import (
+    MeasureRecord,
+    SearchTask,
+    SketchPolicy,
+    TuningOptions,
+)
+from repro.codegen.target import Target
+from repro.hardware.board import TargetBoard
+from repro.predictor.training import ScorePredictor
+from repro.sim.cpu import TraceOptions
+from repro.te.lower import lower
+from repro.codegen.codegen import build_program
+from repro.workloads.conv2d import Conv2DParams, conv2d_bias_relu_workload
+
+
+@dataclass
+class ExecutionPhaseResult:
+    """Outputs of one execution phase."""
+
+    records: List[MeasureRecord]
+    best_candidate: Optional[object]
+    #: (candidate, measured seconds) for the validated top predictions, best first.
+    validated: List[Tuple[object, float]] = field(default_factory=list)
+
+    @property
+    def best_validated_seconds(self) -> Optional[float]:
+        """Fastest validated run time, if validation was requested."""
+        if not self.validated:
+            return None
+        return min(seconds for _, seconds in self.validated)
+
+
+class ExecutionPhase:
+    """Simulator-only autotuning of one kernel group with a trained predictor."""
+
+    def __init__(
+        self,
+        predictor: ScorePredictor,
+        arch: str,
+        params: Conv2DParams,
+        n_parallel: int = 16,
+        trace_options: TraceOptions = TraceOptions(max_accesses=120_000),
+        options: TuningOptions = TuningOptions(num_measure_trials=48, num_measures_per_round=16),
+        window: str = "dynamic",
+        seed: int = 0,
+    ):
+        self.predictor = predictor
+        self.arch = arch
+        self.params = params
+        self.trace_options = trace_options
+        self.options = options
+        self.window = window
+        self.seed = seed
+        self.n_parallel = n_parallel
+
+    def run(self, validate_top_percent: float = 0.0, board: Optional[TargetBoard] = None) -> ExecutionPhaseResult:
+        """Run the simulator-guided search; optionally validate the top predictions."""
+        target = Target.from_name(self.arch)
+        task = SearchTask(
+            conv2d_bias_relu_workload, self.params.as_args(), target, name=f"exec_{self.arch}"
+        )
+        runner = SimulatorRunner(
+            self.arch,
+            n_parallel=self.n_parallel,
+            trace_options=self.trace_options,
+            score_function=self.predictor.score_function(window=self.window),
+        )
+        policy = SketchPolicy(task, self.options)
+        best = policy.search(runner=runner)
+        result = ExecutionPhaseResult(records=policy.records, best_candidate=best)
+
+        if validate_top_percent > 0.0:
+            board = board or TargetBoard(self.arch, trace_options=self.trace_options, seed=self.seed)
+            ranked = sorted(
+                (record for record in policy.records if record.cost != float("inf")),
+                key=lambda record: record.cost,
+            )
+            top_count = max(1, int(round(len(ranked) * validate_top_percent / 100.0)))
+            for record in ranked[:top_count]:
+                schedule = record.candidate.apply(task.output_tensors)
+                func = lower(schedule, task.arg_tensors, name="validate")
+                program = build_program(func, target, name="validate")
+                measurement = board.measure(program)
+                result.validated.append((record.candidate, measurement.median_s))
+        return result

@@ -1,0 +1,63 @@
+"""Score predictors (Contribution II of the paper).
+
+A score predictor maps the statistics of an instruction-accurate simulation to
+a *score* that orders different implementations of the same kernel group the
+way their measured run times on the target CPU would.  Four model families
+are provided, mirroring Section III-D: multiple linear regression, a small
+fully-connected DNN, Gaussian-process regression tuned by Bayesian
+optimisation, and gradient-boosted trees (XGBoost).
+"""
+
+from repro.predictor.losses import mse, mae, rss, get_loss
+from repro.predictor.features import (
+    FeatureExtractor,
+    GroupStatistics,
+    StaticWindow,
+    DynamicWindow,
+    FEATURE_CACHE_LEVELS,
+)
+from repro.predictor.linear import LinearRegressionModel
+from repro.predictor.dnn import DNNRegressor
+from repro.predictor.gaussian_process import (
+    ConstantKernel,
+    RBF,
+    WhiteKernel,
+    GaussianProcessRegressor,
+)
+from repro.predictor.bayes_opt import BayesianOptimizer, BayesianGPModel
+from repro.predictor.xgboost import GradientBoostedTrees
+from repro.predictor.grid_search import grid_search
+from repro.predictor.training import (
+    TrainingSample,
+    PredictorDataset,
+    ScorePredictor,
+    make_model,
+    PREDICTOR_NAMES,
+)
+
+__all__ = [
+    "mse",
+    "mae",
+    "rss",
+    "get_loss",
+    "FeatureExtractor",
+    "GroupStatistics",
+    "StaticWindow",
+    "DynamicWindow",
+    "FEATURE_CACHE_LEVELS",
+    "LinearRegressionModel",
+    "DNNRegressor",
+    "ConstantKernel",
+    "RBF",
+    "WhiteKernel",
+    "GaussianProcessRegressor",
+    "BayesianOptimizer",
+    "BayesianGPModel",
+    "GradientBoostedTrees",
+    "grid_search",
+    "TrainingSample",
+    "PredictorDataset",
+    "ScorePredictor",
+    "make_model",
+    "PREDICTOR_NAMES",
+]

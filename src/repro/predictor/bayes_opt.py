@@ -1,0 +1,223 @@
+"""Bayesian optimisation (Section III-D.3).
+
+Two pieces live here:
+
+* :class:`BayesianOptimizer` — a generic maximiser of expensive black-box
+  functions over a box-constrained parameter space, using a Gaussian-process
+  surrogate and the expected-improvement acquisition function;
+* :class:`BayesianGPModel` — the paper's "Bayes" predictor: a Gaussian
+  process whose kernel hyper-parameters (``C``, ``RBF_scale``, ``noise``) are
+  tuned by maximising the negative validation loss, exactly as in Listing 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.predictor.gaussian_process import (
+    ConstantKernel,
+    GaussianProcessRegressor,
+    RBF,
+    WhiteKernel,
+)
+from repro.predictor.losses import get_loss
+
+
+@dataclass
+class OptimizationStep:
+    """One evaluated point of the objective function."""
+
+    params: Dict[str, float]
+    value: float
+
+
+class BayesianOptimizer:
+    """Maximises ``objective(**params)`` over box bounds with a GP surrogate."""
+
+    def __init__(
+        self,
+        objective: Callable[..., float],
+        bounds: Dict[str, Tuple[float, float]],
+        n_initial: int = 5,
+        n_iterations: int = 20,
+        log_scale: bool = True,
+        seed: int = 0,
+    ):
+        if not bounds:
+            raise ValueError("bounds must contain at least one parameter")
+        for name, (low, high) in bounds.items():
+            if low >= high or low <= 0 and log_scale:
+                raise ValueError(f"invalid bounds for {name!r}: ({low}, {high})")
+        self.objective = objective
+        self.bounds = dict(bounds)
+        self.n_initial = n_initial
+        self.n_iterations = n_iterations
+        self.log_scale = log_scale
+        self.rng = np.random.default_rng(seed)
+        self.steps: List[OptimizationStep] = []
+
+    # -- parameter-space helpers --------------------------------------------
+    def _to_unit(self, params: Dict[str, float]) -> np.ndarray:
+        values = []
+        for name, (low, high) in self.bounds.items():
+            value = params[name]
+            if self.log_scale:
+                values.append((np.log(value) - np.log(low)) / (np.log(high) - np.log(low)))
+            else:
+                values.append((value - low) / (high - low))
+        return np.asarray(values)
+
+    def _from_unit(self, unit: np.ndarray) -> Dict[str, float]:
+        params = {}
+        for coordinate, (name, (low, high)) in zip(unit, self.bounds.items()):
+            coordinate = float(np.clip(coordinate, 0.0, 1.0))
+            if self.log_scale:
+                params[name] = float(np.exp(np.log(low) + coordinate * (np.log(high) - np.log(low))))
+            else:
+                params[name] = float(low + coordinate * (high - low))
+        return params
+
+    def _random_params(self) -> Dict[str, float]:
+        return self._from_unit(self.rng.random(len(self.bounds)))
+
+    # -- optimisation loop ------------------------------------------------------
+    def maximize(self) -> OptimizationStep:
+        """Run the optimisation and return the best step found."""
+        for _ in range(self.n_initial):
+            params = self._random_params()
+            self.steps.append(OptimizationStep(params, float(self.objective(**params))))
+
+        for _ in range(self.n_iterations):
+            params = self._propose()
+            self.steps.append(OptimizationStep(params, float(self.objective(**params))))
+        return self.best
+
+    @property
+    def best(self) -> OptimizationStep:
+        """The best step evaluated so far."""
+        if not self.steps:
+            raise RuntimeError("the optimiser has not been run")
+        return max(self.steps, key=lambda step: step.value)
+
+    def _propose(self) -> Dict[str, float]:
+        """Expected-improvement proposal from the GP surrogate."""
+        observed_x = np.asarray([self._to_unit(step.params) for step in self.steps])
+        observed_y = np.asarray([step.value for step in self.steps])
+        finite = np.isfinite(observed_y)
+        if finite.sum() < 2:
+            return self._random_params()
+        observed_x, observed_y = observed_x[finite], observed_y[finite]
+
+        surrogate = GaussianProcessRegressor(
+            ConstantKernel(float(np.var(observed_y) + 1e-6)) * RBF(0.2) + WhiteKernel(1e-6)
+        )
+        surrogate.fit(observed_x, observed_y)
+
+        candidates = self.rng.random((256, len(self.bounds)))
+        mean, std = surrogate.predict(candidates, return_std=True)
+        best_value = observed_y.max()
+        improvement = mean - best_value - 1e-9
+        z = improvement / std
+        expected_improvement = improvement * norm.cdf(z) + std * norm.pdf(z)
+        return self._from_unit(candidates[int(np.argmax(expected_improvement))])
+
+
+class BayesianGPModel:
+    """The paper's Bayesian-optimisation predictor (GP with tuned kernel)."""
+
+    #: Hyper-parameter bounds for (C, RBF length scale, white-noise level).
+    DEFAULT_BOUNDS = {
+        "C": (1e-2, 1e2),
+        "RBF_scale": (1e-1, 1e2),
+        "noise": (1e-6, 1e-1),
+    }
+
+    def __init__(
+        self,
+        loss: str = "mse",
+        n_initial: int = 6,
+        n_iterations: int = 18,
+        validation_fraction: float = 0.25,
+        bounds: Optional[Dict[str, Tuple[float, float]]] = None,
+        random_state: int = 0,
+    ):
+        self.loss_name = loss
+        self.loss = get_loss(loss)
+        self.n_initial = n_initial
+        self.n_iterations = n_iterations
+        self.validation_fraction = validation_fraction
+        self.bounds = dict(bounds or self.DEFAULT_BOUNDS)
+        self.random_state = random_state
+        self.best_params_: Optional[Dict[str, float]] = None
+        self._model: Optional[GaussianProcessRegressor] = None
+        self.n_features_: int = 0
+
+    # -- objective (Listing 6) -------------------------------------------------
+    def _objective_factory(
+        self,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        test_x: np.ndarray,
+        test_y: np.ndarray,
+    ) -> Callable[..., float]:
+        def objective_function(C: float, RBF_scale: float, noise: float) -> float:
+            kernel = ConstantKernel(constant_value=C) * RBF(length_scale=RBF_scale) + WhiteKernel(
+                noise_level=noise
+            )
+            try:
+                model = GaussianProcessRegressor(kernel).fit(train_x, train_y)
+                predictions = model.predict(test_x)
+            except np.linalg.LinAlgError:
+                return -1e9
+            return -self.loss(test_y, predictions)
+
+        return objective_function
+
+    # -- scikit-style interface ---------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "BayesianGPModel":
+        """Tune the kernel hyper-parameters, then refit the GP on all data."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).reshape(-1)
+        self.n_features_ = features.shape[1]
+        rng = np.random.default_rng(self.random_state)
+        n_samples = features.shape[0]
+        n_validation = max(2, int(n_samples * self.validation_fraction))
+        permutation = rng.permutation(n_samples)
+        validation_idx = permutation[:n_validation]
+        train_idx = permutation[n_validation:]
+        if len(train_idx) < 2:
+            train_idx = permutation
+            validation_idx = permutation
+
+        objective = self._objective_factory(
+            features[train_idx], targets[train_idx], features[validation_idx], targets[validation_idx]
+        )
+        optimizer = BayesianOptimizer(
+            objective,
+            self.bounds,
+            n_initial=self.n_initial,
+            n_iterations=self.n_iterations,
+            seed=self.random_state,
+        )
+        self.best_params_ = optimizer.maximize().params
+
+        kernel = (
+            ConstantKernel(constant_value=self.best_params_["C"])
+            * RBF(length_scale=self.best_params_["RBF_scale"])
+            + WhiteKernel(noise_level=self.best_params_["noise"])
+        )
+        self._model = GaussianProcessRegressor(kernel).fit(features, targets)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Posterior-mean prediction."""
+        if self._model is None:
+            raise RuntimeError("the model has not been fitted")
+        return self._model.predict(np.asarray(features, dtype=float))
+
+    def __repr__(self) -> str:
+        return f"BayesianGPModel(loss={self.loss_name}, best_params={self.best_params_})"

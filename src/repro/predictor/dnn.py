@@ -1,0 +1,183 @@
+"""Fully-connected regression network (Section III-D.2), implemented with numpy.
+
+The paper's tuned configuration is six dense layers (128, 128, 64, 32, 16, 1)
+with tanh hidden activations, a linear output, MAE loss and the Adam
+optimiser; those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _activation(name: str):
+    if name == "tanh":
+        return np.tanh, lambda activated: 1.0 - activated**2
+    if name == "relu":
+        return (
+            lambda value: np.maximum(value, 0.0),
+            lambda activated: (activated > 0.0).astype(activated.dtype),
+        )
+    if name == "linear":
+        return lambda value: value, lambda activated: np.ones_like(activated)
+    raise ValueError(f"unknown activation {name!r}")
+
+
+class DNNRegressor:
+    """A small multilayer perceptron for scalar regression."""
+
+    def __init__(
+        self,
+        hidden_layers: Sequence[int] = (128, 128, 64, 32, 16),
+        activation: str = "tanh",
+        loss: str = "mae",
+        learning_rate: float = 1e-3,
+        batch_size: int = 32,
+        epochs: int = 200,
+        patience: int = 30,
+        validation_fraction: float = 0.15,
+        random_state: int = 0,
+    ):
+        if loss not in ("mae", "mse"):
+            raise ValueError("DNN regression supports mae or mse loss")
+        self.hidden_layers = tuple(hidden_layers)
+        self.activation = activation
+        self.loss = loss
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.patience = patience
+        self.validation_fraction = validation_fraction
+        self.random_state = random_state
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._input_mean: Optional[np.ndarray] = None
+        self._input_std: Optional[np.ndarray] = None
+        self.n_features_: int = 0
+        self.history_: List[float] = []
+
+    # -- training -----------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DNNRegressor":
+        """Train with mini-batch Adam and early stopping on a validation split."""
+        rng = np.random.default_rng(self.random_state)
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).reshape(-1, 1)
+        self.n_features_ = features.shape[1]
+
+        self._input_mean = features.mean(axis=0)
+        self._input_std = features.std(axis=0)
+        self._input_std[self._input_std < 1e-12] = 1.0
+        normalized = (features - self._input_mean) / self._input_std
+
+        n_samples = normalized.shape[0]
+        n_validation = max(1, int(n_samples * self.validation_fraction)) if n_samples > 10 else 0
+        permutation = rng.permutation(n_samples)
+        validation_idx = permutation[:n_validation]
+        train_idx = permutation[n_validation:]
+        train_x, train_y = normalized[train_idx], targets[train_idx]
+        val_x, val_y = normalized[validation_idx], targets[validation_idx]
+
+        layer_sizes = [self.n_features_, *self.hidden_layers, 1]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+        adam_m = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
+        adam_v = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, epsilon = 0.9, 0.999, 1e-8
+        step = 0
+
+        best_val = np.inf
+        best_params: Optional[Tuple[List[np.ndarray], List[np.ndarray]]] = None
+        epochs_without_improvement = 0
+        self.history_ = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(train_x.shape[0])
+            for start in range(0, len(order), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                step += 1
+                gradients = self._gradients(train_x[batch], train_y[batch])
+                parameters = self._weights + self._biases
+                for i, (param, grad) in enumerate(zip(parameters, gradients)):
+                    adam_m[i] = beta1 * adam_m[i] + (1 - beta1) * grad
+                    adam_v[i] = beta2 * adam_v[i] + (1 - beta2) * grad**2
+                    m_hat = adam_m[i] / (1 - beta1**step)
+                    v_hat = adam_v[i] / (1 - beta2**step)
+                    param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + epsilon)
+
+            if n_validation:
+                val_loss = self._loss_value(self._forward(val_x)[-1], val_y)
+            else:
+                val_loss = self._loss_value(self._forward(train_x)[-1], train_y)
+            self.history_.append(val_loss)
+            if val_loss < best_val - 1e-7:
+                best_val = val_loss
+                best_params = (
+                    [w.copy() for w in self._weights],
+                    [b.copy() for b in self._biases],
+                )
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= self.patience:
+                    break
+        if best_params is not None:
+            self._weights, self._biases = best_params
+        return self
+
+    # -- inference -----------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features``."""
+        if not self._weights:
+            raise RuntimeError("the model has not been fitted")
+        features = np.asarray(features, dtype=float)
+        normalized = (features - self._input_mean) / self._input_std
+        return self._forward(normalized)[-1].reshape(-1)
+
+    # -- internals --------------------------------------------------------------
+    def _forward(self, inputs: np.ndarray) -> List[np.ndarray]:
+        activate, _ = _activation(self.activation)
+        activations = [inputs]
+        current = inputs
+        for layer, (weights, bias) in enumerate(zip(self._weights, self._biases)):
+            current = current @ weights + bias
+            if layer < len(self._weights) - 1:
+                current = activate(current)
+            activations.append(current)
+        return activations
+
+    def _loss_value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if self.loss == "mae":
+            return float(np.mean(np.abs(predictions - targets)))
+        return float(np.mean((predictions - targets) ** 2))
+
+    def _gradients(self, inputs: np.ndarray, targets: np.ndarray) -> List[np.ndarray]:
+        _, activation_grad = _activation(self.activation)
+        activations = self._forward(inputs)
+        predictions = activations[-1]
+        batch = inputs.shape[0]
+        if self.loss == "mae":
+            delta = np.sign(predictions - targets) / batch
+        else:
+            delta = 2.0 * (predictions - targets) / batch
+
+        weight_grads: List[np.ndarray] = [np.zeros_like(w) for w in self._weights]
+        bias_grads: List[np.ndarray] = [np.zeros_like(b) for b in self._biases]
+        for layer in range(len(self._weights) - 1, -1, -1):
+            weight_grads[layer] = activations[layer].T @ delta
+            bias_grads[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self._weights[layer].T) * activation_grad(activations[layer])
+        return weight_grads + bias_grads
+
+    def __repr__(self) -> str:
+        return (
+            f"DNNRegressor(layers={list(self.hidden_layers) + [1]}, activation={self.activation}, "
+            f"loss={self.loss})"
+        )

@@ -1,0 +1,201 @@
+"""Feature extraction from simulator statistics (Section III-D of the paper).
+
+The relevant statistics derived from the instruction-accurate simulation are
+
+* the number of executed load/store/branch instructions divided by the total
+  number of executed instructions,
+* the total number of executed instructions normalised to the group, and
+* cache read/write replacements/hits/misses divided by the read/write
+  accesses of each cache (Equation 1),
+
+each used both in its original form and normalised to the group
+(Equation 2).  Group means are known exactly during training; at inference
+time they are approximated with a static or dynamic window (Section III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Cache levels whose statistics become features (absent levels yield zeros,
+#: e.g. the L3 entries on ARM and RISC-V).
+FEATURE_CACHE_LEVELS = ("l1d", "l1i", "l2", "l3")
+
+#: Cache ratio features per level: numerator statistic divided by the
+#: read or write access count.
+_CACHE_RATIOS = (
+    ("read_hits", "read_accesses"),
+    ("read_misses", "read_accesses"),
+    ("read_replacements", "read_accesses"),
+    ("write_hits", "write_accesses"),
+    ("write_misses", "write_accesses"),
+    ("write_replacements", "write_accesses"),
+)
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    return float(numerator / denominator) if denominator else 0.0
+
+
+class FeatureExtractor:
+    """Turns one simulation's flat statistics into the paper's raw features."""
+
+    #: Feature that is only used in group-normalised form.
+    TOTAL_INSTRUCTIONS = "total_instructions"
+
+    def __init__(self, cache_levels: Sequence[str] = FEATURE_CACHE_LEVELS):
+        self.cache_levels = tuple(cache_levels)
+
+    # -- raw features -------------------------------------------------------
+    def raw_features(self, flat_stats: Mapping[str, float]) -> Dict[str, float]:
+        """Named raw features (Equation 1 style ratios plus the total count)."""
+        total = float(flat_stats.get("cpu.num_insts", 0.0))
+        features: Dict[str, float] = {
+            "load_ratio": _safe_ratio(flat_stats.get("cpu.num_loads", 0.0), total),
+            "store_ratio": _safe_ratio(flat_stats.get("cpu.num_stores", 0.0), total),
+            "branch_ratio": _safe_ratio(flat_stats.get("cpu.num_branches", 0.0), total),
+            self.TOTAL_INSTRUCTIONS: total,
+        }
+        for level in self.cache_levels:
+            for numerator, denominator in _CACHE_RATIOS:
+                name = f"{level}_{numerator}_per_{'read' if numerator.startswith('read') else 'write'}_access"
+                features[name] = _safe_ratio(
+                    flat_stats.get(f"{level}.{numerator}", 0.0),
+                    flat_stats.get(f"{level}.{denominator}", 0.0),
+                )
+        return features
+
+    def feature_names(self) -> List[str]:
+        """Raw feature names in vector order."""
+        dummy = self.raw_features({})
+        return list(dummy.keys())
+
+    def vector_names(self) -> List[str]:
+        """Names of the final feature vector (raw ratios + group-normalised copies)."""
+        raw = self.feature_names()
+        ratios = [name for name in raw if name != self.TOTAL_INSTRUCTIONS]
+        return ratios + [f"{name}_norm" for name in raw]
+
+    # -- final vectors ---------------------------------------------------------
+    def vector(
+        self,
+        flat_stats: Mapping[str, float],
+        group_means: Mapping[str, float],
+    ) -> np.ndarray:
+        """The model input vector for one implementation.
+
+        The vector is the concatenation of the raw ratio features with the
+        group-normalised form of every feature (Equation 2); the absolute
+        instruction count only appears in normalised form.
+        """
+        raw = self.raw_features(flat_stats)
+        values: List[float] = [
+            value for name, value in raw.items() if name != self.TOTAL_INSTRUCTIONS
+        ]
+        for name, value in raw.items():
+            mean = float(group_means.get(name, 0.0))
+            values.append((value - mean) / mean if mean else 0.0)
+        return np.asarray(values, dtype=float)
+
+    def group_means(self, all_stats: Sequence[Mapping[str, float]]) -> Dict[str, float]:
+        """Exact per-feature means over all implementations of one group."""
+        if not all_stats:
+            raise ValueError("cannot compute group means of an empty group")
+        accumulator: Dict[str, float] = {}
+        for flat_stats in all_stats:
+            for name, value in self.raw_features(flat_stats).items():
+                accumulator[name] = accumulator.get(name, 0.0) + value
+        return {name: value / len(all_stats) for name, value in accumulator.items()}
+
+
+@dataclass
+class GroupStatistics:
+    """Exact group means for features and run times (training-time view)."""
+
+    feature_means: Dict[str, float]
+    time_mean: float
+
+    @staticmethod
+    def from_samples(
+        extractor: FeatureExtractor,
+        stats: Sequence[Mapping[str, float]],
+        times: Sequence[float],
+    ) -> "GroupStatistics":
+        """Compute exact group statistics from all samples of one group."""
+        if len(stats) != len(times):
+            raise ValueError("stats and times must have the same length")
+        return GroupStatistics(
+            feature_means=extractor.group_means(stats),
+            time_mean=float(np.mean(times)) if len(times) else 0.0,
+        )
+
+    def normalize_time(self, time_s: float) -> float:
+        """Equation 2 applied to a run time (the training target)."""
+        if not self.time_mean:
+            return 0.0
+        return (time_s - self.time_mean) / self.time_mean
+
+
+class StaticWindow:
+    """Static-window approximation of the group means (Section III-E).
+
+    The means are estimated once from the first ``window_size`` samples and
+    kept fixed afterwards.
+    """
+
+    def __init__(self, extractor: FeatureExtractor, window_size: int = 64):
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self.extractor = extractor
+        self.window_size = window_size
+        self._buffer: List[Mapping[str, float]] = []
+        self._means: Optional[Dict[str, float]] = None
+
+    def observe(self, flat_stats: Mapping[str, float]) -> None:
+        """Record one simulated implementation."""
+        if self._means is None:
+            self._buffer.append(dict(flat_stats))
+            if len(self._buffer) >= self.window_size:
+                self._means = self.extractor.group_means(self._buffer)
+
+    @property
+    def ready(self) -> bool:
+        """Whether the window has been filled."""
+        return self._means is not None
+
+    def means(self) -> Dict[str, float]:
+        """Current estimate of the group means (uses a partial window if needed)."""
+        if self._means is not None:
+            return self._means
+        if not self._buffer:
+            return {}
+        return self.extractor.group_means(self._buffer)
+
+
+class DynamicWindow:
+    """Dynamic-window approximation: means are updated with every new sample."""
+
+    def __init__(self, extractor: FeatureExtractor):
+        self.extractor = extractor
+        self._sums: Dict[str, float] = {}
+        self._count = 0
+
+    def observe(self, flat_stats: Mapping[str, float]) -> None:
+        """Record one simulated implementation and update the running means."""
+        for name, value in self.extractor.raw_features(flat_stats).items():
+            self._sums[name] = self._sums.get(name, 0.0) + value
+        self._count += 1
+
+    @property
+    def ready(self) -> bool:
+        """Whether at least one sample has been observed."""
+        return self._count > 0
+
+    def means(self) -> Dict[str, float]:
+        """Current running means."""
+        if not self._count:
+            return {}
+        return {name: value / self._count for name, value in self._sums.items()}

@@ -1,0 +1,158 @@
+"""Gaussian-process regression with the paper's kernel (Listing 6).
+
+The kernel is ``ConstantKernel(C) * RBF(length_scale) + WhiteKernel(noise)``;
+its three hyper-parameters are tuned by Bayesian optimisation in
+:mod:`repro.predictor.bayes_opt`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Kernel:
+    """Base class of covariance functions."""
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def diagonal_noise(self) -> float:
+        """Extra variance added to the diagonal of the training covariance."""
+        return 0.0
+
+    def __mul__(self, other: "Kernel") -> "Kernel":
+        return ProductKernel(self, other)
+
+    def __add__(self, other: "Kernel") -> "Kernel":
+        return SumKernel(self, other)
+
+
+class ConstantKernel(Kernel):
+    """A constant scaling factor."""
+
+    def __init__(self, constant_value: float = 1.0):
+        if constant_value <= 0:
+            raise ValueError("constant_value must be positive")
+        self.constant_value = float(constant_value)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.full((a.shape[0], b.shape[0]), self.constant_value)
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel with an isotropic length scale."""
+
+    def __init__(self, length_scale: float = 1.0):
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        self.length_scale = float(length_scale)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a_scaled = a / self.length_scale
+        b_scaled = b / self.length_scale
+        squared_distance = (
+            np.sum(a_scaled**2, axis=1)[:, None]
+            + np.sum(b_scaled**2, axis=1)[None, :]
+            - 2.0 * a_scaled @ b_scaled.T
+        )
+        return np.exp(-0.5 * np.maximum(squared_distance, 0.0))
+
+
+class WhiteKernel(Kernel):
+    """Observation noise: contributes only to the training covariance diagonal."""
+
+    def __init__(self, noise_level: float = 1e-5):
+        if noise_level < 0:
+            raise ValueError("noise_level cannot be negative")
+        self.noise_level = float(noise_level)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.zeros((a.shape[0], b.shape[0]))
+
+    def diagonal_noise(self) -> float:
+        return self.noise_level
+
+
+class ProductKernel(Kernel):
+    """Pointwise product of two kernels."""
+
+    def __init__(self, left: Kernel, right: Kernel):
+        self.left = left
+        self.right = right
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.left(a, b) * self.right(a, b)
+
+    def diagonal_noise(self) -> float:
+        # Noise kernels are not meaningful inside products; ignore them there.
+        return 0.0
+
+
+class SumKernel(Kernel):
+    """Pointwise sum of two kernels."""
+
+    def __init__(self, left: Kernel, right: Kernel):
+        self.left = left
+        self.right = right
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.left(a, b) + self.right(a, b)
+
+    def diagonal_noise(self) -> float:
+        return self.left.diagonal_noise() + self.right.diagonal_noise()
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression with a fixed kernel."""
+
+    def __init__(self, kernel: Kernel, jitter: float = 1e-8, normalize_y: bool = True):
+        self.kernel = kernel
+        self.jitter = jitter
+        self.normalize_y = normalize_y
+        self._train_x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self.n_features_: int = 0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GaussianProcessRegressor":
+        """Fit the GP posterior; returns ``self``."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).reshape(-1)
+        self.n_features_ = features.shape[1]
+        self._train_x = features
+        if self.normalize_y:
+            self._y_mean = float(targets.mean())
+            self._y_std = float(targets.std()) or 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        scaled_targets = (targets - self._y_mean) / self._y_std
+
+        covariance = self.kernel(features, features)
+        diagonal = self.kernel.diagonal_noise() + self.jitter
+        covariance[np.diag_indices_from(covariance)] += diagonal
+        self._chol = np.linalg.cholesky(covariance)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, scaled_targets)
+        )
+        return self
+
+    def predict(self, features: np.ndarray, return_std: bool = False):
+        """Posterior mean (and optionally standard deviation) at ``features``."""
+        if self._train_x is None or self._alpha is None or self._chol is None:
+            raise RuntimeError("the model has not been fitted")
+        features = np.asarray(features, dtype=float)
+        cross = self.kernel(features, self._train_x)
+        mean = cross @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = np.linalg.solve(self._chol, cross.T)
+        prior = np.diag(self.kernel(features, features)) + self.kernel.diagonal_noise()
+        variance = np.maximum(prior - np.sum(v**2, axis=0), 1e-12)
+        return mean, np.sqrt(variance) * self._y_std
+
+    def __repr__(self) -> str:
+        return f"GaussianProcessRegressor(kernel={type(self.kernel).__name__})"

@@ -1,0 +1,73 @@
+"""Hyper-parameter grid search with cross-validation (used to tune XGBoost)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.predictor.losses import LossFn, get_loss
+
+
+@dataclass
+class GridSearchResult:
+    """The outcome of a grid search."""
+
+    best_params: Dict[str, object]
+    best_score: float
+    all_results: List[Dict[str, object]]
+
+
+def _cv_splits(n_samples: int, n_folds: int, rng: np.random.Generator):
+    indices = rng.permutation(n_samples)
+    folds = np.array_split(indices, n_folds)
+    for fold_index in range(n_folds):
+        validation = folds[fold_index]
+        training = np.concatenate([folds[i] for i in range(n_folds) if i != fold_index])
+        yield training, validation
+
+
+def grid_search(
+    model_factory: Callable[..., object],
+    param_grid: Dict[str, Sequence[object]],
+    features: np.ndarray,
+    targets: np.ndarray,
+    n_folds: int = 3,
+    loss: str | LossFn = "mse",
+    seed: int = 0,
+) -> GridSearchResult:
+    """Exhaustively evaluate ``param_grid`` with ``n_folds``-fold cross-validation.
+
+    ``model_factory(**params)`` must return an object with ``fit``/``predict``.
+    The combination with the lowest mean validation loss wins.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must not be empty")
+    loss_fn = get_loss(loss) if isinstance(loss, str) else loss
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float).reshape(-1)
+    if features.shape[0] < n_folds:
+        raise ValueError("not enough samples for the requested number of folds")
+    rng = np.random.default_rng(seed)
+
+    names = list(param_grid)
+    all_results: List[Dict[str, object]] = []
+    best_params: Dict[str, object] = {}
+    best_score = float("inf")
+
+    for combination in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combination))
+        fold_losses = []
+        for train_idx, val_idx in _cv_splits(features.shape[0], n_folds, rng):
+            model = model_factory(**params)
+            model.fit(features[train_idx], targets[train_idx])
+            predictions = model.predict(features[val_idx])
+            fold_losses.append(loss_fn(targets[val_idx], predictions))
+        score = float(np.mean(fold_losses))
+        all_results.append({"params": params, "score": score})
+        if score < best_score:
+            best_score = score
+            best_params = params
+    return GridSearchResult(best_params=best_params, best_score=best_score, all_results=all_results)

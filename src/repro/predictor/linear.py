@@ -1,0 +1,52 @@
+"""Multiple linear regression (Section III-D.1)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearRegressionModel:
+    """Ordinary least squares (RSS loss) with optional ridge regularisation.
+
+    The model is ``y = b0 + b1*x1 + ... + bn*xn`` (Equation 3).  A tiny ridge
+    term keeps the normal equations well conditioned when features are
+    collinear (which group-normalised copies of ratios often are).
+    """
+
+    def __init__(self, ridge: float = 1e-8, loss: str = "rss"):
+        if loss not in ("rss", "mse"):
+            raise ValueError("linear regression supports the rss/mse losses only")
+        self.ridge = ridge
+        self.loss = loss
+        self.coefficients_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.n_features_: int = 0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegressionModel":
+        """Fit the model; returns ``self``."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets disagree on the number of samples")
+        self.n_features_ = features.shape[1]
+        design = np.hstack([np.ones((features.shape[0], 1)), features])
+        gram = design.T @ design
+        gram += self.ridge * np.eye(gram.shape[0])
+        solution = np.linalg.solve(gram, design.T @ targets)
+        self.intercept_ = float(solution[0])
+        self.coefficients_ = solution[1:]
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for ``features``."""
+        if self.coefficients_ is None:
+            raise RuntimeError("the model has not been fitted")
+        features = np.asarray(features, dtype=float)
+        return features @ self.coefficients_ + self.intercept_
+
+    def __repr__(self) -> str:
+        return f"LinearRegressionModel(n_features={self.n_features_}, loss={self.loss})"

@@ -1,0 +1,41 @@
+"""Loss functions used for predictor training and tuning (Section III-D)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+LossFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def mse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rss(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Residual sum of squares."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.sum((y_true - y_pred) ** 2))
+
+
+_LOSSES = {"mse": mse, "mae": mae, "rss": rss}
+
+
+def get_loss(name: str) -> LossFn:
+    """Look up a loss function by name (``mse``, ``mae`` or ``rss``)."""
+    key = name.strip().lower()
+    if key not in _LOSSES:
+        raise KeyError(f"unknown loss {name!r}; available: {sorted(_LOSSES)}")
+    return _LOSSES[key]

@@ -1,0 +1,36 @@
+"""Instruction-accurate simulator substrate (gem5 stand-in).
+
+The simulator executes abstract instruction programs produced by
+:mod:`repro.codegen`.  Like gem5 in atomic mode with the ``SimpleCPU`` model,
+it is *instruction-accurate but not timing-accurate*: it reports exact
+instruction counts per category and the hit/miss/replacement behaviour of a
+parameterisable cache hierarchy, but no latencies.
+"""
+
+from repro.sim.stats import StatGroup, SimulationStats
+from repro.sim.cache import CacheConfig, Cache, ReplacementPolicy
+from repro.sim.memory import MainMemory
+from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
+from repro.sim.configs import CACHE_HIERARCHIES, cache_hierarchy_for, TABLE1_ROWS
+from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
+from repro.sim.simulator import Simulator, SimulationResult, SimulatorPool
+
+__all__ = [
+    "StatGroup",
+    "SimulationStats",
+    "CacheConfig",
+    "Cache",
+    "ReplacementPolicy",
+    "MainMemory",
+    "CacheHierarchy",
+    "CacheHierarchyConfig",
+    "CacheLevelConfig",
+    "CACHE_HIERARCHIES",
+    "cache_hierarchy_for",
+    "TABLE1_ROWS",
+    "AtomicSimpleCPU",
+    "TraceOptions",
+    "Simulator",
+    "SimulationResult",
+    "SimulatorPool",
+]

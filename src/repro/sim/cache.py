@@ -1,0 +1,281 @@
+"""Set-associative cache model.
+
+The cache is a write-allocate, write-back, N-way set-associative cache with a
+pluggable replacement policy (LRU by default, matching the paper's gem5
+configuration).  It produces the statistics the score predictor consumes:
+read/write accesses, hits, misses and replacements.  The model is functional
+only — it tracks which lines are resident, not their contents, and it reports
+no latencies (the whole point of the paper is that no timing is needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class ReplacementPolicy:
+    """Replacement policy identifiers."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+    ALL = (LRU, FIFO, RANDOM)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and behaviour of one cache.
+
+    ``size_bytes = sets * associativity * line_bytes`` must hold; the
+    constructor of :class:`Cache` validates this so the Table I
+    configurations cannot be transcribed inconsistently.
+    """
+
+    name: str
+    size_bytes: int
+    sets: int
+    associativity: int
+    line_bytes: int = 64
+    replacement: str = ReplacementPolicy.LRU
+
+    def __post_init__(self) -> None:
+        if self.size_bytes != self.sets * self.associativity * self.line_bytes:
+            raise ValueError(
+                f"inconsistent cache geometry for {self.name}: "
+                f"{self.sets} sets x {self.associativity} ways x {self.line_bytes} B "
+                f"!= {self.size_bytes} B"
+            )
+        if self.sets <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.sets & (self.sets - 1):
+            raise ValueError(f"number of sets must be a power of two, got {self.sets}")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line size must be a power of two, got {self.line_bytes}")
+        if self.replacement not in ReplacementPolicy.ALL:
+            raise ValueError(f"unknown replacement policy {self.replacement!r}")
+
+    @staticmethod
+    def from_geometry(
+        name: str,
+        sets: int,
+        associativity: int,
+        line_bytes: int = 64,
+        replacement: str = ReplacementPolicy.LRU,
+    ) -> "CacheConfig":
+        """Build a config from sets/ways/line size, deriving the total size."""
+        return CacheConfig(
+            name=name,
+            size_bytes=sets * associativity * line_bytes,
+            sets=sets,
+            associativity=associativity,
+            line_bytes=line_bytes,
+            replacement=replacement,
+        )
+
+
+class Cache:
+    """One level of a cache hierarchy.
+
+    Misses and dirty evictions are forwarded to ``next_level`` (another
+    :class:`Cache` or a :class:`~repro.sim.memory.MainMemory`).
+    """
+
+    def __init__(self, config: CacheConfig, next_level=None, rng_seed: int = 0):
+        self.config = config
+        self.next_level = next_level
+        self._offset_bits = int(np.log2(config.line_bytes))
+        self._set_mask = config.sets - 1
+        # Per-set list of [tag, dirty] entries; index 0 is most recently used.
+        self._sets: List[List[List[int]]] = [[] for _ in range(config.sets)]
+        self._rng = np.random.default_rng(rng_seed)
+        self.reset_stats()
+
+    # -- statistics -------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero all counters (resident lines are kept)."""
+        self.read_accesses = 0
+        self.write_accesses = 0
+        self.read_hits = 0
+        self.write_hits = 0
+        self.read_misses = 0
+        self.write_misses = 0
+        self.read_replacements = 0
+        self.write_replacements = 0
+        self.writebacks = 0
+        self.sequential_misses = 0
+        self._last_miss_line = -2
+
+    def reset_state(self) -> None:
+        """Flush the cache contents and zero the counters."""
+        self._sets = [[] for _ in range(self.config.sets)]
+        self.reset_stats()
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.read_accesses + self.write_accesses
+
+    @property
+    def hits(self) -> int:
+        """Total hits."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """Total misses."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def replacements(self) -> int:
+        """Total replacements (evictions of valid lines)."""
+        return self.read_replacements + self.write_replacements
+
+    def stats_dict(self) -> dict:
+        """Statistics in the shape the feature extractor consumes."""
+        return {
+            "read_accesses": self.read_accesses,
+            "write_accesses": self.write_accesses,
+            "read_hits": self.read_hits,
+            "write_hits": self.write_hits,
+            "read_misses": self.read_misses,
+            "write_misses": self.write_misses,
+            "read_replacements": self.read_replacements,
+            "write_replacements": self.write_replacements,
+            "writebacks": self.writebacks,
+            "sequential_misses": self.sequential_misses,
+        }
+
+    # -- access processing -------------------------------------------------
+    def access(self, address: int, is_write: bool) -> bool:
+        """Process one byte-address access; returns True on hit."""
+        hits = self.access_lines(
+            np.asarray([address >> self._offset_bits], dtype=np.int64),
+            np.asarray([is_write], dtype=bool),
+        )
+        return bool(hits == 1)
+
+    def access_batch(self, addresses: np.ndarray, is_write: np.ndarray) -> int:
+        """Process a batch of byte addresses in order; returns the number of hits."""
+        lines = (addresses.astype(np.int64)) >> self._offset_bits
+        return self.access_lines(lines, is_write)
+
+    def access_lines(self, lines: np.ndarray, is_write: np.ndarray) -> int:
+        """Process a batch of line addresses in order; returns the number of hits.
+
+        Misses generate fill reads and dirty evictions generate writebacks,
+        which are forwarded (in order) to the next level.
+        """
+        if lines.size == 0:
+            return 0
+        set_indices = (lines & self._set_mask).tolist()
+        line_list = lines.tolist()
+        write_list = is_write.tolist()
+
+        sets = self._sets
+        assoc = self.config.associativity
+        lru = self.config.replacement == ReplacementPolicy.LRU
+        fifo = self.config.replacement == ReplacementPolicy.FIFO
+
+        hits = 0
+        read_hits = 0
+        write_hits = 0
+        read_misses = 0
+        write_misses = 0
+        read_replacements = 0
+        write_replacements = 0
+        writebacks = 0
+        sequential_misses = 0
+        last_miss_line = self._last_miss_line
+
+        forwarded_lines: List[int] = []
+        forwarded_writes: List[bool] = []
+
+        for line, set_index, write in zip(line_list, set_indices, write_list):
+            entries = sets[set_index]
+            found = None
+            for position, entry in enumerate(entries):
+                if entry[0] == line:
+                    found = position
+                    break
+            if found is not None:
+                hits += 1
+                if write:
+                    write_hits += 1
+                    entries[found][1] = 1
+                else:
+                    read_hits += 1
+                if lru and found != 0:
+                    entries.insert(0, entries.pop(found))
+                continue
+
+            # Miss: fill from the next level, possibly evicting a victim.
+            if write:
+                write_misses += 1
+            else:
+                read_misses += 1
+            if line == last_miss_line + 1:
+                sequential_misses += 1
+            last_miss_line = line
+
+            forwarded_lines.append(line)
+            forwarded_writes.append(False)  # fill is a read from below
+
+            if len(entries) >= assoc:
+                if lru or fifo:
+                    victim = entries.pop()
+                else:
+                    victim = entries.pop(int(self._rng.integers(0, len(entries))))
+                if write:
+                    write_replacements += 1
+                else:
+                    read_replacements += 1
+                if victim[1]:
+                    writebacks += 1
+                    forwarded_lines.append(victim[0])
+                    forwarded_writes.append(True)
+            entries.insert(0, [line, 1 if write else 0])
+
+        self.read_hits += read_hits
+        self.write_hits += write_hits
+        self.read_misses += read_misses
+        self.write_misses += write_misses
+        self.read_accesses += read_hits + read_misses
+        self.write_accesses += write_hits + write_misses
+        self.read_replacements += read_replacements
+        self.write_replacements += write_replacements
+        self.writebacks += writebacks
+        self.sequential_misses += sequential_misses
+        self._last_miss_line = last_miss_line
+
+        if self.next_level is not None and forwarded_lines:
+            forwarded = np.asarray(forwarded_lines, dtype=np.int64)
+            flags = np.asarray(forwarded_writes, dtype=bool)
+            if hasattr(self.next_level, "access_lines"):
+                # Next cache level indexes by line address of *its own* line size;
+                # convert back to byte addresses to stay line-size agnostic.
+                self.next_level.access_batch(forwarded << self._offset_bits, flags)
+            else:
+                self.next_level.access_batch(forwarded << self._offset_bits, flags)
+        return hits
+
+    # -- introspection ------------------------------------------------------
+    def resident_lines(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(entries) for entries in self._sets)
+
+    def contains(self, address: int) -> bool:
+        """Whether the line holding ``address`` is resident."""
+        line = address >> self._offset_bits
+        entries = self._sets[line & self._set_mask]
+        return any(entry[0] == line for entry in entries)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"Cache({cfg.name}, {cfg.size_bytes // 1024}K, {cfg.sets} sets, "
+            f"{cfg.associativity}-way)"
+        )

@@ -1,0 +1,57 @@
+"""Cache hierarchies of the evaluated CPUs (Table I of the paper).
+
+All line sizes are 64 B.  The ARM and RISC-V CPUs have a shared L2 but no L3;
+the x86 CPU has a large L3 (LLC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
+
+
+def _kib(value: int) -> int:
+    return value * 1024
+
+
+#: Table I — cache sizes and hierarchy of the used CPUs.
+CACHE_HIERARCHIES: Dict[str, CacheHierarchyConfig] = {
+    "x86": CacheHierarchyConfig(
+        name="x86",
+        l1d=CacheLevelConfig(size_bytes=_kib(32), sets=64, associativity=8),
+        l1i=CacheLevelConfig(size_bytes=_kib(32), sets=64, associativity=8),
+        l2=CacheLevelConfig(size_bytes=_kib(512), sets=1024, associativity=8),
+        l3=CacheLevelConfig(size_bytes=_kib(32768), sets=32768, associativity=16),
+    ),
+    "arm": CacheHierarchyConfig(
+        name="arm",
+        l1d=CacheLevelConfig(size_bytes=_kib(32), sets=256, associativity=2),
+        l1i=CacheLevelConfig(size_bytes=_kib(48), sets=256, associativity=3),
+        l2=CacheLevelConfig(size_bytes=_kib(1024), sets=1024, associativity=16),
+        l3=None,
+    ),
+    "riscv": CacheHierarchyConfig(
+        name="riscv",
+        l1d=CacheLevelConfig(size_bytes=_kib(32), sets=64, associativity=8),
+        l1i=CacheLevelConfig(size_bytes=_kib(32), sets=64, associativity=8),
+        l2=CacheLevelConfig(size_bytes=_kib(2048), sets=2048, associativity=16),
+        l3=None,
+    ),
+}
+
+#: Table I rendered as rows (architecture, level, size KiB, sets, associativity)
+#: for the benchmark that regenerates the table.
+TABLE1_ROWS: List[tuple] = [
+    (arch, level, cfg.size_bytes // 1024, cfg.sets, cfg.associativity)
+    for arch, hierarchy in CACHE_HIERARCHIES.items()
+    for level, cfg in hierarchy.levels().items()
+]
+
+
+def cache_hierarchy_for(arch: str) -> CacheHierarchy:
+    """Instantiate the Table I cache hierarchy for ``arch`` (x86/arm/riscv)."""
+    key = arch.strip().lower()
+    if key not in CACHE_HIERARCHIES:
+        raise KeyError(f"no cache hierarchy defined for architecture {arch!r}")
+    return CacheHierarchy(CACHE_HIERARCHIES[key])

@@ -1,0 +1,127 @@
+"""Atomic CPU model: executes abstract instruction programs without timing.
+
+The model mirrors gem5's ``AtomicSimpleCPU``: every instruction completes in a
+single step and every memory access is a single blocking transaction.  The
+observable output is therefore purely quantitative — instruction counts per
+category and the cache behaviour of the access stream — which is exactly the
+information the paper's score predictors consume.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.codegen.isa import InstructionCategory as IC
+from repro.codegen.program import Loop, Program
+from repro.sim.hierarchy import CacheHierarchy
+from repro.sim.stats import SimulationStats
+
+
+@dataclass(frozen=True)
+class TraceOptions:
+    """Controls the size of the simulated memory reference trace.
+
+    ``max_accesses`` bounds the total number of simulated data references;
+    ``sample_fraction`` keeps a systematic random sample of trace chunks.
+    Both keep large kernels tractable; instruction counts stay exact because
+    they are computed analytically, and the predictor features are ratios, so
+    sampling the trace does not bias them.
+    """
+
+    max_accesses: Optional[int] = None
+    sample_fraction: float = 1.0
+    chunk_iterations: int = 1 << 14
+    seed: int = 0
+
+
+class AtomicSimpleCPU:
+    """Single-core atomic CPU attached to a cache hierarchy."""
+
+    def __init__(self, hierarchy: CacheHierarchy, name: str = "cpu"):
+        self.hierarchy = hierarchy
+        self.name = name
+
+    def run(self, program: Program, options: TraceOptions = TraceOptions()) -> SimulationStats:
+        """Execute ``program`` and return gem5-style statistics."""
+        start = time.perf_counter()
+        counts = program.instruction_counts()
+
+        trace_accesses = 0
+        for addresses, is_write in program.memory_trace(
+            chunk_iterations=options.chunk_iterations,
+            max_accesses=options.max_accesses,
+            sample_fraction=options.sample_fraction,
+            seed=options.seed,
+        ):
+            self.hierarchy.access_data_batch(addresses, is_write)
+            trace_accesses += int(addresses.size)
+
+        self._model_instruction_fetches(program, counts)
+        elapsed = time.perf_counter() - start
+
+        stats = SimulationStats()
+        sim_group = stats.group("sim")
+        sim_group.set("host_seconds", elapsed)
+        sim_group.set("trace_accesses", trace_accesses)
+
+        cpu = stats.group(self.name)
+        total = 0.0
+        for category, value in counts.items():
+            cpu.set(f"num_{category}", value)
+            total += value
+        cpu.set("num_insts", total)
+        cpu.set("num_loads", counts[IC.LOAD] + counts[IC.VEC_LOAD])
+        cpu.set("num_stores", counts[IC.STORE] + counts[IC.VEC_STORE])
+        cpu.set("num_branches", counts[IC.BRANCH])
+        cpu.set(
+            "num_fp",
+            counts[IC.FP_ADD]
+            + counts[IC.FP_MUL]
+            + counts[IC.FP_FMA]
+            + counts[IC.FP_OTHER]
+            + counts[IC.VEC_FP],
+        )
+        cpu.set("num_int_alu", counts[IC.INT_ALU])
+        cpu.set("num_mem_refs", cpu.get("num_loads") + cpu.get("num_stores"))
+
+        for level, level_stats in self.hierarchy.stats_dict().items():
+            group = stats.group(level)
+            for key, value in level_stats.items():
+                group.set(key, value)
+            if level != "mem":
+                accesses = level_stats["read_accesses"] + level_stats["write_accesses"]
+                misses = level_stats["read_misses"] + level_stats["write_misses"]
+                group.set("accesses", accesses)
+                group.set("misses", misses)
+                group.set("hits", accesses - misses)
+                group.set("miss_rate", misses / accesses if accesses else 0.0)
+        return stats
+
+    # -- instruction-side modelling ---------------------------------------
+    def _model_instruction_fetches(self, program: Program, counts: dict) -> None:
+        """Approximate L1I behaviour from the program's code footprint.
+
+        Kernel code is tiny compared to data, so a full fetch trace is not
+        simulated; instead each loop-nest root contributes its code lines as
+        compulsory misses, plus capacity misses when an (unrolled) body
+        exceeds the L1I capacity.
+        """
+        l1i = self.hierarchy.l1i
+        line_bytes = l1i.config.line_bytes
+        capacity_lines = l1i.config.sets * l1i.config.associativity
+
+        total_fetches = sum(counts.values())
+        misses = math.ceil(program.static_code_bytes / line_bytes)
+        for root in program.roots:
+            footprint_lines = math.ceil(max(program._code_bytes(root), 1.0) / line_bytes)
+            misses += footprint_lines
+            if footprint_lines > capacity_lines and isinstance(root, Loop):
+                overflow = footprint_lines - capacity_lines
+                misses += overflow * max(root.extent - 1, 0)
+        misses = min(misses, total_fetches)
+        l1i.read_accesses += int(total_fetches)
+        l1i.read_misses += int(misses)
+        l1i.read_hits += int(total_fetches - misses)

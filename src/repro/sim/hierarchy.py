@@ -1,0 +1,120 @@
+"""Cache hierarchies: composition of cache levels as in Figure 3 / Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.cache import Cache, CacheConfig
+from repro.sim.memory import MainMemory
+
+
+@dataclass(frozen=True)
+class CacheLevelConfig:
+    """Geometry of one cache level, as listed in Table I (sets, associativity)."""
+
+    size_bytes: int
+    sets: int
+    associativity: int
+
+    def to_cache_config(self, name: str, line_bytes: int) -> CacheConfig:
+        """Convert to a full :class:`CacheConfig`."""
+        return CacheConfig(
+            name=name,
+            size_bytes=self.size_bytes,
+            sets=self.sets,
+            associativity=self.associativity,
+            line_bytes=line_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class CacheHierarchyConfig:
+    """A complete hierarchy: split L1, unified L2 and optional L3 (LLC)."""
+
+    name: str
+    l1d: CacheLevelConfig
+    l1i: CacheLevelConfig
+    l2: CacheLevelConfig
+    l3: Optional[CacheLevelConfig] = None
+    line_bytes: int = 64
+
+    def levels(self) -> Dict[str, CacheLevelConfig]:
+        """Present levels keyed by their conventional names."""
+        levels = {"l1d": self.l1d, "l1i": self.l1i, "l2": self.l2}
+        if self.l3 is not None:
+            levels["l3"] = self.l3
+        return levels
+
+
+class CacheHierarchy:
+    """An instantiated hierarchy with separate data and instruction paths.
+
+    Data requests flow L1D -> L2 -> (L3) -> memory; instruction fetches flow
+    L1I -> L2 -> (L3) -> memory, matching the shared higher levels of the
+    CPUs in the paper.
+    """
+
+    def __init__(self, config: CacheHierarchyConfig):
+        self.config = config
+        self.memory = MainMemory()
+        last_level: object = self.memory
+        self.l3: Optional[Cache] = None
+        if config.l3 is not None:
+            self.l3 = Cache(config.l3.to_cache_config("l3", config.line_bytes), last_level)
+            last_level = self.l3
+        self.l2 = Cache(config.l2.to_cache_config("l2", config.line_bytes), last_level)
+        self.l1d = Cache(config.l1d.to_cache_config("l1d", config.line_bytes), self.l2)
+        self.l1i = Cache(config.l1i.to_cache_config("l1i", config.line_bytes), self.l2)
+
+    # -- access paths -----------------------------------------------------
+    def access_data(self, address: int, is_write: bool) -> bool:
+        """Single data access through the data path; returns True on an L1D hit."""
+        return self.l1d.access(address, is_write)
+
+    def access_data_batch(self, addresses: np.ndarray, is_write: np.ndarray) -> int:
+        """Batch of data accesses in program order; returns L1D hits."""
+        return self.l1d.access_batch(addresses, is_write)
+
+    def access_instr_batch(self, addresses: np.ndarray) -> int:
+        """Batch of instruction fetches; returns L1I hits."""
+        flags = np.zeros(addresses.shape, dtype=bool)
+        return self.l1i.access_batch(addresses, flags)
+
+    # -- management ---------------------------------------------------------
+    def data_caches(self) -> List[Cache]:
+        """Caches on the data path, closest first."""
+        caches = [self.l1d, self.l2]
+        if self.l3 is not None:
+            caches.append(self.l3)
+        return caches
+
+    def all_caches(self) -> Dict[str, Cache]:
+        """All caches keyed by level name."""
+        caches = {"l1d": self.l1d, "l1i": self.l1i, "l2": self.l2}
+        if self.l3 is not None:
+            caches["l3"] = self.l3
+        return caches
+
+    def reset_stats(self) -> None:
+        """Zero counters of every level and of main memory."""
+        for cache in self.all_caches().values():
+            cache.reset_stats()
+        self.memory.reset_stats()
+
+    def reset_state(self) -> None:
+        """Flush every level and zero all counters (cold caches)."""
+        for cache in self.all_caches().values():
+            cache.reset_state()
+        self.memory.reset_stats()
+
+    def stats_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-level statistics, keyed by level name plus ``mem``."""
+        stats = {name: cache.stats_dict() for name, cache in self.all_caches().items()}
+        stats["mem"] = self.memory.stats_dict()
+        return stats
+
+    def __repr__(self) -> str:
+        return f"CacheHierarchy({self.config.name})"

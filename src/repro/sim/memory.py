@@ -1,0 +1,48 @@
+"""Main-memory model: the terminal level of the cache hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MainMemory:
+    """Counts the requests that reach DRAM; always 'hits'."""
+
+    def __init__(self, name: str = "mem"):
+        self.name = name
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the request counters."""
+        self.read_accesses = 0
+        self.write_accesses = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of requests."""
+        return self.read_accesses + self.write_accesses
+
+    def access(self, address: int, is_write: bool) -> bool:
+        """Process one request (always succeeds)."""
+        if is_write:
+            self.write_accesses += 1
+        else:
+            self.read_accesses += 1
+        return True
+
+    def access_batch(self, addresses: np.ndarray, is_write: np.ndarray) -> int:
+        """Process a batch of requests; returns the batch size."""
+        writes = int(np.count_nonzero(is_write))
+        self.write_accesses += writes
+        self.read_accesses += int(addresses.size - writes)
+        return int(addresses.size)
+
+    def stats_dict(self) -> dict:
+        """Statistics in the shape the feature extractor consumes."""
+        return {
+            "read_accesses": self.read_accesses,
+            "write_accesses": self.write_accesses,
+        }
+
+    def __repr__(self) -> str:
+        return f"MainMemory({self.name})"

@@ -1,0 +1,88 @@
+"""gem5-style statistics collection.
+
+Statistics are organised in named groups (``system.cpu``, ``system.l1d`` ...)
+and can be dumped in the flat ``stats.txt`` style format gem5 produces, or
+exported as a flat dictionary for the score-predictor feature extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class StatGroup:
+    """A named group of scalar statistics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: Dict[str, float] = {}
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Increment statistic ``key`` by ``amount``."""
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        """Set statistic ``key`` to ``value``."""
+        self._values[key] = float(value)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        """Read statistic ``key`` (0 when absent)."""
+        return self._values.get(key, default)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Iterate ``(key, value)`` pairs in insertion order."""
+        return iter(self._values.items())
+
+    def as_dict(self, prefix: str = "") -> Dict[str, float]:
+        """Flat dictionary of this group's statistics, keys prefixed by the group name."""
+        prefix = prefix or self.name
+        return {f"{prefix}.{key}": value for key, value in self._values.items()}
+
+    def __repr__(self) -> str:
+        return f"StatGroup({self.name}, {len(self._values)} stats)"
+
+
+class SimulationStats:
+    """All statistics produced by one simulation run."""
+
+    def __init__(self):
+        self._groups: Dict[str, StatGroup] = {}
+
+    def group(self, name: str) -> StatGroup:
+        """Return (creating if needed) the group called ``name``."""
+        if name not in self._groups:
+            self._groups[name] = StatGroup(name)
+        return self._groups[name]
+
+    def groups(self) -> List[StatGroup]:
+        """All groups in creation order."""
+        return list(self._groups.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten all statistics into ``{"group.key": value}``."""
+        flat: Dict[str, float] = {}
+        for group in self._groups.values():
+            flat.update(group.as_dict())
+        return flat
+
+    def get(self, flat_key: str, default: float = 0.0) -> float:
+        """Read a statistic by its flat ``group.key`` name."""
+        group_name, _, key = flat_key.rpartition(".")
+        if group_name in self._groups:
+            return self._groups[group_name].get(key, default)
+        return default
+
+    def dump(self) -> str:
+        """Render the statistics in a gem5 ``stats.txt``-like format."""
+        lines = ["---------- Begin Simulation Statistics ----------"]
+        for key, value in sorted(self.as_dict().items()):
+            if float(value).is_integer():
+                rendered = f"{int(value)}"
+            else:
+                rendered = f"{value:.6f}"
+            lines.append(f"{key:<60} {rendered}")
+        lines.append("---------- End Simulation Statistics   ----------")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"SimulationStats({len(self._groups)} groups)"

@@ -1,0 +1,98 @@
+"""Tensor-expression DSL substrate (TVM TE stand-in).
+
+This package provides the compute/schedule separation the paper's autotuning
+flow relies on: a kernel's functional behaviour is described once with
+:func:`compute`, and its implementation (loop tiling, ordering, unrolling,
+vectorisation) is described by a :class:`Schedule`.  Lowering produces a
+loop-nest IR that the code generator turns into an abstract instruction
+program for a target architecture.
+"""
+
+from repro.te.expr import (
+    Expr,
+    Var,
+    IntImm,
+    FloatImm,
+    BinaryOp,
+    CmpOp,
+    LogicalOp,
+    NotOp,
+    Select,
+    TensorRead,
+    Reduce,
+    const,
+    max_expr,
+    min_expr,
+    substitute,
+    post_order_visit,
+    affine_form,
+)
+from repro.te.tensor import (
+    IterVar,
+    Tensor,
+    placeholder,
+    compute,
+    reduce_axis,
+    sum as sum  # noqa: PLC0414 - re-exported under the TVM-style name
+)
+from repro.te.tensor import sum_reduce, max_reduce
+from repro.te.operation import Operation, PlaceholderOp, ComputeOp
+from repro.te.schedule import Schedule, Stage, create_schedule
+from repro.te.ir import (
+    Stmt,
+    For,
+    Seq,
+    BufferStore,
+    BufferLoad,
+    IfThenElse,
+    Evaluate,
+    LoweredFunc,
+    ForKind,
+)
+from repro.te.lower import lower
+from repro.te import topi
+
+__all__ = [
+    "Expr",
+    "Var",
+    "IntImm",
+    "FloatImm",
+    "BinaryOp",
+    "CmpOp",
+    "LogicalOp",
+    "NotOp",
+    "Select",
+    "TensorRead",
+    "Reduce",
+    "const",
+    "max_expr",
+    "min_expr",
+    "substitute",
+    "post_order_visit",
+    "affine_form",
+    "IterVar",
+    "Tensor",
+    "placeholder",
+    "compute",
+    "reduce_axis",
+    "sum",
+    "sum_reduce",
+    "max_reduce",
+    "Operation",
+    "PlaceholderOp",
+    "ComputeOp",
+    "Schedule",
+    "Stage",
+    "create_schedule",
+    "Stmt",
+    "For",
+    "Seq",
+    "BufferStore",
+    "BufferLoad",
+    "IfThenElse",
+    "Evaluate",
+    "LoweredFunc",
+    "ForKind",
+    "lower",
+    "topi",
+]

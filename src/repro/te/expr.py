@@ -1,0 +1,410 @@
+"""Expression tree for the tensor-expression DSL.
+
+Expressions are small immutable nodes with operator overloading so that
+compute bodies read like ordinary arithmetic (``A[i, k] * B[k, j]``).  The
+code generator later analyses these trees, so the node set is deliberately
+small: variables, constants, binary arithmetic, comparisons, boolean logic,
+select, tensor reads and reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Binary arithmetic operators supported by :class:`BinaryOp`.
+ARITH_OPS = ("add", "sub", "mul", "div", "floordiv", "mod", "min", "max")
+#: Comparison operators supported by :class:`CmpOp`.
+CMP_OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+#: Boolean connectives supported by :class:`LogicalOp`.
+LOGICAL_OPS = ("and", "or")
+
+
+class ExprOps:
+    """Mixin providing Python operator overloading that builds expression nodes."""
+
+    def _as_expr(self) -> "Expr":
+        raise NotImplementedError
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other):
+        return BinaryOp("add", self._as_expr(), wrap(other))
+
+    def __radd__(self, other):
+        return BinaryOp("add", wrap(other), self._as_expr())
+
+    def __sub__(self, other):
+        return BinaryOp("sub", self._as_expr(), wrap(other))
+
+    def __rsub__(self, other):
+        return BinaryOp("sub", wrap(other), self._as_expr())
+
+    def __mul__(self, other):
+        return BinaryOp("mul", self._as_expr(), wrap(other))
+
+    def __rmul__(self, other):
+        return BinaryOp("mul", wrap(other), self._as_expr())
+
+    def __truediv__(self, other):
+        return BinaryOp("div", self._as_expr(), wrap(other))
+
+    def __floordiv__(self, other):
+        return BinaryOp("floordiv", self._as_expr(), wrap(other))
+
+    def __mod__(self, other):
+        return BinaryOp("mod", self._as_expr(), wrap(other))
+
+    def __neg__(self):
+        return BinaryOp("sub", IntImm(0), self._as_expr())
+
+    # -- comparisons -----------------------------------------------------
+    def __lt__(self, other):
+        return CmpOp("lt", self._as_expr(), wrap(other))
+
+    def __le__(self, other):
+        return CmpOp("le", self._as_expr(), wrap(other))
+
+    def __gt__(self, other):
+        return CmpOp("gt", self._as_expr(), wrap(other))
+
+    def __ge__(self, other):
+        return CmpOp("ge", self._as_expr(), wrap(other))
+
+    def equal(self, other):
+        """Element comparison ``self == other`` as an expression node."""
+        return CmpOp("eq", self._as_expr(), wrap(other))
+
+    def not_equal(self, other):
+        """Element comparison ``self != other`` as an expression node."""
+        return CmpOp("ne", self._as_expr(), wrap(other))
+
+
+class Expr(ExprOps):
+    """Base class of all expression nodes."""
+
+    #: Child field names, overridden by subclasses for generic traversal.
+    _fields: Tuple[str, ...] = ()
+
+    def _as_expr(self) -> "Expr":
+        return self
+
+    def children(self) -> List["Expr"]:
+        """Return the direct sub-expressions of this node."""
+        out: List[Expr] = []
+        for name in self._fields:
+            value = getattr(self, name)
+            if isinstance(value, Expr):
+                out.append(value)
+            elif isinstance(value, (list, tuple)):
+                out.extend(v for v in value if isinstance(v, Expr))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({', '.join(repr(getattr(self, f)) for f in self._fields)})"
+
+    # Expressions are used as dict keys in several passes; identity semantics
+    # are intentional (two structurally equal nodes are distinct objects).
+    __hash__ = object.__hash__
+
+
+class Var(Expr):
+    """A scalar integer variable, typically a loop index."""
+
+    _fields = ()
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+class IntImm(Expr):
+    """Integer constant."""
+
+    _fields = ()
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+class FloatImm(Expr):
+    """Floating-point constant."""
+
+    _fields = ()
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"{self.value}f"
+
+
+class BinaryOp(Expr):
+    """Binary arithmetic node (``op`` is one of :data:`ARITH_OPS`)."""
+
+    _fields = ("a", "b")
+
+    def __init__(self, op: str, a: "Expr", b: "Expr"):
+        if op not in ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.a = wrap(a)
+        self.b = wrap(b)
+
+
+class CmpOp(Expr):
+    """Comparison node (``op`` is one of :data:`CMP_OPS`)."""
+
+    _fields = ("a", "b")
+
+    def __init__(self, op: str, a: "Expr", b: "Expr"):
+        if op not in CMP_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.a = wrap(a)
+        self.b = wrap(b)
+
+
+class LogicalOp(Expr):
+    """Boolean connective (``and`` / ``or``) of two predicate expressions."""
+
+    _fields = ("a", "b")
+
+    def __init__(self, op: str, a: "Expr", b: "Expr"):
+        if op not in LOGICAL_OPS:
+            raise ValueError(f"unknown logical operator {op!r}")
+        self.op = op
+        self.a = wrap(a)
+        self.b = wrap(b)
+
+
+class NotOp(Expr):
+    """Boolean negation of a predicate expression."""
+
+    _fields = ("a",)
+
+    def __init__(self, a: "Expr"):
+        self.a = wrap(a)
+
+
+class Select(Expr):
+    """Ternary select: ``cond ? true_value : false_value``."""
+
+    _fields = ("cond", "true_value", "false_value")
+
+    def __init__(self, cond: "Expr", true_value: "Expr", false_value: "Expr"):
+        self.cond = wrap(cond)
+        self.true_value = wrap(true_value)
+        self.false_value = wrap(false_value)
+
+
+class TensorRead(Expr):
+    """A read of one element of a tensor at multi-dimensional indices."""
+
+    _fields = ("indices",)
+
+    def __init__(self, tensor, indices: Sequence["Expr"]):
+        self.tensor = tensor
+        self.indices = [wrap(i) for i in indices]
+
+    def __repr__(self) -> str:
+        return f"{self.tensor.name}[{', '.join(map(repr, self.indices))}]"
+
+
+class Reduce(Expr):
+    """A commutative reduction of ``source`` over ``axes``.
+
+    ``kind`` is ``"sum"`` or ``"max"``; ``init`` is the identity element.
+    """
+
+    _fields = ("source",)
+
+    def __init__(self, kind: str, source: "Expr", axes: Sequence, init: "Expr"):
+        if kind not in ("sum", "max"):
+            raise ValueError(f"unsupported reduction kind {kind!r}")
+        self.kind = kind
+        self.source = wrap(source)
+        self.axes = list(axes)
+        self.init = wrap(init)
+
+
+def wrap(value: Union["Expr", ExprOps, Number]) -> "Expr":
+    """Coerce Python numbers (and IterVars) into expression nodes."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, ExprOps):
+        return value._as_expr()
+    if isinstance(value, bool):
+        return IntImm(int(value))
+    if isinstance(value, int):
+        return IntImm(value)
+    if isinstance(value, float):
+        return FloatImm(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+def const(value: Number) -> Expr:
+    """Create a constant expression from a Python number."""
+    return wrap(value)
+
+
+def max_expr(a, b) -> Expr:
+    """Element-wise maximum expression node."""
+    return BinaryOp("max", wrap(a), wrap(b))
+
+
+def min_expr(a, b) -> Expr:
+    """Element-wise minimum expression node."""
+    return BinaryOp("min", wrap(a), wrap(b))
+
+
+def post_order_visit(expr: Expr, visitor: Callable[[Expr], None]) -> None:
+    """Visit ``expr`` and all sub-expressions in post order (children first)."""
+    for child in expr.children():
+        post_order_visit(child, visitor)
+    visitor(expr)
+
+
+def substitute(expr: Expr, mapping: Dict[Var, Expr]) -> Expr:
+    """Return a copy of ``expr`` with variables replaced according to ``mapping``.
+
+    The mapping keys are :class:`Var` objects compared by identity, which
+    matches how loop variables are created exactly once per axis.
+    """
+    if isinstance(expr, Var):
+        return mapping.get(expr, expr)
+    if isinstance(expr, (IntImm, FloatImm)):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, substitute(expr.a, mapping), substitute(expr.b, mapping))
+    if isinstance(expr, CmpOp):
+        return CmpOp(expr.op, substitute(expr.a, mapping), substitute(expr.b, mapping))
+    if isinstance(expr, LogicalOp):
+        return LogicalOp(expr.op, substitute(expr.a, mapping), substitute(expr.b, mapping))
+    if isinstance(expr, NotOp):
+        return NotOp(substitute(expr.a, mapping))
+    if isinstance(expr, Select):
+        return Select(
+            substitute(expr.cond, mapping),
+            substitute(expr.true_value, mapping),
+            substitute(expr.false_value, mapping),
+        )
+    if isinstance(expr, TensorRead):
+        return TensorRead(expr.tensor, [substitute(i, mapping) for i in expr.indices])
+    if isinstance(expr, Reduce):
+        return Reduce(expr.kind, substitute(expr.source, mapping), expr.axes, expr.init)
+    raise TypeError(f"cannot substitute in expression of type {type(expr).__name__}")
+
+
+def simplify(expr: Expr) -> Expr:
+    """Perform light constant folding (enough to keep lowered indices small)."""
+    if isinstance(expr, BinaryOp):
+        a = simplify(expr.a)
+        b = simplify(expr.b)
+        if isinstance(a, IntImm) and isinstance(b, IntImm):
+            return IntImm(_fold_int(expr.op, a.value, b.value))
+        if expr.op == "add":
+            if isinstance(a, IntImm) and a.value == 0:
+                return b
+            if isinstance(b, IntImm) and b.value == 0:
+                return a
+        if expr.op == "sub" and isinstance(b, IntImm) and b.value == 0:
+            return a
+        if expr.op == "mul":
+            if isinstance(a, IntImm) and a.value == 1:
+                return b
+            if isinstance(b, IntImm) and b.value == 1:
+                return a
+            if (isinstance(a, IntImm) and a.value == 0) or (
+                isinstance(b, IntImm) and b.value == 0
+            ):
+                return IntImm(0)
+        return BinaryOp(expr.op, a, b)
+    if isinstance(expr, CmpOp):
+        return CmpOp(expr.op, simplify(expr.a), simplify(expr.b))
+    if isinstance(expr, LogicalOp):
+        return LogicalOp(expr.op, simplify(expr.a), simplify(expr.b))
+    if isinstance(expr, NotOp):
+        return NotOp(simplify(expr.a))
+    if isinstance(expr, Select):
+        return Select(simplify(expr.cond), simplify(expr.true_value), simplify(expr.false_value))
+    if isinstance(expr, TensorRead):
+        return TensorRead(expr.tensor, [simplify(i) for i in expr.indices])
+    if isinstance(expr, Reduce):
+        return Reduce(expr.kind, simplify(expr.source), expr.axes, expr.init)
+    return expr
+
+
+def _fold_int(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a // b
+    if op == "floordiv":
+        return a // b
+    if op == "mod":
+        return a % b
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    raise ValueError(f"cannot fold operator {op!r}")
+
+
+def affine_form(
+    expr: Expr, variables: Iterable[Var]
+) -> Optional[Tuple[Dict[Var, int], int]]:
+    """Decompose an integer expression as ``sum(coeff_i * var_i) + const``.
+
+    Returns ``(coefficients, constant)`` if ``expr`` is affine in
+    ``variables`` with integer coefficients, otherwise ``None``.  This is what
+    the code generator uses to turn tensor indices into strided memory-access
+    descriptors.
+    """
+    var_set = set(variables)
+
+    def walk(node: Expr) -> Optional[Tuple[Dict[Var, int], int]]:
+        if isinstance(node, IntImm):
+            return {}, node.value
+        if isinstance(node, Var):
+            if node in var_set:
+                return {node: 1}, 0
+            return None
+        if isinstance(node, BinaryOp):
+            left = walk(node.a)
+            right = walk(node.b)
+            if left is None or right is None:
+                return None
+            lcoef, lconst = left
+            rcoef, rconst = right
+            if node.op == "add":
+                return _merge(lcoef, rcoef, 1), lconst + rconst
+            if node.op == "sub":
+                return _merge(lcoef, rcoef, -1), lconst - rconst
+            if node.op == "mul":
+                if not lcoef:
+                    return {v: c * lconst for v, c in rcoef.items()}, lconst * rconst
+                if not rcoef:
+                    return {v: c * rconst for v, c in lcoef.items()}, lconst * rconst
+                return None
+            if node.op in ("div", "floordiv") and not lcoef and not rcoef:
+                return {}, lconst // rconst
+            return None
+        return None
+
+    def _merge(a: Dict[Var, int], b: Dict[Var, int], sign: int) -> Dict[Var, int]:
+        out = dict(a)
+        for v, c in b.items():
+            out[v] = out.get(v, 0) + sign * c
+        return {v: c for v, c in out.items() if c != 0}
+
+    return walk(expr)

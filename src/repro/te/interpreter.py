@@ -1,0 +1,144 @@
+"""A reference interpreter for lowered functions.
+
+The interpreter executes the loop-nest IR directly on numpy buffers.  It is
+far too slow for the paper's workloads, but it gives the test suite a ground
+truth: a schedule transformation is correct exactly when the interpreted
+result matches the untransformed computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.te.expr import (
+    BinaryOp,
+    CmpOp,
+    Expr,
+    FloatImm,
+    IntImm,
+    LogicalOp,
+    NotOp,
+    Select,
+    Var,
+)
+from repro.te.ir import BufferLoad, BufferStore, For, IfThenElse, LoweredFunc, Seq, Stmt, Evaluate
+from repro.te.tensor import Tensor
+
+_NUMPY_DTYPES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "int32": np.int32,
+    "int64": np.int64,
+    "int8": np.int8,
+    "uint8": np.uint8,
+    "float16": np.float16,
+}
+
+
+def allocate_buffers(func: LoweredFunc) -> Dict[str, np.ndarray]:
+    """Allocate flat numpy arrays for the function's intermediate buffers."""
+    buffers: Dict[str, np.ndarray] = {}
+    for tensor in func.intermediate_buffers:
+        buffers[tensor.name] = np.zeros(tensor.size, dtype=_NUMPY_DTYPES[tensor.dtype])
+    return buffers
+
+
+def run(func: LoweredFunc, args: Sequence[np.ndarray]) -> None:
+    """Execute ``func`` with ``args`` bound (in order) to its argument buffers.
+
+    Each argument must be a numpy array whose size matches the corresponding
+    tensor; output arguments are modified in place.
+    """
+    if len(args) != len(func.args):
+        raise ValueError(f"expected {len(func.args)} arguments, got {len(args)}")
+    env: Dict[str, np.ndarray] = {}
+    for tensor, array in zip(func.args, args):
+        if array.size != tensor.size:
+            raise ValueError(
+                f"argument {tensor.name} expects {tensor.size} elements, got {array.size}"
+            )
+        env[tensor.name] = array.reshape(-1)
+    for name, array in allocate_buffers(func).items():
+        env[name] = array
+    _exec_stmt(func.body, env, {})
+
+
+def _exec_stmt(stmt: Stmt, buffers: Dict[str, np.ndarray], scope: Dict[str, int]) -> None:
+    if isinstance(stmt, Seq):
+        for child in stmt.stmts:
+            _exec_stmt(child, buffers, scope)
+    elif isinstance(stmt, For):
+        name = stmt.loop_var.name
+        for value in range(stmt.extent):
+            scope[name] = value
+            _exec_stmt(stmt.body, buffers, scope)
+        scope.pop(name, None)
+    elif isinstance(stmt, IfThenElse):
+        if _eval_expr(stmt.cond, buffers, scope):
+            _exec_stmt(stmt.then_body, buffers, scope)
+        elif stmt.else_body is not None:
+            _exec_stmt(stmt.else_body, buffers, scope)
+    elif isinstance(stmt, BufferStore):
+        index = int(_eval_expr(stmt.index, buffers, scope))
+        value = _eval_expr(stmt.value, buffers, scope)
+        buffers[stmt.buffer.name][index] = value
+    elif isinstance(stmt, Evaluate):
+        _eval_expr(stmt.value, buffers, scope)
+    else:
+        raise TypeError(f"cannot interpret statement {type(stmt).__name__}")
+
+
+def _eval_expr(expr: Expr, buffers: Dict[str, np.ndarray], scope: Dict[str, int]):
+    if isinstance(expr, IntImm):
+        return expr.value
+    if isinstance(expr, FloatImm):
+        return expr.value
+    if isinstance(expr, Var):
+        return scope[expr.name]
+    if isinstance(expr, BufferLoad):
+        index = int(_eval_expr(expr.index, buffers, scope))
+        return buffers[expr.buffer.name][index]
+    if isinstance(expr, BinaryOp):
+        a = _eval_expr(expr.a, buffers, scope)
+        b = _eval_expr(expr.b, buffers, scope)
+        if expr.op == "add":
+            return a + b
+        if expr.op == "sub":
+            return a - b
+        if expr.op == "mul":
+            return a * b
+        if expr.op == "div":
+            return a / b
+        if expr.op == "floordiv":
+            return a // b
+        if expr.op == "mod":
+            return a % b
+        if expr.op == "min":
+            return min(a, b)
+        if expr.op == "max":
+            return max(a, b)
+    if isinstance(expr, CmpOp):
+        a = _eval_expr(expr.a, buffers, scope)
+        b = _eval_expr(expr.b, buffers, scope)
+        return {
+            "lt": a < b,
+            "le": a <= b,
+            "gt": a > b,
+            "ge": a >= b,
+            "eq": a == b,
+            "ne": a != b,
+        }[expr.op]
+    if isinstance(expr, LogicalOp):
+        a = _eval_expr(expr.a, buffers, scope)
+        if expr.op == "and":
+            return bool(a) and bool(_eval_expr(expr.b, buffers, scope))
+        return bool(a) or bool(_eval_expr(expr.b, buffers, scope))
+    if isinstance(expr, NotOp):
+        return not _eval_expr(expr.a, buffers, scope)
+    if isinstance(expr, Select):
+        if _eval_expr(expr.cond, buffers, scope):
+            return _eval_expr(expr.true_value, buffers, scope)
+        return _eval_expr(expr.false_value, buffers, scope)
+    raise TypeError(f"cannot interpret expression {type(expr).__name__}")

@@ -1,0 +1,162 @@
+"""Loop-nest intermediate representation produced by lowering.
+
+The IR is a small statement tree: ``For`` loops (with an execution kind),
+buffer stores/loads with *flattened* integer indices, conditionals, and
+sequences.  The code generator walks this tree to build an abstract
+instruction program for a target architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.te.expr import Expr, Var, wrap
+from repro.te.tensor import Tensor
+
+
+class ForKind:
+    """Execution kinds a lowered loop can have."""
+
+    SERIAL = "serial"
+    UNROLLED = "unrolled"
+    VECTORIZED = "vectorized"
+    PARALLEL = "parallel"
+
+    ALL = (SERIAL, UNROLLED, VECTORIZED, PARALLEL)
+
+
+class Stmt:
+    """Base class of lowered statements."""
+
+
+class Seq(Stmt):
+    """A sequence of statements executed in order."""
+
+    def __init__(self, stmts: Sequence[Stmt]):
+        self.stmts = list(stmts)
+
+
+class For(Stmt):
+    """``for loop_var in range(extent): body`` with an execution kind."""
+
+    def __init__(self, loop_var: Var, extent: int, body: Stmt, kind: str = ForKind.SERIAL):
+        if kind not in ForKind.ALL:
+            raise ValueError(f"unknown loop kind {kind!r}")
+        if extent <= 0:
+            raise ValueError(f"loop extent must be positive, got {extent}")
+        self.loop_var = loop_var
+        self.extent = int(extent)
+        self.body = body
+        self.kind = kind
+
+
+class BufferLoad(Expr):
+    """Load one element of ``buffer`` at a flattened integer index."""
+
+    _fields = ("index",)
+
+    def __init__(self, buffer: Tensor, index: Expr):
+        self.buffer = buffer
+        self.index = wrap(index)
+
+    def __repr__(self) -> str:
+        return f"{self.buffer.name}[{self.index!r}]"
+
+
+class BufferStore(Stmt):
+    """Store ``value`` into ``buffer`` at a flattened integer index."""
+
+    def __init__(self, buffer: Tensor, index: Expr, value: Expr):
+        self.buffer = buffer
+        self.index = wrap(index)
+        self.value = wrap(value)
+
+
+class IfThenElse(Stmt):
+    """Conditional statement; ``else_body`` may be ``None``."""
+
+    def __init__(self, cond: Expr, then_body: Stmt, else_body: Optional[Stmt] = None):
+        self.cond = wrap(cond)
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class Evaluate(Stmt):
+    """Evaluate an expression for its side effects (rarely used)."""
+
+    def __init__(self, value: Expr):
+        self.value = wrap(value)
+
+
+class LoweredFunc:
+    """The result of lowering: argument buffers, intermediate buffers and a body."""
+
+    def __init__(
+        self,
+        name: str,
+        args: Sequence[Tensor],
+        body: Stmt,
+        intermediate_buffers: Sequence[Tensor],
+    ):
+        self.name = name
+        self.args = list(args)
+        self.body = body
+        self.intermediate_buffers = list(intermediate_buffers)
+
+    @property
+    def buffers(self) -> List[Tensor]:
+        """All buffers referenced by the function (arguments then intermediates)."""
+        return list(self.args) + list(self.intermediate_buffers)
+
+    def __repr__(self) -> str:
+        return f"LoweredFunc({self.name}, args={[t.name for t in self.args]})"
+
+
+def stmt_to_string(stmt: Stmt, indent: int = 0) -> str:
+    """Pretty-print a statement tree (useful in tests and examples)."""
+    pad = "  " * indent
+    if isinstance(stmt, Seq):
+        return "\n".join(stmt_to_string(s, indent) for s in stmt.stmts)
+    if isinstance(stmt, For):
+        header = f"{pad}for {stmt.loop_var.name} in range({stmt.extent})"
+        if stmt.kind != ForKind.SERIAL:
+            header += f"  # {stmt.kind}"
+        return header + ":\n" + stmt_to_string(stmt.body, indent + 1)
+    if isinstance(stmt, BufferStore):
+        return f"{pad}{stmt.buffer.name}[{stmt.index!r}] = {stmt.value!r}"
+    if isinstance(stmt, IfThenElse):
+        text = f"{pad}if {stmt.cond!r}:\n" + stmt_to_string(stmt.then_body, indent + 1)
+        if stmt.else_body is not None:
+            text += f"\n{pad}else:\n" + stmt_to_string(stmt.else_body, indent + 1)
+        return text
+    if isinstance(stmt, Evaluate):
+        return f"{pad}evaluate({stmt.value!r})"
+    raise TypeError(f"unknown statement type {type(stmt).__name__}")
+
+
+def walk_statements(stmt: Stmt):
+    """Yield every statement in the tree (pre-order)."""
+    yield stmt
+    if isinstance(stmt, Seq):
+        for child in stmt.stmts:
+            yield from walk_statements(child)
+    elif isinstance(stmt, For):
+        yield from walk_statements(stmt.body)
+    elif isinstance(stmt, IfThenElse):
+        yield from walk_statements(stmt.then_body)
+        if stmt.else_body is not None:
+            yield from walk_statements(stmt.else_body)
+
+
+def loop_extent_product(stmt: Stmt) -> int:
+    """Total number of innermost-body executions, ignoring guards."""
+    if isinstance(stmt, For):
+        return stmt.extent * loop_extent_product(stmt.body)
+    if isinstance(stmt, Seq):
+        return sum(loop_extent_product(s) for s in stmt.stmts)
+    if isinstance(stmt, IfThenElse):
+        total = loop_extent_product(stmt.then_body)
+        if stmt.else_body is not None:
+            total += loop_extent_product(stmt.else_body)
+        return total
+    return 1

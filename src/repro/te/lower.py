@@ -1,0 +1,269 @@
+"""Lowering: turn a schedule plus compute definitions into a loop-nest IR."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.te.expr import (
+    BinaryOp,
+    CmpOp,
+    Expr,
+    FloatImm,
+    IntImm,
+    LogicalOp,
+    NotOp,
+    Reduce,
+    Select,
+    TensorRead,
+    Var,
+    simplify,
+    substitute,
+    wrap,
+)
+from repro.te.ir import (
+    BufferLoad,
+    BufferStore,
+    For,
+    ForKind,
+    IfThenElse,
+    LoweredFunc,
+    Seq,
+    Stmt,
+)
+from repro.te.operation import ComputeOp, PlaceholderOp
+from repro.te.schedule import FuseRelation, Schedule, SplitRelation, Stage
+from repro.te.tensor import IterVar, Tensor
+
+_ANNOTATION_TO_KIND = {
+    "unroll": ForKind.UNROLLED,
+    "vectorize": ForKind.VECTORIZED,
+    "parallel": ForKind.PARALLEL,
+}
+
+
+def lower(schedule: Schedule, args: Sequence[Tensor], name: str = "main") -> LoweredFunc:
+    """Lower ``schedule`` into a :class:`LoweredFunc`.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to lower.
+    args:
+        The function's argument buffers (inputs and outputs) in call order,
+        mirroring the DLPack argument list the paper's executables receive.
+    name:
+        Name of the generated function.
+    """
+    arg_ids = {id(t) for t in args}
+    inline_map: Dict[int, ComputeOp] = {}
+    for stage in schedule.compute_stages():
+        if stage.inlined:
+            if id(stage.op.output_tensor) in arg_ids:
+                raise ValueError(
+                    f"stage {stage.op.name} produces a function argument and cannot be inlined"
+                )
+            inline_map[id(stage.op.output_tensor)] = stage.op
+
+    statements: List[Stmt] = []
+    intermediates: List[Tensor] = []
+    for stage in schedule.compute_stages():
+        if stage.inlined:
+            continue
+        statements.append(_lower_stage(stage, inline_map))
+        output = stage.op.output_tensor
+        if id(output) not in arg_ids:
+            intermediates.append(output)
+
+    for tensor in args:
+        if isinstance(tensor.op, ComputeOp):
+            stage = schedule[tensor]
+            if stage.inlined:
+                raise ValueError(f"argument tensor {tensor.name} is inlined")
+
+    body: Stmt = statements[0] if len(statements) == 1 else Seq(statements)
+    return LoweredFunc(name=name, args=list(args), body=body, intermediate_buffers=intermediates)
+
+
+# ---------------------------------------------------------------------------
+# stage lowering
+# ---------------------------------------------------------------------------
+
+
+def _lower_stage(stage: Stage, inline_map: Dict[int, ComputeOp]) -> Stmt:
+    op = stage.op
+    assert isinstance(op, ComputeOp)
+    output = op.output_tensor
+
+    value_map = _axis_value_map(stage)
+    guard = _guard_condition(stage, value_map)
+
+    axis_subst = {axis.var: value_map[axis] for axis in op.all_iter_vars()}
+    out_index = _flatten_index(output, [value_map[axis] for axis in op.axis])
+
+    if op.reduce_axis:
+        assert isinstance(op.body, Reduce)
+        reduce_expr = op.body
+        source = _resolve_expr(substitute(reduce_expr.source, axis_subst), inline_map)
+        current = BufferLoad(output, out_index)
+        if reduce_expr.kind == "sum":
+            update_value: Expr = BinaryOp("add", current, source)
+        else:
+            update_value = BinaryOp("max", current, source)
+        update = BufferStore(output, out_index, update_value)
+        body: Stmt = IfThenElse(guard, update) if guard is not None else update
+        main_nest = _build_loop_nest(stage, body)
+        init_nest = _build_init_nest(op, reduce_expr.init)
+        return Seq([init_nest, main_nest])
+
+    value = _resolve_expr(substitute(op.body, axis_subst), inline_map)
+    store = BufferStore(output, out_index, value)
+    body = IfThenElse(guard, store) if guard is not None else store
+    return _build_loop_nest(stage, body)
+
+
+def _build_loop_nest(stage: Stage, body: Stmt) -> Stmt:
+    for leaf in reversed(stage.leaf_iter_vars):
+        kind = _ANNOTATION_TO_KIND.get(stage.annotations.get(leaf, ""), ForKind.SERIAL)
+        body = For(leaf.var, leaf.extent, body, kind=kind)
+    return body
+
+
+def _build_init_nest(op: ComputeOp, init: Expr) -> Stmt:
+    output = op.output_tensor
+    index = _flatten_index(output, [axis.var for axis in op.axis])
+    body: Stmt = BufferStore(output, index, init)
+    for axis in reversed(op.axis):
+        body = For(axis.var, axis.extent, body, kind=ForKind.SERIAL)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# axis reconstruction and guards
+# ---------------------------------------------------------------------------
+
+
+def _axis_value_map(stage: Stage) -> Dict[IterVar, Expr]:
+    """Express each original axis value in terms of the leaf loop variables."""
+    values: Dict[IterVar, Expr] = {leaf: leaf.var for leaf in stage.leaf_iter_vars}
+
+    def value_of(iter_var: IterVar) -> Expr:
+        return values.get(iter_var, iter_var.var)
+
+    for relation in reversed(stage.relations):
+        if isinstance(relation, SplitRelation):
+            values[relation.parent] = simplify(
+                BinaryOp(
+                    "add",
+                    BinaryOp("mul", value_of(relation.outer), IntImm(relation.factor)),
+                    value_of(relation.inner),
+                )
+            )
+        elif isinstance(relation, FuseRelation):
+            fused_value = value_of(relation.fused)
+            inner_extent = relation.inner.extent
+            values[relation.outer] = simplify(
+                BinaryOp("floordiv", fused_value, IntImm(inner_extent))
+            )
+            values[relation.inner] = simplify(BinaryOp("mod", fused_value, IntImm(inner_extent)))
+
+    if isinstance(stage.op, ComputeOp):
+        for axis in stage.op.all_iter_vars():
+            values.setdefault(axis, axis.var)
+    return values
+
+
+def _guard_condition(stage: Stage, value_map: Dict[IterVar, Expr]) -> Expr | None:
+    """Return a predicate guarding out-of-range iterations, or ``None``."""
+    if not isinstance(stage.op, ComputeOp):
+        return None
+    extents = {leaf.var: leaf.extent for leaf in stage.leaf_iter_vars}
+    conditions: List[Expr] = []
+    for axis in stage.op.all_iter_vars():
+        _, upper = _bounds(value_map[axis], extents)
+        if upper >= axis.extent:
+            conditions.append(CmpOp("lt", value_map[axis], IntImm(axis.extent)))
+    if not conditions:
+        return None
+    cond = conditions[0]
+    for extra in conditions[1:]:
+        cond = LogicalOp("and", cond, extra)
+    return cond
+
+
+def _bounds(expr: Expr, extents: Dict[Var, int]) -> Tuple[int, int]:
+    """Conservative integer interval of ``expr`` given loop-variable extents."""
+    if isinstance(expr, IntImm):
+        return expr.value, expr.value
+    if isinstance(expr, Var):
+        if expr not in extents:
+            raise KeyError(f"unknown loop variable {expr.name} in bound analysis")
+        return 0, extents[expr] - 1
+    if isinstance(expr, BinaryOp):
+        alo, ahi = _bounds(expr.a, extents)
+        blo, bhi = _bounds(expr.b, extents)
+        if expr.op == "add":
+            return alo + blo, ahi + bhi
+        if expr.op == "sub":
+            return alo - bhi, ahi - blo
+        if expr.op == "mul":
+            candidates = (alo * blo, alo * bhi, ahi * blo, ahi * bhi)
+            return min(candidates), max(candidates)
+        if expr.op in ("div", "floordiv") and blo == bhi and blo > 0:
+            return alo // blo, ahi // blo
+        if expr.op == "mod" and blo == bhi and blo > 0:
+            return 0, blo - 1
+        if expr.op == "min":
+            return min(alo, blo), min(ahi, bhi)
+        if expr.op == "max":
+            return max(alo, blo), max(ahi, bhi)
+    raise ValueError(f"cannot bound expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# expression resolution (inlining + index flattening)
+# ---------------------------------------------------------------------------
+
+
+def _flatten_index(tensor: Tensor, indices: Sequence[Expr]) -> Expr:
+    strides = tensor.strides()
+    flat: Expr = IntImm(0)
+    for index, stride in zip(indices, strides):
+        flat = BinaryOp("add", flat, BinaryOp("mul", wrap(index), IntImm(stride)))
+    return simplify(flat)
+
+
+def _resolve_expr(expr: Expr, inline_map: Dict[int, ComputeOp]) -> Expr:
+    """Replace tensor reads with buffer loads, expanding inlined stages."""
+    if isinstance(expr, TensorRead):
+        indices = [_resolve_expr(i, inline_map) for i in expr.indices]
+        producer = inline_map.get(id(expr.tensor))
+        if producer is not None:
+            mapping = {axis.var: index for axis, index in zip(producer.axis, indices)}
+            inlined_body = substitute(producer.body, mapping)
+            return _resolve_expr(inlined_body, inline_map)
+        if isinstance(expr.tensor.op, (PlaceholderOp, ComputeOp)):
+            return BufferLoad(expr.tensor, _flatten_index(expr.tensor, indices))
+        raise TypeError(f"cannot lower read of tensor {expr.tensor!r}")
+    if isinstance(expr, (IntImm, FloatImm, Var)):
+        return expr
+    if isinstance(expr, BufferLoad):
+        return BufferLoad(expr.buffer, _resolve_expr(expr.index, inline_map))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, _resolve_expr(expr.a, inline_map), _resolve_expr(expr.b, inline_map))
+    if isinstance(expr, CmpOp):
+        return CmpOp(expr.op, _resolve_expr(expr.a, inline_map), _resolve_expr(expr.b, inline_map))
+    if isinstance(expr, LogicalOp):
+        return LogicalOp(
+            expr.op, _resolve_expr(expr.a, inline_map), _resolve_expr(expr.b, inline_map)
+        )
+    if isinstance(expr, NotOp):
+        return NotOp(_resolve_expr(expr.a, inline_map))
+    if isinstance(expr, Select):
+        return Select(
+            _resolve_expr(expr.cond, inline_map),
+            _resolve_expr(expr.true_value, inline_map),
+            _resolve_expr(expr.false_value, inline_map),
+        )
+    if isinstance(expr, Reduce):
+        raise ValueError("nested reductions are not supported")
+    raise TypeError(f"cannot resolve expression of type {type(expr).__name__}")

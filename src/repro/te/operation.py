@@ -1,0 +1,101 @@
+"""Operations that produce tensors: placeholders and compute definitions."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.te.expr import Expr, TensorRead, post_order_visit
+
+
+class Operation:
+    """Base class of tensor-producing operations."""
+
+    name: str
+
+    @property
+    def input_tensors(self) -> List:
+        """Tensors read by this operation (empty for placeholders)."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class PlaceholderOp(Operation):
+    """An external input buffer; it has no body and no inputs."""
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str):
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+        self.output_tensor = None
+
+
+class ComputeOp(Operation):
+    """An element-wise (optionally reducing) tensor computation.
+
+    Attributes
+    ----------
+    axis:
+        Spatial iteration variables, one per output dimension.
+    reduce_axis:
+        Reduction iteration variables (empty for pure element-wise ops).
+    body:
+        The expression computing one output element; if the op reduces, the
+        body is a :class:`~repro.te.expr.Reduce` node.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        axis: Sequence,
+        reduce_axis: Sequence,
+        body: Expr,
+        shape: Tuple[int, ...],
+        dtype: str,
+    ):
+        self.name = name
+        self.axis = list(axis)
+        self.reduce_axis = list(reduce_axis)
+        self.body = body
+        self.shape = shape
+        self.dtype = dtype
+        self.output_tensor = None
+
+    @property
+    def input_tensors(self) -> List:
+        """Distinct tensors read by the body, in first-use order."""
+        seen = []
+
+        def visit(node: Expr) -> None:
+            if isinstance(node, TensorRead) and node.tensor not in seen:
+                seen.append(node.tensor)
+
+        post_order_visit(self.body, visit)
+        return seen
+
+    def all_iter_vars(self) -> List:
+        """Spatial followed by reduction iteration variables."""
+        return list(self.axis) + list(self.reduce_axis)
+
+
+def collect_ops(output_ops: Sequence[Operation]) -> List[Operation]:
+    """Return all operations reachable from ``output_ops`` in topological order.
+
+    Producers appear before consumers, which is the order in which stages must
+    be lowered.
+    """
+    order: List[Operation] = []
+    visited = set()
+
+    def visit(op: Operation) -> None:
+        if id(op) in visited:
+            return
+        visited.add(id(op))
+        for tensor in op.input_tensors:
+            visit(tensor.op)
+        order.append(op)
+
+    for op in output_ops:
+        visit(op)
+    return order

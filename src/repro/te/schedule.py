@@ -1,0 +1,219 @@
+"""Schedules: loop transformations applied on top of compute definitions.
+
+A :class:`Schedule` owns one :class:`Stage` per operation.  Stages record
+splits, fusions, reorderings and loop annotations (unroll / vectorize /
+parallel); lowering replays these records to build the final loop nest.  The
+set of supported primitives matches what the paper's design spaces use
+(AutoTVM ``define_split`` templates and the Auto-Scheduler's tile-and-annotate
+sketches).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.te.operation import ComputeOp, Operation, PlaceholderOp, collect_ops
+from repro.te.tensor import IterVar, Tensor
+
+
+class SplitRelation:
+    """Record of ``parent`` being split into ``outer`` and ``inner``."""
+
+    def __init__(self, parent: IterVar, outer: IterVar, inner: IterVar, factor: int):
+        self.parent = parent
+        self.outer = outer
+        self.inner = inner
+        self.factor = factor
+
+    def __repr__(self) -> str:
+        return f"Split({self.parent.name} -> {self.outer.name} * {self.factor} + {self.inner.name})"
+
+
+class FuseRelation:
+    """Record of ``outer`` and ``inner`` being fused into ``fused``."""
+
+    def __init__(self, fused: IterVar, outer: IterVar, inner: IterVar):
+        self.fused = fused
+        self.outer = outer
+        self.inner = inner
+
+    def __repr__(self) -> str:
+        return f"Fuse(({self.outer.name}, {self.inner.name}) -> {self.fused.name})"
+
+
+Relation = Union[SplitRelation, FuseRelation]
+
+#: Loop annotations a stage can attach to an iteration variable.
+ANNOTATION_KINDS = ("unroll", "vectorize", "parallel")
+
+
+class Stage:
+    """Schedule state for one operation."""
+
+    def __init__(self, op: Operation):
+        self.op = op
+        if isinstance(op, ComputeOp):
+            self.leaf_iter_vars: List[IterVar] = list(op.axis) + list(op.reduce_axis)
+        else:
+            self.leaf_iter_vars = []
+        self.relations: List[Relation] = []
+        self.annotations: Dict[IterVar, str] = {}
+        self.inlined = False
+
+    # -- transformation primitives --------------------------------------
+    def split(
+        self,
+        iter_var: IterVar,
+        factor: Optional[int] = None,
+        nparts: Optional[int] = None,
+    ) -> Tuple[IterVar, IterVar]:
+        """Split ``iter_var`` into an (outer, inner) pair.
+
+        Exactly one of ``factor`` (inner extent) or ``nparts`` (outer extent)
+        must be given.  The split may be imperfect; lowering adds a guard when
+        the padded iteration space exceeds the original extent.
+        """
+        self._check_leaf(iter_var)
+        if (factor is None) == (nparts is None):
+            raise ValueError("split requires exactly one of factor or nparts")
+        if factor is not None:
+            if factor <= 0:
+                raise ValueError(f"split factor must be positive, got {factor}")
+            inner_extent = min(factor, iter_var.extent)
+            outer_extent = math.ceil(iter_var.extent / inner_extent)
+        else:
+            if nparts <= 0:
+                raise ValueError(f"split nparts must be positive, got {nparts}")
+            outer_extent = min(nparts, iter_var.extent)
+            inner_extent = math.ceil(iter_var.extent / outer_extent)
+        outer = IterVar(outer_extent, f"{iter_var.name}.o", kind=iter_var.kind)
+        inner = IterVar(inner_extent, f"{iter_var.name}.i", kind=iter_var.kind)
+        self.relations.append(SplitRelation(iter_var, outer, inner, inner_extent))
+        index = self.leaf_iter_vars.index(iter_var)
+        self.leaf_iter_vars[index : index + 1] = [outer, inner]
+        return outer, inner
+
+    def fuse(self, outer: IterVar, inner: IterVar) -> IterVar:
+        """Fuse two adjacent leaf iteration variables into one."""
+        self._check_leaf(outer)
+        self._check_leaf(inner)
+        index_outer = self.leaf_iter_vars.index(outer)
+        index_inner = self.leaf_iter_vars.index(inner)
+        if index_inner != index_outer + 1:
+            raise ValueError(
+                f"can only fuse adjacent loops, got positions {index_outer} and {index_inner}"
+            )
+        if outer.kind != inner.kind:
+            raise ValueError("cannot fuse a spatial axis with a reduction axis")
+        fused = IterVar(outer.extent * inner.extent, f"{outer.name}.{inner.name}.f", kind=outer.kind)
+        self.relations.append(FuseRelation(fused, outer, inner))
+        self.leaf_iter_vars[index_outer : index_outer + 2] = [fused]
+        return fused
+
+    def reorder(self, *iter_vars: IterVar) -> None:
+        """Reorder the given leaf loops into the listed order.
+
+        Loops not mentioned keep their relative positions; the mentioned loops
+        are placed, in order, into the positions they previously occupied.
+        """
+        for iv in iter_vars:
+            self._check_leaf(iv)
+        if len(set(map(id, iter_vars))) != len(iter_vars):
+            raise ValueError("reorder arguments must be distinct")
+        positions = sorted(self.leaf_iter_vars.index(iv) for iv in iter_vars)
+        for pos, iv in zip(positions, iter_vars):
+            self.leaf_iter_vars[pos] = iv
+
+    def unroll(self, iter_var: IterVar) -> None:
+        """Mark ``iter_var`` for full unrolling."""
+        self._annotate(iter_var, "unroll")
+
+    def vectorize(self, iter_var: IterVar) -> None:
+        """Mark ``iter_var`` for vectorisation (must be the innermost loop)."""
+        self._annotate(iter_var, "vectorize")
+
+    def parallel(self, iter_var: IterVar) -> None:
+        """Mark ``iter_var`` for parallel execution (recorded; single-core runs treat it as serial)."""
+        self._annotate(iter_var, "parallel")
+
+    def compute_inline(self) -> None:
+        """Inline this stage into its consumers (no intermediate buffer)."""
+        if not isinstance(self.op, ComputeOp):
+            raise ValueError("only compute stages can be inlined")
+        if self.op.reduce_axis:
+            raise ValueError(f"cannot inline stage {self.op.name} with a reduction")
+        self.inlined = True
+
+    # -- helpers ---------------------------------------------------------
+    def _annotate(self, iter_var: IterVar, kind: str) -> None:
+        self._check_leaf(iter_var)
+        self.annotations[iter_var] = kind
+
+    def _check_leaf(self, iter_var: IterVar) -> None:
+        if iter_var not in self.leaf_iter_vars:
+            raise ValueError(
+                f"{iter_var!r} is not a leaf iteration variable of stage {self.op.name}"
+            )
+
+    def axis_decomposition(self) -> Dict[IterVar, List[IterVar]]:
+        """Map each original axis to the leaf iteration variables derived from it."""
+        origin: Dict[IterVar, IterVar] = {}
+        if isinstance(self.op, ComputeOp):
+            for axis in self.op.all_iter_vars():
+                origin[axis] = axis
+        for relation in self.relations:
+            if isinstance(relation, SplitRelation):
+                parent_origin = origin.get(relation.parent, relation.parent)
+                origin[relation.outer] = parent_origin
+                origin[relation.inner] = parent_origin
+            else:
+                # A fused loop mixes two origins; attribute it to the outer one.
+                parent_origin = origin.get(relation.outer, relation.outer)
+                origin[relation.fused] = parent_origin
+        decomposition: Dict[IterVar, List[IterVar]] = {}
+        if isinstance(self.op, ComputeOp):
+            for axis in self.op.all_iter_vars():
+                decomposition[axis] = [
+                    leaf for leaf in self.leaf_iter_vars if origin.get(leaf, leaf) is axis
+                ]
+        return decomposition
+
+    def __repr__(self) -> str:
+        return f"Stage({self.op.name}, leaves={[iv.name for iv in self.leaf_iter_vars]})"
+
+
+class Schedule:
+    """A collection of stages, one per operation in a kernel's DAG."""
+
+    def __init__(self, outputs: Sequence[Operation]):
+        self.outputs = list(outputs)
+        self.ops = collect_ops(self.outputs)
+        self.stages: List[Stage] = [op_stage for op_stage in (Stage(op) for op in self.ops)]
+        self._stage_map: Dict[int, Stage] = {id(stage.op): stage for stage in self.stages}
+
+    def __getitem__(self, key: Union[Tensor, Operation]) -> Stage:
+        op = key.op if isinstance(key, Tensor) else key
+        try:
+            return self._stage_map[id(op)]
+        except KeyError:
+            raise KeyError(f"operation {op!r} is not part of this schedule") from None
+
+    def compute_stages(self) -> List[Stage]:
+        """Stages backed by compute operations, in producer-before-consumer order."""
+        return [s for s in self.stages if isinstance(s.op, ComputeOp)]
+
+    def placeholder_ops(self) -> List[PlaceholderOp]:
+        """Placeholder (input) operations of the kernel."""
+        return [op for op in self.ops if isinstance(op, PlaceholderOp)]
+
+    def __repr__(self) -> str:
+        return f"Schedule({[s.op.name for s in self.stages]})"
+
+
+def create_schedule(outputs: Union[Operation, Tensor, Sequence[Union[Operation, Tensor]]]) -> Schedule:
+    """Create a schedule for one or more output operations (or tensors)."""
+    if isinstance(outputs, (Operation, Tensor)):
+        outputs = [outputs]
+    ops = [o.op if isinstance(o, Tensor) else o for o in outputs]
+    return Schedule(ops)

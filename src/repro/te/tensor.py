@@ -1,0 +1,201 @@
+"""Tensors, iteration variables and the ``placeholder``/``compute`` builders."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Sequence, Tuple, Union
+
+from repro.te.expr import Expr, ExprOps, Reduce, TensorRead, Var, wrap
+
+_name_counter = itertools.count()
+
+#: Bytes per element for the supported dtypes.
+DTYPE_BYTES = {
+    "float32": 4,
+    "float64": 8,
+    "int32": 4,
+    "int64": 8,
+    "int8": 1,
+    "uint8": 1,
+    "float16": 2,
+}
+
+
+def _fresh_name(prefix: str) -> str:
+    return f"{prefix}_{next(_name_counter)}"
+
+
+class IterVar(ExprOps):
+    """An iteration variable with an extent and a kind.
+
+    ``kind`` is ``"spatial"`` for data-parallel axes and ``"reduce"`` for
+    reduction axes.  IterVars behave like their underlying :class:`Var` in
+    arithmetic, so compute bodies can use them directly as indices.
+    """
+
+    SPATIAL = "spatial"
+    REDUCE = "reduce"
+
+    def __init__(self, extent: int, name: str, kind: str = SPATIAL):
+        if kind not in (self.SPATIAL, self.REDUCE):
+            raise ValueError(f"unknown IterVar kind {kind!r}")
+        if extent <= 0:
+            raise ValueError(f"IterVar extent must be positive, got {extent}")
+        self.extent = int(extent)
+        self.name = name
+        self.kind = kind
+        self.var = Var(name)
+
+    def _as_expr(self) -> Expr:
+        return self.var
+
+    def __repr__(self) -> str:
+        return f"IterVar({self.name}, extent={self.extent}, kind={self.kind})"
+
+
+class Tensor(ExprOps):
+    """A multi-dimensional value produced by an operation.
+
+    Tensors are symbolic: they carry a shape, a dtype and the operation that
+    produces them, but no data.  Indexing a tensor yields a
+    :class:`~repro.te.expr.TensorRead` expression.
+    """
+
+    def __init__(self, op, shape: Sequence[int], dtype: str, name: str):
+        if dtype not in DTYPE_BYTES:
+            raise ValueError(f"unsupported dtype {dtype!r}")
+        if any(int(dim) <= 0 for dim in shape):
+            raise ValueError(f"tensor shape must be positive, got {tuple(shape)}")
+        self.op = op
+        self.shape = tuple(int(dim) for dim in shape)
+        self.dtype = dtype
+        self.name = name
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        size = 1
+        for dim in self.shape:
+            size *= dim
+        return size
+
+    @property
+    def dtype_bytes(self) -> int:
+        """Size of one element in bytes."""
+        return DTYPE_BYTES[self.dtype]
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the tensor in bytes."""
+        return self.size * self.dtype_bytes
+
+    def strides(self) -> Tuple[int, ...]:
+        """Row-major strides in elements."""
+        strides = [1] * len(self.shape)
+        for i in range(len(self.shape) - 2, -1, -1):
+            strides[i] = strides[i + 1] * self.shape[i + 1]
+        return tuple(strides)
+
+    def __getitem__(self, indices) -> TensorRead:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"tensor {self.name} has {len(self.shape)} dimensions, "
+                f"got {len(indices)} indices"
+            )
+        return TensorRead(self, [wrap(i) for i in indices])
+
+    def _as_expr(self) -> Expr:
+        if self.shape != (1,) and self.shape != ():
+            raise TypeError(
+                f"tensor {self.name} with shape {self.shape} cannot be used as a scalar"
+            )
+        return TensorRead(self, [wrap(0)])
+
+    def __repr__(self) -> str:
+        return f"Tensor({self.name}, shape={self.shape}, dtype={self.dtype})"
+
+    __hash__ = object.__hash__
+
+
+def placeholder(shape: Sequence[int], dtype: str = "float32", name: str | None = None) -> Tensor:
+    """Create an input tensor (an external buffer filled by the caller)."""
+    from repro.te.operation import PlaceholderOp
+
+    name = name or _fresh_name("placeholder")
+    op = PlaceholderOp(name=name, shape=tuple(int(d) for d in shape), dtype=dtype)
+    tensor = Tensor(op, shape, dtype, name)
+    op.output_tensor = tensor
+    return tensor
+
+
+def compute(
+    shape: Sequence[int],
+    fcompute: Callable[..., Union[Expr, ExprOps, float, int]],
+    name: str | None = None,
+    dtype: str = "float32",
+) -> Tensor:
+    """Create a tensor defined element-wise by ``fcompute``.
+
+    ``fcompute`` receives one :class:`IterVar` per output dimension and returns
+    the expression for that element, exactly like ``te.compute`` in TVM.
+    """
+    from repro.te.operation import ComputeOp
+
+    name = name or _fresh_name("compute")
+    shape = tuple(int(dim) for dim in shape)
+    axis_names = "ijklmnop"
+    axes = [
+        IterVar(extent, f"{name}.{axis_names[d] if d < len(axis_names) else 'ax' + str(d)}")
+        for d, extent in enumerate(shape)
+    ]
+    body = wrap(fcompute(*axes))
+
+    reduce_axes: List[IterVar] = []
+    if isinstance(body, Reduce):
+        reduce_axes = list(body.axes)
+
+    op = ComputeOp(name=name, axis=axes, reduce_axis=reduce_axes, body=body, shape=shape, dtype=dtype)
+    tensor = Tensor(op, shape, dtype, name)
+    op.output_tensor = tensor
+    return tensor
+
+
+def reduce_axis(dom: Tuple[int, int], name: str | None = None) -> IterVar:
+    """Create a reduction axis over ``[dom[0], dom[1])``.
+
+    Only zero-based domains are supported, matching how the paper's kernels
+    are written (``te.reduce_axis((0, L))``).
+    """
+    lo, hi = dom
+    if lo != 0:
+        raise ValueError("reduce_axis domains must start at 0")
+    return IterVar(hi, name or _fresh_name("r"), kind=IterVar.REDUCE)
+
+
+def sum_reduce(source: Union[Expr, ExprOps], axis) -> Reduce:
+    """Sum reduction of ``source`` over ``axis`` (an IterVar or list of them)."""
+    axes = axis if isinstance(axis, (list, tuple)) else [axis]
+    for ax in axes:
+        if not isinstance(ax, IterVar) or ax.kind != IterVar.REDUCE:
+            raise ValueError("sum axis must be created with reduce_axis()")
+    return Reduce("sum", wrap(source), axes, wrap(0.0))
+
+
+def max_reduce(source: Union[Expr, ExprOps], axis) -> Reduce:
+    """Max reduction of ``source`` over ``axis`` (an IterVar or list of them)."""
+    axes = axis if isinstance(axis, (list, tuple)) else [axis]
+    for ax in axes:
+        if not isinstance(ax, IterVar) or ax.kind != IterVar.REDUCE:
+            raise ValueError("max axis must be created with reduce_axis()")
+    return Reduce("max", wrap(source), axes, wrap(-3.4e38))
+
+
+#: TVM-style alias: ``te.sum(expr, axis=k)``.
+sum = sum_reduce

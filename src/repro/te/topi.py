@@ -1,0 +1,172 @@
+"""Operator library (TVM ``topi`` stand-in) for the kernels used in the paper.
+
+All operators are expressed with :func:`repro.te.compute`; they carry no data
+and no implementation — schedules decide the implementation later.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.te.expr import Expr, LogicalOp, Select, max_expr, wrap
+from repro.te.tensor import IterVar, Tensor, compute, reduce_axis, sum_reduce
+
+IntPair = Union[int, Tuple[int, int], Sequence[int]]
+
+
+def _as_pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return value, value
+    pair = tuple(int(v) for v in value)
+    if len(pair) != 2:
+        raise ValueError(f"expected an int or a pair, got {value!r}")
+    return pair
+
+
+def matmul(a: Tensor, b: Tensor, name: str = "matmul") -> Tensor:
+    """Matrix-matrix multiplication ``C[i, j] = sum_k A[i, k] * B[k, j]``."""
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError("matmul expects two 2-D tensors")
+    n, l_dim = a.shape
+    l_dim2, m = b.shape
+    if l_dim != l_dim2:
+        raise ValueError(f"matmul shape mismatch: {a.shape} x {b.shape}")
+    k = reduce_axis((0, l_dim), name=f"{name}.k")
+    return compute(
+        (n, m),
+        lambda i, j: sum_reduce(a[i, k] * b[k, j], axis=k),
+        name=name,
+    )
+
+
+def pad(
+    data: Tensor,
+    pad_before: Sequence[int],
+    pad_after: Sequence[int],
+    pad_value: float = 0.0,
+    name: str = "pad",
+) -> Tensor:
+    """Zero-pad ``data``; returns a compute stage reading the interior region."""
+    if len(pad_before) != data.ndim or len(pad_after) != data.ndim:
+        raise ValueError("pad_before/pad_after must have one entry per dimension")
+    out_shape = tuple(
+        dim + before + after for dim, before, after in zip(data.shape, pad_before, pad_after)
+    )
+
+    def body(*indices: IterVar) -> Expr:
+        conditions = []
+        source_indices = []
+        for index, before, after, dim in zip(indices, pad_before, pad_after, data.shape):
+            source_indices.append(index - before if before else wrap(index))
+            if before > 0:
+                conditions.append(wrap(index) >= before)
+            if after > 0:
+                conditions.append(wrap(index) < before + dim)
+        if not conditions:
+            return data[tuple(source_indices)]
+        cond = conditions[0]
+        for extra in conditions[1:]:
+            cond = LogicalOp("and", cond, extra)
+        return Select(cond, data[tuple(source_indices)], wrap(pad_value))
+
+    return compute(out_shape, body, name=name)
+
+
+def conv2d_nchw(
+    ifm: Tensor,
+    weights: Tensor,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+    name: str = "conv2d",
+) -> Tensor:
+    """2-D convolution in NCHW layout (weights in OIHW layout).
+
+    Matches ``topi.nn.conv2d_nchw``: output shape is
+    ``(N, CO, (H + 2*pad_h - KH) // stride_h + 1, (W + 2*pad_w - KW) // stride_w + 1)``.
+    """
+    if ifm.ndim != 4 or weights.ndim != 4:
+        raise ValueError("conv2d_nchw expects 4-D input and weight tensors")
+    batch, in_channels, height, width = ifm.shape
+    out_channels, in_channels_w, kernel_h, kernel_w = weights.shape
+    if in_channels != in_channels_w:
+        raise ValueError(
+            f"input has {in_channels} channels but weights expect {in_channels_w}"
+        )
+    stride_h, stride_w = _as_pair(stride)
+    pad_h, pad_w = _as_pair(padding)
+    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
+    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("convolution output would be empty; check shapes and padding")
+
+    if pad_h or pad_w:
+        data = pad(ifm, (0, 0, pad_h, pad_w), (0, 0, pad_h, pad_w), name=f"{name}.pad")
+    else:
+        data = ifm
+
+    ci = reduce_axis((0, in_channels), name=f"{name}.ci")
+    kh = reduce_axis((0, kernel_h), name=f"{name}.kh")
+    kw = reduce_axis((0, kernel_w), name=f"{name}.kw")
+    return compute(
+        (batch, out_channels, out_h, out_w),
+        lambda n, co, oh, ow: sum_reduce(
+            data[n, ci, oh * stride_h + kh, ow * stride_w + kw] * weights[co, ci, kh, kw],
+            axis=[ci, kh, kw],
+        ),
+        name=name,
+    )
+
+
+def bias_add(data: Tensor, bias: Tensor, name: str = "bias_add") -> Tensor:
+    """Add a per-channel bias (bias shape ``(N, C, 1, 1)`` or ``(C,)``) to NCHW data."""
+    if data.ndim != 4:
+        raise ValueError("bias_add expects a 4-D NCHW tensor")
+    if bias.ndim == 1:
+        return compute(
+            data.shape,
+            lambda n, c, h, w: data[n, c, h, w] + bias[c],
+            name=name,
+        )
+    if bias.ndim == 4 and bias.shape[2] == 1 and bias.shape[3] == 1:
+        return compute(
+            data.shape,
+            lambda n, c, h, w: data[n, c, h, w] + bias[n, c, 0, 0],
+            name=name,
+        )
+    raise ValueError(f"unsupported bias shape {bias.shape}")
+
+
+def relu(data: Tensor, name: str = "relu") -> Tensor:
+    """Element-wise rectified linear unit."""
+
+    def body(*indices: IterVar) -> Expr:
+        return max_expr(data[tuple(indices)], 0.0)
+
+    return compute(data.shape, body, name=name)
+
+
+def elementwise_add(a: Tensor, b: Tensor, name: str = "add") -> Tensor:
+    """Element-wise addition of two tensors with identical shapes."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+
+    def body(*indices: IterVar) -> Expr:
+        return a[tuple(indices)] + b[tuple(indices)]
+
+    return compute(a.shape, body, name=name)
+
+
+def dense(data: Tensor, weight: Tensor, name: str = "dense") -> Tensor:
+    """Fully connected layer ``Y[i, j] = sum_k X[i, k] * W[j, k]``."""
+    if data.ndim != 2 or weight.ndim != 2:
+        raise ValueError("dense expects two 2-D tensors")
+    batch, in_dim = data.shape
+    out_dim, in_dim_w = weight.shape
+    if in_dim != in_dim_w:
+        raise ValueError(f"dense shape mismatch: {data.shape} x {weight.shape}")
+    k = reduce_axis((0, in_dim), name=f"{name}.k")
+    return compute(
+        (batch, out_dim),
+        lambda i, j: sum_reduce(data[i, k] * weight[j, k], axis=k),
+        name=name,
+    )

@@ -1,0 +1,14 @@
+"""Shared utilities: deterministic RNG derivation, serialisation and tables."""
+
+from repro.utils.rng import derive_seed, new_generator
+from repro.utils.tabulate import format_table
+from repro.utils.serialization import to_jsonable, dump_json, load_json
+
+__all__ = [
+    "derive_seed",
+    "new_generator",
+    "format_table",
+    "to_jsonable",
+    "dump_json",
+    "load_json",
+]

@@ -1,0 +1,39 @@
+"""JSON serialisation helpers for experiment records."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Convert ``obj`` (dataclasses, numpy types, containers) to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    return obj
+
+
+def dump_json(obj: Any, path: str | Path) -> None:
+    """Serialise ``obj`` to ``path`` as indented JSON."""
+    Path(path).write_text(json.dumps(to_jsonable(obj), indent=2), encoding="utf-8")
+
+
+def load_json(path: str | Path) -> Any:
+    """Load JSON from ``path``."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

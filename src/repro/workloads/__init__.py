@@ -1,0 +1,36 @@
+"""Workload definitions: the kernels evaluated in the paper.
+
+The primary kernel type is Conv2D+Bias+ReLU (Listing 5 of the paper) with the
+ResNet-derived shape groups of Table II; matrix-matrix multiplication
+(Listing 1) is provided as a second kernel type.  Each kernel is exposed both
+as an Auto-Scheduler workload function (returning the argument tensors) and
+as an AutoTVM schedule template with tunable knobs.
+"""
+
+from repro.workloads.conv2d import (
+    conv2d_bias_relu_workload,
+    conv2d_bias_relu_template,
+    Conv2DParams,
+)
+from repro.workloads.matmul import matmul_workload, matmul_template, MatmulParams
+from repro.workloads.resnet import (
+    TABLE2_GROUPS,
+    GroupSpec,
+    group_params,
+    scaled_group_params,
+    TABLE2_ROWS,
+)
+
+__all__ = [
+    "conv2d_bias_relu_workload",
+    "conv2d_bias_relu_template",
+    "Conv2DParams",
+    "matmul_workload",
+    "matmul_template",
+    "MatmulParams",
+    "TABLE2_GROUPS",
+    "GroupSpec",
+    "group_params",
+    "scaled_group_params",
+    "TABLE2_ROWS",
+]

@@ -1,0 +1,136 @@
+"""Conv2D+Bias+ReLU kernel (the paper's Listing 5) and its AutoTVM template."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro import te
+from repro.autotune.space import ConfigSpace
+from repro.autotune.template import template
+from repro.te import topi
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class Conv2DParams:
+    """Shape and parameters of one Conv2D+Bias+ReLU kernel instance."""
+
+    n: int
+    h: int
+    w: int
+    co: int
+    ci: int
+    kh: int
+    kw: int
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (1, 1)
+
+    def as_args(self) -> tuple:
+        """Positional argument tuple in the paper's Listing 5 order."""
+        return (self.n, self.h, self.w, self.co, self.ci, self.kh, self.kw, self.stride, self.padding)
+
+    @property
+    def output_spatial(self) -> Tuple[int, int]:
+        """Spatial output size (OH, OW)."""
+        oh = (self.h + 2 * self.padding[0] - self.kh) // self.stride[0] + 1
+        ow = (self.w + 2 * self.padding[1] - self.kw) // self.stride[1] + 1
+        return oh, ow
+
+    def macs(self) -> int:
+        """Multiply-accumulate count of the convolution."""
+        oh, ow = self.output_spatial
+        return self.n * self.co * oh * ow * self.ci * self.kh * self.kw
+
+
+def conv2d_bias_relu_workload(
+    n: int,
+    h: int,
+    w: int,
+    co: int,
+    ci: int,
+    kh: int,
+    kw: int,
+    stride: IntPair = (1, 1),
+    padding: IntPair = (1, 1),
+) -> List[Tensor]:
+    """Conv2D+Bias+ReLU compute definition (Listing 5).
+
+    Returns the argument tensors ``[ifm, weights, bias, ofm]`` — the list that
+    the paper transfers to the standalone executable as DLPack tensors.
+    """
+    ifm = te.placeholder((n, ci, h, w), name="ifm")
+    weights = te.placeholder((co, ci, kh, kw), name="weights")
+    bias = te.placeholder((n, co, 1, 1), name="bias")
+    conv = topi.conv2d_nchw(ifm, weights, stride=stride, padding=padding, name="conv2d")
+    ofm = topi.relu(topi.bias_add(conv, bias, name="bias_add"), name="relu")
+    return [ifm, weights, bias, ofm]
+
+
+@template("conv2d_bias_relu")
+def conv2d_bias_relu_template(
+    cfg: ConfigSpace,
+    n: int,
+    h: int,
+    w: int,
+    co: int,
+    ci: int,
+    kh: int,
+    kw: int,
+    stride: IntPair = (1, 1),
+    padding: IntPair = (1, 1),
+) -> Tuple[Schedule, List[Tensor]]:
+    """Pre-designed AutoTVM schedule template for Conv2D+Bias+ReLU.
+
+    Knobs: output-channel / output-width / input-channel tilings, loop order
+    variant, vectorisation and unrolling of the innermost loops.
+    """
+    args = conv2d_bias_relu_workload(n, h, w, co, ci, kh, kw, stride, padding)
+    ifm, weights, bias, ofm = args
+    bias_add_tensor = ofm.op.input_tensors[0]
+    conv = bias_add_tensor.op.input_tensors[0]
+    schedule = te.create_schedule(ofm)
+
+    # Always inline padding (it is a data-layout helper, not a real stage).
+    for stage in schedule.compute_stages():
+        if stage.op.name.endswith(".pad"):
+            stage.compute_inline()
+
+    conv_stage = schedule[conv]
+    n_axis, co_axis, oh_axis, ow_axis = conv.op.axis
+    ci_axis, kh_axis, kw_axis = conv.op.reduce_axis
+
+    cfg.define_split("tile_co", co_axis, num_outputs=2)
+    cfg.define_split("tile_ow", ow_axis, num_outputs=2)
+    cfg.define_split("tile_ci", ci_axis, num_outputs=2)
+    cfg.define_knob("reorder", ["outer_co", "outer_oh"])
+    cfg.define_knob("vectorize", [True, False])
+    cfg.define_knob("unroll_kw", [True, False])
+
+    co_outer, co_inner = cfg["tile_co"].apply(schedule, conv, co_axis)
+    ow_outer, ow_inner = cfg["tile_ow"].apply(schedule, conv, ow_axis)
+    ci_outer, ci_inner = cfg["tile_ci"].apply(schedule, conv, ci_axis)
+
+    if cfg["reorder"].val == "outer_co":
+        conv_stage.reorder(
+            n_axis, co_outer, oh_axis, ow_outer, ci_outer, kh_axis, kw_axis, ci_inner, co_inner, ow_inner
+        )
+    else:
+        conv_stage.reorder(
+            n_axis, oh_axis, co_outer, ow_outer, ci_outer, kh_axis, kw_axis, ci_inner, co_inner, ow_inner
+        )
+
+    if cfg["vectorize"].val:
+        conv_stage.vectorize(ow_inner)
+    if cfg["unroll_kw"].val:
+        conv_stage.unroll(kw_axis)
+
+    # Vectorise the element-wise epilogue stages over their innermost axis.
+    for tensor in (ofm,):
+        stage = schedule[tensor]
+        if stage.leaf_iter_vars:
+            stage.vectorize(stage.leaf_iter_vars[-1])
+    return schedule, args

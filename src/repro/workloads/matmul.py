@@ -1,0 +1,66 @@
+"""Matrix-matrix multiplication kernel (the paper's Listing 1) and its template."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro import te
+from repro.autotune.space import ConfigSpace
+from repro.autotune.template import template
+from repro.te import topi
+from repro.te.schedule import Schedule
+from repro.te.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class MatmulParams:
+    """Shape of one matrix-matrix multiplication C[N, M] = A[N, L] x B[L, M]."""
+
+    n: int
+    l: int
+    m: int
+
+    def as_args(self) -> tuple:
+        """Positional argument tuple (N, L, M)."""
+        return (self.n, self.l, self.m)
+
+    def macs(self) -> int:
+        """Multiply-accumulate count."""
+        return self.n * self.l * self.m
+
+
+def matmul_workload(n: int, l: int, m: int) -> List[Tensor]:
+    """MMM compute definition (Listing 1); returns ``[A, B, C]``."""
+    a = te.placeholder((n, l), name="A")
+    b = te.placeholder((l, m), name="B")
+    c = topi.matmul(a, b, name="matmul")
+    return [a, b, c]
+
+
+@template("matmul")
+def matmul_template(cfg: ConfigSpace, n: int, l: int, m: int) -> Tuple[Schedule, List[Tensor]]:
+    """AutoTVM schedule template for MMM (mirrors the paper's Listing 2 split)."""
+    args = matmul_workload(n, l, m)
+    a, b, c = args
+    schedule = te.create_schedule(c)
+    stage = schedule[c]
+    y_axis, x_axis = c.op.axis
+    (k_axis,) = c.op.reduce_axis
+
+    cfg.define_split("split_y", y_axis, num_outputs=2)
+    cfg.define_split("split_x", x_axis, num_outputs=2)
+    cfg.define_split("split_k", k_axis, num_outputs=2)
+    cfg.define_knob("vectorize", [True, False])
+    cfg.define_knob("unroll_k", [False, True])
+
+    y_outer, y_inner = cfg["split_y"].apply(schedule, c, y_axis)
+    x_outer, x_inner = cfg["split_x"].apply(schedule, c, x_axis)
+    k_outer, k_inner = cfg["split_k"].apply(schedule, c, k_axis)
+
+    stage.reorder(y_outer, x_outer, k_outer, k_inner, y_inner, x_inner)
+    if cfg["vectorize"].val:
+        stage.vectorize(x_inner)
+    if cfg["unroll_k"].val:
+        stage.unroll(k_inner)
+    return schedule, args

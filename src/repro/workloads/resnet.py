@@ -1,0 +1,97 @@
+"""The ResNet-derived Conv2D+Bias+ReLU shape groups of Table II.
+
+A *group* is a fixed combination of shapes and parameters of one kernel type;
+the autotuner generates many *implementations* (schedules) per group.  Beside
+the paper's full-size groups, scaled-down variants are provided so the whole
+reproduction pipeline runs in minutes on a laptop; the scaling preserves the
+structure (kernel sizes, strides, padding, channel ratios) while shrinking
+spatial extents and channel counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.workloads.conv2d import Conv2DParams
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One Table II row: a kernel-type group with fixed shapes and parameters."""
+
+    group_id: int
+    params: Conv2DParams
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (
+            f"GroupSpec(id={self.group_id}, N={p.n}, H={p.h}, W={p.w}, CO={p.co}, CI={p.ci}, "
+            f"KH={p.kh}, KW={p.kw}, stride={p.stride}, pad={p.padding})"
+        )
+
+
+#: Table II — shapes of the used Conv2D+Bias+ReLU kernels (ResNet layers).
+#: Group 4 reproduces the paper's row verbatim (H=14, W=24).
+TABLE2_GROUPS: Dict[int, GroupSpec] = {
+    0: GroupSpec(0, Conv2DParams(1, 224, 224, 64, 3, 7, 7, (2, 2), (3, 3))),
+    1: GroupSpec(1, Conv2DParams(1, 56, 56, 64, 64, 3, 3, (1, 1), (1, 1))),
+    2: GroupSpec(2, Conv2DParams(1, 56, 56, 128, 64, 3, 3, (2, 2), (1, 1))),
+    3: GroupSpec(3, Conv2DParams(1, 28, 28, 256, 128, 3, 3, (2, 2), (1, 1))),
+    4: GroupSpec(4, Conv2DParams(1, 14, 24, 512, 256, 3, 3, (2, 2), (1, 1))),
+}
+
+#: Table II rendered as rows (group, N, H, W, CO, CI, KH, KW, stride, pad)
+#: for the benchmark that regenerates the table.
+TABLE2_ROWS: List[Tuple] = [
+    (
+        spec.group_id,
+        spec.params.n,
+        spec.params.h,
+        spec.params.w,
+        spec.params.co,
+        spec.params.ci,
+        spec.params.kh,
+        spec.params.kw,
+        spec.params.stride,
+        spec.params.padding,
+    )
+    for spec in TABLE2_GROUPS.values()
+]
+
+
+def group_params(group_id: int) -> Conv2DParams:
+    """Full-size parameters of one Table II group."""
+    if group_id not in TABLE2_GROUPS:
+        raise KeyError(f"unknown group {group_id}; Table II defines groups {sorted(TABLE2_GROUPS)}")
+    return TABLE2_GROUPS[group_id].params
+
+
+def _scale_dim(value: int, factor: float, minimum: int) -> int:
+    return max(int(round(value * factor)), minimum)
+
+
+def scaled_group_params(group_id: int, scale: float = 0.25) -> Conv2DParams:
+    """A scaled-down variant of one Table II group.
+
+    Spatial extents and channel counts are multiplied by ``scale`` (kernel
+    size, stride and padding are preserved).  ``scale=1.0`` returns the
+    paper's shapes unchanged.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    full = group_params(group_id)
+    if scale == 1.0:
+        return full
+    min_spatial = max(full.kh, full.kw) + 1
+    return Conv2DParams(
+        n=full.n,
+        h=_scale_dim(full.h, scale, min_spatial),
+        w=_scale_dim(full.w, scale, min_spatial),
+        co=_scale_dim(full.co, scale, 4),
+        ci=_scale_dim(full.ci, scale, 3 if full.ci == 3 else 4),
+        kh=full.kh,
+        kw=full.kw,
+        stride=full.stride,
+        padding=full.padding,
+    )

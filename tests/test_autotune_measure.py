@@ -1,0 +1,153 @@
+"""Tests for builders, runners (incl. the SimulatorRunner) and the registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.workloads  # noqa: F401
+from repro.autotune import (
+    LocalBuilder,
+    LocalRunner,
+    MeasureErrorNo,
+    MeasureInput,
+    RunnerStatsCollector,
+    SimulatorRunner,
+    create_task,
+    get_func,
+    override_func,
+    register_func,
+)
+from repro.autotune.measure import measure_batch
+from repro.autotune.registry import remove_func
+from repro.codegen import Target
+from repro.hardware import TargetBoard
+from repro.sim import TraceOptions
+
+TRACE = TraceOptions(max_accesses=15_000)
+
+
+@pytest.fixture(scope="module")
+def matmul_task():
+    return create_task("matmul", (8, 8, 8), Target.arm())
+
+
+@pytest.fixture(scope="module")
+def matmul_inputs(matmul_task):
+    return [MeasureInput(matmul_task, matmul_task.config_space.get(i)) for i in (0, 1, 2)]
+
+
+@pytest.fixture(scope="module")
+def board():
+    return TargetBoard("arm", trace_options=TRACE, seed=0)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        register_func("test.fn", lambda: 42)
+        assert get_func("test.fn")() == 42
+        remove_func("test.fn")
+
+    def test_double_registration_requires_override(self):
+        register_func("test.fn2", lambda: 1)
+        with pytest.raises(ValueError):
+            register_func("test.fn2", lambda: 2)
+        override_func("test.fn2", lambda: 2)
+        assert get_func("test.fn2")() == 2
+        remove_func("test.fn2")
+
+    def test_get_missing_returns_default(self):
+        assert get_func("does.not.exist") is None
+
+
+class TestBuilder:
+    def test_build_success(self, matmul_inputs):
+        results = LocalBuilder().build(matmul_inputs)
+        assert all(result.ok for result in results)
+        assert all(result.program is not None for result in results)
+
+    def test_build_failure_is_captured(self, matmul_task):
+        class BrokenConfig:
+            index = -1
+
+            def __getattr__(self, name):
+                raise ValueError("broken configuration")
+
+        results = LocalBuilder().build([MeasureInput(matmul_task, BrokenConfig())])
+        assert not results[0].ok
+        assert results[0].error_no in (
+            MeasureErrorNo.COMPILE_ERROR,
+            MeasureErrorNo.INSTANTIATION_ERROR,
+        )
+
+
+class TestLocalRunner:
+    def test_costs_are_repetition_times(self, matmul_inputs, board):
+        results = measure_batch(LocalBuilder(), LocalRunner(board), matmul_inputs)
+        assert all(result.ok for result in results)
+        assert all(len(result.costs) == 15 for result in results)
+        assert all(result.extra["t_ref"] > 0 for result in results)
+
+    def test_failed_build_propagates(self, matmul_inputs, board):
+        builds = LocalBuilder().build(matmul_inputs)
+        builds[1].program = None
+        builds[1].error_no = MeasureErrorNo.COMPILE_ERROR
+        results = LocalRunner(board).run(matmul_inputs, builds)
+        assert results[0].ok and not results[1].ok
+        assert results[1].mean_cost == float("inf")
+
+
+class TestSimulatorRunner:
+    def test_default_score_is_instruction_count(self, matmul_inputs):
+        runner = SimulatorRunner("arm", trace_options=TRACE)
+        results = measure_batch(LocalBuilder(), runner, matmul_inputs)
+        assert all(result.ok for result in results)
+        assert all(result.costs[0] > 0 for result in results)
+        assert len(runner.simulation_results) == len(matmul_inputs)
+
+    def test_custom_score_function(self, matmul_inputs):
+        runner = SimulatorRunner(
+            "arm",
+            trace_options=TRACE,
+            score_function=lambda sim, inp: 123.0,
+        )
+        results = measure_batch(LocalBuilder(), runner, matmul_inputs)
+        assert all(result.costs == [123.0] for result in results)
+
+    def test_score_function_failure_is_runtime_error(self, matmul_inputs):
+        def bad_score(sim, inp):
+            raise RuntimeError("no score")
+
+        runner = SimulatorRunner("arm", trace_options=TRACE, score_function=bad_score)
+        results = measure_batch(LocalBuilder(), runner, matmul_inputs)
+        assert all(result.error_no == MeasureErrorNo.RUNTIME_ERROR for result in results)
+
+    def test_registry_override_is_used(self, matmul_inputs):
+        calls = {}
+
+        def fake_simulator_run(programs, arch, n_parallel):
+            calls["count"] = len(programs)
+            from repro.sim import Simulator
+
+            simulator = Simulator(arch, trace_options=TRACE)
+            return [simulator.run(p) for p in programs]
+
+        override_func("autotvm.simulator_run", fake_simulator_run)
+        try:
+            runner = SimulatorRunner("arm", trace_options=TRACE)
+            results = measure_batch(LocalBuilder(), runner, matmul_inputs)
+            assert calls["count"] == len(matmul_inputs)
+            assert all(result.ok for result in results)
+        finally:
+            remove_func("autotvm.simulator_run")
+
+
+class TestRunnerStatsCollector:
+    def test_collects_paired_records(self, matmul_inputs, board):
+        collector = RunnerStatsCollector(board, trace_options=TRACE)
+        results = measure_batch(LocalBuilder(), collector, matmul_inputs)
+        assert all(result.ok for result in results)
+        assert len(collector.records) == len(matmul_inputs)
+        measure_input, simulation, record = collector.records[0]
+        assert simulation.stats.get("cpu.num_insts") > 0
+        assert record.median_s > 0

@@ -1,0 +1,108 @@
+"""Tests for tuning-record logging and history reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workloads  # noqa: F401
+from repro.autotune import LocalBuilder, RandomTuner, create_task
+from repro.autotune.measure import MeasureInput, MeasureResult
+from repro.autotune.record import (
+    apply_history_best,
+    best_record,
+    load_records,
+    logging_callback,
+    record_to_dict,
+    save_records,
+)
+from repro.codegen import Target
+from tests.test_autotune_tuners import AnalyticRunner
+
+
+@pytest.fixture(scope="module")
+def task():
+    return create_task("matmul", (8, 8, 8), Target.riscv())
+
+
+def _measurement(task, index, cost):
+    return (
+        MeasureInput(task, task.config_space.get(index)),
+        MeasureResult(costs=[cost]),
+    )
+
+
+class TestSerialization:
+    def test_record_to_dict_fields(self, task):
+        measure_input, result = _measurement(task, 3, 0.5)
+        record = record_to_dict(measure_input, result)
+        assert record["config_index"] == 3
+        assert record["costs"] == [0.5]
+        assert record["template"] == "matmul"
+        assert record["target"] == "riscv"
+
+    def test_save_and_load_round_trip(self, task, tmp_path):
+        path = tmp_path / "log.jsonl"
+        written = save_records(path, [_measurement(task, i, 0.1 * (i + 1)) for i in range(4)])
+        assert written == 4
+        records = load_records(path)
+        assert len(records) == 4
+        assert records[2]["config_index"] == 2
+
+    def test_append_mode(self, task, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_records(path, [_measurement(task, 0, 1.0)])
+        save_records(path, [_measurement(task, 1, 2.0)], append=True)
+        assert len(load_records(path)) == 2
+
+    def test_overwrite_mode(self, task, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_records(path, [_measurement(task, 0, 1.0)])
+        save_records(path, [_measurement(task, 1, 2.0)], append=False)
+        records = load_records(path)
+        assert len(records) == 1 and records[0]["config_index"] == 1
+
+
+class TestHistoryBest:
+    def test_best_record_selects_lowest_cost(self, task):
+        records = [
+            record_to_dict(*_measurement(task, 0, 3.0)),
+            record_to_dict(*_measurement(task, 1, 1.0)),
+            record_to_dict(*_measurement(task, 2, 2.0)),
+        ]
+        assert best_record(records)["config_index"] == 1
+
+    def test_best_record_skips_failures(self, task):
+        failed_input, _ = _measurement(task, 0, 1.0)
+        failed = record_to_dict(failed_input, MeasureResult(costs=[], error_no=2))
+        good = record_to_dict(*_measurement(task, 1, 5.0))
+        assert best_record([failed, good])["config_index"] == 1
+
+    def test_best_record_filters_by_task(self, task):
+        records = [record_to_dict(*_measurement(task, 0, 1.0))]
+        assert best_record(records, task_name="other") is None
+
+    def test_apply_history_best(self, task):
+        records = [record_to_dict(*_measurement(task, 5, 0.25))]
+        config = apply_history_best(task, records)
+        assert config is not None and config.index == 5
+
+    def test_apply_history_best_empty(self, task):
+        assert apply_history_best(task, []) is None
+
+
+class TestLoggingCallback:
+    def test_tuner_writes_log(self, task, tmp_path):
+        path = tmp_path / "tuning.jsonl"
+        tuner = RandomTuner(task, seed=0)
+        tuner.tune(
+            n_trial=8,
+            runner=AnalyticRunner(),
+            builder=LocalBuilder(),
+            batch_size=4,
+            callbacks=[logging_callback(path)],
+        )
+        records = load_records(path)
+        assert len(records) == 8
+        best = apply_history_best(task, records)
+        assert best is not None
+        assert best.index == tuner.best_config.index

@@ -1,0 +1,202 @@
+"""Tests for the Auto-Scheduler flow: DAG analysis, sketches, annotation, search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune import SimulatorRunner
+from repro.autotune.registry import override_func, remove_func
+from repro.autotune.sketch import (
+    AnnotationSampler,
+    ComputeDAG,
+    LOCAL_RUNNER_FUNC_NAME,
+    RandomCostModel,
+    LearnedCostModel,
+    SearchTask,
+    SketchPolicy,
+    TuningOptions,
+    auto_schedule,
+    generate_sketches,
+)
+from repro.autotune.measure import MeasureResult
+from repro.codegen import Target, build_program
+from repro.sim import TraceOptions
+from repro.te.lower import lower
+from repro.workloads import conv2d_bias_relu_workload, matmul_workload
+
+TRACE = TraceOptions(max_accesses=15_000)
+CONV_ARGS = (1, 8, 8, 8, 4, 3, 3, (1, 1), (1, 1))
+
+
+@pytest.fixture(scope="module")
+def conv_task():
+    return SearchTask(conv2d_bias_relu_workload, CONV_ARGS, Target.arm(), name="conv_test")
+
+
+class TestComputeDAG:
+    def test_classification(self):
+        tensors = conv2d_bias_relu_workload(*CONV_ARGS)
+        dag = ComputeDAG([tensors[-1]])
+        reduction_names = [op.name for op in dag.reduction_ops()]
+        assert "conv2d" in reduction_names
+        inlinable = [op.name for op in dag.inlinable_ops()]
+        assert any(name.endswith(".pad") for name in inlinable)
+        assert "bias_add" in inlinable
+        # The output (relu) is element-wise but must never be inlined.
+        assert "relu" not in inlinable
+
+    def test_flop_estimate_positive(self):
+        tensors = matmul_workload(8, 8, 8)
+        dag = ComputeDAG([tensors[-1]])
+        assert dag.flop_estimate() >= 2 * 8 * 8 * 8
+
+
+class TestSketches:
+    def test_generation_for_conv(self, conv_task):
+        sketches = generate_sketches(conv_task.dag)
+        assert len(sketches) >= 2
+        for sketch in sketches:
+            assert sketch.heavy_op_name == "conv2d"
+            assert sketch.reduce_plans  # conv has reduction axes
+
+    def test_elementwise_only_kernel_gets_flat_sketch(self):
+        from repro import te
+        from repro.te import topi
+
+        a = te.placeholder((8, 8), name="a")
+        out = topi.relu(a, name="out")
+        sketches = generate_sketches(ComputeDAG([out]))
+        assert len(sketches) == 1
+        assert sketches[0].order_rule == "flat"
+
+    def test_tunable_axes_exclude_unit_extents(self, conv_task):
+        sketch = generate_sketches(conv_task.dag)[0]
+        tunable_names = [plan.name for plan in sketch.tunable_axes()]
+        assert all("conv2d.i" != name for name in tunable_names)  # batch axis extent 1
+
+
+class TestAnnotation:
+    def test_sample_tile_products_match_extents(self, conv_task, rng):
+        sampler = AnnotationSampler(rng)
+        sketch = generate_sketches(conv_task.dag)[0]
+        candidate = sampler.sample(sketch)
+        for plan in sketch.axis_plans():
+            sizes = candidate.tile_sizes[plan.name]
+            assert int(np.prod(sizes)) == plan.extent
+
+    def test_mutation_changes_key(self, conv_task, rng):
+        sampler = AnnotationSampler(rng)
+        sketch = generate_sketches(conv_task.dag)[0]
+        candidate = sampler.sample(sketch)
+        mutations = {sampler.mutate(candidate).key() for _ in range(20)}
+        assert any(key != candidate.key() for key in mutations)
+
+    def test_features_are_numeric(self, conv_task, rng):
+        sampler = AnnotationSampler(rng)
+        candidate = sampler.sample(generate_sketches(conv_task.dag)[0])
+        assert all(np.isfinite(v) for v in candidate.features())
+
+    def test_candidate_applies_and_builds(self, conv_task, rng):
+        sampler = AnnotationSampler(rng)
+        for sketch in generate_sketches(conv_task.dag):
+            candidate = sampler.sample(sketch)
+            schedule = candidate.apply(conv_task.output_tensors)
+            func = lower(schedule, conv_task.arg_tensors, name="candidate")
+            program = build_program(func, conv_task.target)
+            assert program.total_instructions() > 0
+
+    def test_inline_rule_applied(self, conv_task, rng):
+        sampler = AnnotationSampler(rng)
+        candidate = sampler.sample(generate_sketches(conv_task.dag)[0])
+        schedule = candidate.apply(conv_task.output_tensors)
+        inlined = {stage.op.name for stage in schedule.compute_stages() if stage.inlined}
+        assert any(name.endswith(".pad") for name in inlined)
+
+
+class TestCostModels:
+    def test_random_cost_model_shape(self, conv_task, rng):
+        sampler = AnnotationSampler(rng)
+        candidates = [sampler.sample(generate_sketches(conv_task.dag)[0]) for _ in range(5)]
+        scores = RandomCostModel(seed=0).predict(candidates)
+        assert scores.shape == (5,)
+
+    def test_learned_cost_model_orders_after_update(self, conv_task, rng):
+        sampler = AnnotationSampler(rng)
+        sketch = generate_sketches(conv_task.dag)[0]
+        candidates = [sampler.sample(sketch) for _ in range(24)]
+        # Synthetic cost: prefer vectorised candidates.
+        costs = [0.5 if c.vectorize_inner else 2.0 for c in candidates]
+        model = LearnedCostModel(min_samples=8, seed=0)
+        model.update(candidates, costs)
+        vectorized = next(c for c in candidates if c.vectorize_inner)
+        scalar = next(c for c in candidates if not c.vectorize_inner)
+        predicted = model.predict([vectorized, scalar])
+        assert predicted[0] < predicted[1]
+
+
+class TestSearchTaskAndPolicy:
+    def test_search_task_requires_computed_output(self):
+        from repro import te
+
+        def bad_workload():
+            return [te.placeholder((4, 4), name="only_input")]
+
+        with pytest.raises(ValueError):
+            SearchTask(bad_workload, (), Target.arm())
+
+    def test_sample_candidates_deduplicated(self, conv_task):
+        policy = SketchPolicy(conv_task, TuningOptions(seed=0), cost_model=RandomCostModel())
+        candidates = policy.sample_candidates(20)
+        keys = {candidate.key() for candidate in candidates}
+        assert len(keys) == len(candidates)
+
+    def test_search_with_simulator_runner(self, conv_task):
+        policy = SketchPolicy(
+            conv_task,
+            TuningOptions(num_measure_trials=8, num_measures_per_round=4, seed=0),
+            cost_model=RandomCostModel(),
+        )
+        best = policy.search(runner=SimulatorRunner("arm", trace_options=TRACE))
+        assert best is not None
+        assert len(policy.records) == 8
+        assert all(np.isfinite(record.cost) for record in policy.records)
+
+    def test_search_requires_some_backend(self, conv_task):
+        policy = SketchPolicy(conv_task, TuningOptions(num_measure_trials=4, seed=0))
+        with pytest.raises(RuntimeError):
+            policy.search(runner=None)
+
+    def test_registry_override_listing4(self, conv_task):
+        """The paper's Listing 4: override the local runner through the registry."""
+        calls = {"n": 0}
+
+        def local_run(inputs, build_results):
+            calls["n"] += len(inputs)
+            return [
+                MeasureResult(costs=[float(build.program.total_instructions())])
+                for build in build_results
+            ]
+
+        override_func(LOCAL_RUNNER_FUNC_NAME, local_run)
+        try:
+            best, records = auto_schedule(
+                conv_task,
+                TuningOptions(num_measure_trials=6, num_measures_per_round=3, seed=1),
+                cost_model=RandomCostModel(),
+            )
+            assert calls["n"] == 6
+            assert best is not None
+            assert len(records) == 6
+        finally:
+            remove_func(LOCAL_RUNNER_FUNC_NAME)
+
+    def test_evolution_uses_cost_model(self, conv_task):
+        policy = SketchPolicy(
+            conv_task,
+            TuningOptions(num_measure_trials=12, num_measures_per_round=6, seed=2),
+            cost_model=LearnedCostModel(min_samples=4, seed=0),
+        )
+        best = policy.search(runner=SimulatorRunner("arm", trace_options=TRACE))
+        assert best is not None
+        assert len(policy.records) == 12

@@ -1,0 +1,142 @@
+"""Tests for configuration spaces, templates and tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.workloads  # noqa: F401  - registers the built-in templates
+from repro.autotune import ConfigSpace, all_factorizations, create_task, get_template, list_templates
+from repro.autotune.space import OtherOptionEntity, SplitEntity, factorize
+from repro.autotune.template import template
+from repro.codegen import Target
+from repro import te
+from repro.te import topi
+
+
+class TestFactorization:
+    def test_factorize(self):
+        assert factorize(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_factorize_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    def test_all_factorizations_two_parts(self):
+        pairs = all_factorizations(12, 2)
+        assert (3, 4) in pairs and (12, 1) in pairs
+        assert all(a * b == 12 for a, b in pairs)
+
+    def test_all_factorizations_three_parts(self):
+        triples = all_factorizations(8, 3)
+        assert all(a * b * c == 8 for a, b, c in triples)
+        assert len(triples) == len(set(triples))
+
+    def test_max_factor_limits_inner(self):
+        pairs = all_factorizations(16, 2, max_factor=4)
+        assert all(inner <= 4 for _, inner in pairs)
+
+    @given(st.integers(1, 64), st.integers(1, 3))
+    def test_products_always_match(self, extent, parts):
+        for combo in all_factorizations(extent, parts):
+            assert int(np.prod(combo)) == extent
+
+
+class TestConfigSpace:
+    def _space(self):
+        cfg = ConfigSpace()
+        cfg.define_split("tile_x", 8, num_outputs=2)
+        cfg.define_knob("vectorize", [True, False])
+        return cfg
+
+    def test_space_size(self):
+        cfg = self._space()
+        assert len(cfg) == len(all_factorizations(8, 2)) * 2
+
+    def test_default_selection_is_first(self):
+        cfg = self._space()
+        assert isinstance(cfg["tile_x"], SplitEntity)
+        assert isinstance(cfg["vectorize"], OtherOptionEntity)
+
+    def test_get_round_trip(self):
+        cfg = self._space()
+        for index in range(len(cfg)):
+            entity = cfg.get(index)
+            assert entity.index == index
+
+    def test_get_out_of_range(self):
+        cfg = self._space()
+        with pytest.raises(IndexError):
+            cfg.get(len(cfg))
+
+    def test_unknown_knob(self):
+        cfg = self._space()
+        with pytest.raises(KeyError):
+            cfg["nope"]
+
+    def test_duplicate_definition_ignored(self):
+        cfg = self._space()
+        size = len(cfg)
+        cfg.define_knob("vectorize", [1, 2, 3])
+        assert len(cfg) == size
+
+    def test_empty_knob_rejected(self):
+        cfg = ConfigSpace()
+        with pytest.raises(ValueError):
+            cfg.define_knob("bad", [])
+
+    def test_sampling_unique(self):
+        cfg = self._space()
+        rng = np.random.default_rng(0)
+        configs = cfg.sample(10, rng)
+        indices = [c.index for c in configs]
+        assert len(indices) == len(set(indices))
+
+    def test_config_features_numeric(self):
+        cfg = self._space()
+        features = cfg.get(3).features()
+        assert all(isinstance(v, float) for v in features)
+
+    def test_config_to_dict(self):
+        entity = self._space().get(0)
+        assert set(entity.to_dict()) == {"tile_x", "vectorize"}
+
+    def test_split_entity_apply(self):
+        a = te.placeholder((4, 12), name="a")
+        b = te.compute((4, 12), lambda i, j: a[i, j] + 1, name="b")
+        schedule = te.create_schedule(b)
+        axes = SplitEntity((3, 4)).apply(schedule, b, b.op.axis[1])
+        assert [ax.extent for ax in axes] == [3, 4]
+
+
+class TestTemplatesAndTasks:
+    def test_builtin_templates_registered(self):
+        names = list_templates()
+        assert "conv2d_bias_relu" in names and "matmul" in names
+
+    def test_duplicate_template_rejected(self):
+        with pytest.raises(ValueError):
+            @template("matmul")
+            def other(cfg):  # pragma: no cover - never called
+                return None, []
+
+    def test_unknown_template(self):
+        with pytest.raises(KeyError):
+            get_template("nonexistent")
+
+    def test_create_task_builds_space(self):
+        task = create_task("matmul", (16, 16, 16), Target.x86())
+        assert len(task.config_space) > 10
+        assert "matmul" in task.name
+
+    def test_task_lower_produces_function(self):
+        task = create_task("matmul", (8, 8, 8), Target.riscv())
+        config = task.config_space.get(0)
+        func = task.lower(config)
+        assert [t.name for t in func.args] == ["A", "B", "matmul"]
+
+    def test_conv_task_space_has_expected_knobs(self):
+        task = create_task("conv2d_bias_relu", (1, 8, 8, 8, 4, 3, 3, (1, 1), (1, 1)), Target.arm())
+        names = task.config_space.knob_names()
+        assert {"tile_co", "tile_ow", "tile_ci", "vectorize"} <= set(names)

@@ -1,0 +1,150 @@
+"""Tests for the tuners: random, grid, genetic and model-based."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.workloads  # noqa: F401
+from repro.autotune import (
+    GATuner,
+    GridSearchTuner,
+    LocalBuilder,
+    ModelBasedTuner,
+    RandomTuner,
+    Runner,
+    create_task,
+    log_to_records,
+    progress_callback,
+)
+from repro.autotune.measure import MeasureResult
+from repro.codegen import Target
+
+
+class AnalyticRunner(Runner):
+    """A fast fake runner whose cost is a deterministic function of the config.
+
+    Using an analytic cost keeps tuner tests fast and lets them check that the
+    search actually minimises something.
+    """
+
+    def __init__(self):
+        super().__init__(n_parallel=1)
+        self.calls = 0
+
+    @staticmethod
+    def cost_of(config) -> float:
+        features = config.features()
+        target = np.linspace(1.0, 3.0, num=len(features))
+        return float(np.sum((np.asarray(features) - target) ** 2) + 0.01)
+
+    def run(self, measure_inputs, build_results):
+        self.calls += len(measure_inputs)
+        return [
+            MeasureResult(costs=[self.cost_of(mi.config)], all_cost=0.0) for mi in measure_inputs
+        ]
+
+
+@pytest.fixture(scope="module")
+def task():
+    return create_task("matmul", (16, 16, 16), Target.riscv())
+
+
+def best_possible(task, sample=400):
+    rng = np.random.default_rng(0)
+    configs = task.config_space.sample(sample, rng)
+    return min(AnalyticRunner.cost_of(c) for c in configs)
+
+
+class TestRandomTuner:
+    def test_finds_reasonable_config(self, task):
+        tuner = RandomTuner(task, seed=0)
+        tuner.tune(n_trial=40, runner=AnalyticRunner(), builder=LocalBuilder(), batch_size=8)
+        assert tuner.best_config is not None
+        assert np.isfinite(tuner.best_cost)
+        assert tuner.trial_count == 40
+
+    def test_no_duplicate_visits(self, task):
+        tuner = RandomTuner(task, seed=0)
+        tuner.tune(n_trial=30, runner=AnalyticRunner(), batch_size=10)
+        assert len(tuner.visited) == 30
+
+    def test_early_stopping(self, task):
+        tuner = RandomTuner(task, seed=0)
+        tuner.tune(n_trial=200, runner=AnalyticRunner(), batch_size=10, early_stopping=20)
+        assert tuner.trial_count < 200
+
+
+class TestGridSearchTuner:
+    def test_enumerates_in_order(self, task):
+        tuner = GridSearchTuner(task)
+        batch = tuner.next_batch(5)
+        assert [config.index for config in batch] == [0, 1, 2, 3, 4]
+
+    def test_tune_small_budget(self, task):
+        tuner = GridSearchTuner(task)
+        tuner.tune(n_trial=12, runner=AnalyticRunner(), batch_size=6)
+        assert tuner.trial_count == 12
+        assert len(tuner.visited) == 12
+
+
+class TestGATuner:
+    def test_improves_over_random_start(self, task):
+        runner = AnalyticRunner()
+        tuner = GATuner(task, population_size=16, seed=1)
+        tuner.tune(n_trial=96, runner=runner, batch_size=16)
+        assert tuner.best_cost <= best_possible(task) * 5
+
+    def test_population_pruning(self, task):
+        tuner = GATuner(task, population_size=4, seed=1)
+        tuner.tune(n_trial=64, runner=AnalyticRunner(), batch_size=16)
+        assert len(tuner._fitness) <= 8 * tuner.population_size
+
+    def test_invalid_elite_fraction(self, task):
+        with pytest.raises(ValueError):
+            GATuner(task, elite_fraction=0.0)
+
+    def test_genome_round_trip(self, task):
+        tuner = GATuner(task, seed=0)
+        for index in (0, 7, 101):
+            genome = tuner._index_to_genome(index)
+            assert tuner._genome_to_index(genome) == index
+
+
+class TestModelBasedTuner:
+    def test_model_guides_search(self, task):
+        runner = AnalyticRunner()
+        tuner = ModelBasedTuner(task, plan_size=16, candidate_pool=64, seed=0)
+        tuner.tune(n_trial=80, runner=runner, batch_size=16)
+        assert tuner.best_cost <= best_possible(task) * 5
+        assert tuner.predicted_cost(task.config_space.get(0)) is not None
+
+    def test_predicted_cost_none_before_fit(self, task):
+        tuner = ModelBasedTuner(task, plan_size=64, seed=0)
+        assert tuner.predicted_cost(task.config_space.get(0)) is None
+
+
+class TestCallbacks:
+    def test_log_to_records(self, task):
+        records = []
+        tuner = RandomTuner(task, seed=0)
+        tuner.tune(
+            n_trial=8,
+            runner=AnalyticRunner(),
+            batch_size=4,
+            callbacks=[log_to_records(records)],
+        )
+        assert len(records) == 8
+        assert {"task", "config_index", "cost"} <= set(records[0])
+
+    def test_progress_callback_prints(self, task, capsys):
+        printed = []
+        tuner = RandomTuner(task, seed=0)
+        tuner.tune(
+            n_trial=8,
+            runner=AnalyticRunner(),
+            batch_size=4,
+            callbacks=[progress_callback(prefix="t", printer=printed.append)],
+        )
+        assert len(printed) == 2
+        assert "best cost" in printed[0]

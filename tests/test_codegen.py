@@ -1,0 +1,203 @@
+"""Tests for targets, the abstract program representation and code generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import (
+    Buffer,
+    LinearPredicate,
+    Target,
+    build_program,
+    target_from_string,
+)
+from repro.codegen.isa import ISA_SPECS, InstructionCategory as IC
+from repro.codegen.program import predicate_fraction
+from tests.conftest import make_conv_func, make_matmul_func
+
+
+class TestTargets:
+    def test_shorthand_names(self):
+        assert Target.from_name("x86").name == "x86"
+        assert Target.from_name("aarch64").name == "arm"
+        assert Target.from_name("rv64").name == "riscv"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            Target.from_name("sparc")
+
+    def test_llvm_triple_parsing(self):
+        assert target_from_string("llvm").name == "x86"
+        assert target_from_string("llvm -mtriple=riscv64-unknown-linux-gnu").name == "riscv"
+        assert target_from_string("llvm -mtriple=aarch64-unknown-linux-gnu").name == "arm"
+
+    def test_invalid_triple(self):
+        with pytest.raises(ValueError):
+            target_from_string("llvm -mtriple=powerpc64-unknown-linux-gnu")
+
+    def test_vector_lanes(self):
+        assert ISA_SPECS["x86"].vector_lanes(4) == 8
+        assert ISA_SPECS["arm"].vector_lanes(4) == 4
+        assert ISA_SPECS["riscv"].vector_lanes(4) == 0
+
+
+class TestPredicates:
+    def test_evaluate(self):
+        predicate = LinearPredicate(coeffs={"i": 1}, const=-3, op="lt")  # i < 3
+        env = {"i": np.arange(6)}
+        np.testing.assert_array_equal(predicate.evaluate(env), [True] * 3 + [False] * 3)
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            LinearPredicate(coeffs={}, const=0, op="lte")
+
+    def test_fraction_exact(self):
+        predicate = LinearPredicate(coeffs={"i": 1}, const=-3, op="lt")
+        fraction = predicate_fraction([predicate], {"i": 6})
+        assert fraction == pytest.approx(0.5)
+
+    def test_fraction_joint(self):
+        p1 = LinearPredicate(coeffs={"i": 1}, const=-2, op="lt")  # i < 2
+        p2 = LinearPredicate(coeffs={"j": 1}, const=-2, op="ge")  # j >= 2
+        fraction = predicate_fraction([p1, p2], {"i": 4, "j": 4})
+        assert fraction == pytest.approx(0.25)
+
+    def test_fraction_no_predicates(self):
+        assert predicate_fraction([], {"i": 4}) == 1.0
+
+    @given(st.integers(1, 30), st.integers(0, 30))
+    def test_fraction_threshold(self, extent, threshold):
+        predicate = LinearPredicate(coeffs={"i": 1}, const=-threshold, op="lt")
+        fraction = predicate_fraction([predicate], {"i": extent})
+        assert fraction == pytest.approx(min(threshold, extent) / extent)
+
+
+class TestProgramStructure:
+    def test_buffers_are_laid_out_disjoint(self, conv_program_x86):
+        buffers = sorted(conv_program_x86.buffers, key=lambda b: b.base_address)
+        for first, second in zip(buffers, buffers[1:]):
+            assert first.base_address + first.size_bytes <= second.base_address
+
+    def test_buffer_lookup(self, conv_program_x86):
+        assert conv_program_x86.buffer_by_name("ifm").element_bytes == 4
+        with pytest.raises(KeyError):
+            conv_program_x86.buffer_by_name("nonexistent")
+
+    def test_instruction_counts_positive(self, conv_program_x86):
+        counts = conv_program_x86.instruction_counts()
+        assert counts[IC.BRANCH] > 0
+        assert counts[IC.INT_ALU] > 0
+        assert conv_program_x86.total_instructions() == pytest.approx(sum(counts.values()))
+
+    def test_memory_trace_addresses_inside_buffers(self, conv_program_x86):
+        buffers = conv_program_x86.buffers
+        for addresses, is_write in conv_program_x86.memory_trace(max_accesses=5000):
+            assert addresses.size == is_write.size
+            for address in addresses[:64]:
+                assert any(b.contains(int(address)) for b in buffers)
+
+    def test_memory_trace_max_accesses(self, conv_program_x86):
+        total = sum(a.size for a, _ in conv_program_x86.memory_trace(max_accesses=1234))
+        assert total <= 1234
+
+    def test_memory_trace_sampling_reduces_volume(self, conv_program_x86):
+        full = sum(a.size for a, _ in conv_program_x86.memory_trace(chunk_iterations=256))
+        sampled = sum(
+            a.size
+            for a, _ in conv_program_x86.memory_trace(chunk_iterations=256, sample_fraction=0.3)
+        )
+        assert 0 < sampled < full
+
+    def test_invalid_sample_fraction(self, conv_program_x86):
+        with pytest.raises(ValueError):
+            list(conv_program_x86.memory_trace(sample_fraction=0.0))
+
+    def test_perfect_nests_cover_stages(self, conv_program_x86):
+        nests = conv_program_x86.perfect_nests()
+        assert len(nests) >= 3  # conv init, conv main, bias_add, relu
+        for nest in nests:
+            assert nest.iterations >= 1
+
+    def test_code_footprint_positive(self, conv_program_x86):
+        assert conv_program_x86.code_footprint_bytes() > 0
+
+
+class TestCodegenSemantics:
+    def test_fma_count_matches_macs_on_scalar_isa(self):
+        func, _ = make_matmul_func(n=4, l=5, m=6)
+        program = build_program(func, Target.riscv())
+        counts = program.instruction_counts()
+        assert counts[IC.FP_FMA] == pytest.approx(4 * 5 * 6)
+
+    def test_store_count_matches_output_size_scalar(self):
+        func, _ = make_matmul_func(n=4, l=5, m=6)
+        program = build_program(func, Target.riscv())
+        counts = program.instruction_counts()
+        # init stores + one final store per output element (accumulator is
+        # register-promoted across the innermost k loop).
+        assert counts[IC.STORE] == pytest.approx(2 * 4 * 6)
+
+    def test_vectorization_reduces_instructions(self):
+        scalar_func, _ = make_matmul_func(n=8, l=8, m=16, tile_x=8, vectorize=False, name="s")
+        vector_func, _ = make_matmul_func(n=8, l=8, m=16, tile_x=8, vectorize=True, name="v")
+        scalar = build_program(scalar_func, Target.x86()).total_instructions()
+        vector = build_program(vector_func, Target.x86()).total_instructions()
+        assert vector < scalar
+
+    def test_vectorize_ignored_without_simd(self):
+        vector_func, _ = make_matmul_func(n=8, l=8, m=16, tile_x=8, vectorize=True, name="v2")
+        scalar_func, _ = make_matmul_func(n=8, l=8, m=16, tile_x=8, vectorize=False, name="s2")
+        riscv_vec = build_program(vector_func, Target.riscv()).instruction_counts()
+        riscv_scalar = build_program(scalar_func, Target.riscv()).instruction_counts()
+        assert riscv_vec[IC.VEC_FP] == 0
+        assert riscv_vec[IC.FP_FMA] == riscv_scalar[IC.FP_FMA]
+
+    def test_unroll_removes_loop_overhead(self):
+        plain_func, _ = make_matmul_func(n=4, l=4, m=8, name="plain")
+        unrolled_func, _ = make_matmul_func(n=4, l=4, m=8, unroll=True, name="unrolled")
+        plain = build_program(plain_func, Target.riscv()).instruction_counts()
+        unrolled = build_program(unrolled_func, Target.riscv()).instruction_counts()
+        assert unrolled[IC.BRANCH] < plain[IC.BRANCH]
+
+    def test_isa_differences(self):
+        func, _ = make_conv_func()
+        totals = {
+            name: build_program(func, Target.from_name(name)).total_instructions()
+            for name in ("x86", "arm", "riscv")
+        }
+        assert totals["x86"] < totals["arm"] < totals["riscv"]
+
+    def test_trace_volume_is_schedule_dependent(self):
+        small_func, _ = make_matmul_func(n=16, l=16, m=16, tile_k=2, name="k2")
+        large_func, _ = make_matmul_func(n=16, l=16, m=16, name="k16")
+        small = build_program(small_func, Target.riscv())
+        large = build_program(large_func, Target.riscv())
+        count_small = sum(a.size for a, _ in small.memory_trace())
+        count_large = sum(a.size for a, _ in large.memory_trace())
+        # Splitting the reduction loop forces extra accumulator traffic.
+        assert count_small > count_large
+
+    def test_scalar_replacement_can_be_disabled(self):
+        func, _ = make_matmul_func(n=4, l=8, m=4, name="sr")
+        promoted = build_program(func, Target.riscv())
+        unpromoted = build_program(func, Target.riscv(enable_scalar_replacement=False))
+        assert (
+            unpromoted.instruction_counts()[IC.LOAD] > promoted.instruction_counts()[IC.LOAD]
+        )
+
+    def test_trace_matches_analytic_memory_instructions_without_vector(self):
+        func, _ = make_matmul_func(n=5, l=3, m=4, name="exact")
+        program = build_program(func, Target.riscv())
+        counts = program.instruction_counts()
+        analytic = counts[IC.LOAD] + counts[IC.STORE]
+        traced = sum(a.size for a, _ in program.memory_trace())
+        assert traced == pytest.approx(analytic)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(2, 10))
+    def test_fma_scales_with_shape(self, n, l, m):
+        func, _ = make_matmul_func(n=n, l=l, m=m, name=f"mm{n}{l}{m}")
+        counts = build_program(func, Target.riscv()).instruction_counts()
+        assert counts[IC.FP_FMA] == pytest.approx(n * l * m)

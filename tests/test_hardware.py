@@ -1,0 +1,214 @@
+"""Tests for the target-hardware substitute: specs, noise, timing, boards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen import Target, build_program
+from repro.codegen.isa import InstructionCategory as IC
+from repro.hardware import (
+    CPU_SPECS,
+    MeasurementProtocol,
+    MeasurementRecord,
+    NoiseConfig,
+    NoiseModel,
+    TargetBoard,
+    TimingModel,
+    cpu_spec_for,
+)
+from repro.sim import TraceOptions
+from tests.conftest import make_conv_func
+
+
+class TestSpecs:
+    def test_all_architectures_present(self):
+        assert set(CPU_SPECS) == {"x86", "arm", "riscv"}
+
+    def test_lookup(self):
+        assert cpu_spec_for("ARM").name.startswith("ARM")
+        with pytest.raises(KeyError):
+            cpu_spec_for("powerpc")
+
+    def test_paper_frequencies(self):
+        assert cpu_spec_for("x86").frequency_ghz == pytest.approx(2.2)
+        assert cpu_spec_for("arm").frequency_ghz == pytest.approx(1.5)
+        assert cpu_spec_for("riscv").frequency_ghz == pytest.approx(1.2)
+
+    def test_riscv_is_in_order_without_simd(self):
+        spec = cpu_spec_for("riscv")
+        assert not spec.out_of_order
+        assert spec.vector_issue_per_cycle == 0.0
+
+
+class TestNoiseModel:
+    def test_factors_at_least_one(self, rng):
+        model = NoiseModel(NoiseConfig.from_spec(cpu_spec_for("x86")), rng)
+        factors = model.factors(100)
+        assert np.all(factors >= 1.0)
+
+    def test_disabled_noise_is_identity(self, rng):
+        model = NoiseModel(NoiseConfig.from_spec(cpu_spec_for("x86"), enabled=False), rng)
+        np.testing.assert_array_equal(model.factors(5), np.ones(5))
+
+    def test_requires_positive_samples(self, rng):
+        model = NoiseModel(NoiseConfig.from_spec(cpu_spec_for("arm")), rng)
+        with pytest.raises(ValueError):
+            model.factors(0)
+
+    def test_x86_noisier_than_riscv(self):
+        x86 = NoiseModel(NoiseConfig.from_spec(cpu_spec_for("x86")), np.random.default_rng(0))
+        riscv = NoiseModel(NoiseConfig.from_spec(cpu_spec_for("riscv")), np.random.default_rng(0))
+        assert np.std(x86.factors(500)) > np.std(riscv.factors(500))
+
+    def test_longer_cooldown_reduces_drift(self, rng):
+        config = NoiseConfig(sigma=0.0, outlier_probability=0.0, outlier_scale=0.0, thermal_drift=0.1)
+        model = NoiseModel(config, rng)
+        hot = model.factors(10, cooldown_s=0.0)
+        cool = model.factors(10, cooldown_s=4.0)
+        assert hot[-1] > cool[-1]
+
+
+class TestTimingModel:
+    def _counts(self, fp=1000.0, loads=300.0, stores=100.0, branches=50.0, int_alu=500.0):
+        return {
+            IC.FP_FMA: fp,
+            IC.LOAD: loads,
+            IC.STORE: stores,
+            IC.BRANCH: branches,
+            IC.INT_ALU: int_alu,
+        }
+
+    def _cache_stats(self, l1_misses=10.0, l2_misses=5.0, sequential=0.0):
+        return {
+            "l1d": {
+                "read_misses": l1_misses,
+                "write_misses": 0.0,
+                "read_hits": 100.0,
+                "write_hits": 0.0,
+                "sequential_misses": sequential,
+            },
+            "l2": {"read_misses": l2_misses, "write_misses": 0.0, "sequential_misses": 0.0},
+        }
+
+    def test_more_instructions_take_longer(self):
+        model = TimingModel(cpu_spec_for("riscv"))
+        fast = model.estimate(self._counts(fp=1000), self._cache_stats())
+        slow = model.estimate(self._counts(fp=5000), self._cache_stats())
+        assert slow.seconds > fast.seconds
+
+    def test_more_misses_take_longer(self):
+        model = TimingModel(cpu_spec_for("arm"))
+        fast = model.estimate(self._counts(), self._cache_stats(l1_misses=10))
+        slow = model.estimate(self._counts(), self._cache_stats(l1_misses=10_000))
+        assert slow.seconds > fast.seconds
+
+    def test_prefetcher_hides_sequential_misses(self):
+        model = TimingModel(cpu_spec_for("x86"))
+        random_misses = model.estimate(self._counts(), self._cache_stats(l1_misses=1000))
+        sequential_misses = model.estimate(
+            self._counts(), self._cache_stats(l1_misses=1000, sequential=1000)
+        )
+        assert sequential_misses.memory_cycles < random_misses.memory_cycles
+
+    def test_out_of_order_overlaps_memory(self):
+        counts = self._counts()
+        stats = self._cache_stats(l1_misses=2000)
+        ooo = TimingModel(cpu_spec_for("x86")).estimate(counts, stats)
+        assert ooo.total_cycles < ooo.issue_cycles + ooo.memory_cycles + ooo.branch_cycles
+
+    def test_in_order_serialises(self):
+        counts = self._counts()
+        stats = self._cache_stats(l1_misses=2000)
+        in_order = TimingModel(cpu_spec_for("riscv")).estimate(counts, stats)
+        assert in_order.total_cycles == pytest.approx(
+            in_order.issue_cycles + in_order.memory_cycles + in_order.branch_cycles
+        )
+
+    def test_breakdown_dict(self):
+        breakdown = TimingModel(cpu_spec_for("arm")).estimate(self._counts(), self._cache_stats())
+        data = breakdown.as_dict()
+        assert set(data) == {
+            "issue_cycles",
+            "memory_cycles",
+            "branch_cycles",
+            "total_cycles",
+            "seconds",
+        }
+
+
+class TestMeasurementProtocol:
+    def test_defaults_match_paper(self):
+        protocol = MeasurementProtocol()
+        assert protocol.n_exe == 15
+        assert protocol.cooldown_s == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementProtocol(n_exe=0)
+        with pytest.raises(ValueError):
+            MeasurementProtocol(cooldown_s=-1)
+        with pytest.raises(ValueError):
+            MeasurementProtocol(n_exe=4, discard_outliers=2)
+
+    def test_record_median_and_cost(self):
+        record = MeasurementRecord(times_s=[0.2, 0.1, 0.3], cooldown_s=1.0)
+        assert record.median_s == pytest.approx(0.2)
+        assert record.benchmarking_seconds == pytest.approx((1.0 + 0.2) * 3)
+
+    def test_outlier_removal(self):
+        record = MeasurementRecord(times_s=[0.1, 0.1, 0.1, 0.1, 5.0], cooldown_s=0.0, discarded=1)
+        assert record.median_s == pytest.approx(0.1)
+        assert record.mean_s < 1.0
+
+    @given(st.lists(st.floats(1e-6, 10.0), min_size=1, max_size=30))
+    def test_median_between_min_and_max(self, times):
+        record = MeasurementRecord(times_s=times, cooldown_s=1.0)
+        assert min(times) <= record.median_s <= max(times)
+
+
+class TestTargetBoard:
+    @pytest.fixture(scope="class")
+    def conv_programs(self):
+        func, _ = make_conv_func()
+        return {arch: build_program(func, Target.from_name(arch)) for arch in ("x86", "arm", "riscv")}
+
+    def test_measure_record_shape(self, conv_programs):
+        board = TargetBoard("arm", trace_options=TraceOptions(max_accesses=20_000), seed=1)
+        record = board.measure(conv_programs["arm"])
+        assert record.n_exe == 15
+        assert record.median_s > 0
+
+    def test_deterministic_per_seed(self, conv_programs):
+        options = TraceOptions(max_accesses=20_000)
+        first = TargetBoard("arm", trace_options=options, seed=5).measure(conv_programs["arm"])
+        second = TargetBoard("arm", trace_options=options, seed=5).measure(conv_programs["arm"])
+        assert first.times_s == second.times_s
+
+    def test_noise_changes_with_seed(self, conv_programs):
+        options = TraceOptions(max_accesses=20_000)
+        first = TargetBoard("arm", trace_options=options, seed=5).measure(conv_programs["arm"])
+        second = TargetBoard("arm", trace_options=options, seed=6).measure(conv_programs["arm"])
+        assert first.times_s != second.times_s
+
+    def test_noise_disabled_gives_constant_times(self, conv_programs):
+        board = TargetBoard(
+            "arm", trace_options=TraceOptions(max_accesses=20_000), noise_enabled=False
+        )
+        record = board.measure(conv_programs["arm"])
+        assert len(set(record.times_s)) == 1
+
+    def test_architecture_speed_ordering(self, conv_programs):
+        options = TraceOptions(max_accesses=20_000)
+        times = {
+            arch: TargetBoard(arch, trace_options=options, noise_enabled=False)
+            .undisturbed_time(conv_programs[arch])
+            .seconds
+            for arch in ("x86", "arm", "riscv")
+        }
+        assert times["x86"] < times["arm"] < times["riscv"]
+
+    def test_execute_single_run(self, conv_programs):
+        board = TargetBoard("riscv", trace_options=TraceOptions(max_accesses=10_000), seed=2)
+        assert board.execute(conv_programs["riscv"]) > 0

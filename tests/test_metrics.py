@@ -1,0 +1,168 @@
+"""Tests for the evaluation metrics (Equations 5-7) and the speedup model (Equation 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    SpeedupModel,
+    break_even_parallelism,
+    e_top1,
+    estimate_simulation_seconds,
+    evaluate_predictions,
+    native_benchmarking_seconds,
+    prediction_order,
+    quality_scores,
+    r_top1,
+)
+
+
+class TestPredictionOrder:
+    def test_orders_by_score(self):
+        times = [3.0, 1.0, 2.0]
+        scores = [0.9, 0.1, 0.5]
+        np.testing.assert_array_equal(prediction_order(times, scores), [1.0, 2.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prediction_order([], [])
+        with pytest.raises(ValueError):
+            prediction_order([1.0, 2.0], [0.1])
+        with pytest.raises(ValueError):
+            prediction_order([1.0, -2.0], [0.1, 0.2])
+
+
+class TestEtop1:
+    def test_perfect_prediction(self):
+        times = [1.0, 2.0, 3.0, 4.0]
+        scores = [0.1, 0.2, 0.3, 0.4]
+        assert e_top1(times, scores) == pytest.approx(0.0)
+
+    def test_known_error(self):
+        times = [1.0, 2.0, 4.0]
+        scores = [0.3, 0.1, 0.2]  # predictor ranks the 2.0 s sample first
+        assert e_top1(times, scores) == pytest.approx(50.0)
+
+    def test_scale_invariant_in_scores(self):
+        times = [1.0, 2.0, 4.0]
+        assert e_top1(times, [3.0, 1.0, 2.0]) == e_top1(times, [300.0, 100.0, 200.0])
+
+
+class TestRtop1:
+    def test_perfect_prediction_is_first_position(self):
+        times = [1.0, 2.0, 3.0, 4.0]
+        scores = [0.1, 0.2, 0.3, 0.4]
+        assert r_top1(times, scores) == pytest.approx(25.0)  # 1 of 4
+
+    def test_worst_case_is_100(self):
+        times = [1.0, 2.0, 3.0, 4.0]
+        scores = [0.9, 0.2, 0.3, 0.05]  # fastest sample ranked last
+        assert r_top1(times, scores) == pytest.approx(100.0)
+
+    def test_paper_interpretation(self):
+        # "Rtop1 = 3 % means the fastest sample was ranked within the top 3 %".
+        times = [1.0] + [2.0] * 99
+        scores = list(range(100))
+        scores[0], scores[2] = scores[2], scores[0]  # fastest sample at position 3
+        assert r_top1(times, scores) == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=50, unique=True))
+    def test_bounds(self, times):
+        rng = np.random.default_rng(1)
+        scores = rng.random(len(times))
+        value = r_top1(times, scores)
+        assert 100.0 / len(times) <= value <= 100.0
+
+
+class TestQualityScores:
+    def test_monotone_order_is_zero(self):
+        times = [1.0, 2.0, 3.0, 4.0]
+        scores = [1, 2, 3, 4]
+        assert quality_scores(times, scores) == (0.0, 0.0)
+
+    def test_inversion_penalised(self):
+        times = [1.0, 2.0, 3.0, 4.0]
+        scores = [1, 3, 2, 4]  # swaps the middle pair
+        q_low, q_high = quality_scores(times, scores)
+        assert q_low > 0.0 or q_high > 0.0
+
+    def test_penalty_magnitude(self):
+        # Prediction order: 2.0, 1.0 -> penalty (2-1)/2 = 0.5, scaled by 100/2.
+        q_low, q_high = quality_scores([2.0, 1.0], [0.1, 0.2])
+        assert q_low == pytest.approx(50.0 * 0.5)
+
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=4, max_size=40),
+    )
+    def test_non_negative_and_bounded(self, times):
+        rng = np.random.default_rng(0)
+        scores = rng.random(len(times))
+        q_low, q_high = quality_scores(times, scores)
+        assert 0.0 <= q_low <= 100.0
+        assert 0.0 <= q_high <= 100.0
+
+
+class TestEvaluatePredictions:
+    def test_returns_all_metrics(self):
+        metrics = evaluate_predictions([1.0, 2.0, 3.0, 4.0], [4, 3, 2, 1])
+        data = metrics.as_dict()
+        assert set(data) == {"Etop1", "Qlow", "Qhigh", "Rtop1"}
+        assert data["Rtop1"] == pytest.approx(100.0)
+
+    def test_perfect_prediction_all_best(self):
+        times = np.linspace(1, 2, 10)
+        metrics = evaluate_predictions(times, np.arange(10))
+        assert metrics.e_top1 == 0.0
+        assert metrics.r_top1 == pytest.approx(10.0)
+        assert metrics.q_low == 0.0 and metrics.q_high == 0.0
+
+
+class TestSpeedup:
+    def test_native_benchmarking_cost(self):
+        assert native_benchmarking_seconds(0.5, n_exe=15, cooldown_s=1.0) == pytest.approx(22.5)
+
+    def test_equation4(self):
+        # t_sim = 100 s, native = (1 + 0.1) * 15 = 16.5 s -> K = ceil(6.06) = 7
+        assert break_even_parallelism(100.0, 0.1) == 7
+
+    def test_k_at_least_one(self):
+        assert break_even_parallelism(0.001, 10.0) == 1
+
+    def test_simulation_time_estimate(self):
+        assert estimate_simulation_seconds(5e6, simulator_mips=5.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            native_benchmarking_seconds(-1.0)
+        with pytest.raises(ValueError):
+            break_even_parallelism(0.0, 1.0)
+        with pytest.raises(ValueError):
+            estimate_simulation_seconds(0.0)
+        with pytest.raises(ValueError):
+            SpeedupModel().k_range([])
+
+    def test_model_range(self):
+        model = SpeedupModel(simulator_mips=5.0)
+        workloads = [(1e9, 0.05), (5e8, 0.5)]
+        k_min, k_max = model.k_range(workloads)
+        assert k_min <= k_max
+        assert k_min == model.k_for(5e8, 0.5)
+
+    def test_slower_board_needs_fewer_simulators(self):
+        """The paper's observation: K is smallest for the slow RISC-V board."""
+        model = SpeedupModel(simulator_mips=5.0)
+        fast_board_k = model.k_for(1e9, 0.01)   # x86-like short native run time
+        slow_board_k = model.k_for(1e9, 0.5)    # RISC-V-like long native run time
+        assert slow_board_k < fast_board_k
+
+    @given(st.floats(1e5, 1e10), st.floats(1e-4, 10.0))
+    def test_k_matches_formula(self, instructions, t_ref):
+        model = SpeedupModel(simulator_mips=5.0)
+        expected = max(
+            1, math.ceil((instructions / 5e6) / ((1.0 + t_ref) * 15))
+        )
+        assert model.k_for(instructions, t_ref) == expected

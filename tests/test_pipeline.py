@@ -1,0 +1,155 @@
+"""Tests for the end-to-end pipeline: dataset generation, experiments, phases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import TargetBoard
+from repro.pipeline import (
+    DatasetConfig,
+    ExecutionPhase,
+    ExperimentConfig,
+    TrainingPhase,
+    format_comparison_table,
+    generalization_curves,
+    generate_group_samples,
+    load_or_generate_dataset,
+    predictor_comparison_table,
+    speedup_summary,
+)
+from repro.autotune.sketch.auto_scheduler import TuningOptions
+from repro.sim import TraceOptions
+from repro.workloads import Conv2DParams
+
+QUICK_EXPERIMENT = ExperimentConfig(
+    implementations_per_group=14, test_fraction=0.3, n_training_repeats=2, groups=(1, 2), scale=0.1
+)
+
+
+class TestDatasetGeneration:
+    def test_generate_group_samples(self):
+        samples = generate_group_samples(
+            "riscv",
+            group_id=1,
+            params=Conv2DParams(1, 6, 6, 4, 4, 3, 3, (1, 1), (1, 1)),
+            n_implementations=6,
+            seed=0,
+            trace_options=TraceOptions(max_accesses=10_000),
+        )
+        assert len(samples) == 6
+        assert all(sample.group_id == 1 for sample in samples)
+        assert all(sample.measured_time_s > 0 for sample in samples)
+        assert all("cpu.num_insts" in sample.flat_stats for sample in samples)
+        # Different schedules must differ in time for the task to be learnable.
+        times = [s.measured_time_s for s in samples]
+        assert max(times) > min(times)
+
+    def test_dataset_config_keys_differ(self):
+        a = DatasetConfig(arch="arm", seed=0)
+        b = DatasetConfig(arch="arm", seed=1)
+        assert a.cache_key() != b.cache_key()
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        config = DatasetConfig(
+            arch="riscv",
+            implementations_per_group=4,
+            groups=(1,),
+            scale=0.1,
+            trace_max_accesses=8_000,
+            seed=3,
+        )
+        first = load_or_generate_dataset(config, cache_dir=tmp_path)
+        assert (tmp_path / f"dataset_riscv_{config.cache_key()}.json").exists()
+        second = load_or_generate_dataset(config, cache_dir=tmp_path)
+        assert len(first) == len(second)
+        assert first.samples[0].flat_stats == second.samples[0].flat_stats
+
+
+class TestExperiments:
+    def test_comparison_table_structure(self, tiny_dataset):
+        rows = predictor_comparison_table(
+            tiny_dataset, QUICK_EXPERIMENT, predictor_names=("linreg", "xgboost")
+        )
+        assert len(rows) == 2 * len(tiny_dataset.group_ids())
+        for row in rows:
+            assert set(row) >= {"group", "predictor", "Etop1", "Qlow", "Qhigh", "Rtop1"}
+            assert 0.0 <= row["Rtop1"] <= 100.0
+            assert row["Etop1"] >= 0.0
+        text = format_comparison_table(rows, title="test")
+        assert "linreg.Etop1" in text and "xgboost.Rtop1" in text
+
+    def test_generalization_curves(self, tiny_dataset):
+        curves = generalization_curves(
+            tiny_dataset, held_out_group=2, config=QUICK_EXPERIMENT, predictor_name="linreg"
+        )
+        assert set(curves) == {"included", "excluded"}
+        for variant in curves.values():
+            assert variant["t_ref"].shape == variant["t_pred"].shape
+            # t_ref is sorted ascending.
+            assert np.all(np.diff(variant["t_ref"]) >= 0)
+            # Both series are permutations of the same measured times.
+            np.testing.assert_allclose(
+                np.sort(variant["t_pred"]), variant["t_ref"], rtol=1e-12
+            )
+
+    def test_generalization_requires_group(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            generalization_curves(tiny_dataset, held_out_group=9, config=QUICK_EXPERIMENT)
+
+    def test_speedup_summary_shape(self):
+        summary = speedup_summary(
+            archs=("x86", "riscv"),
+            groups=(1,),
+            scale=0.15,
+            n_schedules=2,
+            trace_max_accesses=20_000,
+        )
+        assert set(summary) == {"x86", "riscv"}
+        for arch, data in summary.items():
+            assert 1 <= data["k_min"] <= data["k_max"]
+            assert len(data["workloads"]) >= 1
+
+    def test_experiment_presets(self):
+        paper = ExperimentConfig.paper()
+        quick = ExperimentConfig.quick()
+        assert paper.implementations_per_group == 500
+        assert paper.n_training_repeats == 10
+        assert quick.implementations_per_group < paper.implementations_per_group
+
+
+class TestPhases:
+    def test_training_phase(self, tmp_path):
+        config = DatasetConfig(
+            arch="riscv",
+            implementations_per_group=6,
+            groups=(1,),
+            scale=0.1,
+            trace_max_accesses=8_000,
+            seed=5,
+        )
+        result = TrainingPhase(config, predictor_name="linreg", cache_dir=tmp_path).run()
+        assert result.predictor.fitted
+        assert len(result.dataset) == 6
+
+    def test_execution_phase_with_validation(self, tmp_path):
+        config = DatasetConfig(
+            arch="riscv",
+            implementations_per_group=8,
+            groups=(1, 2),
+            scale=0.1,
+            trace_max_accesses=8_000,
+            seed=6,
+        )
+        training = TrainingPhase(config, predictor_name="linreg", cache_dir=tmp_path).run()
+        phase = ExecutionPhase(
+            training.predictor,
+            arch="riscv",
+            params=Conv2DParams(1, 6, 6, 6, 4, 3, 3, (2, 2), (1, 1)),
+            trace_options=TraceOptions(max_accesses=8_000),
+            options=TuningOptions(num_measure_trials=6, num_measures_per_round=3, seed=0),
+        )
+        result = phase.run(validate_top_percent=40.0)
+        assert result.best_candidate is not None
+        assert len(result.records) == 6
+        assert result.validated and result.best_validated_seconds > 0

@@ -1,0 +1,142 @@
+"""Tests for feature extraction, group normalisation and inference windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictor import (
+    DynamicWindow,
+    FeatureExtractor,
+    GroupStatistics,
+    StaticWindow,
+)
+
+
+def fake_stats(loads=100.0, stores=50.0, branches=20.0, total=1000.0, l1d_hits=90.0,
+               l1d_misses=10.0):
+    return {
+        "cpu.num_loads": loads,
+        "cpu.num_stores": stores,
+        "cpu.num_branches": branches,
+        "cpu.num_insts": total,
+        "l1d.read_hits": l1d_hits,
+        "l1d.read_misses": l1d_misses,
+        "l1d.read_accesses": l1d_hits + l1d_misses,
+        "l1d.read_replacements": 2.0,
+        "l1d.write_hits": 40.0,
+        "l1d.write_misses": 10.0,
+        "l1d.write_accesses": 50.0,
+        "l1d.write_replacements": 1.0,
+    }
+
+
+class TestFeatureExtractor:
+    def test_instruction_mix_ratios(self):
+        extractor = FeatureExtractor()
+        raw = extractor.raw_features(fake_stats())
+        assert raw["load_ratio"] == pytest.approx(0.1)
+        assert raw["store_ratio"] == pytest.approx(0.05)
+        assert raw["branch_ratio"] == pytest.approx(0.02)
+        assert raw["total_instructions"] == pytest.approx(1000.0)
+
+    def test_cache_ratios_equation1(self):
+        extractor = FeatureExtractor()
+        raw = extractor.raw_features(fake_stats())
+        assert raw["l1d_read_hits_per_read_access"] == pytest.approx(0.9)
+        assert raw["l1d_write_misses_per_write_access"] == pytest.approx(0.2)
+
+    def test_missing_levels_yield_zero(self):
+        extractor = FeatureExtractor()
+        raw = extractor.raw_features(fake_stats())
+        assert raw["l3_read_hits_per_read_access"] == 0.0
+
+    def test_empty_stats_all_zero(self):
+        extractor = FeatureExtractor()
+        raw = extractor.raw_features({})
+        assert all(value == 0.0 for value in raw.values())
+
+    def test_vector_layout_and_names(self):
+        extractor = FeatureExtractor()
+        means = extractor.group_means([fake_stats(), fake_stats(loads=200)])
+        vector = extractor.vector(fake_stats(), means)
+        names = extractor.vector_names()
+        assert vector.shape[0] == len(names)
+        # The raw (un-normalised) block excludes the absolute instruction count.
+        assert "total_instructions" not in names[: len(names) // 2]
+        assert "total_instructions_norm" in names
+
+    def test_group_normalisation_equation2(self):
+        extractor = FeatureExtractor()
+        stats_a = fake_stats(loads=100)
+        stats_b = fake_stats(loads=300)
+        means = extractor.group_means([stats_a, stats_b])
+        vector = extractor.vector(stats_a, means)
+        names = extractor.vector_names()
+        load_norm = vector[names.index("load_ratio_norm")]
+        # load ratios are 0.1 and 0.3 -> mean 0.2 -> (0.1 - 0.2)/0.2 = -0.5
+        assert load_norm == pytest.approx(-0.5)
+
+    def test_group_means_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor().group_means([])
+
+    @given(st.floats(1e-3, 1e3), st.floats(1e-3, 1e3))
+    def test_normalised_mean_is_zero(self, a, b):
+        extractor = FeatureExtractor()
+        stats = [fake_stats(loads=a), fake_stats(loads=b)]
+        means = extractor.group_means(stats)
+        names = extractor.vector_names()
+        idx = names.index("load_ratio_norm")
+        normalized = [extractor.vector(s, means)[idx] for s in stats]
+        assert np.mean(normalized) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestGroupStatistics:
+    def test_time_normalisation(self):
+        extractor = FeatureExtractor()
+        stats = GroupStatistics.from_samples(extractor, [fake_stats()] * 2, [1.0, 3.0])
+        assert stats.time_mean == pytest.approx(2.0)
+        assert stats.normalize_time(3.0) == pytest.approx(0.5)
+        assert stats.normalize_time(1.0) == pytest.approx(-0.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            GroupStatistics.from_samples(FeatureExtractor(), [fake_stats()], [1.0, 2.0])
+
+
+class TestWindows:
+    def test_static_window_freezes_after_fill(self):
+        extractor = FeatureExtractor()
+        window = StaticWindow(extractor, window_size=2)
+        window.observe(fake_stats(loads=100))
+        assert not window.ready
+        window.observe(fake_stats(loads=300))
+        assert window.ready
+        frozen = window.means()["load_ratio"]
+        window.observe(fake_stats(loads=900))
+        assert window.means()["load_ratio"] == pytest.approx(frozen)
+
+    def test_static_window_partial_estimate(self):
+        window = StaticWindow(FeatureExtractor(), window_size=10)
+        window.observe(fake_stats(loads=100))
+        assert window.means()["load_ratio"] == pytest.approx(0.1)
+
+    def test_static_window_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            StaticWindow(FeatureExtractor(), window_size=0)
+
+    def test_dynamic_window_tracks_running_mean(self):
+        window = DynamicWindow(FeatureExtractor())
+        assert not window.ready
+        window.observe(fake_stats(loads=100))
+        window.observe(fake_stats(loads=300))
+        assert window.ready
+        assert window.means()["load_ratio"] == pytest.approx(0.2)
+        window.observe(fake_stats(loads=200))
+        assert window.means()["load_ratio"] == pytest.approx(0.2, abs=1e-6)
+
+    def test_empty_windows_return_empty_means(self):
+        assert DynamicWindow(FeatureExtractor()).means() == {}
+        assert StaticWindow(FeatureExtractor(), 4).means() == {}

@@ -1,0 +1,159 @@
+"""Tests for the expression tree: operators, folding and affine analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.te.expr import (
+    BinaryOp,
+    CmpOp,
+    FloatImm,
+    IntImm,
+    LogicalOp,
+    Select,
+    Var,
+    affine_form,
+    const,
+    max_expr,
+    min_expr,
+    post_order_visit,
+    simplify,
+    substitute,
+    wrap,
+)
+
+
+class TestOperatorOverloading:
+    def test_add_builds_node(self):
+        x = Var("x")
+        node = x + 1
+        assert isinstance(node, BinaryOp) and node.op == "add"
+
+    def test_reverse_operators(self):
+        x = Var("x")
+        node = 3 * x
+        assert isinstance(node, BinaryOp) and node.op == "mul"
+        assert isinstance(node.a, IntImm) and node.a.value == 3
+
+    def test_comparison_builds_cmp(self):
+        x = Var("x")
+        node = x < 5
+        assert isinstance(node, CmpOp) and node.op == "lt"
+
+    def test_neg(self):
+        x = Var("x")
+        node = -x
+        assert isinstance(node, BinaryOp) and node.op == "sub"
+
+    def test_float_wrap(self):
+        node = wrap(1.5)
+        assert isinstance(node, FloatImm) and node.value == 1.5
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(TypeError):
+            wrap("nope")
+
+    def test_min_max_helpers(self):
+        assert max_expr(1, 2).op == "max"
+        assert min_expr(Var("x"), 0).op == "min"
+
+    def test_invalid_binary_op(self):
+        with pytest.raises(ValueError):
+            BinaryOp("pow", const(1), const(2))
+
+    def test_invalid_cmp_op(self):
+        with pytest.raises(ValueError):
+            CmpOp("approx", const(1), const(2))
+
+    def test_invalid_logical_op(self):
+        with pytest.raises(ValueError):
+            LogicalOp("xor", const(1), const(0))
+
+
+class TestVisitorsAndSubstitute:
+    def test_post_order_counts_nodes(self):
+        x, y = Var("x"), Var("y")
+        expr = x * 2 + y
+        seen = []
+        post_order_visit(expr, seen.append)
+        assert len(seen) == 5  # x, 2, mul, y, add
+
+    def test_substitute_replaces_var(self):
+        x, y = Var("x"), Var("y")
+        expr = x + 1
+        replaced = substitute(expr, {x: y * 2})
+        assert isinstance(replaced.a, BinaryOp) and replaced.a.op == "mul"
+
+    def test_substitute_identity_for_other_vars(self):
+        x, y = Var("x"), Var("y")
+        replaced = substitute(x + y, {x: const(1)})
+        assert replaced.b is y
+
+    def test_substitute_select(self):
+        x = Var("x")
+        expr = Select(x < 3, x, const(0))
+        out = substitute(expr, {x: const(5)})
+        assert isinstance(out.cond.a, IntImm) and out.cond.a.value == 5
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        out = simplify(const(2) + const(3))
+        assert isinstance(out, IntImm) and out.value == 5
+
+    def test_mul_by_one(self):
+        x = Var("x")
+        out = simplify(x * 1)
+        assert out is x
+
+    def test_mul_by_zero(self):
+        x = Var("x")
+        out = simplify(x * 0)
+        assert isinstance(out, IntImm) and out.value == 0
+
+    def test_add_zero(self):
+        x = Var("x")
+        assert simplify(x + 0) is x
+        assert simplify(0 + x) is x
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    def test_fold_matches_python(self, a, b):
+        out = simplify(const(a) + const(b))
+        assert isinstance(out, IntImm) and out.value == a + b
+
+
+class TestAffineForm:
+    def test_simple_affine(self):
+        x, y = Var("x"), Var("y")
+        coeffs, constant = affine_form(x * 3 + y + 7, [x, y])
+        assert coeffs == {x: 3, y: 1}
+        assert constant == 7
+
+    def test_nested_affine(self):
+        x, y = Var("x"), Var("y")
+        coeffs, constant = affine_form((x + 2) * 4 - y, [x, y])
+        assert coeffs == {x: 4, y: -1}
+        assert constant == 8
+
+    def test_non_affine_returns_none(self):
+        x, y = Var("x"), Var("y")
+        assert affine_form(x * y, [x, y]) is None
+
+    def test_unknown_var_returns_none(self):
+        x, y = Var("x"), Var("y")
+        assert affine_form(x + y, [x]) is None
+
+    def test_zero_coefficients_dropped(self):
+        x = Var("x")
+        coeffs, constant = affine_form(x - x + 5, [x])
+        assert coeffs == {}
+        assert constant == 5
+
+    @given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50))
+    def test_affine_of_linear_combo(self, a, b, c):
+        x, y = Var("x"), Var("y")
+        coeffs, constant = affine_form(x * a + y * b + c, [x, y])
+        assert coeffs.get(x, 0) == a
+        assert coeffs.get(y, 0) == b
+        assert constant == c

@@ -1,0 +1,203 @@
+"""Correctness tests for lowering: the interpreter must match numpy references.
+
+These are the strongest tests of the tensor-expression substrate: every
+schedule transformation (splits, imperfect splits, reorders, vectorise/unroll
+annotations, inlining, padding) must leave the computed values unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import te
+from repro.te import interpreter, topi
+from repro.te.ir import For, ForKind, stmt_to_string, walk_statements
+
+
+def _matmul_reference(a, b):
+    return a @ b
+
+
+def _run_matmul(schedule_fn, n=6, l=5, m=7):
+    a = te.placeholder((n, l), name="A")
+    b = te.placeholder((l, m), name="B")
+    c = topi.matmul(a, b, name="C")
+    schedule = te.create_schedule(c)
+    schedule_fn(schedule, c)
+    func = te.lower(schedule, [a, b, c], name="mm")
+    rng = np.random.default_rng(0)
+    a_np = rng.random((n, l), dtype=np.float32)
+    b_np = rng.random((l, m), dtype=np.float32)
+    c_np = np.zeros((n, m), dtype=np.float32)
+    interpreter.run(func, [a_np, b_np, c_np])
+    np.testing.assert_allclose(c_np, _matmul_reference(a_np, b_np), rtol=1e-5)
+    return func
+
+
+class TestMatmulLowering:
+    def test_default_schedule(self):
+        _run_matmul(lambda s, c: None)
+
+    def test_split_even(self):
+        def schedule_fn(schedule, c):
+            stage = schedule[c]
+            y, x = c.op.axis
+            stage.split(x, factor=7)
+
+        _run_matmul(schedule_fn, m=14)
+
+    def test_split_imperfect_guarded(self):
+        def schedule_fn(schedule, c):
+            stage = schedule[c]
+            y, x = c.op.axis
+            stage.split(x, factor=4)  # 7 % 4 != 0 -> guard needed
+
+        func = _run_matmul(schedule_fn, m=7)
+        from repro.te.ir import IfThenElse
+
+        assert any(isinstance(stmt, IfThenElse) for stmt in walk_statements(func.body))
+
+    def test_split_reduction_axis(self):
+        def schedule_fn(schedule, c):
+            stage = schedule[c]
+            (k,) = c.op.reduce_axis
+            stage.split(k, factor=2)
+
+        _run_matmul(schedule_fn, l=5)
+
+    def test_reorder_and_tile(self):
+        def schedule_fn(schedule, c):
+            stage = schedule[c]
+            y, x = c.op.axis
+            (k,) = c.op.reduce_axis
+            yo, yi = stage.split(y, factor=2)
+            xo, xi = stage.split(x, factor=3)
+            stage.reorder(yo, xo, k, yi, xi)
+
+        _run_matmul(schedule_fn, n=6, m=9)
+
+    def test_vectorize_and_unroll_do_not_change_semantics(self):
+        def schedule_fn(schedule, c):
+            stage = schedule[c]
+            y, x = c.op.axis
+            xo, xi = stage.split(x, factor=4)
+            stage.vectorize(xi)
+            stage.unroll(y)
+
+        func = _run_matmul(schedule_fn, m=8)
+        kinds = {stmt.kind for stmt in walk_statements(func.body) if isinstance(stmt, For)}
+        assert ForKind.VECTORIZED in kinds and ForKind.UNROLLED in kinds
+
+    def test_fused_axes(self):
+        def schedule_fn(schedule, c):
+            stage = schedule[c]
+            y, x = c.op.axis
+            stage.fuse(y, x)
+
+        _run_matmul(schedule_fn)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(2, 8),
+        st.integers(2, 8),
+        st.integers(2, 8),
+        st.integers(1, 5),
+        st.integers(1, 5),
+    )
+    def test_random_tilings_preserve_semantics(self, n, l, m, fx, fk):
+        def schedule_fn(schedule, c):
+            stage = schedule[c]
+            y, x = c.op.axis
+            (k,) = c.op.reduce_axis
+            stage.split(x, factor=min(fx, m))
+            stage.split(k, factor=min(fk, l))
+
+        _run_matmul(schedule_fn, n=n, l=l, m=m)
+
+
+class TestConvLowering:
+    def _reference(self, ifm, weights, bias, stride, padding):
+        n, ci, h, w = ifm.shape
+        co = weights.shape[0]
+        kh, kw = weights.shape[2], weights.shape[3]
+        oh = (h + 2 * padding[0] - kh) // stride[0] + 1
+        ow = (w + 2 * padding[1] - kw) // stride[1] + 1
+        padded = np.pad(ifm, ((0, 0), (0, 0), (padding[0],) * 2, (padding[1],) * 2))
+        out = np.zeros((n, co, oh, ow), dtype=np.float32)
+        for b_i in range(n):
+            for c_o in range(co):
+                for y in range(oh):
+                    for x in range(ow):
+                        window = padded[
+                            b_i,
+                            :,
+                            y * stride[0] : y * stride[0] + kh,
+                            x * stride[1] : x * stride[1] + kw,
+                        ]
+                        out[b_i, c_o, y, x] = np.sum(window * weights[c_o]) + bias[b_i, c_o, 0, 0]
+        return np.maximum(out, 0.0)
+
+    @pytest.mark.parametrize("stride,padding,inline_pad", [
+        ((1, 1), (1, 1), True),
+        ((2, 2), (1, 1), True),
+        ((1, 1), (0, 0), True),
+        ((1, 1), (1, 1), False),
+        ((2, 2), (3, 3), True),
+    ])
+    def test_conv_bias_relu_matches_reference(self, stride, padding, inline_pad):
+        n, ci, h, w, co, kh, kw = 1, 3, 8, 8, 4, 3, 3
+        ifm = te.placeholder((n, ci, h, w), name="ifm")
+        weights = te.placeholder((co, ci, kh, kw), name="weights")
+        bias = te.placeholder((n, co, 1, 1), name="bias")
+        conv = topi.conv2d_nchw(ifm, weights, stride=stride, padding=padding)
+        out = topi.relu(topi.bias_add(conv, bias))
+        schedule = te.create_schedule(out)
+        if inline_pad:
+            for stage in schedule.compute_stages():
+                if stage.op.name.endswith(".pad"):
+                    stage.compute_inline()
+        conv_stage = schedule[conv]
+        _, co_ax, _, ow_ax = conv.op.axis
+        conv_stage.split(co_ax, factor=2)
+        conv_stage.split(ow_ax, factor=3)
+        func = te.lower(schedule, [ifm, weights, bias, out], name="conv")
+
+        rng = np.random.default_rng(1)
+        ifm_np = rng.random((n, ci, h, w), dtype=np.float32) - 0.5
+        w_np = rng.random((co, ci, kh, kw), dtype=np.float32) - 0.5
+        b_np = rng.random((n, co, 1, 1), dtype=np.float32) - 0.5
+        oh = (h + 2 * padding[0] - kh) // stride[0] + 1
+        ow = (w + 2 * padding[1] - kw) // stride[1] + 1
+        out_np = np.zeros((n, co, oh, ow), dtype=np.float32)
+        interpreter.run(func, [ifm_np, w_np, b_np, out_np])
+        np.testing.assert_allclose(
+            out_np, self._reference(ifm_np, w_np, b_np, stride, padding), rtol=1e-4, atol=1e-5
+        )
+
+    def test_non_inlined_pad_allocates_buffer(self):
+        ifm = te.placeholder((1, 2, 6, 6), name="ifm")
+        weights = te.placeholder((4, 2, 3, 3), name="weights")
+        conv = topi.conv2d_nchw(ifm, weights, stride=1, padding=1)
+        schedule = te.create_schedule(conv)
+        func = te.lower(schedule, [ifm, weights, conv], name="conv")
+        assert any(t.name.endswith(".pad") for t in func.intermediate_buffers)
+
+
+class TestLoweringErrorsAndPrinting:
+    def test_inlined_argument_rejected(self):
+        a = te.placeholder((4,), name="a")
+        b = te.compute((4,), lambda i: a[i] + 1, name="b")
+        schedule = te.create_schedule(b)
+        schedule[b].compute_inline()
+        with pytest.raises(ValueError):
+            te.lower(schedule, [a, b], name="bad")
+
+    def test_stmt_to_string_renders_loops(self, matmul_func):
+        text = stmt_to_string(matmul_func.body)
+        assert "for " in text and "=" in text
+
+    def test_lowered_func_buffers(self, matmul_func):
+        assert [t.name for t in matmul_func.args] == ["A", "B", "C"]
+        assert matmul_func.intermediate_buffers == []

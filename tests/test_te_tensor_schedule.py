@@ -1,0 +1,199 @@
+"""Tests for tensors, iteration variables and schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import te
+from repro.te import topi
+from repro.te.schedule import FuseRelation, SplitRelation
+from repro.te.tensor import IterVar
+
+
+class TestTensors:
+    def test_placeholder_shape_dtype(self):
+        t = te.placeholder((2, 3), dtype="float32", name="a")
+        assert t.shape == (2, 3)
+        assert t.size == 6
+        assert t.nbytes == 24
+
+    def test_strides_row_major(self):
+        t = te.placeholder((2, 3, 4), name="a")
+        assert t.strides() == (12, 4, 1)
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            te.placeholder((2,), dtype="complex64")
+
+    def test_nonpositive_shape_rejected(self):
+        with pytest.raises(ValueError):
+            te.placeholder((0, 3))
+
+    def test_indexing_requires_full_rank(self):
+        t = te.placeholder((2, 3))
+        with pytest.raises(ValueError):
+            t[0]
+
+    def test_compute_creates_axes(self):
+        a = te.placeholder((4, 5), name="a")
+        b = te.compute((4, 5), lambda i, j: a[i, j] * 2, name="b")
+        assert [ax.extent for ax in b.op.axis] == [4, 5]
+        assert b.op.input_tensors == [a]
+
+    def test_reduce_axis_validation(self):
+        with pytest.raises(ValueError):
+            te.reduce_axis((1, 5))
+
+    def test_sum_requires_reduce_axis(self):
+        a = te.placeholder((4,), name="a")
+        spatial = IterVar(4, "i")
+        with pytest.raises(ValueError):
+            te.sum_reduce(a[spatial], axis=spatial)
+
+    def test_itervar_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            IterVar(4, "i", kind="weird")
+
+    def test_itervar_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            IterVar(0, "i")
+
+
+class TestScheduleTransformations:
+    def _matmul(self, n=8, l=4, m=6):
+        a = te.placeholder((n, l), name="A")
+        b = te.placeholder((l, m), name="B")
+        c = topi.matmul(a, b, name="C")
+        return a, b, c, te.create_schedule(c)
+
+    def test_create_schedule_collects_stages(self):
+        _, _, c, schedule = self._matmul()
+        names = [stage.op.name for stage in schedule.stages]
+        assert "C" in names and "A" in names and "B" in names
+
+    def test_split_factor(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, x = c.op.axis
+        outer, inner = stage.split(x, factor=3)
+        assert inner.extent == 3 and outer.extent == 2
+        assert isinstance(stage.relations[-1], SplitRelation)
+        assert inner in stage.leaf_iter_vars and outer in stage.leaf_iter_vars
+        assert x not in stage.leaf_iter_vars
+
+    def test_split_nparts(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, _ = c.op.axis
+        outer, inner = stage.split(y, nparts=2)
+        assert outer.extent == 2 and inner.extent == 4
+
+    def test_split_requires_exactly_one_of_factor_nparts(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, _ = c.op.axis
+        with pytest.raises(ValueError):
+            stage.split(y)
+        with pytest.raises(ValueError):
+            stage.split(y, factor=2, nparts=2)
+
+    def test_split_non_leaf_rejected(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, _ = c.op.axis
+        stage.split(y, factor=2)
+        with pytest.raises(ValueError):
+            stage.split(y, factor=2)
+
+    def test_imperfect_split_extents(self):
+        _, _, c, schedule = self._matmul(n=7)
+        stage = schedule[c]
+        y, _ = c.op.axis
+        outer, inner = stage.split(y, factor=4)
+        assert inner.extent == 4 and outer.extent == 2  # 2*4 >= 7
+
+    def test_fuse_adjacent(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, x = c.op.axis
+        fused = stage.fuse(y, x)
+        assert fused.extent == 8 * 6
+        assert isinstance(stage.relations[-1], FuseRelation)
+
+    def test_fuse_non_adjacent_rejected(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, x = c.op.axis
+        (k,) = c.op.reduce_axis
+        with pytest.raises(ValueError):
+            stage.fuse(y, k)  # x sits between them
+
+    def test_fuse_mixed_kind_rejected(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        _, x = c.op.axis
+        (k,) = c.op.reduce_axis
+        with pytest.raises(ValueError):
+            stage.fuse(x, k)
+
+    def test_reorder(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, x = c.op.axis
+        (k,) = c.op.reduce_axis
+        stage.reorder(k, y, x)
+        assert stage.leaf_iter_vars == [k, y, x]
+
+    def test_reorder_duplicate_rejected(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, _ = c.op.axis
+        with pytest.raises(ValueError):
+            stage.reorder(y, y)
+
+    def test_annotations(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, x = c.op.axis
+        stage.vectorize(x)
+        stage.parallel(y)
+        assert stage.annotations[x] == "vectorize"
+        assert stage.annotations[y] == "parallel"
+
+    def test_compute_inline_reduction_rejected(self):
+        _, _, c, schedule = self._matmul()
+        with pytest.raises(ValueError):
+            schedule[c].compute_inline()
+
+    def test_compute_inline_elementwise(self):
+        a = te.placeholder((4, 4), name="a")
+        b = te.compute((4, 4), lambda i, j: a[i, j] + 1, name="b")
+        c = te.compute((4, 4), lambda i, j: b[i, j] * 2, name="c")
+        schedule = te.create_schedule(c)
+        schedule[b].compute_inline()
+        assert schedule[b].inlined
+
+    def test_axis_decomposition_tracks_origin(self):
+        _, _, c, schedule = self._matmul()
+        stage = schedule[c]
+        y, x = c.op.axis
+        outer, inner = stage.split(x, factor=2)
+        decomposition = stage.axis_decomposition()
+        assert decomposition[x] == [outer, inner]
+        assert decomposition[y] == [y]
+
+    def test_unknown_op_lookup_raises(self):
+        _, _, c, schedule = self._matmul()
+        other = te.placeholder((2, 2), name="other")
+        with pytest.raises(KeyError):
+            schedule[other]
+
+    @given(st.integers(2, 24), st.integers(1, 8))
+    def test_split_covers_extent(self, extent, factor):
+        a = te.placeholder((extent,), name="a")
+        b = te.compute((extent,), lambda i: a[i] + 1, name="b")
+        schedule = te.create_schedule(b)
+        outer, inner = schedule[b].split(b.op.axis[0], factor=factor)
+        assert outer.extent * inner.extent >= extent
+        assert (outer.extent - 1) * inner.extent < extent

@@ -1,0 +1,115 @@
+"""Tests for the operator library (shapes and validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import te
+from repro.te import topi
+from repro.te.expr import Reduce, Select
+
+
+class TestMatmulDense:
+    def test_matmul_shape(self):
+        a = te.placeholder((3, 4))
+        b = te.placeholder((4, 5))
+        c = topi.matmul(a, b)
+        assert c.shape == (3, 5)
+        assert isinstance(c.op.body, Reduce)
+
+    def test_matmul_shape_mismatch(self):
+        a = te.placeholder((3, 4))
+        b = te.placeholder((5, 6))
+        with pytest.raises(ValueError):
+            topi.matmul(a, b)
+
+    def test_matmul_requires_2d(self):
+        a = te.placeholder((3,))
+        b = te.placeholder((3, 4))
+        with pytest.raises(ValueError):
+            topi.matmul(a, b)
+
+    def test_dense_shape(self):
+        x = te.placeholder((2, 8))
+        w = te.placeholder((16, 8))
+        y = topi.dense(x, w)
+        assert y.shape == (2, 16)
+
+    def test_dense_mismatch(self):
+        x = te.placeholder((2, 8))
+        w = te.placeholder((16, 9))
+        with pytest.raises(ValueError):
+            topi.dense(x, w)
+
+
+class TestConv2d:
+    def test_output_shape_stride1(self):
+        ifm = te.placeholder((1, 3, 32, 32))
+        w = te.placeholder((8, 3, 3, 3))
+        out = topi.conv2d_nchw(ifm, w, stride=1, padding=1)
+        assert out.shape == (1, 8, 32, 32)
+
+    def test_output_shape_stride2(self):
+        ifm = te.placeholder((1, 3, 224, 224))
+        w = te.placeholder((64, 3, 7, 7))
+        out = topi.conv2d_nchw(ifm, w, stride=(2, 2), padding=(3, 3))
+        assert out.shape == (1, 64, 112, 112)
+
+    def test_channel_mismatch(self):
+        ifm = te.placeholder((1, 3, 8, 8))
+        w = te.placeholder((8, 4, 3, 3))
+        with pytest.raises(ValueError):
+            topi.conv2d_nchw(ifm, w)
+
+    def test_empty_output_rejected(self):
+        ifm = te.placeholder((1, 3, 2, 2))
+        w = te.placeholder((8, 3, 5, 5))
+        with pytest.raises(ValueError):
+            topi.conv2d_nchw(ifm, w, stride=1, padding=0)
+
+    def test_padding_creates_pad_stage(self):
+        ifm = te.placeholder((1, 3, 8, 8))
+        w = te.placeholder((4, 3, 3, 3))
+        out = topi.conv2d_nchw(ifm, w, stride=1, padding=1)
+        producer_names = [t.name for t in out.op.input_tensors]
+        assert any(name.endswith(".pad") for name in producer_names)
+
+    def test_no_padding_reads_input_directly(self):
+        ifm = te.placeholder((1, 3, 8, 8), name="ifm")
+        w = te.placeholder((4, 3, 3, 3))
+        out = topi.conv2d_nchw(ifm, w, stride=1, padding=0)
+        producer_names = [t.name for t in out.op.input_tensors]
+        assert "ifm" in producer_names
+
+
+class TestElementwise:
+    def test_pad_shape_and_select(self):
+        data = te.placeholder((2, 3))
+        padded = topi.pad(data, (1, 0), (1, 2))
+        assert padded.shape == (4, 5)
+        assert isinstance(padded.op.body, Select)
+
+    def test_pad_wrong_rank(self):
+        data = te.placeholder((2, 3))
+        with pytest.raises(ValueError):
+            topi.pad(data, (1,), (1,))
+
+    def test_relu_shape(self):
+        data = te.placeholder((2, 3, 4, 5))
+        assert topi.relu(data).shape == (2, 3, 4, 5)
+
+    def test_bias_add_1d_and_4d(self):
+        data = te.placeholder((1, 8, 4, 4))
+        assert topi.bias_add(data, te.placeholder((8,))).shape == (1, 8, 4, 4)
+        assert topi.bias_add(data, te.placeholder((1, 8, 1, 1))).shape == (1, 8, 4, 4)
+
+    def test_bias_add_bad_shape(self):
+        data = te.placeholder((1, 8, 4, 4))
+        with pytest.raises(ValueError):
+            topi.bias_add(data, te.placeholder((1, 8, 2, 2)))
+
+    def test_elementwise_add_shape_mismatch(self):
+        a = te.placeholder((2, 2))
+        b = te.placeholder((2, 3))
+        with pytest.raises(ValueError):
+            topi.elementwise_add(a, b)

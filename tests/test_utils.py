@@ -1,0 +1,84 @@
+"""Tests for repro.utils: RNG derivation, tables and serialisation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import derive_seed, dump_json, format_table, load_json, new_generator, to_jsonable
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_change_seed(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_seed_changes_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_in_numpy_seed_range(self):
+        assert 0 <= derive_seed(123, "x") < 2**31 - 1
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1), st.text(max_size=20))
+    def test_always_valid_seed(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2**31 - 1
+
+    def test_new_generator_reproducible(self):
+        a = new_generator(3, "tuner").random(5)
+        b = new_generator(3, "tuner").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_new_generator_differs_by_label(self):
+        a = new_generator(3, "x").random(5)
+        b = new_generator(3, "y").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text and "3.25" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_wrong_row_length_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_fmt=".3f")
+        assert "3.142" in text
+
+
+@dataclasses.dataclass
+class _Record:
+    name: str
+    values: list
+
+
+class TestSerialization:
+    def test_numpy_types(self):
+        payload = to_jsonable({"a": np.int64(3), "b": np.float32(1.5), "c": np.array([1, 2])})
+        assert payload == {"a": 3, "b": 1.5, "c": [1, 2]}
+
+    def test_dataclass(self):
+        record = _Record(name="x", values=[1, 2])
+        assert to_jsonable(record) == {"name": "x", "values": [1, 2]}
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "data.json"
+        dump_json({"k": [1, 2, 3], "nested": {"x": 1.5}}, path)
+        assert load_json(path) == {"k": [1, 2, 3], "nested": {"x": 1.5}}
+
+    def test_bool_conversion(self):
+        assert to_jsonable(np.bool_(True)) is True

@@ -1,0 +1,96 @@
+"""Tests for the workload definitions (Listing 5, Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import Target, build_program
+from repro.te.lower import lower
+from repro.te.schedule import create_schedule
+from repro.workloads import (
+    Conv2DParams,
+    MatmulParams,
+    TABLE2_GROUPS,
+    TABLE2_ROWS,
+    conv2d_bias_relu_workload,
+    group_params,
+    matmul_workload,
+    scaled_group_params,
+)
+
+
+class TestConv2DParams:
+    def test_output_spatial(self):
+        params = Conv2DParams(1, 224, 224, 64, 3, 7, 7, (2, 2), (3, 3))
+        assert params.output_spatial == (112, 112)
+
+    def test_macs(self):
+        params = Conv2DParams(1, 8, 8, 4, 3, 3, 3, (1, 1), (1, 1))
+        assert params.macs() == 8 * 8 * 4 * 3 * 3 * 3
+
+    def test_as_args_round_trip(self):
+        params = group_params(1)
+        tensors = conv2d_bias_relu_workload(*params.as_args())
+        assert len(tensors) == 4
+
+
+class TestWorkloadFunctions:
+    def test_conv_workload_returns_listing5_arguments(self):
+        ifm, weights, bias, ofm = conv2d_bias_relu_workload(1, 8, 8, 4, 3, 3, 3, (1, 1), (1, 1))
+        assert ifm.shape == (1, 3, 8, 8)
+        assert weights.shape == (4, 3, 3, 3)
+        assert bias.shape == (1, 4, 1, 1)
+        assert ofm.shape == (1, 4, 8, 8)
+        assert ofm.op.name == "relu"
+
+    def test_matmul_workload(self):
+        a, b, c = matmul_workload(4, 5, 6)
+        assert c.shape == (4, 6)
+        assert MatmulParams(4, 5, 6).macs() == 120
+
+    def test_default_schedule_lowers_and_builds(self):
+        tensors = conv2d_bias_relu_workload(1, 8, 8, 4, 3, 3, 3, (1, 1), (1, 1))
+        schedule = create_schedule(tensors[-1])
+        func = lower(schedule, tensors, name="default")
+        program = build_program(func, Target.arm())
+        assert program.total_instructions() > 0
+
+
+class TestTable2:
+    def test_five_groups(self):
+        assert sorted(TABLE2_GROUPS) == [0, 1, 2, 3, 4]
+        assert len(TABLE2_ROWS) == 5
+
+    def test_group0_matches_paper(self):
+        params = group_params(0)
+        assert (params.h, params.w, params.co, params.ci) == (224, 224, 64, 3)
+        assert (params.kh, params.kw) == (7, 7)
+        assert params.stride == (2, 2) and params.padding == (3, 3)
+
+    def test_group4_matches_paper_verbatim(self):
+        params = group_params(4)
+        assert (params.h, params.w, params.co, params.ci) == (14, 24, 512, 256)
+
+    def test_unknown_group(self):
+        with pytest.raises(KeyError):
+            group_params(7)
+
+    @pytest.mark.parametrize("group_id", [0, 1, 2, 3, 4])
+    def test_scaled_groups_are_valid_convolutions(self, group_id):
+        params = scaled_group_params(group_id, scale=0.2)
+        oh, ow = params.output_spatial
+        assert oh > 0 and ow > 0
+        assert params.kh == group_params(group_id).kh
+        assert params.stride == group_params(group_id).stride
+
+    def test_scale_one_returns_paper_shapes(self):
+        assert scaled_group_params(2, 1.0) == group_params(2)
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            scaled_group_params(0, 0.0)
+        with pytest.raises(ValueError):
+            scaled_group_params(0, 1.5)
+
+    def test_scaling_reduces_work(self):
+        assert scaled_group_params(1, 0.25).macs() < group_params(1).macs()
