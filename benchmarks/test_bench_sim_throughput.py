@@ -1,0 +1,117 @@
+"""Simulation-engine throughput on the Table II workloads.
+
+Measures simulated accesses/second of the reference (per-access loop) and
+vectorized (array chunk) cache-simulation engines on one schedule
+implementation per Table II kernel group, verifies that both engines produce
+bit-identical statistics, and writes ``benchmarks/results/sim_throughput.txt``
+so future PRs can track the performance trajectory.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_SIM_TRACE`` — simulated accesses per workload (default 300000)
+* ``REPRO_BENCH_SMOKE``     — set to 1 for a quick correctness-only pass
+  (small trace, no speedup floor), as used by CI.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.autotune.sketch.auto_scheduler import SearchTask, SketchPolicy, TuningOptions
+from repro.autotune.sketch.cost_model import RandomCostModel
+from repro.codegen.target import Target
+from repro.sim import ENGINE_REFERENCE, ENGINE_VECTORIZED, cache_hierarchy_for
+from repro.utils.tabulate import format_table
+from repro.workloads import conv2d_bias_relu_workload, scaled_group_params
+
+from benchmarks.conftest import SCALE, write_result
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+TRACE_ACCESSES = int(os.environ.get("REPRO_BENCH_SIM_TRACE", "20000" if SMOKE else "300000"))
+CHUNK_ITERATIONS = 1 << 16
+#: Acceptance floor: the vectorized engine must be at least this much faster
+#: on at least one Table II workload (skipped in smoke mode, where the trace
+#: is too small to amortize fixed costs).
+MIN_SPEEDUP = 5.0
+ARCH = "x86"
+GROUPS = (0, 1, 2, 3, 4)
+
+
+def _table2_program(group_id: int):
+    """One buildable schedule implementation of a (scaled) Table II group."""
+    params = scaled_group_params(group_id, SCALE)
+    task = SearchTask(
+        conv2d_bias_relu_workload,
+        params.as_args(),
+        Target.from_name(ARCH),
+        name=f"conv2d_g{group_id}_{ARCH}",
+    )
+    policy = SketchPolicy(
+        task, TuningOptions(seed=group_id), cost_model=RandomCostModel(seed=group_id)
+    )
+    candidates = policy.sample_candidates(4)
+    _, build_results = policy.build_candidates(candidates)
+    for build in build_results:
+        if build.ok:
+            return build.program
+    raise RuntimeError(f"no buildable candidate for group {group_id}")
+
+
+def _drive(chunks, engine: str):
+    """Walk one trace through a cold Table I hierarchy; returns (seconds, stats)."""
+    hierarchy = cache_hierarchy_for(ARCH, engine=engine)
+    start = time.perf_counter()
+    for addresses, is_write in chunks:
+        hierarchy.access_data_batch(addresses, is_write)
+    return time.perf_counter() - start, hierarchy.stats_dict()
+
+
+def test_bench_sim_throughput(results_dir):
+    rows = []
+    speedups = {}
+    for group_id in GROUPS:
+        program = _table2_program(group_id)
+        chunks = [
+            (addresses, is_write)
+            for addresses, is_write in program.memory_trace(
+                max_accesses=TRACE_ACCESSES, chunk_iterations=CHUNK_ITERATIONS
+            )
+        ]
+        accesses = sum(int(addresses.size) for addresses, _ in chunks)
+        reference_s, reference_stats = min(
+            (_drive(chunks, ENGINE_REFERENCE) for _ in range(2)), key=lambda item: item[0]
+        )
+        vectorized_s, vectorized_stats = min(
+            (_drive(chunks, ENGINE_VECTORIZED) for _ in range(3)), key=lambda item: item[0]
+        )
+        assert vectorized_stats == reference_stats, (
+            f"engine statistics diverge on Table II group {group_id}"
+        )
+        speedups[group_id] = reference_s / vectorized_s
+        rows.append(
+            (
+                group_id,
+                accesses,
+                f"{accesses / reference_s / 1e6:.2f}",
+                f"{accesses / vectorized_s / 1e6:.2f}",
+                f"{speedups[group_id]:.2f}x",
+            )
+        )
+
+    text = format_table(
+        ["group", "accesses", "reference Macc/s", "vectorized Macc/s", "speedup"],
+        rows,
+        title=(
+            f"Simulation-engine throughput on Table II workloads "
+            f"({ARCH}, {TRACE_ACCESSES} accesses{', smoke' if SMOKE else ''})"
+        ),
+    )
+    write_result(results_dir, "sim_throughput.txt", text)
+
+    if not SMOKE:
+        best = max(speedups.values())
+        assert best >= MIN_SPEEDUP, (
+            f"vectorized engine reached only {best:.2f}x on its best Table II "
+            f"workload (floor: {MIN_SPEEDUP}x); per-group: {speedups}"
+        )

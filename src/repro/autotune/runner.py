@@ -84,6 +84,8 @@ class SimulatorRunner(Runner):
         score_function: Optional[ScoreFunction] = None,
         backend: str = "serial",
         collect_results: bool = True,
+        engine: Optional[str] = None,
+        memoize: bool = True,
     ):
         super().__init__(n_parallel=n_parallel)
         self.arch = arch
@@ -94,6 +96,8 @@ class SimulatorRunner(Runner):
             n_parallel=n_parallel,
             trace_options=trace_options,
             backend=backend,
+            engine=engine,
+            memoize=memoize,
         )
         self.collect_results = collect_results
         #: Simulation results of every successful run, in measurement order.
@@ -194,12 +198,19 @@ class RunnerStatsCollector(Runner):
         trace_options: TraceOptions = TraceOptions(),
         n_parallel: int = 1,
         backend: str = "serial",
+        engine: Optional[str] = None,
+        memoize: bool = True,
     ):
         super().__init__(n_parallel=n_parallel)
         self.board = board
         self.arch = arch or board.arch
         self.pool = SimulatorPool(
-            arch=self.arch, n_parallel=n_parallel, trace_options=trace_options, backend=backend
+            arch=self.arch,
+            n_parallel=n_parallel,
+            trace_options=trace_options,
+            backend=backend,
+            engine=engine,
+            memoize=memoize,
         )
         #: Paired training records: (measure input, simulation result, measurement record).
         self.records: List[tuple] = []

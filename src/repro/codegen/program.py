@@ -10,6 +10,8 @@ memory reference trace in vectorised chunks.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -318,15 +320,80 @@ class Program:
         """Approximate size of the generated machine code in bytes."""
         total = self.static_code_bytes
         for root in self.roots:
-            total += self._code_bytes(root)
+            total += self.code_bytes(root)
         return total
 
-    def _code_bytes(self, node: Node) -> float:
+    def code_bytes(self, node: Node) -> float:
+        """Approximate machine-code size of one program subtree in bytes."""
         if isinstance(node, Loop):
-            return node.code_replication * self._code_bytes(node.body) + 12.0
+            return node.code_replication * self.code_bytes(node.body) + 12.0
         if isinstance(node, Guard):
-            return self._code_bytes(node.body) + 8.0
+            return self.code_bytes(node.body) + 8.0
         return node.code_bytes
+
+    # -- content hashing ---------------------------------------------------
+    def content_digest(self) -> str:
+        """A stable hash of everything that determines simulation behaviour.
+
+        Two programs with the same digest produce the same instruction counts
+        and the same memory trace, so simulation results can be memoized on
+        it (see :class:`repro.sim.memo.SimulationCache`).  The program *name*
+        is deliberately excluded: it labels, but does not change, behaviour.
+        """
+        payload = {
+            "target": self.target.name,
+            "static_code_bytes": self.static_code_bytes,
+            "buffers": [
+                (b.name, b.size_bytes, b.element_bytes, b.base_address) for b in self.buffers
+            ],
+            "roots": [self._node_signature(root) for root in self.roots],
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def _node_signature(cls, node: Node):
+        if isinstance(node, Loop):
+            return (
+                "loop",
+                node.var,
+                node.extent,
+                node.kind,
+                sorted(node.overhead.items()),
+                node.code_replication,
+                cls._node_signature(node.body),
+            )
+        if isinstance(node, Guard):
+            return (
+                "guard",
+                [cls._predicate_signature(p) for p in node.predicates],
+                sorted(node.penalty.items()),
+                cls._node_signature(node.body),
+            )
+        if isinstance(node, Block):
+            return (
+                "block",
+                sorted(node.counts.items()),
+                node.code_bytes,
+                [
+                    (
+                        access.buffer.name,
+                        sorted(access.coeffs.items()),
+                        access.const,
+                        access.is_store,
+                        access.width,
+                        access.gather_stride,
+                        [cls._predicate_signature(p) for p in access.predicates],
+                        sorted(access.extra_counts.items()),
+                    )
+                    for access in node.accesses
+                ],
+            )
+        raise TypeError(f"unknown program node {type(node).__name__}")  # pragma: no cover
+
+    @staticmethod
+    def _predicate_signature(predicate: LinearPredicate):
+        return (sorted(predicate.coeffs.items()), predicate.const, predicate.op)
 
     # -- perfect-nest decomposition and trace generation ------------------
     def perfect_nests(self) -> List[PerfectNest]:
@@ -354,7 +421,7 @@ class Program:
 
     def memory_trace(
         self,
-        chunk_iterations: int = 1 << 14,
+        chunk_iterations: int = 1 << 16,
         max_accesses: Optional[int] = None,
         sample_fraction: float = 1.0,
         seed: int = 0,
@@ -365,6 +432,12 @@ class Program:
         keeps only a systematic sample of iteration chunks (used to bound the
         cost of cache simulation for large kernels); ``max_accesses`` stops
         the trace early once the budget is exhausted.
+
+        With ``sample_fraction`` of 1 the concatenated trace is independent
+        of ``chunk_iterations``; sampled traces are chunk-size dependent
+        because whole chunks are kept or dropped (pin ``chunk_iterations``
+        explicitly when reproducing sampled runs).  The default matches
+        :class:`repro.sim.cpu.TraceOptions`.
         """
         if not 0.0 < sample_fraction <= 1.0:
             raise ValueError("sample_fraction must be in (0, 1]")

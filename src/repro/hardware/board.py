@@ -46,7 +46,7 @@ class TargetBoard:
     # -- execution ---------------------------------------------------------
     def characterize(self, program: Program) -> Dict[str, Dict[str, float]]:
         """Run the program's reference stream through the board's caches."""
-        hierarchy = CacheHierarchy(self.hierarchy_config)
+        hierarchy = CacheHierarchy(self.hierarchy_config, engine=self.trace_options.engine)
         total_accesses = 0
         for addresses, is_write in program.memory_trace(
             chunk_iterations=self.trace_options.chunk_iterations,

@@ -5,19 +5,41 @@ The simulator executes abstract instruction programs produced by
 it is *instruction-accurate but not timing-accurate*: it reports exact
 instruction counts per category and the hit/miss/replacement behaviour of a
 parameterisable cache hierarchy, but no latencies.
+
+Two interchangeable cache-simulation engines are provided (see
+:mod:`repro.sim.engine`): the per-access ``"reference"`` loop and the
+array-based ``"vectorized"`` chunk engine, which produce bit-identical
+statistics.  Simulation results are memoized across identical
+``(program, hierarchy, trace options)`` requests via
+:mod:`repro.sim.memo`.
 """
 
 from repro.sim.stats import StatGroup, SimulationStats
+from repro.sim.engine import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    ENGINES,
+    VectorCacheState,
+    default_engine,
+    resolve_engine,
+)
 from repro.sim.cache import CacheConfig, Cache, ReplacementPolicy
 from repro.sim.memory import MainMemory
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
 from repro.sim.configs import CACHE_HIERARCHIES, cache_hierarchy_for, TABLE1_ROWS
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
+from repro.sim.memo import SimulationCache, default_simulation_cache
 from repro.sim.simulator import Simulator, SimulationResult, SimulatorPool
 
 __all__ = [
     "StatGroup",
     "SimulationStats",
+    "ENGINE_REFERENCE",
+    "ENGINE_VECTORIZED",
+    "ENGINES",
+    "VectorCacheState",
+    "default_engine",
+    "resolve_engine",
     "CacheConfig",
     "Cache",
     "ReplacementPolicy",
@@ -30,6 +52,8 @@ __all__ = [
     "TABLE1_ROWS",
     "AtomicSimpleCPU",
     "TraceOptions",
+    "SimulationCache",
+    "default_simulation_cache",
     "Simulator",
     "SimulationResult",
     "SimulatorPool",

@@ -6,14 +6,36 @@ configuration).  It produces the statistics the score predictor consumes:
 read/write accesses, hits, misses and replacements.  The model is functional
 only — it tracks which lines are resident, not their contents, and it reports
 no latencies (the whole point of the paper is that no timing is needed).
+
+Two interchangeable simulation engines back the model:
+
+* ``"reference"`` — the original per-access Python loop over per-set lists.
+  Simple, obviously correct, and the behavioural baseline.
+* ``"vectorized"`` — the array-based chunk engine of
+  :mod:`repro.sim.engine`; bit-identical statistics at a multiple of the
+  throughput.  Caches with random replacement always use the reference
+  engine, because the random victim choice consumes RNG draws in trace
+  order, which the chunk schedule cannot replay.
+
+The engine is selected per cache via the ``engine`` constructor argument and
+defaults to :func:`repro.sim.engine.default_engine` (environment variable
+``REPRO_SIM_ENGINE`` overrides).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
+
+from repro.sim.engine import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    ChunkOutcome,
+    VectorCacheState,
+    resolve_engine,
+)
 
 
 class ReplacementPolicy:
@@ -84,15 +106,37 @@ class Cache:
     :class:`Cache` or a :class:`~repro.sim.memory.MainMemory`).
     """
 
-    def __init__(self, config: CacheConfig, next_level=None, rng_seed: int = 0):
+    def __init__(
+        self,
+        config: CacheConfig,
+        next_level=None,
+        rng_seed: int = 0,
+        engine: Optional[str] = None,
+    ):
         self.config = config
         self.next_level = next_level
         self._offset_bits = int(np.log2(config.line_bytes))
         self._set_mask = config.sets - 1
+        engine = resolve_engine(engine)
+        if config.replacement == ReplacementPolicy.RANDOM:
+            # Random victims consume RNG draws in trace order; only the
+            # per-access reference loop replays that order bit-identically.
+            engine = ENGINE_REFERENCE
+        self.engine = engine
+        self._state: Optional[VectorCacheState] = None
         # Per-set list of [tag, dirty] entries; index 0 is most recently used.
-        self._sets: List[List[List[int]]] = [[] for _ in range(config.sets)]
+        self._sets: List[List[List[int]]] = []
+        if self.engine == ENGINE_VECTORIZED:
+            self._state = VectorCacheState(config.sets, config.associativity, config.replacement)
+        else:
+            self._sets = [[] for _ in range(config.sets)]
         self._rng = np.random.default_rng(rng_seed)
         self.reset_stats()
+        # Direct line-address forwarding is only valid when the next level
+        # uses the same line size; otherwise byte addresses are re-derived.
+        self._forward_lines_directly = (
+            isinstance(next_level, Cache) and next_level.config.line_bytes == config.line_bytes
+        )
 
     # -- statistics -------------------------------------------------------
     def reset_stats(self) -> None:
@@ -111,7 +155,10 @@ class Cache:
 
     def reset_state(self) -> None:
         """Flush the cache contents and zero the counters."""
-        self._sets = [[] for _ in range(self.config.sets)]
+        if self._state is not None:
+            self._state.reset()
+        else:
+            self._sets = [[] for _ in range(self.config.sets)]
         self.reset_stats()
 
     @property
@@ -151,12 +198,74 @@ class Cache:
 
     # -- access processing -------------------------------------------------
     def access(self, address: int, is_write: bool) -> bool:
-        """Process one byte-address access; returns True on hit."""
-        hits = self.access_lines(
-            np.asarray([address >> self._offset_bits], dtype=np.int64),
-            np.asarray([is_write], dtype=bool),
-        )
-        return bool(hits == 1)
+        """Process one byte-address access; returns True on hit.
+
+        This is a scalar fast path: single-address probes go through plain
+        integer bookkeeping without allocating per-call NumPy arrays.
+        """
+        line = int(address) >> self._offset_bits
+        if self._state is not None:
+            return self._access_single_vectorized(line, is_write)
+        return self._access_single_reference(line, is_write)
+
+    def _access_single_vectorized(self, line: int, is_write: bool) -> bool:
+        outcome = self._state.process_single(line, is_write, self._last_miss_line)
+        self._apply_outcome(outcome)
+        if outcome.hits:
+            return True
+        self._forward_single(line, False)
+        if outcome.writebacks:
+            self._forward_single(int(outcome.forwarded_lines[1]), True)
+        return False
+
+    def _access_single_reference(self, line: int, is_write: bool) -> bool:
+        # Deliberately mirrors one iteration of _access_lines_reference
+        # rather than sharing a helper: the batch loop keeps its counters in
+        # locals for speed, and a per-access call would slow the hot path.
+        # Bit-identity across all four access paths (scalar/batch x
+        # reference/vectorized) is enforced by tests/test_sim_engine.py.
+        entries = self._sets[line & self._set_mask]
+        found = None
+        for position, entry in enumerate(entries):
+            if entry[0] == line:
+                found = position
+                break
+        if found is not None:
+            if is_write:
+                self.write_accesses += 1
+                self.write_hits += 1
+                entries[found][1] = 1
+            else:
+                self.read_accesses += 1
+                self.read_hits += 1
+            if self.config.replacement == ReplacementPolicy.LRU and found != 0:
+                entries.insert(0, entries.pop(found))
+            return True
+        if is_write:
+            self.write_accesses += 1
+            self.write_misses += 1
+        else:
+            self.read_accesses += 1
+            self.read_misses += 1
+        if line == self._last_miss_line + 1:
+            self.sequential_misses += 1
+        self._last_miss_line = line
+        victim = None
+        if len(entries) >= self.config.associativity:
+            if self.config.replacement == ReplacementPolicy.RANDOM:
+                victim = entries.pop(int(self._rng.integers(0, len(entries))))
+            else:
+                victim = entries.pop()
+            if is_write:
+                self.write_replacements += 1
+            else:
+                self.read_replacements += 1
+        entries.insert(0, [line, 1 if is_write else 0])
+        self._forward_single(line, False)
+        if victim is not None and victim[1]:
+            self.writebacks += 1
+            self._forward_single(victim[0], True)
+        return False
 
     def access_batch(self, addresses: np.ndarray, is_write: np.ndarray) -> int:
         """Process a batch of byte addresses in order; returns the number of hits."""
@@ -167,10 +276,34 @@ class Cache:
         """Process a batch of line addresses in order; returns the number of hits.
 
         Misses generate fill reads and dirty evictions generate writebacks,
-        which are forwarded (in order) to the next level.
+        which are forwarded (in order) to the next level in one batch.
         """
         if lines.size == 0:
             return 0
+        if self._state is not None:
+            lines = np.ascontiguousarray(lines, dtype=np.int64)
+            outcome = self._state.process_chunk(lines, is_write, self._last_miss_line)
+            self._apply_outcome(outcome)
+            if outcome.forwarded_lines is not None:
+                self._forward(outcome.forwarded_lines, outcome.forwarded_writes)
+            return outcome.hits
+        return self._access_lines_reference(lines, is_write)
+
+    def _apply_outcome(self, outcome: ChunkOutcome) -> None:
+        """Fold one chunk's statistics deltas into the counters."""
+        self.read_hits += outcome.read_hits
+        self.write_hits += outcome.write_hits
+        self.read_misses += outcome.read_misses
+        self.write_misses += outcome.write_misses
+        self.read_accesses += outcome.read_hits + outcome.read_misses
+        self.write_accesses += outcome.write_hits + outcome.write_misses
+        self.read_replacements += outcome.read_replacements
+        self.write_replacements += outcome.write_replacements
+        self.writebacks += outcome.writebacks
+        self.sequential_misses += outcome.sequential_misses
+        self._last_miss_line = outcome.last_miss_line
+
+    def _access_lines_reference(self, lines: np.ndarray, is_write: np.ndarray) -> int:
         set_indices = (lines & self._set_mask).tolist()
         line_list = lines.tolist()
         write_list = is_write.tolist()
@@ -251,25 +384,43 @@ class Cache:
         self.sequential_misses += sequential_misses
         self._last_miss_line = last_miss_line
 
-        if self.next_level is not None and forwarded_lines:
-            forwarded = np.asarray(forwarded_lines, dtype=np.int64)
-            flags = np.asarray(forwarded_writes, dtype=bool)
-            if hasattr(self.next_level, "access_lines"):
-                # Next cache level indexes by line address of *its own* line size;
-                # convert back to byte addresses to stay line-size agnostic.
-                self.next_level.access_batch(forwarded << self._offset_bits, flags)
-            else:
-                self.next_level.access_batch(forwarded << self._offset_bits, flags)
+        if forwarded_lines:
+            self._forward(
+                np.asarray(forwarded_lines, dtype=np.int64),
+                np.asarray(forwarded_writes, dtype=bool),
+            )
         return hits
+
+    # -- forwarding ---------------------------------------------------------
+    def _forward(self, lines: np.ndarray, is_write: np.ndarray) -> None:
+        """Hand the fill/write-back stream of one chunk to the next level."""
+        if self.next_level is None:
+            return
+        if self._forward_lines_directly:
+            # Same line size below: line addresses are identical, skip the
+            # byte-address round trip.
+            self.next_level.access_lines(lines, is_write)
+        else:
+            self.next_level.access_batch(lines << self._offset_bits, is_write)
+
+    def _forward_single(self, line: int, is_write: bool) -> None:
+        """Scalar counterpart of :meth:`_forward` (no array allocations)."""
+        if self.next_level is None:
+            return
+        self.next_level.access(line << self._offset_bits, is_write)
 
     # -- introspection ------------------------------------------------------
     def resident_lines(self) -> int:
         """Number of valid lines currently resident."""
+        if self._state is not None:
+            return self._state.resident_lines()
         return sum(len(entries) for entries in self._sets)
 
     def contains(self, address: int) -> bool:
         """Whether the line holding ``address`` is resident."""
-        line = address >> self._offset_bits
+        line = int(address) >> self._offset_bits
+        if self._state is not None:
+            return self._state.contains_line(line)
         entries = self._sets[line & self._set_mask]
         return any(entry[0] == line for entry in entries)
 
@@ -277,5 +428,5 @@ class Cache:
         cfg = self.config
         return (
             f"Cache({cfg.name}, {cfg.size_bytes // 1024}K, {cfg.sets} sets, "
-            f"{cfg.associativity}-way)"
+            f"{cfg.associativity}-way, engine={self.engine})"
         )

@@ -6,7 +6,7 @@ the x86 CPU has a large L3 (LLC).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
 
@@ -49,9 +49,9 @@ TABLE1_ROWS: List[tuple] = [
 ]
 
 
-def cache_hierarchy_for(arch: str) -> CacheHierarchy:
+def cache_hierarchy_for(arch: str, engine: Optional[str] = None) -> CacheHierarchy:
     """Instantiate the Table I cache hierarchy for ``arch`` (x86/arm/riscv)."""
     key = arch.strip().lower()
     if key not in CACHE_HIERARCHIES:
         raise KeyError(f"no cache hierarchy defined for architecture {arch!r}")
-    return CacheHierarchy(CACHE_HIERARCHIES[key])
+    return CacheHierarchy(CACHE_HIERARCHIES[key], engine=engine)

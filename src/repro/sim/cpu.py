@@ -29,12 +29,23 @@ class TraceOptions:
     Both keep large kernels tractable; instruction counts stay exact because
     they are computed analytically, and the predictor features are ratios, so
     sampling the trace does not bias them.
+
+    ``engine`` selects the cache-simulation engine (``"reference"`` or
+    ``"vectorized"``, see :mod:`repro.sim.engine`); ``None`` uses the
+    process-wide default.  Both engines produce bit-identical statistics, so
+    the choice only affects host throughput.  ``chunk_iterations`` trades a
+    few MB of trace buffering for vectorization width: larger chunks amortize
+    the fixed per-chunk cost of the vectorized engine.  Statistics are
+    chunking-invariant when ``sample_fraction`` is 1; sampled traces keep or
+    drop whole chunks, so pin ``chunk_iterations`` explicitly when a sampled
+    run must stay reproducible across releases.
     """
 
     max_accesses: Optional[int] = None
     sample_fraction: float = 1.0
-    chunk_iterations: int = 1 << 14
+    chunk_iterations: int = 1 << 16
     seed: int = 0
+    engine: Optional[str] = None
 
 
 class AtomicSimpleCPU:
@@ -116,7 +127,7 @@ class AtomicSimpleCPU:
         total_fetches = sum(counts.values())
         misses = math.ceil(program.static_code_bytes / line_bytes)
         for root in program.roots:
-            footprint_lines = math.ceil(max(program._code_bytes(root), 1.0) / line_bytes)
+            footprint_lines = math.ceil(max(program.code_bytes(root), 1.0) / line_bytes)
             misses += footprint_lines
             if footprint_lines > capacity_lines and isinstance(root, Loop):
                 overflow = footprint_lines - capacity_lines

@@ -1,0 +1,571 @@
+"""Vectorized cache-simulation engine: array-based tag stores and a fused
+chunk-level hierarchy walk.
+
+The reference implementation in :mod:`repro.sim.cache` walks every memory
+reference through a per-access Python loop over per-set lists.  That loop is
+the hot path of the whole reproduction — every benchmark and every
+dataset-generation run funnels the full memory trace through it — so this
+module provides a drop-in engine that processes each trace chunk with
+array-level operations instead.
+
+State layout
+------------
+Each cache level keeps fixed-shape NumPy arrays:
+
+* ``tags``  — ``(sets, associativity) int64``; ``-1`` marks an empty way.
+* ``dirty`` — ``(sets, associativity) bool``; write-back state per way.
+* ``age``   — ``(sets, associativity) int64``; last-use tick (LRU victims).
+* ``order`` — ``(sets, associativity) int64``; insertion tick (FIFO victims).
+* ``occupancy`` — ``(sets,) int64``; ways are filled in order before any
+  eviction happens, so ways ``[0, occupancy)`` are exactly the valid ones.
+
+Chunk algorithm
+---------------
+Accesses within one chunk are independent across sets; only accesses to the
+*same* set form a dependency chain.  A chunk is therefore processed as:
+
+1. **Stable sort by set** — groups each set's accesses while preserving
+   program order inside the group.
+2. **Run collapse** — consecutive same-line accesses within a set group are
+   guaranteed hits after the first one (nothing can evict the line in
+   between), so each run is collapsed to a single head access carrying two
+   flags: the write flag of the head (statistics attribution) and whether any
+   access of the run writes (dirty state).
+3. **First-touch pre-resolution (LRU)** — for a set whose chunk touches at
+   most ``associativity`` distinct lines, a line once touched can never be
+   evicted before the chunk ends (an LRU victim is always the oldest way,
+   and untouched ways are always older than touched ones), so every
+   *re-touch* head is a guaranteed hit.  Only the first touch of each
+   distinct line needs sequential processing, which bounds the dependency
+   chain per set at ``associativity`` events.
+4. **Rank rounds** — the remaining events are processed in rounds: round
+   ``r`` handles the ``r``-th event of every set at once (all distinct sets,
+   hence fully vectorizable).  When a round gets too narrow (a few heavily
+   skewed sets), the tail is finished by a scalar loop over the array state —
+   this is the intra-chunk same-set dependency fallback.
+5. **Global reconstruction** — hit/miss outcomes are scattered back to trace
+   positions to compute sequential-miss statistics and to materialize the
+   forwarded fill/write-back stream *in program order* as two arrays, which
+   the owning cache hands to the next level in one call.  The whole
+   L1D→L2→(L3)→memory walk therefore runs as one chunk-level pass per level
+   instead of per-access bookkeeping.
+
+The random replacement policy is not vectorized: its victim choice consumes
+one RNG draw per eviction *in trace order*, which a round-based schedule
+cannot replay bit-identically.  :class:`repro.sim.cache.Cache` keeps the
+reference engine for random-replacement caches.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Engine identifiers, threaded through ``Cache`` / ``CacheHierarchy`` /
+#: ``Simulator`` / ``SimulatorPool`` / ``TraceOptions``.
+ENGINE_REFERENCE = "reference"
+ENGINE_VECTORIZED = "vectorized"
+ENGINES = (ENGINE_REFERENCE, ENGINE_VECTORIZED)
+
+#: Chunks smaller than this are processed by the scalar loop directly; the
+#: fixed cost of the vector path (sort, segment bookkeeping) does not pay off.
+SCALAR_CHUNK_CUTOFF = 48
+#: Rank rounds narrower than this finish through the per-set chain loop: a
+#: round has a fixed cost of a few dozen NumPy calls, so below this width the
+#: list-based tail is cheaper per event.
+ROUND_WIDTH_CUTOFF = 24
+
+
+def default_engine() -> str:
+    """The engine used when none is requested (``REPRO_SIM_ENGINE`` overrides)."""
+    return os.environ.get("REPRO_SIM_ENGINE", ENGINE_VECTORIZED)
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate ``engine``, substituting the default when ``None``."""
+    engine = engine or default_engine()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown simulation engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+@dataclass
+class ChunkOutcome:
+    """Statistics deltas and the forwarded stream of one processed chunk."""
+
+    hits: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    read_replacements: int = 0
+    write_replacements: int = 0
+    writebacks: int = 0
+    sequential_misses: int = 0
+    last_miss_line: int = -2
+    #: Fills and write-backs for the next level, in program order (fills are
+    #: reads from below, write-backs are writes); ``None`` when nothing missed.
+    forwarded_lines: Optional[np.ndarray] = None
+    forwarded_writes: Optional[np.ndarray] = None
+
+
+class VectorCacheState:
+    """Array-based tag store and chunk processor for one cache level."""
+
+    def __init__(self, sets: int, associativity: int, replacement: str):
+        if replacement not in ("lru", "fifo"):
+            raise ValueError(
+                f"vectorized engine supports lru/fifo replacement, got {replacement!r}"
+            )
+        self.sets = sets
+        self.associativity = associativity
+        self.replacement = replacement
+        self._set_mask = sets - 1
+        self.reset()
+
+    def reset(self) -> None:
+        """Flush all resident lines."""
+        sets, assoc = self.sets, self.associativity
+        self.tags = np.full((sets, assoc), -1, dtype=np.int64)
+        self.dirty = np.zeros((sets, assoc), dtype=bool)
+        self.age = np.zeros((sets, assoc), dtype=np.int64)
+        self.order = np.zeros((sets, assoc), dtype=np.int64)
+        self.occupancy = np.zeros(sets, dtype=np.int64)
+        # Monotone global tick; pre-chunk ages are always strictly smaller
+        # than the ticks assigned inside the next chunk.
+        self._tick = 1
+
+    # -- introspection ------------------------------------------------------
+    def resident_lines(self) -> int:
+        """Number of valid lines currently resident."""
+        return int(self.occupancy.sum())
+
+    def contains_line(self, line: int) -> bool:
+        """Whether ``line`` is resident."""
+        set_index = line & self._set_mask
+        occupancy = int(self.occupancy[set_index])
+        return bool((self.tags[set_index, :occupancy] == line).any())
+
+    # -- scalar paths -------------------------------------------------------
+    def _scalar_event(
+        self,
+        set_index: int,
+        line: int,
+        dirty_value: bool,
+        age_value: int,
+    ) -> Tuple[bool, int, bool]:
+        """Process one access sequentially on the array state.
+
+        Returns ``(hit, victim_line, victim_was_dirty)`` with ``victim_line``
+        ``-1`` when no valid line was evicted.
+        """
+        tags = self.tags
+        occupancy = int(self.occupancy[set_index])
+        row = tags[set_index]
+        way = -1
+        for candidate in range(occupancy):
+            if row[candidate] == line:
+                way = candidate
+                break
+        lru = self.replacement == "lru"
+        if way >= 0:
+            if dirty_value:
+                self.dirty[set_index, way] = True
+            if lru:
+                self.age[set_index, way] = age_value
+            return True, -1, False
+        victim_line = -1
+        victim_dirty = False
+        if occupancy < self.associativity:
+            way = occupancy
+            self.occupancy[set_index] = occupancy + 1
+        else:
+            if lru:
+                way = int(self.age[set_index].argmin())
+            else:
+                way = int(self.order[set_index].argmin())
+            victim_line = int(row[way])
+            victim_dirty = bool(self.dirty[set_index, way])
+        tags[set_index, way] = line
+        self.dirty[set_index, way] = dirty_value
+        if lru:
+            self.age[set_index, way] = age_value
+        else:
+            self.order[set_index, way] = age_value
+        return False, victim_line, victim_dirty
+
+    def process_single(self, line: int, is_write: bool, last_miss_line: int) -> ChunkOutcome:
+        """Scalar fast path for one access (no array allocations on hits)."""
+        outcome = ChunkOutcome(last_miss_line=last_miss_line)
+        set_index = line & self._set_mask
+        tick = self._tick
+        self._tick = tick + 1
+        hit, victim_line, victim_dirty = self._scalar_event(set_index, line, is_write, tick)
+        if hit:
+            outcome.hits = 1
+            if is_write:
+                outcome.write_hits = 1
+            else:
+                outcome.read_hits = 1
+            return outcome
+        if is_write:
+            outcome.write_misses = 1
+        else:
+            outcome.read_misses = 1
+        if line == last_miss_line + 1:
+            outcome.sequential_misses = 1
+        outcome.last_miss_line = line
+        forwarded: List[int] = [line]
+        flags: List[bool] = [False]
+        if victim_line >= 0:
+            if is_write:
+                outcome.write_replacements = 1
+            else:
+                outcome.read_replacements = 1
+            if victim_dirty:
+                outcome.writebacks = 1
+                forwarded.append(victim_line)
+                flags.append(True)
+        outcome.forwarded_lines = np.asarray(forwarded, dtype=np.int64)
+        outcome.forwarded_writes = np.asarray(flags, dtype=bool)
+        return outcome
+
+    def _process_scalar_chunk(
+        self, lines: np.ndarray, is_write: np.ndarray, last_miss_line: int
+    ) -> ChunkOutcome:
+        """Reference-order scalar loop over the array state (small chunks)."""
+        outcome = ChunkOutcome(last_miss_line=last_miss_line)
+        forwarded: List[int] = []
+        flags: List[bool] = []
+        tick = self._tick
+        for line, write in zip(lines.tolist(), is_write.tolist()):
+            set_index = line & self._set_mask
+            hit, victim_line, victim_dirty = self._scalar_event(set_index, line, write, tick)
+            tick += 1
+            if hit:
+                outcome.hits += 1
+                if write:
+                    outcome.write_hits += 1
+                else:
+                    outcome.read_hits += 1
+                continue
+            if write:
+                outcome.write_misses += 1
+            else:
+                outcome.read_misses += 1
+            if line == outcome.last_miss_line + 1:
+                outcome.sequential_misses += 1
+            outcome.last_miss_line = line
+            forwarded.append(line)
+            flags.append(False)
+            if victim_line >= 0:
+                if write:
+                    outcome.write_replacements += 1
+                else:
+                    outcome.read_replacements += 1
+                if victim_dirty:
+                    outcome.writebacks += 1
+                    forwarded.append(victim_line)
+                    flags.append(True)
+        self._tick = tick
+        if forwarded:
+            outcome.forwarded_lines = np.asarray(forwarded, dtype=np.int64)
+            outcome.forwarded_writes = np.asarray(flags, dtype=bool)
+        return outcome
+
+    # -- vectorized chunk path ---------------------------------------------
+    def process_chunk(
+        self, lines: np.ndarray, is_write: np.ndarray, last_miss_line: int
+    ) -> ChunkOutcome:
+        """Process one in-order chunk of line addresses; see the module docs."""
+        n = int(lines.size)
+        if n == 0:
+            return ChunkOutcome(last_miss_line=last_miss_line)
+        if n < SCALAR_CHUNK_CUTOFF:
+            return self._process_scalar_chunk(lines, is_write, last_miss_line)
+
+        lru = self.replacement == "lru"
+        assoc = self.associativity
+        set_idx = lines & self._set_mask
+        # Stable integer argsort is a radix sort with one pass per key byte;
+        # set indices fit one or two bytes, so narrowing the key dtype cuts
+        # the dominant sort cost to 1-2 passes.
+        if self.sets <= (1 << 8):
+            sort_key = set_idx.astype(np.uint8)
+        elif self.sets <= (1 << 16):
+            sort_key = set_idx.astype(np.uint16)
+        else:
+            sort_key = set_idx
+        perm = np.argsort(sort_key, kind="stable")
+        sorted_lines = lines[perm]
+        sorted_sets = set_idx[perm]
+        sorted_writes = is_write[perm]
+
+        # 2. collapse consecutive same-line runs within each set group
+        head_flag = np.empty(n, dtype=bool)
+        head_flag[0] = True
+        np.logical_or(
+            sorted_lines[1:] != sorted_lines[:-1],
+            sorted_sets[1:] != sorted_sets[:-1],
+            out=head_flag[1:],
+        )
+        head_pos = np.flatnonzero(head_flag)
+        n_heads = int(head_pos.size)
+        head_lines = sorted_lines[head_pos]
+        head_sets = sorted_sets[head_pos]
+        first_write = sorted_writes[head_pos]
+        run_writes = np.add.reduceat(sorted_writes.astype(np.int64), head_pos)
+        any_write = run_writes > 0
+        run_len = np.empty(n_heads, dtype=np.int64)
+        if n_heads > 1:
+            run_len[:-1] = np.diff(head_pos)
+        run_len[-1] = n - head_pos[-1]
+        head_orig = perm[head_pos]
+        last_orig = perm[head_pos + run_len - 1]
+
+        # 3. first-touch pre-resolution (LRU): group heads by (set, line)
+        if lru:
+            group_perm = np.lexsort((head_lines, head_sets))
+            grouped_sets = head_sets[group_perm]
+            grouped_lines = head_lines[group_perm]
+            group_flag = np.empty(n_heads, dtype=bool)
+            group_flag[0] = True
+            np.logical_or(
+                grouped_sets[1:] != grouped_sets[:-1],
+                grouped_lines[1:] != grouped_lines[:-1],
+                out=group_flag[1:],
+            )
+            group_start = np.flatnonzero(group_flag)
+            group_of_sorted = np.cumsum(group_flag) - 1
+            group_any_write = np.add.reduceat(any_write[group_perm].astype(np.int64), group_start) > 0
+            group_last = np.maximum.reduceat(last_orig[group_perm], group_start)
+            first_touch = np.zeros(n_heads, dtype=bool)
+            first_touch[group_perm[group_start]] = True
+            agg_any_write = np.empty(n_heads, dtype=bool)
+            agg_any_write[group_perm] = group_any_write[group_of_sorted]
+            agg_last = np.empty(n_heads, dtype=np.int64)
+            agg_last[group_perm] = group_last[group_of_sorted]
+            distinct_per_set = np.bincount(grouped_sets[group_start], minlength=self.sets)
+            compliant = (distinct_per_set <= assoc)[head_sets]
+            use_agg = compliant & first_touch
+            event_mask = first_touch | ~compliant
+            dirty_value = np.where(use_agg, agg_any_write, any_write)
+            age_value = np.where(use_agg, agg_last, last_orig)
+        else:
+            event_mask = np.ones(n_heads, dtype=bool)
+            dirty_value = any_write
+            age_value = head_orig  # FIFO: insertion order of the access
+
+        event_pos = np.flatnonzero(event_mask)
+        n_events = int(event_pos.size)
+        event_sets = head_sets[event_pos]
+        event_lines = head_lines[event_pos]
+        event_dirty = dirty_value[event_pos]
+        event_age = age_value[event_pos] + self._tick
+        event_orig = head_orig[event_pos]
+        hit_out = np.zeros(n_events, dtype=bool)
+        victim_line = np.full(n_events, -1, dtype=np.int64)
+        victim_wb = np.zeros(n_events, dtype=bool)
+
+        if n_events:
+            self._run_events(
+                event_sets, event_lines, event_dirty, event_age, hit_out, victim_line, victim_wb
+            )
+        self._tick += n
+
+        # 5. statistics and the forwarded stream, in program order
+        outcome = ChunkOutcome(last_miss_line=last_miss_line)
+        followers_total = n - n_heads
+        followers_writes = int(run_writes.sum()) - int(np.count_nonzero(first_write))
+        event_first_write = first_write[event_pos]
+        miss_out = ~hit_out
+        n_misses = int(np.count_nonzero(miss_out))
+        write_misses = int(np.count_nonzero(miss_out & event_first_write))
+        event_write_hits = int(np.count_nonzero(hit_out & event_first_write))
+        head_write = int(np.count_nonzero(first_write))
+        # Pre-resolved re-touch heads are hits; attribute them by their own flag.
+        resolved_hits = n_heads - n_events
+        resolved_write_hits = head_write - int(np.count_nonzero(event_first_write))
+        outcome.hits = n - n_misses
+        outcome.write_hits = followers_writes + event_write_hits + resolved_write_hits
+        outcome.read_hits = outcome.hits - outcome.write_hits
+        outcome.write_misses = write_misses
+        outcome.read_misses = n_misses - write_misses
+        replaced = miss_out & (victim_line >= 0)
+        outcome.write_replacements = int(np.count_nonzero(replaced & event_first_write))
+        outcome.read_replacements = int(np.count_nonzero(replaced)) - outcome.write_replacements
+        outcome.writebacks = int(np.count_nonzero(victim_wb))
+        del resolved_hits  # implied by the hit total; kept for readability above
+
+        if n_misses:
+            trace_order = np.argsort(event_orig[miss_out])
+            miss_lines = event_lines[miss_out][trace_order]
+            outcome.sequential_misses = int(np.count_nonzero(miss_lines[1:] == miss_lines[:-1] + 1))
+            if miss_lines[0] == last_miss_line + 1:
+                outcome.sequential_misses += 1
+            outcome.last_miss_line = int(miss_lines[-1])
+
+            writeback = victim_wb[miss_out][trace_order]
+            victims = victim_line[miss_out][trace_order]
+            total_forwarded = n_misses + int(np.count_nonzero(writeback))
+            forwarded = np.empty(total_forwarded, dtype=np.int64)
+            flags = np.zeros(total_forwarded, dtype=bool)
+            slots = np.zeros(n_misses, dtype=np.int64)
+            np.cumsum(1 + writeback[:-1], out=slots[1:])
+            forwarded[slots] = miss_lines
+            wb_slots = slots[writeback] + 1
+            forwarded[wb_slots] = victims[writeback]
+            flags[wb_slots] = True
+            outcome.forwarded_lines = forwarded
+            outcome.forwarded_writes = flags
+        return outcome
+
+    def _run_events(
+        self,
+        event_sets: np.ndarray,
+        event_lines: np.ndarray,
+        event_dirty: np.ndarray,
+        event_age: np.ndarray,
+        hit_out: np.ndarray,
+        victim_line: np.ndarray,
+        victim_wb: np.ndarray,
+    ) -> None:
+        """Rank rounds over per-set event chains (events are sorted by set)."""
+        n_events = int(event_sets.size)
+        boundary = np.empty(n_events, dtype=bool)
+        boundary[0] = True
+        np.not_equal(event_sets[1:], event_sets[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        sizes = np.empty(starts.size, dtype=np.int64)
+        if starts.size > 1:
+            sizes[:-1] = np.diff(starts)
+        sizes[-1] = n_events - starts[-1]
+        by_size = np.argsort(-sizes, kind="stable")
+        starts_desc = starts[by_size]
+        neg_sizes = -sizes[by_size]  # ascending
+
+        tags, dirty, age, order = self.tags, self.dirty, self.age, self.order
+        occupancy = self.occupancy
+        lru = self.replacement == "lru"
+        assoc = self.associativity
+        rounds = int(sizes[by_size[0]])
+        lanes = np.arange(min(int(starts.size), n_events))
+        round_index = 0
+        while round_index < rounds:
+            # groups still alive in this round have size > round_index
+            width = int(np.searchsorted(neg_sizes, -round_index, side="left"))
+            if width < ROUND_WIDTH_CUTOFF:
+                break
+            idx = starts_desc[:width] + round_index
+            sel = event_sets[idx]
+            line = event_lines[idx]
+            rows = tags[sel]
+            match = rows == line[:, None]
+            hit = match.any(axis=1)
+            way_hit = match.argmax(axis=1)
+            occ_sel = occupancy[sel]
+            full = occ_sel == assoc
+            if lru:
+                victim_way = age[sel].argmin(axis=1)
+            else:
+                victim_way = order[sel].argmin(axis=1)
+            way = np.where(hit, way_hit, np.where(full, victim_way, occ_sel))
+            evicted = rows[lanes[:width], way]
+            miss = ~hit
+            evicting = miss & full
+            hit_out[idx] = hit
+            victim_line[idx] = np.where(evicting, evicted, -1)
+            victim_wb[idx] = evicting & dirty[sel, way]
+            tags[sel, way] = line
+            dirty[sel, way] = (dirty[sel, way] & hit) | event_dirty[idx]
+            if lru:
+                age[sel, way] = event_age[idx]
+            else:
+                order[sel, way] = np.where(miss, event_age[idx], order[sel, way])
+            occupancy[sel] = occ_sel + (miss & ~full)
+            round_index += 1
+
+        if round_index < rounds:
+            # Chain tail: the few sets whose event chains outlive the wide
+            # rounds (intra-chunk same-set dependency runs) are finished by
+            # an ordered-list walk at reference-loop speed.
+            remaining = int(np.searchsorted(neg_sizes, -round_index, side="left"))
+            for lane in range(remaining):
+                start = int(starts_desc[lane]) + round_index
+                stop = int(starts_desc[lane]) - int(neg_sizes[lane])
+                self._scalar_chain(
+                    int(event_sets[start]),
+                    event_lines[start:stop].tolist(),
+                    event_dirty[start:stop].tolist(),
+                    event_age[start:stop].tolist(),
+                    start,
+                    hit_out,
+                    victim_line,
+                    victim_wb,
+                )
+
+    def _scalar_chain(
+        self,
+        set_index: int,
+        chain_lines: list,
+        chain_dirty: list,
+        chain_age: list,
+        out_offset: int,
+        hit_out: np.ndarray,
+        victim_line: np.ndarray,
+        victim_wb: np.ndarray,
+    ) -> None:
+        """Walk one set's remaining event chain on an ordered entry list.
+
+        The set's array state is converted to a recency-ordered (LRU) or
+        insertion-ordered (FIFO) list of ``[tag, dirty, tick]`` entries once
+        and the chain is processed with the O(1)-victim reference algorithm.
+        List order is only used for victim picks inside the chain (where it
+        is exact, see the first-touch argument in the module docs); the final
+        write-back uses the events' explicit ticks, which carry the
+        aggregated last-touch position of pre-resolved re-touches.
+        """
+        lru = self.replacement == "lru"
+        assoc = self.associativity
+        occupancy = int(self.occupancy[set_index])
+        recency = self.age if lru else self.order
+        order_desc = np.argsort(-recency[set_index, :occupancy], kind="stable")
+        tag_row = self.tags[set_index]
+        dirty_row = self.dirty[set_index]
+        entries = [
+            [int(tag_row[way]), bool(dirty_row[way]), int(recency[set_index, way])]
+            for way in order_desc
+        ]
+        for position, (line, dirty_value, tick) in enumerate(
+            zip(chain_lines, chain_dirty, chain_age)
+        ):
+            found = None
+            for slot, entry in enumerate(entries):
+                if entry[0] == line:
+                    found = slot
+                    break
+            if found is not None:
+                hit_out[out_offset + position] = True
+                if dirty_value:
+                    entries[found][1] = True
+                if lru:
+                    entries[found][2] = tick
+                    if found != 0:
+                        entries.insert(0, entries.pop(found))
+                continue
+            if len(entries) >= assoc:
+                victim = entries.pop()
+                victim_line[out_offset + position] = victim[0]
+                victim_wb[out_offset + position] = victim[1]
+            entries.insert(0, [line, dirty_value, tick])
+        occupancy = len(entries)
+        self.occupancy[set_index] = occupancy
+        for way, entry in enumerate(entries):
+            tag_row[way] = entry[0]
+            dirty_row[way] = entry[1]
+            recency[set_index, way] = entry[2]
+        tag_row[occupancy:] = -1
+        dirty_row[occupancy:] = False

@@ -57,17 +57,20 @@ class CacheHierarchy:
     CPUs in the paper.
     """
 
-    def __init__(self, config: CacheHierarchyConfig):
+    def __init__(self, config: CacheHierarchyConfig, engine: Optional[str] = None):
         self.config = config
+        self.engine = engine
         self.memory = MainMemory()
         last_level: object = self.memory
         self.l3: Optional[Cache] = None
         if config.l3 is not None:
-            self.l3 = Cache(config.l3.to_cache_config("l3", config.line_bytes), last_level)
+            self.l3 = Cache(
+                config.l3.to_cache_config("l3", config.line_bytes), last_level, engine=engine
+            )
             last_level = self.l3
-        self.l2 = Cache(config.l2.to_cache_config("l2", config.line_bytes), last_level)
-        self.l1d = Cache(config.l1d.to_cache_config("l1d", config.line_bytes), self.l2)
-        self.l1i = Cache(config.l1i.to_cache_config("l1i", config.line_bytes), self.l2)
+        self.l2 = Cache(config.l2.to_cache_config("l2", config.line_bytes), last_level, engine=engine)
+        self.l1d = Cache(config.l1d.to_cache_config("l1d", config.line_bytes), self.l2, engine=engine)
+        self.l1i = Cache(config.l1i.to_cache_config("l1i", config.line_bytes), self.l2, engine=engine)
 
     # -- access paths -----------------------------------------------------
     def access_data(self, address: int, is_write: bool) -> bool:

@@ -1,0 +1,142 @@
+"""Simulation-result memoization.
+
+The autotuning loop re-simulates identical schedules across rounds — the
+tuner proposes a configuration, measures it, and frequently proposes it (or a
+behaviourally identical sibling) again later.  Because the simulator is a
+pure function of ``(program content, hierarchy configuration, trace
+options, engine)``, its results can be cached on that key.
+
+:class:`SimulationCache` is an LRU-bounded in-memory store with an optional
+on-disk layer.  Values are stored as flat statistics snapshots and
+reconstructed into fresh :class:`~repro.sim.stats.SimulationStats` objects on
+every lookup, so callers can never mutate a cached entry through an alias.
+The store is thread-safe: the ``threads`` backend of
+:class:`~repro.sim.simulator.SimulatorPool` shares one cache across workers.
+
+Memoized statistics match a fresh simulation bit-for-bit except for
+``sim.host_seconds``, which is rewritten by the caller to the (much smaller)
+lookup time — reporting the original walk time for a served-from-cache run
+would misstate simulation cost, e.g. in the Eq. 4 speedup accounting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.sim.stats import SimulationStats
+
+
+class SimulationCache:
+    """LRU-bounded memoization store for simulation statistics."""
+
+    def __init__(self, maxsize: int = 128, disk_dir: Optional[Union[str, Path]] = None):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._entries: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ---------------------------------------------------------------
+    @staticmethod
+    def make_key(program, hierarchy_config, trace_options, engine: str) -> str:
+        """The memoization key of one simulation request."""
+        payload = {
+            "program": program.content_digest(),
+            "hierarchy": asdict(hierarchy_config),
+            "trace": asdict(trace_options),
+            "engine": engine,
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    # -- store --------------------------------------------------------------
+    def get(self, key: str) -> Optional[SimulationStats]:
+        """Look up a cached result; returns a fresh stats object or ``None``."""
+        with self._lock:
+            flat = self._entries.get(key)
+            if flat is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return _stats_from_flat(flat)
+            flat = self._load_from_disk(key)
+            if flat is not None:
+                self._insert(key, flat)
+                self.hits += 1
+                return _stats_from_flat(flat)
+            self.misses += 1
+            return None
+
+    def put(self, key: str, stats: SimulationStats) -> None:
+        """Store one simulation result."""
+        flat = dict(stats.as_dict())
+        with self._lock:
+            self._insert(key, flat)
+        if self.disk_dir is not None:
+            # File I/O happens outside the lock so concurrent workers are
+            # not serialized behind a disk write.
+            path = self.disk_dir / f"{key}.json"
+            path.write_text(json.dumps(flat, sort_keys=True), encoding="utf-8")
+
+    def _insert(self, key: str, flat: Dict[str, float]) -> None:
+        self._entries[key] = flat
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def _load_from_disk(self, key: str) -> Optional[Dict[str, float]]:
+        if self.disk_dir is None:
+            return None
+        path = self.disk_dir / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):  # corrupted entry: treat as a miss
+            return None
+        return {str(k): float(v) for k, v in payload.items()}
+
+    # -- management ---------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all in-memory entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationCache({len(self._entries)}/{self.maxsize} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+
+def _stats_from_flat(flat: Dict[str, float]) -> SimulationStats:
+    """Rebuild a :class:`SimulationStats` from its flat snapshot."""
+    stats = SimulationStats()
+    for flat_key, value in flat.items():
+        group_name, _, key = flat_key.rpartition(".")
+        stats.group(group_name).set(key, value)
+    return stats
+
+
+#: Process-wide default cache shared by all memoizing simulators.
+_DEFAULT_CACHE = SimulationCache(maxsize=128)
+
+
+def default_simulation_cache() -> SimulationCache:
+    """The process-wide cache used when a simulator enables memoization."""
+    return _DEFAULT_CACHE

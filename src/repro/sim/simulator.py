@@ -4,19 +4,36 @@ A :class:`Simulator` instance corresponds to one gem5 process: an atomic CPU
 with a cold, Table I-parameterised cache hierarchy for the selected
 architecture.  The :class:`SimulatorPool` mirrors the paper's ``n_parallel``
 setting: many independent simulator instances executing different schedule
-implementations concurrently (processes) or back to back (serial fallback).
+implementations concurrently (processes or threads) or back to back (serial
+fallback).
+
+Two cross-cutting performance features live here:
+
+* **Engine selection** — ``engine`` picks the cache-simulation engine
+  (``"reference"`` or ``"vectorized"``, see :mod:`repro.sim.engine`) and is
+  threaded down through the hierarchy; ``TraceOptions.engine`` is honoured
+  when no explicit engine is given.
+* **Result memoization** — ``Simulator.run`` is a pure function of
+  ``(program content, hierarchy config, trace options, engine)``, so results
+  are served from an LRU-bounded :class:`~repro.sim.memo.SimulationCache`
+  when the same triple is simulated again (the tuner re-simulates identical
+  schedules across rounds).  Cached statistics are bit-identical to a fresh
+  run except ``sim.host_seconds``, which reports the cache-lookup time.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.codegen.program import Program
 from repro.sim.configs import CACHE_HIERARCHIES
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
+from repro.sim.engine import resolve_engine
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig
+from repro.sim.memo import SimulationCache, default_simulation_cache
 from repro.sim.stats import SimulationStats
 
 
@@ -29,6 +46,8 @@ class SimulationResult:
     stats: SimulationStats
     trace_accesses: int
     host_seconds: float
+    #: Whether the statistics were served from the memoization cache.
+    cached: bool = False
 
     def flat_stats(self) -> Dict[str, float]:
         """All statistics as a flat ``{"group.key": value}`` dictionary."""
@@ -47,6 +66,9 @@ class Simulator:
         arch: str,
         hierarchy_config: Optional[CacheHierarchyConfig] = None,
         trace_options: TraceOptions = TraceOptions(),
+        engine: Optional[str] = None,
+        memoize: bool = True,
+        memo_cache: Optional[SimulationCache] = None,
     ):
         self.arch = arch.strip().lower()
         if hierarchy_config is None:
@@ -55,12 +77,37 @@ class Simulator:
             hierarchy_config = CACHE_HIERARCHIES[self.arch]
         self.hierarchy_config = hierarchy_config
         self.trace_options = trace_options
+        self.engine = resolve_engine(engine or trace_options.engine)
+        self.memoize = memoize
+        self.memo_cache = memo_cache if memo_cache is not None else (
+            default_simulation_cache() if memoize else None
+        )
 
     def run(self, program: Program) -> SimulationResult:
-        """Simulate ``program`` on a cold cache hierarchy."""
-        hierarchy = CacheHierarchy(self.hierarchy_config)
+        """Simulate ``program`` on a cold cache hierarchy (or serve it cached)."""
+        key = None
+        if self.memoize and self.memo_cache is not None:
+            start = time.perf_counter()
+            key = self.memo_cache.make_key(
+                program, self.hierarchy_config, self.trace_options, self.engine
+            )
+            stats = self.memo_cache.get(key)
+            if stats is not None:
+                elapsed = time.perf_counter() - start
+                stats.group("sim").set("host_seconds", elapsed)
+                return SimulationResult(
+                    program_name=program.name,
+                    arch=self.arch,
+                    stats=stats,
+                    trace_accesses=int(stats.get("sim.trace_accesses")),
+                    host_seconds=elapsed,
+                    cached=True,
+                )
+        hierarchy = CacheHierarchy(self.hierarchy_config, engine=self.engine)
         cpu = AtomicSimpleCPU(hierarchy)
         stats = cpu.run(program, self.trace_options)
+        if key is not None:
+            self.memo_cache.put(key, stats)
         return SimulationResult(
             program_name=program.name,
             arch=self.arch,
@@ -70,9 +117,14 @@ class Simulator:
         )
 
 
-def _run_single(arch: str, hierarchy_config, trace_options, program) -> SimulationResult:
-    simulator = Simulator(arch, hierarchy_config, trace_options)
+def _run_single(arch, hierarchy_config, trace_options, program, engine, memoize) -> SimulationResult:
+    simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
     return simulator.run(program)
+
+
+def _run_slice(arch, hierarchy_config, trace_options, programs, engine, memoize) -> List[SimulationResult]:
+    simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
+    return [simulator.run(program) for program in programs]
 
 
 @dataclass
@@ -81,25 +133,83 @@ class SimulatorPool:
 
     The paper's simulator interface exposes exactly this knob: each schedule
     implementation runs in its own simulator instance, and ``n_parallel``
-    instances run concurrently on the host.
+    instances run concurrently on the host.  Three backends are available:
+
+    * ``"serial"`` — one simulator, programs back to back (the default).
+    * ``"threads"`` — ``n_parallel`` worker threads, each owning one
+      simulator and a contiguous chunk of the program list.  The vectorized
+      engine spends its time inside NumPy kernels that release the
+      interpreter lock, so threads deliver parallelism without the
+      process-spawn and pickling overhead of ``"processes"``.  All workers
+      share the process-wide memoization cache.
+    * ``"processes"`` — one OS process per concurrent simulation (the
+      original behaviour; memoization is per-process).
     """
 
     arch: str
     n_parallel: int = 1
     hierarchy_config: Optional[CacheHierarchyConfig] = None
     trace_options: TraceOptions = field(default_factory=TraceOptions)
-    backend: str = "serial"  # "serial" or "processes"
+    backend: str = "serial"  # "serial", "threads" or "processes"
+    engine: Optional[str] = None
+    memoize: bool = True
+
+    BACKENDS = ("serial", "threads", "processes")
 
     def run_many(self, programs: Sequence[Program]) -> List[SimulationResult]:
         """Simulate all ``programs`` and return results in input order."""
-        if self.backend not in ("serial", "processes"):
-            raise ValueError(f"unknown pool backend {self.backend!r}")
+        if self.backend not in self.BACKENDS:
+            raise ValueError(f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}")
         if self.backend == "serial" or self.n_parallel <= 1 or len(programs) <= 1:
-            simulator = Simulator(self.arch, self.hierarchy_config, self.trace_options)
+            simulator = Simulator(
+                self.arch,
+                self.hierarchy_config,
+                self.trace_options,
+                engine=self.engine,
+                memoize=self.memoize,
+            )
             return [simulator.run(program) for program in programs]
+        if self.backend == "threads":
+            return self._run_threaded(programs)
         with ProcessPoolExecutor(max_workers=self.n_parallel) as pool:
             futures = [
-                pool.submit(_run_single, self.arch, self.hierarchy_config, self.trace_options, p)
-                for p in programs
+                pool.submit(
+                    _run_single,
+                    self.arch,
+                    self.hierarchy_config,
+                    self.trace_options,
+                    program,
+                    self.engine,
+                    self.memoize,
+                )
+                for program in programs
             ]
             return [future.result() for future in futures]
+
+    def _run_threaded(self, programs: Sequence[Program]) -> List[SimulationResult]:
+        """Chunked thread dispatch: each worker runs one contiguous slice."""
+        workers = min(self.n_parallel, len(programs))
+        base, extra = divmod(len(programs), workers)
+        slices: List[Sequence[Program]] = []
+        position = 0
+        for worker in range(workers):
+            size = base + (1 if worker < extra else 0)
+            slices.append(programs[position : position + size])
+            position += size
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_slice,
+                    self.arch,
+                    self.hierarchy_config,
+                    self.trace_options,
+                    chunk,
+                    self.engine,
+                    self.memoize,
+                )
+                for chunk in slices
+            ]
+            results: List[SimulationResult] = []
+            for future in futures:
+                results.extend(future.result())
+        return results

@@ -1,0 +1,323 @@
+"""Tests for the vectorized simulation engine and the memoization layer.
+
+The central property: both engines produce *bit-identical* statistics at
+every cache level for any trace, geometry and replacement policy.  The
+vectorized engine's fast paths (run collapse, first-touch pre-resolution,
+rank rounds, chain tails) are all exercised by the random traces below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    CacheHierarchyConfig,
+    CacheLevelConfig,
+    MainMemory,
+    ReplacementPolicy,
+    SimulationCache,
+    Simulator,
+    SimulatorPool,
+    TraceOptions,
+    resolve_engine,
+)
+import repro.sim.engine as engine_module
+
+
+def make_pair(sets, assoc, policy=ReplacementPolicy.LRU, with_memory=True):
+    """One reference and one vectorized cache with identical geometry."""
+    config = CacheConfig.from_geometry(
+        "test", sets=sets, associativity=assoc, replacement=policy
+    )
+    reference = Cache(
+        config, next_level=MainMemory() if with_memory else None, engine=ENGINE_REFERENCE
+    )
+    vectorized = Cache(
+        config, next_level=MainMemory() if with_memory else None, engine=ENGINE_VECTORIZED
+    )
+    return reference, vectorized
+
+
+def assert_equivalent(reference: Cache, vectorized: Cache):
+    assert reference.stats_dict() == vectorized.stats_dict()
+    assert reference.resident_lines() == vectorized.resident_lines()
+    if reference.next_level is not None:
+        assert reference.next_level.stats_dict() == vectorized.next_level.stats_dict()
+
+
+GEOMETRIES = [(4, 2), (8, 1), (2, 4), (16, 4), (64, 8)]
+
+
+class TestEngineSelection:
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_engine("quantum")
+
+    def test_resolve_default(self):
+        assert resolve_engine(None) in (ENGINE_REFERENCE, ENGINE_VECTORIZED)
+
+    def test_random_policy_falls_back_to_reference(self):
+        config = CacheConfig.from_geometry(
+            "rand", sets=4, associativity=2, replacement=ReplacementPolicy.RANDOM
+        )
+        cache = Cache(config, engine=ENGINE_VECTORIZED)
+        assert cache.engine == ENGINE_REFERENCE
+
+    def test_trace_options_engine_threaded_to_simulator(self):
+        simulator = Simulator("arm", trace_options=TraceOptions(engine=ENGINE_REFERENCE))
+        assert simulator.engine == ENGINE_REFERENCE
+        explicit = Simulator(
+            "arm",
+            trace_options=TraceOptions(engine=ENGINE_REFERENCE),
+            engine=ENGINE_VECTORIZED,
+        )
+        assert explicit.engine == ENGINE_VECTORIZED
+
+    def test_hierarchy_engine_threaded_to_caches(self):
+        config = CacheHierarchyConfig(
+            name="mini",
+            l1d=CacheLevelConfig(size_bytes=2 * 64 * 2, sets=2, associativity=2),
+            l1i=CacheLevelConfig(size_bytes=2 * 64 * 2, sets=2, associativity=2),
+            l2=CacheLevelConfig(size_bytes=4 * 64 * 4, sets=4, associativity=4),
+            line_bytes=64,
+        )
+        hierarchy = CacheHierarchy(config, engine=ENGINE_VECTORIZED)
+        assert all(c.engine == ENGINE_VECTORIZED for c in hierarchy.all_caches().values())
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 300), st.booleans()), min_size=1, max_size=600),
+        st.sampled_from(GEOMETRIES),
+        st.sampled_from([ReplacementPolicy.LRU, ReplacementPolicy.FIFO, ReplacementPolicy.RANDOM]),
+        st.integers(1, 4),
+    )
+    def test_property_equivalence(self, accesses, geometry, policy, n_chunks):
+        """Random traces through both engines give identical per-level stats."""
+        sets, assoc = geometry
+        reference, vectorized = make_pair(sets, assoc, policy=policy)
+        lines = np.asarray([line for line, _ in accesses], dtype=np.int64)
+        writes = np.asarray([write for _, write in accesses], dtype=bool)
+        for chunk_lines, chunk_writes in zip(
+            np.array_split(lines, n_chunks), np.array_split(writes, n_chunks)
+        ):
+            reference.access_lines(chunk_lines, chunk_writes)
+            vectorized.access_lines(chunk_lines, chunk_writes)
+        assert_equivalent(reference, vectorized)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_large_random_trace_equivalence(self, seed):
+        """Bulk traces exercise the wide-round and chain-tail paths."""
+        rng = np.random.default_rng(seed)
+        reference, vectorized = make_pair(16, 4)
+        for _ in range(3):
+            size = int(rng.integers(200, 4000))
+            lines = rng.integers(0, 400, size=size).astype(np.int64)
+            writes = rng.random(size) < 0.3
+            reference.access_lines(lines, writes)
+            vectorized.access_lines(lines, writes)
+        assert_equivalent(reference, vectorized)
+
+    def test_skewed_trace_hits_chain_tail(self):
+        """A single-set-dominated trace goes through the scalar chain tail."""
+        rng = np.random.default_rng(0)
+        for policy in (ReplacementPolicy.LRU, ReplacementPolicy.FIFO):
+            reference, vectorized = make_pair(8, 2, policy=policy)
+            hot = rng.integers(0, 64, size=3000) * 8  # always set 0
+            cold = rng.integers(0, 512, size=1000)
+            lines = np.concatenate([hot, cold])
+            rng.shuffle(lines)
+            writes = rng.random(lines.size) < 0.5
+            reference.access_lines(lines, writes)
+            vectorized.access_lines(lines, writes)
+            assert_equivalent(reference, vectorized)
+
+    def test_sequential_miss_equivalence_across_chunks(self):
+        reference, vectorized = make_pair(64, 8)
+        first = np.arange(100, dtype=np.int64)
+        second = np.arange(100, 200, dtype=np.int64)  # continues the streak
+        for cache in (reference, vectorized):
+            cache.access_lines(first, np.zeros(100, dtype=bool))
+            cache.access_lines(second, np.zeros(100, dtype=bool))
+        assert_equivalent(reference, vectorized)
+        assert vectorized.sequential_misses == 199
+
+    def test_hierarchy_equivalence_with_and_without_l3(self):
+        rng = np.random.default_rng(7)
+        small = CacheLevelConfig(size_bytes=4 * 64 * 2, sets=4, associativity=2)
+        mid = CacheLevelConfig(size_bytes=8 * 64 * 4, sets=8, associativity=4)
+        big = CacheLevelConfig(size_bytes=16 * 64 * 4, sets=16, associativity=4)
+        for l3 in (None, big):
+            config = CacheHierarchyConfig(name="t", l1d=small, l1i=small, l2=mid, l3=l3)
+            hier_ref = CacheHierarchy(config, engine=ENGINE_REFERENCE)
+            hier_vec = CacheHierarchy(config, engine=ENGINE_VECTORIZED)
+            for _ in range(4):
+                addresses = rng.integers(0, 1 << 16, size=1500).astype(np.int64)
+                writes = rng.random(1500) < 0.4
+                hier_ref.access_data_batch(addresses, writes)
+                hier_vec.access_data_batch(addresses, writes)
+            assert hier_ref.stats_dict() == hier_vec.stats_dict()
+
+    def test_simulator_engine_equivalence(self, conv_program_x86):
+        options = TraceOptions(max_accesses=30_000)
+        ref = Simulator(
+            "x86", trace_options=options, engine=ENGINE_REFERENCE, memoize=False
+        ).run(conv_program_x86)
+        vec = Simulator(
+            "x86", trace_options=options, engine=ENGINE_VECTORIZED, memoize=False
+        ).run(conv_program_x86)
+        left, right = ref.flat_stats(), vec.flat_stats()
+        left.pop("sim.host_seconds")
+        right.pop("sim.host_seconds")
+        assert left == right
+
+
+class TestScalarFastPath:
+    @pytest.mark.parametrize(
+        "policy", [ReplacementPolicy.LRU, ReplacementPolicy.FIFO, ReplacementPolicy.RANDOM]
+    )
+    def test_scalar_access_equals_batch(self, policy):
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 4096, size=400) * 4
+        writes = rng.random(400) < 0.3
+        for engine in (ENGINE_REFERENCE, ENGINE_VECTORIZED):
+            config = CacheConfig.from_geometry("s", sets=8, associativity=2, replacement=policy)
+            scalar = Cache(config, next_level=MainMemory(), engine=engine)
+            batch = Cache(config, next_level=MainMemory(), engine=engine)
+            for address, write in zip(addresses, writes):
+                scalar.access(int(address), bool(write))
+            batch.access_batch(addresses, writes)
+            assert scalar.stats_dict() == batch.stats_dict()
+            assert scalar.next_level.stats_dict() == batch.next_level.stats_dict()
+
+    def test_scalar_forwarding_through_cache_levels(self):
+        memory = MainMemory()
+        l2 = Cache(CacheConfig.from_geometry("l2", sets=4, associativity=2), memory)
+        l1 = Cache(CacheConfig.from_geometry("l1", sets=1, associativity=1), l2)
+        l1.access(0 * 64, True)   # write miss -> fill
+        l1.access(1 * 64, False)  # evicts dirty line -> writeback
+        assert l1.writebacks == 1
+        assert l2.accesses == 3  # two fills plus one writeback
+        assert memory.read_accesses == 2
+
+    def test_contains_and_resident_lines(self):
+        for engine in (ENGINE_REFERENCE, ENGINE_VECTORIZED):
+            cache = Cache(CacheConfig.from_geometry("c", sets=4, associativity=2), engine=engine)
+            cache.access(0x1000, False)
+            assert cache.contains(0x1000)
+            assert cache.contains(0x103F)
+            assert not cache.contains(0x2000)
+            assert cache.resident_lines() == 1
+            cache.reset_state()
+            assert cache.resident_lines() == 0
+            assert not cache.contains(0x1000)
+
+
+class TestMemoization:
+    def test_second_run_is_served_from_cache(self, conv_program_x86):
+        memo = SimulationCache(maxsize=8)
+        options = TraceOptions(max_accesses=10_000)
+        simulator = Simulator("x86", trace_options=options, memo_cache=memo)
+        first = simulator.run(conv_program_x86)
+        assert not first.cached and memo.misses == 1 and memo.hits == 0
+        second = simulator.run(conv_program_x86)
+        assert second.cached and memo.hits == 1
+        left, right = first.flat_stats(), second.flat_stats()
+        left.pop("sim.host_seconds")
+        right.pop("sim.host_seconds")
+        assert left == right
+        assert second.trace_accesses == first.trace_accesses
+
+    def test_memoized_result_is_isolated_from_mutation(self, conv_program_x86):
+        memo = SimulationCache(maxsize=8)
+        options = TraceOptions(max_accesses=5_000)
+        simulator = Simulator("x86", trace_options=options, memo_cache=memo)
+        first = simulator.run(conv_program_x86)
+        first.stats.group("l1d").set("read_hits", -1.0)
+        second = simulator.run(conv_program_x86)
+        assert second.flat_stats()["l1d.read_hits"] != -1.0
+
+    def test_key_distinguishes_options_and_engine(self, conv_program_x86):
+        memo = SimulationCache()
+        base = TraceOptions(max_accesses=5_000)
+        config = Simulator("x86").hierarchy_config
+        key = memo.make_key(conv_program_x86, config, base, ENGINE_VECTORIZED)
+        other_budget = memo.make_key(
+            conv_program_x86, config, TraceOptions(max_accesses=6_000), ENGINE_VECTORIZED
+        )
+        other_engine = memo.make_key(conv_program_x86, config, base, ENGINE_REFERENCE)
+        assert len({key, other_budget, other_engine}) == 3
+
+    def test_lru_bound(self):
+        from repro.sim.stats import SimulationStats
+
+        memo = SimulationCache(maxsize=2)
+        for index in range(3):
+            stats = SimulationStats()
+            stats.group("sim").set("trace_accesses", index)
+            memo.put(f"key{index}", stats)
+        assert len(memo) == 2
+        assert memo.get("key0") is None  # evicted
+        assert memo.get("key2") is not None
+
+    def test_disk_cache_roundtrip(self, tmp_path, conv_program_x86):
+        options = TraceOptions(max_accesses=5_000)
+        first_memo = SimulationCache(maxsize=4, disk_dir=tmp_path)
+        simulator = Simulator("x86", trace_options=options, memo_cache=first_memo)
+        fresh = simulator.run(conv_program_x86)
+        # A brand-new in-memory cache backed by the same directory hits disk.
+        second_memo = SimulationCache(maxsize=4, disk_dir=tmp_path)
+        reloaded = Simulator("x86", trace_options=options, memo_cache=second_memo).run(
+            conv_program_x86
+        )
+        assert reloaded.cached
+        left, right = fresh.flat_stats(), reloaded.flat_stats()
+        left.pop("sim.host_seconds")
+        right.pop("sim.host_seconds")
+        assert left == right
+
+    def test_memoize_disabled(self, conv_program_x86):
+        options = TraceOptions(max_accesses=5_000)
+        simulator = Simulator("x86", trace_options=options, memoize=False)
+        assert simulator.memo_cache is None
+        assert not simulator.run(conv_program_x86).cached
+        assert not simulator.run(conv_program_x86).cached
+
+    def test_pool_shares_memoization(self, conv_program_x86):
+        memo = SimulationCache(maxsize=8)
+        options = TraceOptions(max_accesses=5_000)
+        simulator = Simulator("x86", trace_options=options, memo_cache=memo)
+        simulator.run(conv_program_x86)
+        runs = Simulator("x86", trace_options=options, memo_cache=memo).run(conv_program_x86)
+        assert runs.cached
+
+
+class TestProgramDigest:
+    def test_digest_stable_and_name_independent(self, conv_program_x86):
+        digest = conv_program_x86.content_digest()
+        assert digest == conv_program_x86.content_digest()
+        original_name = conv_program_x86.name
+        try:
+            conv_program_x86.name = "renamed"
+            assert conv_program_x86.content_digest() == digest
+        finally:
+            conv_program_x86.name = original_name
+
+    def test_digest_differs_across_programs(self, conv_program_x86, conv_program_riscv):
+        assert conv_program_x86.content_digest() != conv_program_riscv.content_digest()
+
+    def test_code_bytes_public_api(self, conv_program_x86):
+        total = sum(conv_program_x86.code_bytes(root) for root in conv_program_x86.roots)
+        assert total > 0
+        assert conv_program_x86.code_footprint_bytes() == pytest.approx(
+            total + conv_program_x86.static_code_bytes
+        )

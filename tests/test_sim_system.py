@@ -148,9 +148,28 @@ class TestCpuAndSimulator:
         assert results[0].flat_stats()["cpu.num_insts"] == results[1].flat_stats()["cpu.num_insts"]
 
     def test_pool_rejects_bad_backend(self, conv_program_x86):
-        pool = SimulatorPool(arch="x86", backend="threads")
+        pool = SimulatorPool(arch="x86", backend="fibers")
         with pytest.raises(ValueError):
             pool.run_many([conv_program_x86])
+
+    def test_pool_threads_backend(self, conv_program_x86, conv_program_riscv):
+        serial = SimulatorPool(
+            arch="x86", trace_options=TraceOptions(max_accesses=5_000), memoize=False
+        )
+        threaded = SimulatorPool(
+            arch="x86",
+            n_parallel=2,
+            backend="threads",
+            trace_options=TraceOptions(max_accesses=5_000),
+            memoize=False,
+        )
+        programs = [conv_program_x86, conv_program_riscv, conv_program_x86]
+        expected = [r.flat_stats() for r in serial.run_many(programs)]
+        observed = [r.flat_stats() for r in threaded.run_many(programs)]
+        for left, right in zip(expected, observed):
+            left.pop("sim.host_seconds")
+            right.pop("sim.host_seconds")
+        assert expected == observed
 
     def test_cpu_runs_on_existing_hierarchy(self, conv_program_riscv):
         hierarchy = cache_hierarchy_for("riscv")
