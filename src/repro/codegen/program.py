@@ -5,7 +5,10 @@ A :class:`Program` is a tree of :class:`Loop`, :class:`Guard` and
 iteration and the memory references it performs, expressed as affine access
 descriptors over the enclosing loop variables.  From this representation the
 simulator derives exact instruction counts analytically and generates the
-memory reference trace in vectorised chunks.
+memory reference trace either as materialised address chunks
+(:meth:`Program.memory_trace`) or as compressed affine run descriptors
+(:meth:`Program.memory_trace_descriptors`) that the vectorized cache engine
+consumes without ever expanding the address stream.
 """
 
 from __future__ import annotations
@@ -174,6 +177,399 @@ class MemoryAccess:
 
 
 # ---------------------------------------------------------------------------
+# compressed trace descriptors
+# ---------------------------------------------------------------------------
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` without a Python loop."""
+    total = int(counts.sum())
+    out = np.arange(total, dtype=np.int64)
+    starts = np.cumsum(counts) - counts
+    out -= np.repeat(starts, counts)
+    return out
+
+
+@dataclass
+class AccessRunBatch:
+    """A batch of affine access runs sharing one stride and write flag.
+
+    Run ``r`` touches byte addresses ``bases[r] + k * stride`` for
+    ``k in range(counts[r])`` at trace positions
+    ``first_pos[r] + k * pos_stride``.  Positions are *uncompacted* slots of
+    the enclosing chunk (``iteration * slots_per_iteration + slot``): gaps
+    where other accesses or predicated-out iterations sit are deliberate —
+    the cache engine only relies on their relative order.
+
+    Regular batches (the common, unclipped case) store the per-run count and
+    position lattice as three scalars instead of two arrays
+    (``uniform_count``, ``first_pos_start``, ``first_pos_step``); use
+    :meth:`run_counts` / :meth:`run_first_pos` to materialise either form.
+    """
+
+    bases: np.ndarray  # (R,) int64 byte address of each run's first access
+    stride: int  # byte stride between consecutive accesses of a run
+    pos_stride: int  # trace-position stride between consecutive accesses
+    is_write: bool
+    counts: Optional[np.ndarray] = None  # (R,) int64 accesses per run, all > 0
+    first_pos: Optional[np.ndarray] = None  # (R,) int64 position of each run's first access
+    uniform_count: int = 0  # scalar form of ``counts``
+    first_pos_start: int = 0  # scalar form of ``first_pos``: start + r * step
+    first_pos_step: int = 0
+
+    @property
+    def total(self) -> int:
+        """Number of accesses described by the batch."""
+        if self.counts is not None:
+            return int(self.counts.sum())
+        return self.uniform_count * int(self.bases.size)
+
+    def run_counts(self) -> np.ndarray:
+        """Per-run access counts, materialised."""
+        if self.counts is not None:
+            return self.counts
+        return np.full(self.bases.size, self.uniform_count, dtype=np.int64)
+
+    def run_first_pos(self) -> np.ndarray:
+        """Per-run first trace positions, materialised."""
+        if self.first_pos is not None:
+            return self.first_pos
+        return self.first_pos_start + self.first_pos_step * np.arange(
+            self.bases.size, dtype=np.int64
+        )
+
+    def member_addresses(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Expand to per-access ``(addresses, positions)`` arrays."""
+        counts = self.run_counts()
+        k = _ragged_arange(counts)
+        addresses = np.repeat(self.bases, counts) + self.stride * k
+        positions = np.repeat(self.run_first_pos(), counts) + self.pos_stride * k
+        return addresses, positions
+
+    def nbytes(self) -> int:
+        """Storage footprint of the descriptor arrays."""
+        size = self.bases.nbytes
+        for array in (self.counts, self.first_pos):
+            if array is not None:
+                size += array.nbytes
+        return size
+
+
+@dataclass
+class DescriptorChunk:
+    """One trace chunk as compressed run descriptors plus an explicit span.
+
+    ``total`` counts the accesses actually performed; ``pos_bound`` is an
+    exclusive upper bound on every trace position in the chunk (positions are
+    uncompacted, so ``pos_bound >= total``).  ``addresses``/``writes``/
+    ``positions`` hold an optional materialised span — the escape hatch for
+    accesses a producer cannot express as affine runs.  The built-in emitter
+    never needs it (predicates fold into per-window interval clipping and
+    truncation clips run batches analytically), but consumers support mixed
+    chunks so alternative emitters can interleave explicit members.
+    """
+
+    total: int
+    pos_bound: int
+    batches: List[AccessRunBatch] = field(default_factory=list)
+    addresses: Optional[np.ndarray] = None  # (E,) int64 byte addresses
+    writes: Optional[np.ndarray] = None  # (E,) bool
+    positions: Optional[np.ndarray] = None  # (E,) int64 trace positions
+
+    def expand(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialise the chunk as ``(addresses, is_write)`` in trace order.
+
+        The result is bit-identical to the corresponding
+        :meth:`Program.memory_trace` chunk.
+        """
+        parts_addr: List[np.ndarray] = []
+        parts_pos: List[np.ndarray] = []
+        parts_write: List[np.ndarray] = []
+        for batch in self.batches:
+            addresses, positions = batch.member_addresses()
+            parts_addr.append(addresses)
+            parts_pos.append(positions)
+            parts_write.append(np.full(addresses.shape, batch.is_write, dtype=bool))
+        if self.addresses is not None and self.addresses.size:
+            parts_addr.append(self.addresses)
+            parts_pos.append(self.positions)
+            parts_write.append(self.writes)
+        if not parts_addr:
+            return np.empty(0, dtype=np.uint64), np.empty(0, dtype=bool)
+        addresses = np.concatenate(parts_addr)
+        positions = np.concatenate(parts_pos)
+        writes = np.concatenate(parts_write)
+        # Positions are unique and bounded by pos_bound: a counting scatter
+        # orders the stream in two linear passes, far cheaper than argsort —
+        # unless the chunk is sparse, where argsort over the few members wins.
+        if positions.size * 16 < self.pos_bound:
+            order = np.argsort(positions)
+        else:
+            slot_of = np.full(self.pos_bound, -1, dtype=np.int64)
+            slot_of[positions] = np.arange(positions.size, dtype=np.int64)
+            order = slot_of[slot_of >= 0]
+        return addresses[order].astype(np.uint64), writes[order]
+
+    def truncate(self, keep: int) -> "DescriptorChunk":
+        """The chunk's first ``keep`` accesses, still in descriptor form.
+
+        The ``keep``-th smallest member position bounds the surviving
+        accesses, so each run batch is clipped analytically instead of
+        expanding the chunk.
+        """
+        if keep >= self.total:
+            return self
+        positions = [batch.member_addresses()[1] for batch in self.batches]
+        if self.positions is not None and self.positions.size:
+            positions.append(self.positions)
+        merged = np.concatenate(positions) if len(positions) > 1 else positions[0]
+        cutoff = int(np.partition(merged, keep - 1)[keep - 1]) + 1
+        batches = []
+        for batch in self.batches:
+            first_pos = batch.run_first_pos()
+            counts = np.clip(
+                -((first_pos - cutoff) // batch.pos_stride), 0, batch.run_counts()
+            )
+            alive = counts > 0
+            if not alive.any():
+                continue
+            batches.append(
+                AccessRunBatch(
+                    bases=batch.bases[alive],
+                    stride=batch.stride,
+                    pos_stride=batch.pos_stride,
+                    is_write=batch.is_write,
+                    counts=counts[alive],
+                    first_pos=first_pos[alive],
+                )
+            )
+        addresses = writes = span_positions = None
+        if self.positions is not None and self.positions.size:
+            alive = self.positions < cutoff
+            addresses = self.addresses[alive]
+            writes = self.writes[alive]
+            span_positions = self.positions[alive]
+        return DescriptorChunk(
+            total=keep,
+            pos_bound=cutoff,
+            batches=batches,
+            addresses=addresses,
+            writes=writes,
+            positions=span_positions,
+        )
+
+    def nbytes(self) -> int:
+        """Storage footprint of the chunk (descriptors plus explicit span)."""
+        size = sum(batch.nbytes() for batch in self.batches)
+        for array in (self.addresses, self.writes, self.positions):
+            if array is not None:
+                size += array.nbytes
+        return size
+
+
+class _AccessRunPlan:
+    """Per access-lane decomposition of a nest into affine windows.
+
+    The flattened iteration space splits into aligned windows of ``window``
+    iterations inside which the byte address is affine in the flat iteration
+    index (``stride`` bytes per iteration) and every predicate is affine too,
+    so predicate clipping reduces to per-window interval arithmetic.  The
+    window is the largest suffix of the loop nest for which this holds; in
+    the worst case it degenerates to a single iteration, which is still exact
+    (one run per iteration).
+    """
+
+    def __init__(
+        self,
+        loops: Sequence[Tuple[str, int]],
+        guards: Sequence[LinearPredicate],
+        access: MemoryAccess,
+        lane: int,
+        slot: int,
+    ):
+        self.is_write = access.is_store
+        self.slot = slot
+        elem = access.buffer.element_bytes
+        predicates = list(guards) + list(access.predicates)
+        index_const = access.const + lane * access.gather_stride
+
+        window = 1
+        coeff_per_iter: Optional[int] = None
+        pred_per_iter: List[Optional[int]] = [None] * len(predicates)
+        suffix = 0
+        for var, size in reversed(list(loops)):
+            if size == 1:
+                suffix += 1  # the digit is always zero; absorb freely
+                continue
+            a = access.coeffs.get(var, 0)
+            if coeff_per_iter is None:
+                if a % window:
+                    break
+                new_coeff = a // window
+            else:
+                if a != coeff_per_iter * window:
+                    break
+                new_coeff = coeff_per_iter
+            new_pred = list(pred_per_iter)
+            ok = True
+            for position, predicate in enumerate(predicates):
+                b = predicate.coeffs.get(var, 0)
+                if new_pred[position] is None:
+                    if b % window:
+                        ok = False
+                        break
+                    slope = b // window
+                    if predicate.op == "ne" and slope != 0:
+                        ok = False  # a sloped != splits the run interval
+                        break
+                    new_pred[position] = slope
+                elif b != new_pred[position] * window:
+                    ok = False
+                    break
+            if not ok:
+                break
+            coeff_per_iter = new_coeff
+            pred_per_iter = new_pred
+            window *= size
+            suffix += 1
+
+        self.window = window
+        self.stride = (coeff_per_iter or 0) * elem
+        self.elem = elem
+        self.base_address = access.buffer.base_address
+        self.index_const = index_const
+        outer = list(loops)[: len(list(loops)) - suffix]
+        # Inner-to-outer (divisor, size, access coeff, per-predicate coeffs)
+        # for window-digit evaluation; the divisor is in window units, and
+        # vars that contribute to no tracked linear form are skipped (their
+        # digits never matter), which keeps the per-window cost at two
+        # integer divisions per *contributing* var.
+        self.outer: List[Tuple[int, int, int, List[int]]] = []
+        divisor = 1
+        for var, size in reversed(outer):
+            coeff = access.coeffs.get(var, 0)
+            pred_coeffs = [predicate.coeffs.get(var, 0) for predicate in predicates]
+            if coeff or any(pred_coeffs):
+                self.outer.append((divisor, size, coeff, pred_coeffs))
+            divisor *= size
+        self.pred_slopes: List[int] = [slope or 0 for slope in pred_per_iter]
+        self.pred_consts: List[int] = [predicate.const for predicate in predicates]
+        self.pred_ops: List[str] = [predicate.op for predicate in predicates]
+
+    def emit(self, start: int, stop: int, slots: int) -> Optional[AccessRunBatch]:
+        """Runs of this access for flat iterations ``[start, stop)``."""
+        window = self.window
+        w_first = start // window
+        w_last = (stop - 1) // window
+        w = np.arange(w_first, w_last + 1, dtype=np.int64)
+        index = np.full(w.shape, self.index_const, dtype=np.int64)
+        pred_base = [np.full(w.shape, const, dtype=np.int64) for const in self.pred_consts]
+        for divisor, size, coeff, pred_coeffs in self.outer:
+            digit = (w // divisor) % size
+            if coeff:
+                index += coeff * digit
+            for base, pcoeff in zip(pred_base, pred_coeffs):
+                if pcoeff:
+                    base += pcoeff * digit
+
+        batch = AccessRunBatch(
+            bases=index, stride=self.stride, pos_stride=slots, is_write=self.is_write
+        )
+        head_cut = start - w_first * window  # first window starts mid-chunk
+        tail_cut = (w_last + 1) * window - stop
+        if not pred_base:
+            # Unpredicated: every window is full except possibly the two
+            # chunk-edge windows, so the batch is regular by construction.
+            np.multiply(index, self.elem, out=index)
+            index += self.base_address
+            if head_cut:
+                index[0] += self.stride * head_cut
+            if head_cut or tail_cut:
+                counts = np.full(w.shape, window, dtype=np.int64)
+                counts[0] -= head_cut
+                counts[-1] -= tail_cut
+                first_pos = (w * window - start) * slots + self.slot
+                first_pos[0] += head_cut * slots
+                batch.counts = counts
+                batch.first_pos = first_pos
+            else:
+                batch.uniform_count = window
+                batch.first_pos_start = self.slot
+                batch.first_pos_step = window * slots
+            return batch
+
+        window_start = w * window
+        lo = np.maximum(start, window_start) - window_start
+        hi = np.minimum(stop, window_start + window) - window_start
+        for base, slope, op in zip(pred_base, self.pred_slopes, self.pred_ops):
+            lo, hi = _clip_interval(lo, hi, base, slope, op)
+        keep = hi > lo
+        if not keep.any():
+            return None
+        if not keep.all():
+            lo, hi, w, index = lo[keep], hi[keep], w[keep], index[keep]
+        bases = self.base_address + index * self.elem + self.stride * lo
+        counts = hi - lo
+        first_pos = (w * window + lo - start) * slots + self.slot
+        batch.bases = bases
+        count0 = int(counts[0])
+        step = int(first_pos[1] - first_pos[0]) if first_pos.size > 1 else 0
+        if (counts == count0).all() and (
+            first_pos.size < 2 or (np.diff(first_pos) == step).all()
+        ):
+            batch.uniform_count = count0
+            batch.first_pos_start = int(first_pos[0])
+            batch.first_pos_step = step
+        else:
+            batch.counts = counts
+            batch.first_pos = first_pos
+        return batch
+
+
+def _ceil_div(numerator: np.ndarray, divisor: int) -> np.ndarray:
+    """Elementwise ``ceil(numerator / divisor)`` (any non-zero divisor)."""
+    return -((-numerator) // divisor)
+
+
+def _clip_interval(
+    lo: np.ndarray, hi: np.ndarray, base: np.ndarray, slope: int, op: str
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Restrict per-window iteration intervals to where a predicate holds.
+
+    The predicate value at in-window iteration ``i`` is ``base + slope * i``;
+    the satisfied ``i`` form an interval (``ne`` only reaches here with slope
+    0, enforced by :class:`_AccessRunPlan`).
+    """
+    if slope == 0:
+        satisfied = LinearPredicate._OPS[op](base, 0)
+        return lo, np.where(satisfied, hi, lo)
+    # Rewrite "base + slope*i OP 0" as bounds "slope*i >= t" / "slope*i <= t".
+    lower_t = None  # slope*i >= lower_t
+    upper_t = None  # slope*i <= upper_t
+    if op in ("ge", "eq"):
+        lower_t = -base
+    if op == "gt":
+        lower_t = 1 - base
+    if op in ("le", "eq"):
+        upper_t = -base
+    if op == "lt":
+        upper_t = -1 - base
+    if lower_t is not None:
+        if slope > 0:
+            lo = np.maximum(lo, _ceil_div(lower_t, slope))
+        else:
+            hi = np.minimum(hi, lower_t // slope + 1)
+    if upper_t is not None:
+        if slope > 0:
+            hi = np.minimum(hi, upper_t // slope + 1)
+        else:
+            lo = np.maximum(lo, _ceil_div(upper_t, slope))
+    # "eq" applies both bounds; a non-divisible target leaves them crossed,
+    # which is exactly the empty interval.
+    return lo, hi
+
+
+# ---------------------------------------------------------------------------
 # program tree nodes
 # ---------------------------------------------------------------------------
 
@@ -262,6 +658,13 @@ class Program:
         self.roots = list(roots)
         self.static_code_bytes = static_code_bytes
         self._assign_buffer_addresses()
+        self._buffers_by_name: Dict[str, Buffer] = {}
+        for buffer in self.buffers:
+            self._buffers_by_name.setdefault(buffer.name, buffer)
+        # Programs are immutable once built; digests are computed lazily and
+        # cached so memoization keys do not re-serialise the tree per lookup.
+        self._content_digest: Optional[str] = None
+        self._descriptor_digest: Optional[str] = None
 
     def _assign_buffer_addresses(self) -> None:
         address = self.BASE_ADDRESS
@@ -339,7 +742,11 @@ class Program:
         and the same memory trace, so simulation results can be memoized on
         it (see :class:`repro.sim.memo.SimulationCache`).  The program *name*
         is deliberately excluded: it labels, but does not change, behaviour.
+        The digest is computed once and cached — programs are treated as
+        immutable after construction.
         """
+        if self._content_digest is not None:
+            return self._content_digest
         payload = {
             "target": self.target.name,
             "static_code_bytes": self.static_code_bytes,
@@ -349,7 +756,47 @@ class Program:
             "roots": [self._node_signature(root) for root in self.roots],
         }
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+        self._content_digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return self._content_digest
+
+    def descriptor_digest(self) -> str:
+        """A stable hash of the memory-trace structure alone.
+
+        Unlike :meth:`content_digest` this ignores instruction counts and
+        code-size bookkeeping: two programs with the same descriptor digest
+        emit bit-identical memory traces (expanded or descriptor form), so
+        trace-level results can be shared even across programs that differ
+        only in instruction mix.  Cached like :meth:`content_digest`.
+        """
+        if self._descriptor_digest is not None:
+            return self._descriptor_digest
+        payload = {
+            "buffers": [
+                (b.name, b.size_bytes, b.element_bytes, b.base_address) for b in self.buffers
+            ],
+            "nests": [
+                (
+                    nest.loops,
+                    [self._predicate_signature(p) for p in nest.guards],
+                    [
+                        (
+                            access.buffer.name,
+                            sorted(access.coeffs.items()),
+                            access.const,
+                            access.is_store,
+                            access.width,
+                            access.gather_stride,
+                            [self._predicate_signature(p) for p in access.predicates],
+                        )
+                        for access in nest.block.accesses
+                    ],
+                )
+                for nest in self.perfect_nests()
+            ],
+        }
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._descriptor_digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return self._descriptor_digest
 
     @classmethod
     def _node_signature(cls, node: Node):
@@ -515,13 +962,84 @@ class Program:
                 yield addresses[valid].astype(np.uint64), writes[valid]
             start = stop
 
+    def memory_trace_descriptors(
+        self,
+        chunk_iterations: int = 1 << 16,
+        max_accesses: Optional[int] = None,
+        sample_fraction: float = 1.0,
+        seed: int = 0,
+    ) -> Iterator[DescriptorChunk]:
+        """Yield the trace as compressed :class:`DescriptorChunk` objects.
+
+        The descriptor stream describes exactly the trace of
+        :meth:`memory_trace` with the same options: chunk boundaries,
+        sampling decisions (the same RNG draws are consumed) and
+        ``max_accesses`` truncation all match, and ``chunk.expand()``
+        reproduces the corresponding address chunk bit for bit.  Affine
+        accesses are emitted as ``(base, stride, count)`` run batches without
+        materialising addresses; predicates are folded into per-window
+        interval clipping, so even guarded and scalar-promoted accesses stay
+        in descriptor form (only truncation boundaries fall back to an
+        explicit span inside the stream).
+        """
+        if not 0.0 < sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        emitted = 0
+        rng = np.random.default_rng(seed)
+        for nest in self.perfect_nests():
+            for chunk in self._nest_descriptors(nest, chunk_iterations, sample_fraction, rng):
+                if max_accesses is not None and emitted + chunk.total > max_accesses:
+                    keep = max_accesses - emitted
+                    if keep > 0:
+                        yield chunk.truncate(keep)
+                    return
+                emitted += chunk.total
+                yield chunk
+
+    def _nest_descriptors(
+        self,
+        nest: PerfectNest,
+        chunk_iterations: int,
+        sample_fraction: float,
+        rng: np.random.Generator,
+    ) -> Iterator[DescriptorChunk]:
+        block = nest.block
+        if not block.accesses:
+            return
+        slots = sum(access.addresses_per_access() for access in block.accesses)
+        plans: List[_AccessRunPlan] = []
+        slot = 0
+        for access in block.accesses:
+            lanes = access.width if access.gather_stride > 0 else 1
+            for lane in range(lanes):
+                plans.append(_AccessRunPlan(nest.loops, nest.guards, access, lane, slot))
+                slot += 1
+        total = nest.iterations
+        start = 0
+        while start < total:
+            stop = min(start + chunk_iterations, total)
+            if sample_fraction < 1.0 and rng.random() > sample_fraction:
+                start = stop
+                continue
+            batches = []
+            for plan in plans:
+                batch = plan.emit(start, stop, slots)
+                if batch is not None:
+                    batches.append(batch)
+            yield DescriptorChunk(
+                total=sum(batch.total for batch in batches),
+                pos_bound=(stop - start) * slots,
+                batches=batches,
+            )
+            start = stop
+
     # -- convenience ------------------------------------------------------
     def buffer_by_name(self, name: str) -> Buffer:
-        """Look up a buffer by name."""
-        for buffer in self.buffers:
-            if buffer.name == name:
-                return buffer
-        raise KeyError(f"no buffer named {name!r}")
+        """Look up a buffer by name (dict-backed, built at construction)."""
+        try:
+            return self._buffers_by_name[name]
+        except KeyError:
+            raise KeyError(f"no buffer named {name!r}") from None
 
     def __repr__(self) -> str:
         return (

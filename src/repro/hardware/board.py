@@ -10,7 +10,7 @@ from repro.hardware.noise import NoiseConfig, NoiseModel
 from repro.hardware.specs import CpuSpec, cpu_spec_for
 from repro.hardware.timing_model import TimingBreakdown, TimingModel
 from repro.sim.configs import CACHE_HIERARCHIES
-from repro.sim.cpu import TraceOptions
+from repro.sim.cpu import TraceOptions, run_data_trace
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig
 from repro.utils.rng import new_generator
 
@@ -45,17 +45,14 @@ class TargetBoard:
 
     # -- execution ---------------------------------------------------------
     def characterize(self, program: Program) -> Dict[str, Dict[str, float]]:
-        """Run the program's reference stream through the board's caches."""
+        """Run the program's reference stream through the board's caches.
+
+        Uses the same engine/trace-representation dispatch as the simulator
+        (descriptor chunks by default on the vectorized engine), so board
+        characterisation shares the compressed-trace fast path.
+        """
         hierarchy = CacheHierarchy(self.hierarchy_config, engine=self.trace_options.engine)
-        total_accesses = 0
-        for addresses, is_write in program.memory_trace(
-            chunk_iterations=self.trace_options.chunk_iterations,
-            max_accesses=self.trace_options.max_accesses,
-            sample_fraction=self.trace_options.sample_fraction,
-            seed=self.trace_options.seed,
-        ):
-            hierarchy.access_data_batch(addresses, is_write)
-            total_accesses += int(addresses.size)
+        total_accesses = run_data_trace(hierarchy, program, self.trace_options)
         stats = hierarchy.stats_dict()
         stats["_meta"] = {"trace_accesses": float(total_accesses)}
         return stats

@@ -4,13 +4,21 @@ For every kernel group the Auto-Scheduler's annotation sampler generates many
 schedule implementations; each implementation is executed on the
 instruction-accurate simulator (statistics) and on the target board (reference
 run time).  Because generation is the most expensive part of the reproduction,
-datasets can be cached on disk as JSON.
+datasets can be cached on disk as JSON, and the per-group work — which is
+fully independent (every group seeds its own sampler, simulator and board) —
+runs on a :class:`~repro.sim.simulator.SimulatorPool`-style worker pool
+(``threads`` by default: the simulation hot path lives inside NumPy kernels
+and the compiled event kernel, both of which release the interpreter lock).
+Results are assembled in group order, so parallel generation is
+bit-identical to serial generation.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -43,6 +51,19 @@ class DatasetConfig:
     kernel_type: str = "conv2d_bias_relu"
     #: Cache-simulation engine ("reference"/"vectorized"); None = default.
     engine: Optional[str] = None
+    #: Concurrent group workers: 0 = one per group (capped by CPU count),
+    #: 1 = serial.  Parallel generation is bit-identical to serial.
+    n_parallel: int = 0
+    #: Worker backend for group generation: "threads" or "processes".
+    backend: str = "threads"
+
+    BACKENDS = ("threads", "processes")
+
+    def __post_init__(self) -> None:
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown dataset backend {self.backend!r}; expected one of {self.BACKENDS}"
+            )
 
     def group_parameters(self) -> Dict[int, Conv2DParams]:
         """Conv2D parameters per group at the configured scale."""
@@ -61,9 +82,11 @@ class DatasetConfig:
                 "cooldown_s": self.cooldown_s,
                 "seed": self.seed,
                 "kernel_type": self.kernel_type,
-                # NOTE: the engine is deliberately excluded from the cache
-                # key: both engines produce bit-identical statistics, so a
-                # dataset generated by either is valid for both.
+                # NOTE: the engine and the worker configuration are
+                # deliberately excluded from the cache key: both engines
+                # produce bit-identical statistics and group generation is
+                # order-independent, so a dataset generated under any
+                # engine/parallelism setting is valid for all of them.
             },
             sort_keys=True,
         )
@@ -122,24 +145,56 @@ def generate_group_samples(
 
 
 def generate_dataset(config: DatasetConfig, verbose: bool = False) -> PredictorDataset:
-    """Generate the full dataset for one architecture (all groups)."""
+    """Generate the full dataset for one architecture (all groups).
+
+    Groups are generated concurrently on ``config.n_parallel`` workers
+    (``config.backend`` selects threads or processes) and assembled in group
+    order, which keeps the dataset bit-identical to a serial run.
+    """
     trace_options = TraceOptions(max_accesses=config.trace_max_accesses, engine=config.engine)
     protocol = MeasurementProtocol(n_exe=config.n_exe, cooldown_s=config.cooldown_s)
     dataset = PredictorDataset(arch=config.arch, kernel_type=config.kernel_type)
-    for group_id, params in config.group_parameters().items():
+    groups = list(config.group_parameters().items())
+    workers = config.n_parallel if config.n_parallel > 0 else (os.cpu_count() or 1)
+    workers = max(1, min(workers, len(groups)))
+
+    def _generate(item) -> List[TrainingSample]:
+        group_id, params = item
         if verbose:
             print(f"[dataset] {config.arch}: generating group {group_id} ({params})")
-        dataset.extend(
-            generate_group_samples(
-                config.arch,
-                group_id,
-                params,
-                config.implementations_per_group,
-                seed=config.seed,
-                trace_options=trace_options,
-                protocol=protocol,
-            )
+        return generate_group_samples(
+            config.arch,
+            group_id,
+            params,
+            config.implementations_per_group,
+            seed=config.seed,
+            trace_options=trace_options,
+            protocol=protocol,
         )
+
+    if workers == 1 or len(groups) <= 1:
+        per_group = [_generate(item) for item in groups]
+    elif config.backend == "processes":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    generate_group_samples,
+                    config.arch,
+                    group_id,
+                    params,
+                    config.implementations_per_group,
+                    config.seed,
+                    trace_options,
+                    protocol,
+                )
+                for group_id, params in groups
+            ]
+            per_group = [future.result() for future in futures]
+    else:  # "threads"; the config validates the backend at construction
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            per_group = list(pool.map(_generate, groups))
+    for samples in per_group:
+        dataset.extend(samples)
     return dataset
 
 

@@ -9,9 +9,12 @@ parameterisable cache hierarchy, but no latencies.
 Two interchangeable cache-simulation engines are provided (see
 :mod:`repro.sim.engine`): the per-access ``"reference"`` loop and the
 array-based ``"vectorized"`` chunk engine, which produce bit-identical
-statistics.  Simulation results are memoized across identical
-``(program, hierarchy, trace options)`` requests via
-:mod:`repro.sim.memo`.
+statistics.  The trace reaches the engines in one of two bit-equivalent
+representations: materialised address chunks (``"expanded"``) or compressed
+affine run descriptors (``"descriptor"``, the vectorized default — see
+:meth:`repro.codegen.program.Program.memory_trace_descriptors`).  Simulation
+results are memoized across identical ``(program, hierarchy, trace
+options)`` requests via :mod:`repro.sim.memo`.
 """
 
 from repro.sim.stats import StatGroup, SimulationStats
@@ -19,16 +22,21 @@ from repro.sim.engine import (
     ENGINE_REFERENCE,
     ENGINE_VECTORIZED,
     ENGINES,
+    TRACE_DESCRIPTOR,
+    TRACE_EXPANDED,
+    TRACE_MODES,
     VectorCacheState,
     default_engine,
+    default_trace_mode,
     resolve_engine,
+    resolve_trace_mode,
 )
 from repro.sim.cache import CacheConfig, Cache, ReplacementPolicy
 from repro.sim.memory import MainMemory
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
 from repro.sim.configs import CACHE_HIERARCHIES, cache_hierarchy_for, TABLE1_ROWS
-from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
-from repro.sim.memo import SimulationCache, default_simulation_cache
+from repro.sim.cpu import AtomicSimpleCPU, TraceOptions, run_data_trace
+from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
 from repro.sim.simulator import Simulator, SimulationResult, SimulatorPool
 
 __all__ = [
@@ -37,9 +45,14 @@ __all__ = [
     "ENGINE_REFERENCE",
     "ENGINE_VECTORIZED",
     "ENGINES",
+    "TRACE_DESCRIPTOR",
+    "TRACE_EXPANDED",
+    "TRACE_MODES",
     "VectorCacheState",
     "default_engine",
+    "default_trace_mode",
     "resolve_engine",
+    "resolve_trace_mode",
     "CacheConfig",
     "Cache",
     "ReplacementPolicy",
@@ -52,8 +65,10 @@ __all__ = [
     "TABLE1_ROWS",
     "AtomicSimpleCPU",
     "TraceOptions",
+    "run_data_trace",
     "SimulationCache",
     "default_simulation_cache",
+    "shared_disk_cache_dir",
     "Simulator",
     "SimulationResult",
     "SimulatorPool",

@@ -1,0 +1,180 @@
+"""Optional compiled kernel for per-set event chains.
+
+The vectorized engine's event phase (rank rounds plus scalar chain tails,
+see :mod:`repro.sim.engine`) pays a fixed NumPy-dispatch cost per round,
+which dominates on workloads whose chunks concentrate events in few sets.
+The per-set walk itself is the trivial reference algorithm — a linear tag
+scan and a min-tick victim pick — so when a C compiler is available the
+whole phase is compiled once per interpreter installation and executed as a
+single foreign call (the GIL is released for the duration, which also helps
+the ``threads`` pool backend).
+
+Availability is strictly optional: if no compiler is present, compilation
+fails, or ``REPRO_SIM_NATIVE=0`` is set, :func:`event_kernel` returns
+``None`` and the engine keeps its pure-NumPy rank-round path.  Both
+implementations are bit-identical; the equivalence suite runs against
+whichever is active.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Optional
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Sequential per-set event walk on the engine's array tag store.
+ *
+ * Events must arrive grouped so that events of one set appear in trace
+ * order (any interleaving across sets is fine).  Mirrors
+ * VectorCacheState._run_events / _scalar_chain semantics exactly:
+ *  - hit: mark, OR the dirty flag in, update the recency tick (LRU only);
+ *  - miss with a free way: fill it;
+ *  - miss in a full set: evict the minimum-tick way (ticks are unique),
+ *    reporting the victim line and its dirty state.
+ */
+void repro_run_events(
+    int64_t n_events,
+    const int64_t *event_sets,
+    const int64_t *event_lines,
+    const uint8_t *event_dirty,
+    const int64_t *event_age,
+    uint8_t *hit_out,
+    int64_t *victim_line,
+    uint8_t *victim_wb,
+    int64_t assoc,
+    int32_t lru,
+    int64_t *tags,
+    uint8_t *dirty,
+    int64_t *recency,
+    int64_t *occupancy)
+{
+    for (int64_t i = 0; i < n_events; i++) {
+        const int64_t set = event_sets[i];
+        const int64_t line = event_lines[i];
+        int64_t *row = tags + set * assoc;
+        uint8_t *drow = dirty + set * assoc;
+        int64_t *rrow = recency + set * assoc;
+        const int64_t occ = occupancy[set];
+        int64_t way = -1;
+        for (int64_t w = 0; w < occ; w++) {
+            if (row[w] == line) { way = w; break; }
+        }
+        if (way >= 0) {
+            hit_out[i] = 1;
+            drow[way] |= event_dirty[i];
+            if (lru) rrow[way] = event_age[i];
+            continue;
+        }
+        if (occ < assoc) {
+            way = occ;
+            occupancy[set] = occ + 1;
+        } else {
+            way = 0;
+            for (int64_t w = 1; w < assoc; w++) {
+                if (rrow[w] < rrow[way]) way = w;
+            }
+            victim_line[i] = row[way];
+            victim_wb[i] = drow[way];
+        }
+        row[way] = line;
+        drow[way] = event_dirty[i];
+        rrow[way] = event_age[i];
+    }
+}
+"""
+
+_kernel: Optional[ctypes.CDLL] = None
+_attempted = False
+
+
+def _library_path() -> str:
+    digest = hashlib.sha256(_SOURCE.encode("utf-8")).hexdigest()[:16]
+    tag = f"repro-sim-{digest}-py{sys.version_info[0]}{sys.version_info[1]}"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        cache_root = os.path.join(xdg, "repro")
+    else:
+        uid = os.getuid() if hasattr(os, "getuid") else 0
+        cache_root = os.path.join(tempfile.gettempdir(), f"repro-native-{uid}")
+    return os.path.join(cache_root, f"{tag}.so")
+
+
+def _compile() -> Optional[str]:
+    path = _library_path()
+    if os.path.exists(path):
+        return path
+    compiler = os.environ.get("CC", "cc")
+    directory = os.path.dirname(path)
+    source_path = None
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".c", dir=directory, delete=False
+        ) as handle:
+            handle.write(_SOURCE)
+            source_path = handle.name
+        scratch = source_path + ".so"
+        result = subprocess.run(
+            [compiler, "-O2", "-fPIC", "-shared", "-o", scratch, source_path],
+            capture_output=True,
+            timeout=60,
+        )
+        if result.returncode != 0:
+            return None
+        os.replace(scratch, path)  # atomic: concurrent builders agree on content
+        return path
+    except (OSError, subprocess.SubprocessError):
+        return None
+    finally:
+        if source_path is not None:
+            try:
+                os.unlink(source_path)
+            except OSError:
+                pass
+
+
+def event_kernel():
+    """The compiled event-chain kernel, or ``None`` when unavailable."""
+    global _kernel, _attempted
+    if _attempted:
+        return _kernel
+    _attempted = True
+    if os.environ.get("REPRO_SIM_NATIVE", "1") == "0":
+        return None
+    path = _compile()
+    if path is None:
+        return None
+    try:
+        library = ctypes.CDLL(path)
+        function = library.repro_run_events
+    except (OSError, AttributeError):
+        return None
+    pointer = np.ctypeslib.ndpointer
+    function.restype = None
+    function.argtypes = [
+        ctypes.c_int64,
+        pointer(np.int64, flags="C_CONTIGUOUS"),
+        pointer(np.int64, flags="C_CONTIGUOUS"),
+        pointer(np.bool_, flags="C_CONTIGUOUS"),
+        pointer(np.int64, flags="C_CONTIGUOUS"),
+        pointer(np.bool_, flags="C_CONTIGUOUS"),
+        pointer(np.int64, flags="C_CONTIGUOUS"),
+        pointer(np.bool_, flags="C_CONTIGUOUS"),
+        ctypes.c_int64,
+        ctypes.c_int32,
+        pointer(np.int64, flags="C_CONTIGUOUS"),
+        pointer(np.bool_, flags="C_CONTIGUOUS"),
+        pointer(np.int64, flags="C_CONTIGUOUS"),
+        pointer(np.int64, flags="C_CONTIGUOUS"),
+    ]
+    _kernel = function
+    return _kernel

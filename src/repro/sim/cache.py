@@ -30,10 +30,14 @@ from typing import List, Optional
 import numpy as np
 
 from repro.sim.engine import (
+    DESCRIPTOR_HEAD_FRACTION,
     ENGINE_REFERENCE,
     ENGINE_VECTORIZED,
+    SCALAR_CHUNK_CUTOFF,
     ChunkOutcome,
     VectorCacheState,
+    chunk_heads,
+    estimated_heads,
     resolve_engine,
 )
 
@@ -288,6 +292,35 @@ class Cache:
                 self._forward(outcome.forwarded_lines, outcome.forwarded_writes)
             return outcome.hits
         return self._access_lines_reference(lines, is_write)
+
+    def access_descriptors(self, chunk) -> int:
+        """Process one :class:`~repro.codegen.program.DescriptorChunk` in order.
+
+        The vectorized engine consumes the affine run descriptors directly —
+        collapsed line heads are derived in closed form and only those enter
+        the chunk pipeline.  The reference engine (and tiny chunks, where
+        head bookkeeping cannot pay off) expands the chunk and takes the
+        batch path; both routes produce bit-identical statistics.
+        """
+        if chunk.total == 0:
+            return 0
+        if (
+            self._state is None
+            or chunk.total < SCALAR_CHUNK_CUTOFF
+            or not chunk.batches
+            or estimated_heads(chunk, self._offset_bits)
+            > DESCRIPTOR_HEAD_FRACTION * chunk.total
+        ):
+            addresses, is_write = chunk.expand()
+            return self.access_batch(addresses, is_write)
+        heads = chunk_heads(chunk, self._offset_bits, self._set_mask)
+        outcome = self._state.process_descriptor_heads(
+            chunk.total, chunk.pos_bound, *heads, self._last_miss_line
+        )
+        self._apply_outcome(outcome)
+        if outcome.forwarded_lines is not None:
+            self._forward(outcome.forwarded_lines, outcome.forwarded_writes)
+        return outcome.hits
 
     def _apply_outcome(self, outcome: ChunkOutcome) -> None:
         """Fold one chunk's statistics deltas into the counters."""

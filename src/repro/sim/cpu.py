@@ -16,13 +16,14 @@ from typing import Optional
 
 from repro.codegen.isa import InstructionCategory as IC
 from repro.codegen.program import Loop, Program
+from repro.sim.engine import TRACE_DESCRIPTOR, resolve_trace_mode
 from repro.sim.hierarchy import CacheHierarchy
 from repro.sim.stats import SimulationStats
 
 
 @dataclass(frozen=True)
 class TraceOptions:
-    """Controls the size of the simulated memory reference trace.
+    """Controls the size and representation of the simulated memory trace.
 
     ``max_accesses`` bounds the total number of simulated data references;
     ``sample_fraction`` keeps a systematic random sample of trace chunks.
@@ -32,13 +33,20 @@ class TraceOptions:
 
     ``engine`` selects the cache-simulation engine (``"reference"`` or
     ``"vectorized"``, see :mod:`repro.sim.engine`); ``None`` uses the
-    process-wide default.  Both engines produce bit-identical statistics, so
-    the choice only affects host throughput.  ``chunk_iterations`` trades a
-    few MB of trace buffering for vectorization width: larger chunks amortize
-    the fixed per-chunk cost of the vectorized engine.  Statistics are
-    chunking-invariant when ``sample_fraction`` is 1; sampled traces keep or
-    drop whole chunks, so pin ``chunk_iterations`` explicitly when a sampled
-    run must stay reproducible across releases.
+    process-wide default.  ``trace`` selects the trace representation:
+    ``"descriptor"`` streams compressed affine run descriptors from
+    :meth:`~repro.codegen.program.Program.memory_trace_descriptors` (the
+    default for the vectorized engine — it skips address materialisation
+    entirely), ``"expanded"`` materialises address chunks (the reference
+    engine's default); ``REPRO_SIM_TRACE`` overrides the default.  All
+    engine/trace combinations produce bit-identical statistics, so the
+    choices only affect host throughput and peak trace memory.
+    ``chunk_iterations`` trades a few MB of trace buffering for
+    vectorization width: larger chunks amortize the fixed per-chunk cost of
+    the vectorized engine.  Statistics are chunking-invariant when
+    ``sample_fraction`` is 1; sampled traces keep or drop whole chunks, so
+    pin ``chunk_iterations`` explicitly when a sampled run must stay
+    reproducible across releases.
     """
 
     max_accesses: Optional[int] = None
@@ -46,6 +54,40 @@ class TraceOptions:
     chunk_iterations: int = 1 << 16
     seed: int = 0
     engine: Optional[str] = None
+    trace: Optional[str] = None
+
+
+def run_data_trace(
+    hierarchy: CacheHierarchy, program: Program, options: TraceOptions
+) -> int:
+    """Drive ``program``'s data trace through ``hierarchy``; returns accesses.
+
+    Honours ``options.trace``, defaulting by the hierarchy's L1D engine:
+    descriptor chunks feed :meth:`CacheHierarchy.access_data_descriptors`
+    without ever materialising the address stream, expanded chunks go
+    through :meth:`CacheHierarchy.access_data_batch`.
+    """
+    mode = resolve_trace_mode(options.trace, hierarchy.l1d.engine)
+    total = 0
+    if mode == TRACE_DESCRIPTOR:
+        for chunk in program.memory_trace_descriptors(
+            chunk_iterations=options.chunk_iterations,
+            max_accesses=options.max_accesses,
+            sample_fraction=options.sample_fraction,
+            seed=options.seed,
+        ):
+            hierarchy.access_data_descriptors(chunk)
+            total += chunk.total
+    else:
+        for addresses, is_write in program.memory_trace(
+            chunk_iterations=options.chunk_iterations,
+            max_accesses=options.max_accesses,
+            sample_fraction=options.sample_fraction,
+            seed=options.seed,
+        ):
+            hierarchy.access_data_batch(addresses, is_write)
+            total += int(addresses.size)
+    return total
 
 
 class AtomicSimpleCPU:
@@ -59,17 +101,7 @@ class AtomicSimpleCPU:
         """Execute ``program`` and return gem5-style statistics."""
         start = time.perf_counter()
         counts = program.instruction_counts()
-
-        trace_accesses = 0
-        for addresses, is_write in program.memory_trace(
-            chunk_iterations=options.chunk_iterations,
-            max_accesses=options.max_accesses,
-            sample_fraction=options.sample_fraction,
-            seed=options.seed,
-        ):
-            self.hierarchy.access_data_batch(addresses, is_write)
-            trace_accesses += int(addresses.size)
-
+        trace_accesses = run_data_trace(self.hierarchy, program, options)
         self._model_instruction_fetches(program, counts)
         elapsed = time.perf_counter() - start
 

@@ -31,13 +31,17 @@ Accesses within one chunk are independent across sets; only accesses to the
    between), so each run is collapsed to a single head access carrying two
    flags: the write flag of the head (statistics attribution) and whether any
    access of the run writes (dirty state).
-3. **First-touch pre-resolution (LRU)** — for a set whose chunk touches at
-   most ``associativity`` distinct lines, a line once touched can never be
-   evicted before the chunk ends (an LRU victim is always the oldest way,
-   and untouched ways are always older than touched ones), so every
-   *re-touch* head is a guaranteed hit.  Only the first touch of each
-   distinct line needs sequential processing, which bounds the dependency
-   chain per set at ``associativity`` events.
+3. **Re-touch pre-resolution (LRU)** — a head that re-touches a line is a
+   *guaranteed* hit whenever fewer than ``associativity`` other heads of the
+   same set lie between it and the previous head of the same line: at most
+   that many distinct lines can have been touched in between, so the line's
+   LRU stack distance is below the associativity and it cannot have been
+   evicted.  Guaranteed re-touches are folded into the previous head of
+   their line as a *chain* whose head carries the aggregated dirty flag and
+   the chain's last-touch tick; a set whose chunk touches at most
+   ``associativity`` distinct lines (the chunk-compliant case) pre-resolves
+   every re-touch the same way regardless of gaps.  Only chain heads need
+   sequential processing.
 4. **Rank rounds** — the remaining events are processed in rounds: round
    ``r`` handles the ``r``-th event of every set at once (all distinct sets,
    hence fully vectorizable).  When a round gets too narrow (a few heavily
@@ -49,6 +53,24 @@ Accesses within one chunk are independent across sets; only accesses to the
    the owning cache hands to the next level in one call.  The whole
    L1D→L2→(L3)→memory walk therefore runs as one chunk-level pass per level
    instead of per-access bookkeeping.
+
+Descriptor front-end
+--------------------
+:meth:`repro.codegen.program.Program.memory_trace_descriptors` emits the
+trace as affine ``(base, stride, count)`` run batches instead of address
+arrays.  :func:`chunk_heads` maps each run to its collapsed per-line heads in
+closed form — a run with ``|stride| < line_bytes`` touches a staircase of
+consecutive lines whose per-line member ranges are pure interval arithmetic,
+a zero-stride run is a single head, and a run with ``|stride| >=
+line_bytes`` yields one head per access — so steps 1–2 above never see the
+expanded stream and their cost scales with the number of *distinct-line
+heads* rather than the number of accesses.  Closed-form collapse is only
+exact while no *other* line of the same set is interleaved with a head's
+members; heads whose position intervals overlap a different-line head of the
+same set are therefore exploded back into exact singleton members before
+processing (same-line overlap is harmless: the chain machinery of step 3
+aggregates it).  The resulting heads join the pipeline at step 3 unchanged,
+which keeps descriptor statistics bit-identical to the expanded engines.
 
 The random replacement policy is not vectorized: its victim choice consumes
 one RNG draw per eviction *in trace order*, which a round-based schedule
@@ -64,11 +86,23 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.codegen.program import DescriptorChunk, _ceil_div, _ragged_arange
+from repro.sim._native import event_kernel
+
 #: Engine identifiers, threaded through ``Cache`` / ``CacheHierarchy`` /
 #: ``Simulator`` / ``SimulatorPool`` / ``TraceOptions``.
 ENGINE_REFERENCE = "reference"
 ENGINE_VECTORIZED = "vectorized"
 ENGINES = (ENGINE_REFERENCE, ENGINE_VECTORIZED)
+
+#: Trace-representation identifiers: ``"expanded"`` materialises address
+#: chunks (:meth:`Program.memory_trace`), ``"descriptor"`` streams affine run
+#: descriptors (:meth:`Program.memory_trace_descriptors`).  Both produce
+#: bit-identical statistics; the choice only affects host throughput and
+#: peak trace memory.
+TRACE_EXPANDED = "expanded"
+TRACE_DESCRIPTOR = "descriptor"
+TRACE_MODES = (TRACE_EXPANDED, TRACE_DESCRIPTOR)
 
 #: Chunks smaller than this are processed by the scalar loop directly; the
 #: fixed cost of the vector path (sort, segment bookkeeping) does not pay off.
@@ -77,6 +111,10 @@ SCALAR_CHUNK_CUTOFF = 48
 #: round has a fixed cost of a few dozen NumPy calls, so below this width the
 #: list-based tail is cheaper per event.
 ROUND_WIDTH_CUTOFF = 24
+#: Above this ratio of estimated heads to accesses the descriptor front-end
+#: expands the chunk instead: without real run collapse, per-head
+#: bookkeeping cannot beat the expanded path's narrow-key radix sort.
+DESCRIPTOR_HEAD_FRACTION = 0.35
 
 
 def default_engine() -> str:
@@ -90,6 +128,220 @@ def resolve_engine(engine: Optional[str]) -> str:
     if engine not in ENGINES:
         raise ValueError(f"unknown simulation engine {engine!r}; expected one of {ENGINES}")
     return engine
+
+
+def default_trace_mode(engine: str) -> str:
+    """The trace representation used when none is requested.
+
+    ``REPRO_SIM_TRACE`` overrides; otherwise the vectorized engine consumes
+    descriptors and the reference engine consumes expanded chunks.
+    """
+    mode = os.environ.get("REPRO_SIM_TRACE")
+    if mode:
+        return mode
+    return TRACE_DESCRIPTOR if engine == ENGINE_VECTORIZED else TRACE_EXPANDED
+
+
+def resolve_trace_mode(trace: Optional[str], engine: str) -> str:
+    """Validate ``trace``, substituting the engine-appropriate default."""
+    trace = trace or default_trace_mode(engine)
+    if trace not in TRACE_MODES:
+        raise ValueError(f"unknown trace mode {trace!r}; expected one of {TRACE_MODES}")
+    return trace
+
+
+def estimated_heads(chunk: DescriptorChunk, offset_bits: int) -> int:
+    """Exact pre-explosion head count of a chunk, without building heads."""
+    line_bytes = 1 << offset_bits
+    total = 0
+    for batch in chunk.batches:
+        if batch.stride == 0:
+            total += int(batch.bases.size)
+        elif abs(batch.stride) >= line_bytes:
+            total += batch.total
+        else:
+            counts = batch.run_counts()
+            first = batch.bases >> offset_bits
+            last = (batch.bases + (counts - 1) * batch.stride) >> offset_bits
+            total += int(np.abs(last - first).sum()) + int(counts.size)
+    if chunk.addresses is not None:
+        total += int(chunk.addresses.size)
+    return total
+
+
+def _batch_heads(batch, offset_bits: int):
+    """Collapse one run batch to per-line heads in closed form.
+
+    Returns ``(lines, run_len, head_orig)``.  A head's members sit at
+    positions ``head_orig + k * batch.pos_stride`` for ``k < run_len`` (the
+    position stride is uniform across a chunk's batches), so its last
+    position is derivable and heads can later be exploded into exact
+    singleton members.
+    """
+    line_bytes = 1 << offset_bits
+    bases = batch.bases
+    counts = batch.run_counts()
+    stride = batch.stride
+    pos_stride = batch.pos_stride
+    if stride == 0:
+        return bases >> offset_bits, counts, batch.run_first_pos()
+    if abs(stride) < line_bytes:
+        # The line sequence of a short-strided run is a monotone staircase:
+        # every line between the first and last is touched, and the members
+        # on each line form a closed-form index interval.
+        first_line = bases >> offset_bits
+        last_line = (bases + (counts - 1) * stride) >> offset_bits
+        span = np.abs(last_line - first_line) + 1
+        first_pos = batch.run_first_pos()
+        if not (span > 1).any():
+            return first_line, counts, first_pos  # every run fits one line
+        rep = np.repeat(np.arange(bases.size, dtype=np.int64), span)
+        j = _ragged_arange(span)
+        base_rep = bases[rep]
+        if stride > 0:
+            line = first_line[rep] + j
+            i_first = np.maximum(0, _ceil_div(line * line_bytes - base_rep, stride))
+            i_last = np.minimum(
+                counts[rep] - 1, ((line + 1) * line_bytes - 1 - base_rep) // stride
+            )
+        else:
+            line = first_line[rep] - j
+            i_first = np.maximum(
+                0, _ceil_div((line + 1) * line_bytes - 1 - base_rep, stride)
+            )
+            i_last = np.minimum(counts[rep] - 1, (line * line_bytes - base_rep) // stride)
+        return line, i_last - i_first + 1, first_pos[rep] + i_first * pos_stride
+    # |stride| >= line size: every access is its own line; no collapse.
+    if batch.counts is None:
+        count = batch.uniform_count
+        k = np.arange(count, dtype=np.int64)
+        lines = ((bases[:, None] + stride * k) >> offset_bits).reshape(-1)
+        positions = (batch.run_first_pos()[:, None] + pos_stride * k).reshape(-1)
+    else:
+        k = _ragged_arange(counts)
+        lines = (np.repeat(bases, counts) + stride * k) >> offset_bits
+        positions = np.repeat(batch.run_first_pos(), counts) + pos_stride * k
+    return lines, np.ones(lines.size, dtype=np.int64), positions
+
+
+def chunk_heads(chunk: DescriptorChunk, offset_bits: int, set_mask: int):
+    """Build the collapsed, set-sorted head arrays of one descriptor chunk.
+
+    Heads come out sorted by ``(set, position)`` — the order
+    :meth:`VectorCacheState.process_descriptor_heads` expects.  Closed-form
+    collapse is exact only while no other line of the same set interleaves
+    with a head's members, so heads whose position intervals overlap a
+    *different-line* head of the same set are exploded into exact singleton
+    members (one pass suffices: singletons cannot introduce new overlaps).
+    """
+    explicit = chunk.addresses is not None and chunk.addresses.size
+    parts = [_batch_heads(batch, offset_bits) for batch in chunk.batches]
+    n_parts = sum(part[0].size for part in parts) + (
+        int(chunk.addresses.size) if explicit else 0
+    )
+    lines = np.empty(n_parts, dtype=np.int64)
+    run_len = np.empty(n_parts, dtype=np.int64)
+    head_orig = np.empty(n_parts, dtype=np.int64)
+    first_write = np.empty(n_parts, dtype=bool)
+    at = 0
+    pos_stride = chunk.batches[0].pos_stride if chunk.batches else 1
+    for batch, (part_lines, part_len, part_orig) in zip(chunk.batches, parts):
+        stop = at + part_lines.size
+        lines[at:stop] = part_lines
+        run_len[at:stop] = part_len
+        head_orig[at:stop] = part_orig
+        first_write[at:stop] = batch.is_write
+        at = stop
+    if explicit:
+        stop = at + chunk.addresses.size
+        lines[at:stop] = chunk.addresses >> offset_bits
+        run_len[at:stop] = 1
+        head_orig[at:stop] = chunk.positions
+        first_write[at:stop] = chunk.writes
+
+    bound = max(int(chunk.pos_bound), 1)
+    collapsed_any = bool((run_len > 1).any())
+    while True:  # at most two passes: singletons cannot introduce overlaps
+        order = _head_order(lines & set_mask, head_orig, bound, set_mask)
+        lines = lines[order]
+        run_len = run_len[order]
+        head_orig = head_orig[order]
+        first_write = first_write[order]
+        sets = lines & set_mask
+        if not collapsed_any:
+            break
+
+        n_heads = int(lines.size)
+        key = sets * bound + head_orig
+        interval_end = np.maximum.accumulate(key + (run_len - 1) * pos_stride)
+        clean = np.empty(n_heads, dtype=bool)
+        clean[0] = True
+        np.greater(key[1:], interval_end[:-1], out=clean[1:])
+        if clean.all():
+            break
+        cluster_starts = np.flatnonzero(clean)
+        cluster_of = np.cumsum(clean) - 1
+        conflicted = (
+            np.minimum.reduceat(lines, cluster_starts)
+            != np.maximum.reduceat(lines, cluster_starts)
+        )[cluster_of]
+        explode = conflicted & (run_len > 1)
+        if not explode.any():
+            break
+        keep = ~explode
+        exploded_len = run_len[explode]
+        rep = np.repeat(np.flatnonzero(explode), exploded_len)
+        k = _ragged_arange(exploded_len)
+        member_pos = head_orig[rep] + k * pos_stride
+        member_write = first_write[rep]  # members share the head's write flag
+        lines = np.concatenate([lines[keep], lines[rep]])
+        run_len = np.concatenate([run_len[keep], np.ones(rep.size, dtype=np.int64)])
+        head_orig = np.concatenate([head_orig[keep], member_pos])
+        first_write = np.concatenate([first_write[keep], member_write])
+        collapsed_any = bool((run_len > 1).any())
+    write_counts = run_len * first_write
+    last_orig = head_orig + (run_len - 1) * pos_stride
+    # Merge adjacent same-(set, line) heads: their members are consecutive
+    # in the set timeline (any interposed different-line head would sit
+    # between them in the sort, and post-explosion overlaps are same-line
+    # only), so they form one collapsed run exactly like the expanded
+    # path's maximal collapse.  This folds interleaved load/store pairs and
+    # repeated zero-stride runs into single heads.
+    same = np.zeros(lines.size, dtype=bool)
+    if lines.size > 1:
+        np.logical_and(sets[1:] == sets[:-1], lines[1:] == lines[:-1], out=same[1:])
+    if same.any():
+        starts = np.flatnonzero(~same)
+        write_counts = np.add.reduceat(write_counts, starts)
+        last_orig = np.maximum.reduceat(last_orig, starts)
+        sets = sets[starts]
+        lines = lines[starts]
+        first_write = first_write[starts]
+        head_orig = head_orig[starts]
+    return sets, lines, first_write, write_counts, head_orig, last_orig
+
+
+def _head_order(head_sets: np.ndarray, head_orig: np.ndarray, pos_bound: int, set_mask: int):
+    """Permutation sorting heads by ``(set, position)``.
+
+    Positions are unique and bounded, so trace order is recovered with a
+    counting scatter (two linear passes); the set grouping then uses the
+    narrow-key stable radix argsort, mirroring the expanded path's sort.
+    """
+    if head_orig.size * 16 < pos_bound:
+        by_pos = np.argsort(head_orig)
+    else:
+        slot_of = np.full(pos_bound, -1, dtype=np.int64)
+        slot_of[head_orig] = np.arange(head_orig.size, dtype=np.int64)
+        by_pos = slot_of[slot_of >= 0]
+    sets_by_pos = head_sets[by_pos]
+    if set_mask < (1 << 8):
+        sort_key = sets_by_pos.astype(np.uint8)
+    elif set_mask < (1 << 16):
+        sort_key = sets_by_pos.astype(np.uint16)
+    else:
+        sort_key = sets_by_pos
+    return by_pos[np.argsort(sort_key, kind="stable")]
 
 
 @dataclass
@@ -287,8 +539,6 @@ class VectorCacheState:
         if n < SCALAR_CHUNK_CUTOFF:
             return self._process_scalar_chunk(lines, is_write, last_miss_line)
 
-        lru = self.replacement == "lru"
-        assoc = self.associativity
         set_idx = lines & self._set_mask
         # Stable integer argsort is a radix sort with one pass per key byte;
         # set indices fit one or two bytes, so narrowing the key dtype cuts
@@ -318,15 +568,67 @@ class VectorCacheState:
         head_sets = sorted_sets[head_pos]
         first_write = sorted_writes[head_pos]
         run_writes = np.add.reduceat(sorted_writes.astype(np.int64), head_pos)
-        any_write = run_writes > 0
         run_len = np.empty(n_heads, dtype=np.int64)
         if n_heads > 1:
             run_len[:-1] = np.diff(head_pos)
         run_len[-1] = n - head_pos[-1]
         head_orig = perm[head_pos]
         last_orig = perm[head_pos + run_len - 1]
+        return self._process_heads(
+            n, n, head_sets, head_lines, first_write, run_writes, head_orig, last_orig,
+            last_miss_line,
+        )
 
-        # 3. first-touch pre-resolution (LRU): group heads by (set, line)
+    def process_descriptor_heads(
+        self,
+        n_total: int,
+        tick_span: int,
+        head_sets: np.ndarray,
+        head_lines: np.ndarray,
+        first_write: np.ndarray,
+        write_counts: np.ndarray,
+        head_orig: np.ndarray,
+        last_orig: np.ndarray,
+        last_miss_line: int,
+    ) -> ChunkOutcome:
+        """Process one chunk given pre-built descriptor heads.
+
+        The head arrays come from :func:`chunk_heads` (sorted by set with
+        trace order inside each set); ``n_total`` is the number of accesses
+        the heads describe and ``tick_span`` the exclusive position bound of
+        the chunk (positions are uncompacted for descriptor chunks).
+        """
+        return self._process_heads(
+            n_total, tick_span, head_sets, head_lines, first_write, write_counts,
+            head_orig, last_orig, last_miss_line,
+        )
+
+    def _process_heads(
+        self,
+        n: int,
+        tick_span: int,
+        head_sets: np.ndarray,
+        head_lines: np.ndarray,
+        first_write: np.ndarray,
+        write_counts: np.ndarray,
+        head_orig: np.ndarray,
+        last_orig: np.ndarray,
+        last_miss_line: int,
+    ) -> ChunkOutcome:
+        """Steps 3–5 of the chunk algorithm on collapsed head arrays.
+
+        Heads must be sorted by set with trace order preserved inside each
+        set; every head stands for ``write_counts``-aggregated consecutive
+        accesses to one line whose first access carries ``first_write`` and
+        sits at chunk position ``head_orig`` (last at ``last_orig``).
+        """
+        lru = self.replacement == "lru"
+        assoc = self.associativity
+        n_heads = int(head_sets.size)
+        any_write = write_counts > 0
+
+        # 3. re-touch pre-resolution (LRU): group heads by (set, line) and
+        # fold guaranteed-hit re-touches into chains (see the module docs).
         if lru:
             group_perm = np.lexsort((head_lines, head_sets))
             grouped_sets = head_sets[group_perm]
@@ -339,21 +641,37 @@ class VectorCacheState:
                 out=group_flag[1:],
             )
             group_start = np.flatnonzero(group_flag)
-            group_of_sorted = np.cumsum(group_flag) - 1
-            group_any_write = np.add.reduceat(any_write[group_perm].astype(np.int64), group_start) > 0
-            group_last = np.maximum.reduceat(last_orig[group_perm], group_start)
-            first_touch = np.zeros(n_heads, dtype=bool)
-            first_touch[group_perm[group_start]] = True
-            agg_any_write = np.empty(n_heads, dtype=bool)
-            agg_any_write[group_perm] = group_any_write[group_of_sorted]
-            agg_last = np.empty(n_heads, dtype=np.int64)
-            agg_last[group_perm] = group_last[group_of_sorted]
+            # Rank of each head inside its set (heads are set-sorted).
+            set_flag = np.empty(n_heads, dtype=bool)
+            set_flag[0] = True
+            np.not_equal(head_sets[1:], head_sets[:-1], out=set_flag[1:])
+            set_starts = np.flatnonzero(set_flag)
+            rank = np.arange(n_heads, dtype=np.int64) - set_starts[np.cumsum(set_flag) - 1]
+            # A re-touch with at most `assoc` ranks since the previous head
+            # of its line has seen < assoc distinct other lines in between:
+            # its stack distance is below the associativity, so it is a
+            # guaranteed hit.  Chunk-compliant sets (<= assoc distinct lines
+            # in the whole chunk) pre-resolve every re-touch regardless.
+            grouped_rank = rank[group_perm]
+            gap_ok = np.zeros(n_heads, dtype=bool)
+            if n_heads > 1:
+                gap_ok[1:] = grouped_rank[1:] - grouped_rank[:-1] <= assoc
             distinct_per_set = np.bincount(grouped_sets[group_start], minlength=self.sets)
-            compliant = (distinct_per_set <= assoc)[head_sets]
-            use_agg = compliant & first_touch
-            event_mask = first_touch | ~compliant
-            dirty_value = np.where(use_agg, agg_any_write, any_write)
-            age_value = np.where(use_agg, agg_last, last_orig)
+            compliant = (distinct_per_set <= assoc)[grouped_sets]
+            follower = ~group_flag & (compliant | gap_ok)
+            chain_flag = ~follower
+            chain_start = np.flatnonzero(chain_flag)
+            chain_of = np.cumsum(chain_flag) - 1
+            chain_any_write = (
+                np.add.reduceat(any_write[group_perm].astype(np.int64), chain_start) > 0
+            )
+            chain_last = np.maximum.reduceat(last_orig[group_perm], chain_start)
+            event_mask = np.empty(n_heads, dtype=bool)
+            event_mask[group_perm] = chain_flag
+            dirty_value = np.empty(n_heads, dtype=bool)
+            dirty_value[group_perm] = chain_any_write[chain_of]
+            age_value = np.empty(n_heads, dtype=np.int64)
+            age_value[group_perm] = chain_last[chain_of]
         else:
             event_mask = np.ones(n_heads, dtype=bool)
             dirty_value = any_write
@@ -374,12 +692,11 @@ class VectorCacheState:
             self._run_events(
                 event_sets, event_lines, event_dirty, event_age, hit_out, victim_line, victim_wb
             )
-        self._tick += n
+        self._tick += tick_span
 
         # 5. statistics and the forwarded stream, in program order
         outcome = ChunkOutcome(last_miss_line=last_miss_line)
-        followers_total = n - n_heads
-        followers_writes = int(run_writes.sum()) - int(np.count_nonzero(first_write))
+        followers_writes = int(write_counts.sum()) - int(np.count_nonzero(first_write))
         event_first_write = first_write[event_pos]
         miss_out = ~hit_out
         n_misses = int(np.count_nonzero(miss_out))
@@ -387,7 +704,6 @@ class VectorCacheState:
         event_write_hits = int(np.count_nonzero(hit_out & event_first_write))
         head_write = int(np.count_nonzero(first_write))
         # Pre-resolved re-touch heads are hits; attribute them by their own flag.
-        resolved_hits = n_heads - n_events
         resolved_write_hits = head_write - int(np.count_nonzero(event_first_write))
         outcome.hits = n - n_misses
         outcome.write_hits = followers_writes + event_write_hits + resolved_write_hits
@@ -398,7 +714,6 @@ class VectorCacheState:
         outcome.write_replacements = int(np.count_nonzero(replaced & event_first_write))
         outcome.read_replacements = int(np.count_nonzero(replaced)) - outcome.write_replacements
         outcome.writebacks = int(np.count_nonzero(victim_wb))
-        del resolved_hits  # implied by the hit total; kept for readability above
 
         if n_misses:
             trace_order = np.argsort(event_orig[miss_out])
@@ -433,7 +748,31 @@ class VectorCacheState:
         victim_line: np.ndarray,
         victim_wb: np.ndarray,
     ) -> None:
-        """Rank rounds over per-set event chains (events are sorted by set)."""
+        """Rank rounds over per-set event chains (events are sorted by set).
+
+        When the compiled kernel of :mod:`repro.sim._native` is available the
+        whole phase runs as one foreign call instead (bit-identical, no
+        per-round dispatch cost, GIL released).
+        """
+        kernel = event_kernel()
+        if kernel is not None:
+            kernel(
+                event_sets.size,
+                np.ascontiguousarray(event_sets),
+                np.ascontiguousarray(event_lines),
+                np.ascontiguousarray(event_dirty),
+                np.ascontiguousarray(event_age),
+                hit_out,
+                victim_line,
+                victim_wb,
+                self.associativity,
+                1 if self.replacement == "lru" else 0,
+                self.tags,
+                self.dirty,
+                self.age if self.replacement == "lru" else self.order,
+                self.occupancy,
+            )
+            return
         n_events = int(event_sets.size)
         boundary = np.empty(n_events, dtype=bool)
         boundary[0] = True
@@ -518,26 +857,24 @@ class VectorCacheState:
         victim_line: np.ndarray,
         victim_wb: np.ndarray,
     ) -> None:
-        """Walk one set's remaining event chain on an ordered entry list.
+        """Walk one set's remaining event chain on a ``[tag, dirty, tick]`` list.
 
-        The set's array state is converted to a recency-ordered (LRU) or
-        insertion-ordered (FIFO) list of ``[tag, dirty, tick]`` entries once
-        and the chain is processed with the O(1)-victim reference algorithm.
-        List order is only used for victim picks inside the chain (where it
-        is exact, see the first-touch argument in the module docs); the final
-        write-back uses the events' explicit ticks, which carry the
-        aggregated last-touch position of pre-resolved re-touches.
+        Victims are chosen by *minimum tick*, mirroring the array state's
+        ``argmin`` — chain heads may carry aggregated last-touch ticks that
+        postdate later events of the same set, so a recency-ordered list walk
+        would mispick victims.  Ticks are unique, so min-tick selection is
+        deterministic; for FIFO the tick is the insertion order and hits do
+        not update it, which makes the same selection exact there too.
         """
         lru = self.replacement == "lru"
         assoc = self.associativity
         occupancy = int(self.occupancy[set_index])
         recency = self.age if lru else self.order
-        order_desc = np.argsort(-recency[set_index, :occupancy], kind="stable")
         tag_row = self.tags[set_index]
         dirty_row = self.dirty[set_index]
         entries = [
             [int(tag_row[way]), bool(dirty_row[way]), int(recency[set_index, way])]
-            for way in order_desc
+            for way in range(occupancy)
         ]
         for position, (line, dirty_value, tick) in enumerate(
             zip(chain_lines, chain_dirty, chain_age)
@@ -553,14 +890,18 @@ class VectorCacheState:
                     entries[found][1] = True
                 if lru:
                     entries[found][2] = tick
-                    if found != 0:
-                        entries.insert(0, entries.pop(found))
                 continue
             if len(entries) >= assoc:
-                victim = entries.pop()
+                victim_slot = 0
+                for slot in range(1, len(entries)):
+                    if entries[slot][2] < entries[victim_slot][2]:
+                        victim_slot = slot
+                victim = entries[victim_slot]
                 victim_line[out_offset + position] = victim[0]
                 victim_wb[out_offset + position] = victim[1]
-            entries.insert(0, [line, dirty_value, tick])
+                entries[victim_slot] = [line, dirty_value, tick]
+            else:
+                entries.append([line, dirty_value, tick])
         occupancy = len(entries)
         self.occupancy[set_index] = occupancy
         for way, entry in enumerate(entries):

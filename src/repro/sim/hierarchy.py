@@ -81,6 +81,15 @@ class CacheHierarchy:
         """Batch of data accesses in program order; returns L1D hits."""
         return self.l1d.access_batch(addresses, is_write)
 
+    def access_data_descriptors(self, chunk) -> int:
+        """One descriptor chunk through the data path; returns L1D hits.
+
+        Misses propagate to the lower levels as materialised line batches
+        exactly like :meth:`access_data_batch` — only the L1D front-end
+        consumes descriptors.
+        """
+        return self.l1d.access_descriptors(chunk)
+
     def access_instr_batch(self, addresses: np.ndarray) -> int:
         """Batch of instruction fetches; returns L1I hits."""
         flags = np.zeros(addresses.shape, dtype=bool)

@@ -7,7 +7,11 @@ pure function of ``(program content, hierarchy configuration, trace
 options, engine)``, its results can be cached on that key.
 
 :class:`SimulationCache` is an LRU-bounded in-memory store with an optional
-on-disk layer.  Values are stored as flat statistics snapshots and
+on-disk layer (the ``processes`` pool backend points every worker at one
+shared directory, see :func:`shared_disk_cache_dir`).  Keys hash the
+program's cached content digest — computed once per program — together with
+the hierarchy and trace options, normalising out the trace representation,
+which does not affect results.  Values are stored as flat statistics snapshots and
 reconstructed into fresh :class:`~repro.sim.stats.SimulationStats` objects on
 every lookup, so callers can never mutate a cached entry through an alias.
 The store is thread-safe: the ``threads`` backend of
@@ -23,6 +27,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import asdict
@@ -30,6 +36,35 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.sim.stats import SimulationStats
+
+
+#: Version tag of the default shared cache directory.  Bump whenever a
+#: change alters simulation *results* (not just speed): the memoization key
+#: hashes only inputs, so cached statistics from an older behaviour would
+#: otherwise be served silently across upgrades.
+CACHE_SCHEMA_VERSION = 2
+
+
+def shared_disk_cache_dir() -> Path:
+    """The default on-disk cache directory shared across worker processes.
+
+    ``REPRO_SIM_MEMO_DIR`` overrides; otherwise a per-user, per-schema
+    directory under the system temp root is used (created ``0o700``).
+    Entries are content-addressed by the memoization key, so sharing the
+    directory across runs and processes of one schema version is safe — a
+    stale entry is by construction bit-identical to a fresh simulation of
+    the same key.
+    """
+    override = os.environ.get("REPRO_SIM_MEMO_DIR")
+    if override:
+        return Path(override)
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    path = Path(tempfile.gettempdir()) / f"repro-sim-memo-v{CACHE_SCHEMA_VERSION}-{uid}"
+    try:
+        path.mkdir(mode=0o700, parents=True, exist_ok=True)
+    except OSError:
+        pass  # SimulationCache creates (or fails on) it with context
+    return path
 
 
 class SimulationCache:
@@ -50,11 +85,21 @@ class SimulationCache:
     # -- keys ---------------------------------------------------------------
     @staticmethod
     def make_key(program, hierarchy_config, trace_options, engine: str) -> str:
-        """The memoization key of one simulation request."""
+        """The memoization key of one simulation request.
+
+        ``program.content_digest()`` is cached on the program, so repeated
+        lookups do not re-serialise the tree.  The trace *representation*
+        (descriptor/expanded) is deliberately normalised out of the key —
+        like the two engines, both representations produce bit-identical
+        statistics, so results memoized under one serve the other.
+        """
+        trace = asdict(trace_options)
+        trace.pop("engine", None)  # resolved and keyed separately
+        trace.pop("trace", None)  # representation-neutral results
         payload = {
             "program": program.content_digest(),
             "hierarchy": asdict(hierarchy_config),
-            "trace": asdict(trace_options),
+            "trace": trace,
             "engine": engine,
         }
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -84,9 +129,16 @@ class SimulationCache:
             self._insert(key, flat)
         if self.disk_dir is not None:
             # File I/O happens outside the lock so concurrent workers are
-            # not serialized behind a disk write.
+            # not serialized behind a disk write; the write-then-rename makes
+            # concurrent writers of the same key (which produce identical
+            # payloads) safe for readers.
             path = self.disk_dir / f"{key}.json"
-            path.write_text(json.dumps(flat, sort_keys=True), encoding="utf-8")
+            scratch = self.disk_dir / f".{key}.{os.getpid()}.tmp"
+            try:
+                scratch.write_text(json.dumps(flat, sort_keys=True), encoding="utf-8")
+                os.replace(scratch, path)
+            except OSError:  # a full or read-only disk never breaks the run
+                scratch.unlink(missing_ok=True)
 
     def _insert(self, key: str, flat: Dict[str, float]) -> None:
         self._entries[key] = flat

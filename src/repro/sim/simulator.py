@@ -12,7 +12,10 @@ Two cross-cutting performance features live here:
 * **Engine selection** — ``engine`` picks the cache-simulation engine
   (``"reference"`` or ``"vectorized"``, see :mod:`repro.sim.engine`) and is
   threaded down through the hierarchy; ``TraceOptions.engine`` is honoured
-  when no explicit engine is given.
+  when no explicit engine is given.  ``TraceOptions.trace`` likewise picks
+  the trace representation (descriptor runs by default on the vectorized
+  engine, expanded address chunks otherwise); all combinations are
+  bit-identical.
 * **Result memoization** — ``Simulator.run`` is a pure function of
   ``(program content, hierarchy config, trace options, engine)``, so results
   are served from an LRU-bounded :class:`~repro.sim.memo.SimulationCache`
@@ -25,15 +28,15 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.codegen.program import Program
 from repro.sim.configs import CACHE_HIERARCHIES
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
-from repro.sim.engine import resolve_engine
+from repro.sim.engine import resolve_engine, resolve_trace_mode
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig
-from repro.sim.memo import SimulationCache, default_simulation_cache
+from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
 from repro.sim.stats import SimulationStats
 
 
@@ -76,8 +79,11 @@ class Simulator:
                 raise KeyError(f"no default cache hierarchy for architecture {arch!r}")
             hierarchy_config = CACHE_HIERARCHIES[self.arch]
         self.hierarchy_config = hierarchy_config
-        self.trace_options = trace_options
         self.engine = resolve_engine(engine or trace_options.engine)
+        # Pin the trace representation at construction so later environment
+        # changes cannot make runs disagree with the inspected attribute.
+        self.trace = resolve_trace_mode(trace_options.trace, self.engine)
+        self.trace_options = replace(trace_options, trace=self.trace)
         self.memoize = memoize
         self.memo_cache = memo_cache if memo_cache is not None else (
             default_simulation_cache() if memoize else None
@@ -117,8 +123,31 @@ class Simulator:
         )
 
 
-def _run_single(arch, hierarchy_config, trace_options, program, engine, memoize) -> SimulationResult:
-    simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
+#: Per-process disk-backed caches, keyed by directory: pool workers are
+#: reused across submitted programs, so the in-memory LRU layer stays warm
+#: instead of being rebuilt (and re-reading disk) for every task.
+_WORKER_CACHES: Dict[str, SimulationCache] = {}
+
+
+def _worker_cache(memo_dir: str) -> SimulationCache:
+    cache = _WORKER_CACHES.get(memo_dir)
+    if cache is None:
+        cache = _WORKER_CACHES[memo_dir] = SimulationCache(disk_dir=memo_dir)
+    return cache
+
+
+def _run_single(
+    arch, hierarchy_config, trace_options, program, engine, memoize, memo_dir=None
+) -> SimulationResult:
+    memo_cache = None
+    if memoize and memo_dir is not None:
+        # Worker processes memoize through a shared on-disk layer: results
+        # computed by any worker (or an earlier run) are served to all.
+        memo_cache = _worker_cache(memo_dir)
+    simulator = Simulator(
+        arch, hierarchy_config, trace_options, engine=engine, memoize=memoize,
+        memo_cache=memo_cache,
+    )
     return simulator.run(program)
 
 
@@ -142,8 +171,11 @@ class SimulatorPool:
       interpreter lock, so threads deliver parallelism without the
       process-spawn and pickling overhead of ``"processes"``.  All workers
       share the process-wide memoization cache.
-    * ``"processes"`` — one OS process per concurrent simulation (the
-      original behaviour; memoization is per-process).
+    * ``"processes"`` — one OS process per concurrent simulation.  Workers
+      share the memoization cache through an on-disk layer (``memo_dir``,
+      defaulting to :func:`repro.sim.memo.shared_disk_cache_dir`), so a
+      result computed by any worker — or by a previous run — is served to
+      all of them.
     """
 
     arch: str
@@ -153,6 +185,9 @@ class SimulatorPool:
     backend: str = "serial"  # "serial", "threads" or "processes"
     engine: Optional[str] = None
     memoize: bool = True
+    #: Shared disk cache directory for the ``processes`` backend; ``None``
+    #: selects the per-user default.
+    memo_dir: Optional[str] = None
 
     BACKENDS = ("serial", "threads", "processes")
 
@@ -160,13 +195,18 @@ class SimulatorPool:
         """Simulate all ``programs`` and return results in input order."""
         if self.backend not in self.BACKENDS:
             raise ValueError(f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}")
+        memo_dir = None
+        if self.backend == "processes" and self.memoize:
+            memo_dir = str(self.memo_dir) if self.memo_dir else str(shared_disk_cache_dir())
         if self.backend == "serial" or self.n_parallel <= 1 or len(programs) <= 1:
+            memo_cache = _worker_cache(memo_dir) if memo_dir else None
             simulator = Simulator(
                 self.arch,
                 self.hierarchy_config,
                 self.trace_options,
                 engine=self.engine,
                 memoize=self.memoize,
+                memo_cache=memo_cache,
             )
             return [simulator.run(program) for program in programs]
         if self.backend == "threads":
@@ -181,6 +221,7 @@ class SimulatorPool:
                     program,
                     self.engine,
                     self.memoize,
+                    memo_dir,
                 )
                 for program in programs
             ]

@@ -50,6 +50,38 @@ class TestDatasetGeneration:
         b = DatasetConfig(arch="arm", seed=1)
         assert a.cache_key() != b.cache_key()
 
+    def test_parallel_group_generation_matches_serial(self):
+        from repro.pipeline.dataset import generate_dataset
+
+        base = dict(
+            arch="riscv",
+            implementations_per_group=3,
+            groups=(1, 2),
+            scale=0.1,
+            trace_max_accesses=6_000,
+            n_exe=3,
+            seed=5,
+        )
+        serial = generate_dataset(DatasetConfig(**base, n_parallel=1))
+        threaded = generate_dataset(DatasetConfig(**base, n_parallel=2, backend="threads"))
+        assert [s.implementation_id for s in serial.samples] == [
+            s.implementation_id for s in threaded.samples
+        ]
+        for left, right in zip(serial.samples, threaded.samples):
+            left_stats = {k: v for k, v in left.flat_stats.items() if k != "sim.host_seconds"}
+            right_stats = {k: v for k, v in right.flat_stats.items() if k != "sim.host_seconds"}
+            assert left_stats == right_stats
+            assert left.measured_time_s == right.measured_time_s
+
+    def test_parallel_config_excluded_from_cache_key(self):
+        serial = DatasetConfig(arch="arm", n_parallel=1)
+        parallel = DatasetConfig(arch="arm", n_parallel=4, backend="processes")
+        assert serial.cache_key() == parallel.cache_key()
+
+    def test_unknown_dataset_backend_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(arch="arm", backend="fibers")
+
     def test_disk_cache_round_trip(self, tmp_path):
         config = DatasetConfig(
             arch="riscv",

@@ -300,6 +300,33 @@ class TestMemoization:
         runs = Simulator("x86", trace_options=options, memo_cache=memo).run(conv_program_x86)
         assert runs.cached
 
+    def test_process_pool_shares_memo_through_disk(self, tmp_path, conv_program_x86):
+        options = TraceOptions(max_accesses=5_000)
+        pool = SimulatorPool(
+            "x86",
+            n_parallel=2,
+            trace_options=options,
+            backend="processes",
+            memo_dir=str(tmp_path),
+        )
+        first = pool.run_many([conv_program_x86, conv_program_x86])
+        assert list(tmp_path.glob("*.json")), "workers should persist results to disk"
+        # A fresh pool (new processes, empty in-memory caches) is served
+        # entirely from the shared disk layer.
+        second = SimulatorPool(
+            "x86",
+            n_parallel=2,
+            trace_options=options,
+            backend="processes",
+            memo_dir=str(tmp_path),
+        ).run_many([conv_program_x86])
+        assert second[0].cached
+        left = first[0].flat_stats()
+        right = second[0].flat_stats()
+        left.pop("sim.host_seconds")
+        right.pop("sim.host_seconds")
+        assert left == right
+
 
 class TestProgramDigest:
     def test_digest_stable_and_name_independent(self, conv_program_x86):

@@ -1,0 +1,394 @@
+"""Equivalence tests for the compressed descriptor trace pipeline.
+
+Two properties anchor the descriptor path:
+
+* **Trace equivalence** — for any program and any trace options,
+  concatenating ``DescriptorChunk.expand()`` over
+  :meth:`Program.memory_trace_descriptors` reproduces
+  :meth:`Program.memory_trace` bit for bit (same chunk boundaries, same
+  addresses, same write flags) — including guards, per-access predicates,
+  gathers, ``sample_fraction`` < 1 and ``max_accesses`` truncation.
+* **Statistics equivalence** — driving the descriptor stream through the
+  vectorized engine produces cache statistics identical to the reference
+  per-access loop on the expanded stream, at every level of the hierarchy.
+
+The random-program generator below deliberately produces ugly programs:
+negative coefficients, zero-extent-free but tiny loops, predicates with every
+comparison operator, gathers and guard nests — so the closed-form collapse,
+conflict explosion and chain pre-resolution paths all get exercised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen.program import (
+    Block,
+    Buffer,
+    DescriptorChunk,
+    Guard,
+    LinearPredicate,
+    Loop,
+    MemoryAccess,
+    Program,
+)
+from repro.codegen.target import Target
+from repro.sim import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    TRACE_DESCRIPTOR,
+    TRACE_EXPANDED,
+    CacheHierarchy,
+    CacheHierarchyConfig,
+    CacheLevelConfig,
+    Simulator,
+    TraceOptions,
+    resolve_trace_mode,
+)
+
+OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+TINY_HIERARCHY = CacheHierarchyConfig(
+    name="tiny",
+    l1d=CacheLevelConfig(size_bytes=4 * 64 * 2, sets=4, associativity=2),
+    l1i=CacheLevelConfig(size_bytes=4 * 64 * 2, sets=4, associativity=2),
+    l2=CacheLevelConfig(size_bytes=8 * 64 * 2, sets=8, associativity=2),
+    l3=CacheLevelConfig(size_bytes=16 * 64 * 4, sets=16, associativity=4),
+)
+
+
+def build_program(buffers, roots, name="prog"):
+    return Program(name, Target.x86(), buffers, roots)
+
+
+def random_program(rng: np.random.Generator) -> Program:
+    n_buffers = int(rng.integers(1, 4))
+    buffers = [
+        Buffer(
+            f"b{index}",
+            size_bytes=int(rng.integers(1, 40)) * 256,
+            element_bytes=int(rng.choice([1, 4, 8])),
+        )
+        for index in range(n_buffers)
+    ]
+    depth = int(rng.integers(1, 5))
+    loops = [(f"v{level}", int(rng.integers(1, 7))) for level in range(depth)]
+    names = [name for name, _ in loops]
+
+    def random_predicates(limit):
+        predicates = []
+        for _ in range(int(rng.integers(0, limit + 1))):
+            count = int(rng.integers(1, min(3, len(names)) + 1))
+            chosen = rng.choice(names, size=count, replace=False)
+            predicates.append(
+                LinearPredicate(
+                    coeffs={str(var): int(rng.integers(-3, 4)) for var in chosen},
+                    const=int(rng.integers(-4, 5)),
+                    op=str(rng.choice(OPS)),
+                )
+            )
+        return predicates
+
+    accesses = []
+    for _ in range(int(rng.integers(1, 4))):
+        buffer = buffers[int(rng.integers(0, n_buffers))]
+        coeffs = {
+            name: int(rng.integers(-8, 32)) for name, _ in loops if rng.random() < 0.8
+        }
+        gather = int(rng.choice([0, 0, 0, 2, 5]))
+        accesses.append(
+            MemoryAccess(
+                buffer=buffer,
+                coeffs=coeffs,
+                const=int(rng.integers(0, 16)),
+                is_store=bool(rng.random() < 0.4),
+                width=int(rng.integers(2, 5)) if gather else 1,
+                gather_stride=gather,
+                predicates=random_predicates(2),
+            )
+        )
+    node = Block(accesses=accesses)
+    if rng.random() < 0.4:
+        node = Guard(
+            predicates=random_predicates(2)
+            or [LinearPredicate({names[0]: 1}, 0, "ge")],
+            body=node,
+        )
+    for name, extent in reversed(loops):
+        node = Loop(var=name, extent=extent, kind="serial", body=node)
+    return build_program(buffers, [node])
+
+
+def assert_trace_equal(program: Program, **options) -> None:
+    expanded = list(program.memory_trace(**options))
+    descriptors = list(program.memory_trace_descriptors(**options))
+    assert len(expanded) == len(descriptors)
+    for index, ((addresses, writes), chunk) in enumerate(zip(expanded, descriptors)):
+        got_addresses, got_writes = chunk.expand()
+        assert chunk.total == addresses.size, f"chunk {index} size"
+        assert np.array_equal(addresses, got_addresses), f"chunk {index} addresses"
+        assert np.array_equal(writes, got_writes), f"chunk {index} writes"
+
+
+def assert_stats_equal(program: Program, **options) -> None:
+    reference = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_REFERENCE)
+    for addresses, writes in program.memory_trace(**options):
+        reference.access_data_batch(addresses, writes)
+    descriptor = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
+    for chunk in program.memory_trace_descriptors(**options):
+        descriptor.access_data_descriptors(chunk)
+    assert reference.stats_dict() == descriptor.stats_dict()
+
+
+class TestDescriptorTraceProperty:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_programs_trace_and_stats(self, seed):
+        rng = np.random.default_rng(seed)
+        program = random_program(rng)
+        options = dict(chunk_iterations=int(rng.choice([5, 64, 1024])))
+        if rng.random() < 0.5:
+            options["max_accesses"] = int(rng.integers(1, 2000))
+        if rng.random() < 0.4:
+            options["sample_fraction"] = float(rng.uniform(0.2, 0.9))
+            options["seed"] = seed
+        assert_trace_equal(program, **options)
+        assert_stats_equal(program, **options)
+
+    def test_chunking_invariance_of_statistics(self):
+        rng = np.random.default_rng(11)
+        program = random_program(rng)
+        base = None
+        for chunk_iterations in (7, 100, 1 << 14):
+            hierarchy = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
+            for chunk in program.memory_trace_descriptors(chunk_iterations=chunk_iterations):
+                hierarchy.access_data_descriptors(chunk)
+            stats = hierarchy.stats_dict()
+            if base is None:
+                base = stats
+            else:
+                assert stats == base
+
+
+class TestDescriptorShapes:
+    """Targeted geometries for each closed-form collapse case."""
+
+    def _linear_program(self, coeffs, extents, elem=4, predicates=(), is_store=False):
+        buffer = Buffer("b", size_bytes=1 << 16, element_bytes=elem)
+        access = MemoryAccess(
+            buffer=buffer,
+            coeffs=coeffs,
+            const=64,
+            is_store=is_store,
+            predicates=list(predicates),
+        )
+        node = Block(accesses=[access])
+        for name, extent in reversed(extents):
+            node = Loop(var=name, extent=extent, kind="serial", body=node)
+        return build_program([buffer], [node])
+
+    def test_zero_stride_run(self):
+        program = self._linear_program({"i": 1}, [("i", 8), ("j", 64)])
+        assert_trace_equal(program)
+        assert_stats_equal(program)
+
+    def test_contiguous_run_collapses(self):
+        program = self._linear_program({"i": 64, "j": 1}, [("i", 16), ("j", 64)])
+        chunks = list(program.memory_trace_descriptors())
+        assert chunks[0].nbytes() < 200  # one regular batch, scalars only
+        assert_stats_equal(program)
+
+    def test_large_stride_and_negative_stride(self):
+        for coeff in (64, -17, -1):
+            program = self._linear_program({"j": coeff}, [("i", 4), ("j", 50)])
+            assert_trace_equal(program)
+            assert_stats_equal(program)
+
+    def test_gather_lanes(self):
+        buffer = Buffer("b", size_bytes=1 << 14, element_bytes=4)
+        access = MemoryAccess(
+            buffer=buffer,
+            coeffs={"i": 3},
+            const=0,
+            is_store=False,
+            width=4,
+            gather_stride=7,
+        )
+        node = Loop(var="i", extent=100, kind="serial", body=Block(accesses=[access]))
+        program = build_program([buffer], [node])
+        assert_trace_equal(program)
+        assert_stats_equal(program)
+
+    def test_guards_and_scalar_promotion_predicates(self):
+        buffer = Buffer("b", size_bytes=1 << 14, element_bytes=4)
+        first = LinearPredicate({"k": 1}, 0, "eq")  # hoisted-load pattern
+        interior = LinearPredicate({"j": 2, "k": 1}, -3, "ge")  # padding window
+        load = MemoryAccess(buffer=buffer, coeffs={"j": 4}, const=0, is_store=False,
+                            predicates=[first])
+        store = MemoryAccess(buffer=buffer, coeffs={"j": 4, "k": 1}, const=1,
+                             is_store=True, predicates=[interior])
+        node = Block(accesses=[load, store])
+        node = Guard(predicates=[LinearPredicate({"i": 1}, -1, "ge")], body=node)
+        for name, extent in (("k", 4), ("j", 8), ("i", 3)):
+            node = Loop(var=name, extent=extent, kind="serial", body=node)
+        program = build_program([buffer], [node])
+        assert_trace_equal(program)
+        assert_stats_equal(program)
+
+    def test_conflicting_interleaved_buffers_explode_exactly(self):
+        # Two buffers whose lines alias to the same set force the conflict
+        # explosion path: a long run of one buffer interleaved with accesses
+        # of the other in the same set.
+        a = Buffer("a", size_bytes=1 << 13, element_bytes=4)
+        b = Buffer("b", size_bytes=1 << 13, element_bytes=4)
+        run = MemoryAccess(buffer=a, coeffs={"i": 1}, const=0, is_store=False)
+        hopper = MemoryAccess(buffer=b, coeffs={"i": 64}, const=0, is_store=True)
+        node = Loop(var="i", extent=512, kind="serial",
+                    body=Block(accesses=[run, hopper]))
+        program = build_program([a, b], [node])
+        assert_trace_equal(program)
+        assert_stats_equal(program)
+
+    def test_truncation_stays_descriptor_form(self):
+        program = self._linear_program({"i": 64, "j": 1}, [("i", 16), ("j", 64)])
+        chunks = list(program.memory_trace_descriptors(max_accesses=777))
+        assert sum(chunk.total for chunk in chunks) == 777
+        assert chunks[-1].batches, "truncated chunk should keep its run batches"
+        assert_trace_equal(program, max_accesses=777)
+        assert_stats_equal(program, max_accesses=777)
+
+    def test_empty_and_degenerate_programs(self):
+        buffer = Buffer("b", size_bytes=256, element_bytes=4)
+        empty = build_program([buffer], [Loop("i", 4, "serial", Block())])
+        assert list(empty.memory_trace_descriptors()) == []
+        scalar = build_program(
+            [buffer],
+            [Block(accesses=[MemoryAccess(buffer=buffer, coeffs={}, const=3,
+                                          is_store=True)])],
+        )
+        assert_trace_equal(scalar)
+        assert_stats_equal(scalar)
+
+
+class TestTraceModePlumbing:
+    def test_resolve_trace_mode_defaults(self):
+        assert resolve_trace_mode(None, ENGINE_VECTORIZED) == TRACE_DESCRIPTOR
+        assert resolve_trace_mode(None, ENGINE_REFERENCE) == TRACE_EXPANDED
+        assert resolve_trace_mode(TRACE_EXPANDED, ENGINE_VECTORIZED) == TRACE_EXPANDED
+        with pytest.raises(ValueError):
+            resolve_trace_mode("compressed", ENGINE_VECTORIZED)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_TRACE", TRACE_EXPANDED)
+        assert resolve_trace_mode(None, ENGINE_VECTORIZED) == TRACE_EXPANDED
+
+    def test_simulator_trace_modes_bit_identical(self, conv_program_x86):
+        results = {}
+        for trace in (TRACE_DESCRIPTOR, TRACE_EXPANDED):
+            simulator = Simulator(
+                "x86",
+                trace_options=TraceOptions(max_accesses=20_000, trace=trace),
+                memoize=False,
+            )
+            flat = simulator.run(conv_program_x86).flat_stats()
+            flat.pop("sim.host_seconds")
+            results[trace] = flat
+        assert results[TRACE_DESCRIPTOR] == results[TRACE_EXPANDED]
+
+    def test_memo_key_is_trace_representation_neutral(self, conv_program_x86):
+        from repro.sim import SimulationCache
+
+        config = Simulator("x86").hierarchy_config
+        memo = SimulationCache()
+        key_desc = memo.make_key(
+            conv_program_x86, config,
+            TraceOptions(max_accesses=5_000, trace=TRACE_DESCRIPTOR),
+            ENGINE_VECTORIZED,
+        )
+        key_exp = memo.make_key(
+            conv_program_x86, config,
+            TraceOptions(max_accesses=5_000, trace=TRACE_EXPANDED),
+            ENGINE_VECTORIZED,
+        )
+        assert key_desc == key_exp
+
+    def test_board_characterize_matches_across_trace_modes(self, conv_program_x86):
+        from repro.hardware.board import TargetBoard
+
+        stats = {}
+        for trace in (TRACE_DESCRIPTOR, TRACE_EXPANDED):
+            board = TargetBoard(
+                "x86", trace_options=TraceOptions(max_accesses=10_000, trace=trace)
+            )
+            stats[trace] = board.characterize(conv_program_x86)
+        assert stats[TRACE_DESCRIPTOR] == stats[TRACE_EXPANDED]
+
+
+class TestProgramDescriptorApi:
+    def test_descriptor_digest_stable_and_cached(self, conv_program_x86):
+        first = conv_program_x86.descriptor_digest()
+        assert first == conv_program_x86.descriptor_digest()
+        assert first != conv_program_x86.content_digest()
+
+    def test_buffer_by_name_dict_semantics(self):
+        buffers = [Buffer("x", 256, 4), Buffer("y", 256, 4)]
+        program = build_program(buffers, [Block()])
+        assert program.buffer_by_name("x") is buffers[0]
+        with pytest.raises(KeyError):
+            program.buffer_by_name("z")
+
+    def test_chunk_nbytes_accounts_batches(self):
+        chunk = DescriptorChunk(total=0, pos_bound=1)
+        assert chunk.nbytes() == 0
+
+    def test_mixed_chunk_with_explicit_span(self):
+        # The explicit span is the escape hatch for non-affine producers; the
+        # built-in emitter never creates one, so exercise the consumer
+        # branches (expand, truncate, engine heads) with a hand-built chunk.
+        from repro.codegen.program import AccessRunBatch
+
+        rng = np.random.default_rng(9)
+        batch = AccessRunBatch(
+            bases=np.array([0x1000, 0x8000], dtype=np.int64),
+            stride=4,
+            pos_stride=2,
+            is_write=False,
+            counts=np.array([40, 40], dtype=np.int64),
+            first_pos=np.array([0, 80], dtype=np.int64),
+        )
+        span_positions = np.arange(1, 41, 2, dtype=np.int64)  # a few odd slots
+        chunk = DescriptorChunk(
+            total=80 + span_positions.size,
+            pos_bound=161,
+            batches=[batch],
+            addresses=rng.integers(0, 1 << 14, size=span_positions.size).astype(np.int64),
+            writes=rng.random(span_positions.size) < 0.5,
+            positions=span_positions,
+        )
+        # Independent reconstruction: members ordered by trace position.
+        run_addresses, run_positions = batch.member_addresses()
+        all_addresses = np.concatenate([run_addresses, chunk.addresses])
+        all_positions = np.concatenate([run_positions, span_positions])
+        order = np.argsort(all_positions)
+        addresses, writes = chunk.expand()
+        assert np.array_equal(addresses.astype(np.int64), all_addresses[order])
+
+        truncated = chunk.truncate(57)
+        t_addresses, t_writes = truncated.expand()
+        assert truncated.total == 57
+        assert np.array_equal(t_addresses, addresses[:57])
+        assert np.array_equal(t_writes, writes[:57])
+
+        # Replaying the mixed chunk against the expanded stream must give
+        # identical statistics, and the chunk is large and compressible
+        # enough to engage the closed-form head path (not the expand
+        # fallback) on the vectorized engine.
+        from repro.sim.engine import DESCRIPTOR_HEAD_FRACTION, estimated_heads
+
+        assert chunk.total >= 48
+        assert estimated_heads(chunk, 6) <= DESCRIPTOR_HEAD_FRACTION * chunk.total
+        reference = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_REFERENCE)
+        reference.access_data_batch(addresses, writes)
+        descriptor = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
+        descriptor.access_data_descriptors(chunk)
+        assert reference.stats_dict() == descriptor.stats_dict()
