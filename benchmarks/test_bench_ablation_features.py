@@ -9,7 +9,6 @@ statistics), using the XGBoost predictor on one architecture.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.metrics import evaluate_predictions
 from repro.predictor import FeatureExtractor, ScorePredictor
@@ -64,7 +63,9 @@ def test_bench_ablation_features(benchmark, dataset_factory, bench_experiment_co
 
     def run():
         return {
-            "raw + normalised (paper)": _evaluate(dataset, FeatureExtractor(), bench_experiment_config),
+            "raw + normalised (paper)": _evaluate(
+                dataset, FeatureExtractor(), bench_experiment_config
+            ),
             "raw ratios only": _evaluate(dataset, RawOnlyExtractor(), bench_experiment_config),
             "instruction mix only": _evaluate(
                 dataset, InstructionMixExtractor(), bench_experiment_config

@@ -66,7 +66,9 @@ def test_bench_ablation_sim_fidelity(
 
     def run():
         return {
-            "learned score (counts + caches)": _summarise(_learned(dataset, bench_experiment_config)),
+            "learned score (counts + caches)": _summarise(
+                _learned(dataset, bench_experiment_config)
+            ),
             "instruction count only": _summarise(
                 _baseline(dataset, bench_experiment_config, "cpu.num_insts")
             ),

@@ -74,7 +74,8 @@ def test_bench_eq4_workload_details(benchmark, summary, results_dir):
     for arch, data in summary.items():
         for entry in data["workloads"]:
             rows.append(
-                [arch, entry["group"], f"{entry['instructions']:.3e}", f"{entry['t_ref_s']:.4f}", entry["K"]]
+                [arch, entry["group"], f"{entry['instructions']:.3e}",
+                 f"{entry['t_ref_s']:.4f}", entry["K"]]
             )
     text = format_table(
         ["arch", "group", "instructions", "t_ref [s]", "K"],

@@ -16,6 +16,12 @@ Two views are reported:
   ``Simulator.run`` actually pays; the descriptor path skips address
   materialisation entirely, so this is where trace compression shows up.
 
+A second table drives the same chunks through a random-replacement variant
+of the Table I geometry (replayable victim stream, fixed seed): all three
+paths must stay bit-identical — this is the CI random-policy equivalence
+gate — and the vectorized path must hold a >= 3x engine-side edge
+(non-smoke).
+
 Scale knobs (environment variables):
 
 * ``REPRO_BENCH_SIM_TRACE`` — simulated accesses per workload (default 300000)
@@ -33,7 +39,13 @@ import time
 from repro.autotune.sketch.auto_scheduler import SearchTask, SketchPolicy, TuningOptions
 from repro.autotune.sketch.cost_model import RandomCostModel
 from repro.codegen.target import Target
-from repro.sim import ENGINE_REFERENCE, ENGINE_VECTORIZED, cache_hierarchy_for
+from repro.sim import (
+    ENGINE_REFERENCE,
+    ENGINE_VECTORIZED,
+    CacheHierarchy,
+    cache_hierarchy_for,
+    hierarchy_with_replacement,
+)
 from repro.utils.tabulate import format_table
 from repro.workloads import conv2d_bias_relu_workload, scaled_group_params
 
@@ -46,6 +58,11 @@ CHUNK_ITERATIONS = 1 << 16
 #: than the reference loop on at least one Table II workload (skipped in
 #: smoke mode, where the trace is too small to amortize fixed costs).
 MIN_SPEEDUP = 5.0
+#: Acceptance floor for the random-replacement configuration: the replayable
+#: victim stream keeps random caches on the vectorized/descriptor fast path,
+#: which must beat the (stream-ported) reference loop by at least this much
+#: on at least one Table II workload (non-smoke only).
+RANDOM_MIN_SPEEDUP = 3.0
 #: Vectorized Macc/s for the Table II stragglers as committed by PR 1
 #: (``git show <pr1>:benchmarks/results/sim_throughput.txt``); the
 #: descriptor-era engine must at least double them (non-smoke only; the
@@ -53,6 +70,10 @@ MIN_SPEEDUP = 5.0
 PR1_VECTORIZED_MACCS = {3: 10.74, 4: 10.35}
 ARCH = "x86"
 GROUPS = (0, 1, 2, 3, 4)
+#: Table I geometry with random replacement at every level, driven with a
+#: fixed victim-stream seed so recorded trajectories stay reproducible.
+RANDOM_HIERARCHY = hierarchy_with_replacement(ARCH, "random")
+RANDOM_SEED = 1234
 
 
 def _table2_program(group_id: int):
@@ -84,18 +105,24 @@ def _best(callable_, repeats):
     return best_seconds, best_stats
 
 
-def _drive_batches(chunks, engine):
+def _make_hierarchy(engine, random_policy):
+    if random_policy:
+        return CacheHierarchy(RANDOM_HIERARCHY, engine=engine, rng_seed=RANDOM_SEED)
+    return cache_hierarchy_for(ARCH, engine=engine)
+
+
+def _drive_batches(chunks, engine, random_policy=False):
     """Walk pre-built address chunks through a cold Table I hierarchy."""
-    hierarchy = cache_hierarchy_for(ARCH, engine=engine)
+    hierarchy = _make_hierarchy(engine, random_policy)
     start = time.perf_counter()
     for addresses, is_write in chunks:
         hierarchy.access_data_batch(addresses, is_write)
     return time.perf_counter() - start, hierarchy.stats_dict()
 
 
-def _drive_descriptors(chunks):
+def _drive_descriptors(chunks, random_policy=False):
     """Walk pre-built descriptor chunks through a cold Table I hierarchy."""
-    hierarchy = cache_hierarchy_for(ARCH, engine=ENGINE_VECTORIZED)
+    hierarchy = _make_hierarchy(ENGINE_VECTORIZED, random_policy)
     start = time.perf_counter()
     for chunk in chunks:
         hierarchy.access_data_descriptors(chunk)
@@ -159,6 +186,25 @@ def test_bench_sim_throughput(results_dir):
         e2e_descriptor_s, e2e_desc_stats = _best(lambda: _end_to_end(program, True), e2e_repeats)
         assert e2e_desc_stats == e2e_exp_stats == reference_stats
 
+        # Random replacement: all three paths must replay the seeded victim
+        # stream bit-identically (this doubles as the CI equivalence gate),
+        # and the vectorized paths must keep their throughput edge.
+        random_reference_s, random_reference_stats = _best(
+            lambda: _drive_batches(batch_chunks, ENGINE_REFERENCE, random_policy=True), 2
+        )
+        random_vectorized_s, random_vectorized_stats = _best(
+            lambda: _drive_batches(batch_chunks, ENGINE_VECTORIZED, random_policy=True), 5
+        )
+        random_descriptor_s, random_descriptor_stats = _best(
+            lambda: _drive_descriptors(descriptor_chunks, random_policy=True), 5
+        )
+        assert random_vectorized_stats == random_reference_stats, (
+            f"random-policy vectorized statistics diverge on Table II group {group_id}"
+        )
+        assert random_descriptor_stats == random_reference_stats, (
+            f"random-policy descriptor statistics diverge on Table II group {group_id}"
+        )
+
         group = {
             "accesses": accesses,
             "reference": accesses / reference_s / 1e6,
@@ -172,6 +218,11 @@ def test_bench_sim_throughput(results_dir):
             "trace_bytes_expanded": expanded_bytes,
             "trace_bytes_descriptor": descriptor_bytes,
             "trace_compression": expanded_bytes / descriptor_bytes,
+            "random_reference": accesses / random_reference_s / 1e6,
+            "random_vectorized": accesses / random_vectorized_s / 1e6,
+            "random_descriptor": accesses / random_descriptor_s / 1e6,
+            "random_vectorized_speedup": random_reference_s / random_vectorized_s,
+            "random_descriptor_speedup": random_reference_s / random_descriptor_s,
         }
         payload["groups"][str(group_id)] = group
         rows.append(
@@ -209,6 +260,27 @@ def test_bench_sim_throughput(results_dir):
             f"chunks, e2e columns include trace generation"
         ),
     )
+    random_rows = [
+        (
+            group_id,
+            f"{groups_row['random_reference']:.2f}",
+            f"{groups_row['random_vectorized']:.2f}",
+            f"{groups_row['random_descriptor']:.2f}",
+            f"{groups_row['random_vectorized_speedup']:.2f}x",
+            f"{groups_row['random_descriptor_speedup']:.2f}x",
+        )
+        for group_id, groups_row in sorted(
+            ((int(k), v) for k, v in payload["groups"].items())
+        )
+    ]
+    text += "\n" + format_table(
+        ["group", "ref Macc/s", "vec Macc/s", "desc Macc/s", "vec speedup", "desc speedup"],
+        random_rows,
+        title=(
+            f"Random replacement (replayable victim stream, seed {RANDOM_SEED}) on the "
+            f"Table I {ARCH} geometry; same pre-built chunks, engine-side"
+        ),
+    )
     write_result(results_dir, "sim_throughput.txt", text)
     (results_dir / "sim_throughput.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -239,6 +311,11 @@ def test_bench_sim_throughput(results_dir):
     assert best >= MIN_SPEEDUP, (
         f"vectorized engine reached only {best:.2f}x on its best Table II "
         f"workload (floor: {MIN_SPEEDUP}x)"
+    )
+    best_random = max(group["random_vectorized_speedup"] for group in groups.values())
+    assert best_random >= RANDOM_MIN_SPEEDUP, (
+        f"random-replacement vectorized engine reached only {best_random:.2f}x "
+        f"on its best Table II workload (floor: {RANDOM_MIN_SPEEDUP}x)"
     )
     for group_id, pr1_maccs in PR1_VECTORIZED_MACCS.items():
         now = groups[str(group_id)]["vectorized"]

@@ -11,7 +11,12 @@ import pytest
 
 from repro.autotune.sketch import ComputeDAG, generate_sketches
 from repro.utils.tabulate import format_table
-from repro.workloads import TABLE2_ROWS, conv2d_bias_relu_workload, group_params, scaled_group_params
+from repro.workloads import (
+    TABLE2_ROWS,
+    conv2d_bias_relu_workload,
+    group_params,
+    scaled_group_params,
+)
 
 from benchmarks.conftest import SCALE, write_result
 

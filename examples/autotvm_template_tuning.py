@@ -10,7 +10,6 @@ Run with:  python examples/autotvm_template_tuning.py
 
 from __future__ import annotations
 
-import numpy as np
 
 import repro.workloads  # noqa: F401  - registers the built-in templates
 from repro.autotune import (
@@ -34,7 +33,8 @@ TRIALS = 32
 def main() -> None:
     target = Target.from_name(ARCH)
     task = create_task("matmul", SHAPE, target)
-    print(f"Tuning matmul{SHAPE} on {ARCH}: design space has {len(task.config_space)} configurations\n")
+    print(f"Tuning matmul{SHAPE} on {ARCH}: "
+          f"design space has {len(task.config_space)} configurations\n")
 
     trace_options = TraceOptions(max_accesses=120_000)
     board = TargetBoard(ARCH, trace_options=trace_options, seed=0)

@@ -72,7 +72,9 @@ def main() -> None:
     sim_best = sim_policy.search(runner=simulator_runner)
 
     best_time, best_program = native_time_of(sim_best, task_sim, board, target)
-    all_times = [native_time_of(r.candidate, task_sim, board, target)[0] for r in sim_policy.records]
+    all_times = [
+        native_time_of(r.candidate, task_sim, board, target)[0] for r in sim_policy.records
+    ]
     print("Simulator-based flow (no board needed during tuning):")
     print(f"  candidates simulated     : {len(sim_policy.records)}")
     print(f"  chosen schedule, t_ref   : {best_time * 1e3:.3f} ms")

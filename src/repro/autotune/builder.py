@@ -34,7 +34,9 @@ class LocalBuilder(Builder):
                     measure_input.task.target,
                     name=f"{measure_input.task.template_name}_{measure_input.config.index}",
                 )
-                results.append(BuildResult(program=program, build_seconds=time.perf_counter() - start))
+                results.append(
+                    BuildResult(program=program, build_seconds=time.perf_counter() - start)
+                )
             except (CodegenError, ValueError, KeyError) as error:
                 results.append(
                     BuildResult(

@@ -9,8 +9,8 @@ runner object passed to :func:`auto_schedule`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.autotune.builder import LocalBuilder  # noqa: F401  (re-exported conv
 from repro.autotune.measure import BuildResult, MeasureErrorNo, MeasureResult, Runner
 from repro.autotune.registry import get_func
 from repro.autotune.sketch.annotation import AnnotationSampler, ScheduleCandidate
-from repro.autotune.sketch.cost_model import LearnedCostModel, RandomCostModel
+from repro.autotune.sketch.cost_model import LearnedCostModel
 from repro.autotune.sketch.dag import ComputeDAG
 from repro.autotune.sketch.sketch import Sketch, generate_sketches
 from repro.codegen.codegen import CodegenError, build_program
@@ -96,7 +96,9 @@ class SketchPolicy:
     ):
         self.task = task
         self.options = options
-        self.cost_model = cost_model if cost_model is not None else LearnedCostModel(seed=options.seed)
+        self.cost_model = (
+            cost_model if cost_model is not None else LearnedCostModel(seed=options.seed)
+        )
         self.rng = new_generator(options.seed, "sketch_policy", task.name)
         self.sampler = AnnotationSampler(self.rng)
         self.sketches: List[Sketch] = generate_sketches(task.dag)
@@ -126,7 +128,8 @@ class SketchPolicy:
         parents = [record.candidate for record in ranked[: max(4, count)]]
         pool: List[ScheduleCandidate] = []
         attempts = 0
-        while len(pool) < self.options.population_size and attempts < 20 * self.options.population_size:
+        population_size = self.options.population_size
+        while len(pool) < population_size and attempts < 20 * population_size:
             attempts += 1
             parent = parents[int(self.rng.integers(0, len(parents)))]
             child = self.sampler.mutate(parent)

@@ -8,7 +8,7 @@ to the annotation phase (as in Ansor's sketch/annotation split).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.autotune.sketch.dag import ComputeDAG

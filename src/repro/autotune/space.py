@@ -32,7 +32,9 @@ def factorize(value: int) -> List[int]:
     return small + large[::-1]
 
 
-def all_factorizations(extent: int, parts: int, max_factor: Optional[int] = None) -> List[Tuple[int, ...]]:
+def all_factorizations(
+    extent: int, parts: int, max_factor: Optional[int] = None
+) -> List[Tuple[int, ...]]:
     """All ways to write ``extent`` as an ordered product of ``parts`` factors.
 
     ``max_factor`` bounds every factor except the first (outermost), matching
@@ -119,7 +121,10 @@ class ConfigSpace:
         """Declare a split knob over ``axis`` producing ``num_outputs`` loops."""
         extent = axis.extent if isinstance(axis, IterVar) else int(axis)
         if policy == "factors":
-            candidates = [SplitEntity(sizes) for sizes in all_factorizations(extent, num_outputs, max_factor)]
+            candidates = [
+                SplitEntity(sizes)
+                for sizes in all_factorizations(extent, num_outputs, max_factor)
+            ]
         elif policy == "power2":
             powers = [p for p in (2**i for i in range(0, extent.bit_length())) if p <= extent]
             combos = itertools.product(powers, repeat=num_outputs - 1)

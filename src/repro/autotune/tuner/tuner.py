@@ -72,7 +72,9 @@ class Tuner:
                     self.best_config = measure_input.config
                     self.best_measure = result
                     improved = True
-            trials_without_improvement = 0 if improved else trials_without_improvement + len(results)
+            trials_without_improvement = (
+                0 if improved else trials_without_improvement + len(results)
+            )
 
             self.update(inputs, results)
             for callback in callbacks:
@@ -88,7 +90,10 @@ class Tuner:
         size = len(space)
         picked: List[ConfigEntity] = []
         attempts = 0
-        while len(picked) < count and attempts < 20 * count and len(self.visited) + len(picked) < size:
+        while (
+            len(picked) < count and attempts < 20 * count
+            and len(self.visited) + len(picked) < size
+        ):
             index = int(self.rng.integers(0, size))
             if index in self.visited or any(c.index == index for c in picked):
                 attempts += 1

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 from repro.autotune.sketch import SearchTask, SketchPolicy, TuningOptions
 from repro.autotune.sketch.cost_model import RandomCostModel
-from repro.codegen import Target, build_program
+from repro.codegen import Target
 from repro.hardware import TargetBoard
 from repro.pipeline import (
     DatasetConfig,
@@ -76,11 +76,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     params = scaled_group_params(args.group, args.scale)
     target = Target.from_name(args.arch)
     task = SearchTask(conv2d_bias_relu_workload, params.as_args(), target, name="cli")
-    policy = SketchPolicy(task, TuningOptions(seed=args.seed), cost_model=RandomCostModel(args.seed))
+    policy = SketchPolicy(
+        task, TuningOptions(seed=args.seed), cost_model=RandomCostModel(args.seed)
+    )
     candidates = policy.sample_candidates(args.count)
     _, builds = policy.build_candidates(candidates)
-    simulator = Simulator(args.arch, trace_options=TraceOptions(max_accesses=args.trace))
-    board = TargetBoard(args.arch, trace_options=TraceOptions(max_accesses=args.trace), seed=args.seed)
+    trace_options = TraceOptions(max_accesses=args.trace, rng_seed=args.rng_seed)
+    simulator = Simulator(args.arch, trace_options=trace_options)
+    board = TargetBoard(args.arch, trace_options=trace_options, seed=args.seed)
     rows = []
     for index, build in enumerate(builds):
         if not build.ok:
@@ -111,7 +114,9 @@ def cmd_table(args: argparse.Namespace) -> int:
     dataset = _dataset(args)
     rows = predictor_comparison_table(dataset, _experiment(args))
     titles = {"x86": "Table III", "arm": "Table IV", "riscv": "Table V"}
-    print(format_comparison_table(rows, title=f"{titles[args.arch]} - prediction results ({args.arch})"))
+    print(format_comparison_table(
+        rows, title=f"{titles[args.arch]} - prediction results ({args.arch})"
+    ))
     return 0
 
 
@@ -137,7 +142,9 @@ def cmd_fig5(args: argparse.Namespace) -> int:
 
 def cmd_eq4(args: argparse.Namespace) -> int:
     """Recompute the Equation 4 break-even parallelism ranges."""
-    summary = speedup_summary(scale=args.scale, n_schedules=args.count, trace_max_accesses=args.trace)
+    summary = speedup_summary(
+        scale=args.scale, n_schedules=args.count, trace_max_accesses=args.trace
+    )
     rows = [[arch, data["k_min"], data["k_max"]] for arch, data in summary.items()]
     print(format_table(["arch", "K min", "K max"], rows, title="Equation 4 - break-even K"))
     return 0
@@ -156,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dataset_arguments(simulate)
     simulate.add_argument("--group", type=int, default=1, choices=range(5))
     simulate.add_argument("--count", type=int, default=5, help="number of schedules")
+    simulate.add_argument("--rng-seed", type=int, default=0,
+                          help="seed of the replayable random-replacement victim stream "
+                          "(only relevant for hierarchies with a random-policy level)")
     simulate.set_defaults(func=cmd_simulate)
 
     table = commands.add_parser("table", help="regenerate Table III/IV/V for one architecture")

@@ -11,7 +11,7 @@ loops), and lays out the kernel's buffers in a flat address space.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.codegen.isa import InstructionCategory as IC
 from repro.codegen.program import (

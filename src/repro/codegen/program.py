@@ -79,7 +79,9 @@ class LinearPredicate:
             value = value + coeff * env[var]
         return self._OPS[self.op](value, 0)
 
-    def satisfaction_fraction(self, extents: Dict[str, int], rng: Optional[np.random.Generator] = None) -> float:
+    def satisfaction_fraction(
+        self, extents: Dict[str, int], rng: Optional[np.random.Generator] = None
+    ) -> float:
         """Fraction of the iteration sub-space on which the predicate holds."""
         return predicate_fraction([self], extents, rng)
 
@@ -124,7 +126,9 @@ def predicate_fraction(
     return float(mask.mean())
 
 
-def _unflatten(flat: np.ndarray, variables: Sequence[str], sizes: Sequence[int]) -> Dict[str, np.ndarray]:
+def _unflatten(
+    flat: np.ndarray, variables: Sequence[str], sizes: Sequence[int]
+) -> Dict[str, np.ndarray]:
     env: Dict[str, np.ndarray] = {}
     divisor = np.ones_like(flat)
     for var, size in zip(reversed(list(variables)), reversed(list(sizes))):
@@ -891,7 +895,8 @@ class Program:
         emitted = 0
         rng = np.random.default_rng(seed)
         for nest in self.perfect_nests():
-            for addresses, is_write in self._nest_trace(nest, chunk_iterations, sample_fraction, rng):
+            nest_trace = self._nest_trace(nest, chunk_iterations, sample_fraction, rng)
+            for addresses, is_write in nest_trace:
                 if max_accesses is not None and emitted + addresses.size > max_accesses:
                     keep = max_accesses - emitted
                     if keep > 0:

@@ -51,7 +51,11 @@ class TargetBoard:
         (descriptor chunks by default on the vectorized engine), so board
         characterisation shares the compressed-trace fast path.
         """
-        hierarchy = CacheHierarchy(self.hierarchy_config, engine=self.trace_options.engine)
+        hierarchy = CacheHierarchy(
+            self.hierarchy_config,
+            engine=self.trace_options.engine,
+            rng_seed=self.trace_options.rng_seed,
+        )
         total_accesses = run_data_trace(hierarchy, program, self.trace_options)
         stats = hierarchy.stats_dict()
         stats["_meta"] = {"trace_accesses": float(total_accesses)}

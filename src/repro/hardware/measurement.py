@@ -9,7 +9,7 @@ which is the denominator of the parallel-simulation break-even factor K
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np

@@ -49,7 +49,9 @@ def r_top1(times: Sequence[float], scores: Sequence[float]) -> float:
     t_pred = prediction_order(times, scores)
     t_ref_best = float(np.min(times))
     position = int(np.argmax(t_pred == t_ref_best))
-    return float(100.0 / times.size * (position + 1))
+    # Multiply before dividing: 100.0 / n * (n) can exceed 100 by one ulp
+    # (e.g. n = 11), violating the documented [100/n, 100] bounds.
+    return float(100.0 * (position + 1) / times.size)
 
 
 def quality_scores(times: Sequence[float], scores: Sequence[float]) -> Tuple[float, float]:

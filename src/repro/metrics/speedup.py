@@ -46,7 +46,8 @@ def break_even_parallelism(
     """Equation 4: K = ceil(t_simulator / ((t_cooldown + t_ref) * N_exe))."""
     if t_simulator_s <= 0:
         raise ValueError("t_simulator_s must be positive")
-    return max(1, math.ceil(t_simulator_s / native_benchmarking_seconds(t_ref_s, n_exe, cooldown_s)))
+    native_seconds = native_benchmarking_seconds(t_ref_s, n_exe, cooldown_s)
+    return max(1, math.ceil(t_simulator_s / native_seconds))
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,8 @@ class SpeedupModel:
         values = [self.k_for(instructions, t_ref) for instructions, t_ref in workloads]
         return min(values), max(values)
 
-    def summary(self, workloads_by_arch: Dict[str, Sequence[Tuple[float, float]]]) -> Dict[str, Tuple[int, int]]:
+    def summary(
+        self, workloads_by_arch: Dict[str, Sequence[Tuple[float, float]]]
+    ) -> Dict[str, Tuple[int, int]]:
         """K ranges per architecture."""
         return {arch: self.k_range(workloads) for arch, workloads in workloads_by_arch.items()}

@@ -19,7 +19,7 @@ import hashlib
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -33,7 +33,7 @@ from repro.sim.cpu import TraceOptions
 from repro.sim.simulator import Simulator
 from repro.utils.serialization import dump_json, load_json
 from repro.workloads.conv2d import Conv2DParams, conv2d_bias_relu_workload
-from repro.workloads.resnet import TABLE2_GROUPS, scaled_group_params
+from repro.workloads.resnet import scaled_group_params
 
 
 @dataclass(frozen=True)

@@ -68,7 +68,9 @@ class ExecutionPhase:
         self.seed = seed
         self.n_parallel = n_parallel
 
-    def run(self, validate_top_percent: float = 0.0, board: Optional[TargetBoard] = None) -> ExecutionPhaseResult:
+    def run(
+        self, validate_top_percent: float = 0.0, board: Optional[TargetBoard] = None
+    ) -> ExecutionPhaseResult:
         """Run the simulator-guided search; optionally validate the top predictions."""
         target = Target.from_name(self.arch)
         task = SearchTask(
@@ -85,7 +87,9 @@ class ExecutionPhase:
         result = ExecutionPhaseResult(records=policy.records, best_candidate=best)
 
         if validate_top_percent > 0.0:
-            board = board or TargetBoard(self.arch, trace_options=self.trace_options, seed=self.seed)
+            board = board or TargetBoard(
+                self.arch, trace_options=self.trace_options, seed=self.seed
+            )
             ranked = sorted(
                 (record for record in policy.records if record.cost != float("inf")),
                 key=lambda record: record.cost,

@@ -11,23 +11,20 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.codegen.codegen import build_program
 from repro.codegen.target import Target
 from repro.hardware.board import TargetBoard
-from repro.metrics.evaluation import PredictionMetrics, evaluate_predictions, prediction_order
+from repro.metrics.evaluation import evaluate_predictions, prediction_order
 from repro.metrics.speedup import SpeedupModel
 from repro.predictor.training import (
     PREDICTOR_NAMES,
     PredictorDataset,
     ScorePredictor,
-    TrainingSample,
 )
 from repro.sim.cpu import TraceOptions
-from repro.te.lower import lower
 from repro.autotune.sketch.auto_scheduler import SearchTask, SketchPolicy, TuningOptions
 from repro.autotune.sketch.cost_model import RandomCostModel
 from repro.utils.rng import derive_seed
@@ -243,7 +240,9 @@ def speedup_summary(
     summary: Dict[str, dict] = {}
     for arch in archs:
         arch_mips = (
-            simulator_mips.get(arch, 5.0) if isinstance(simulator_mips, dict) else float(simulator_mips)
+            simulator_mips.get(arch, 5.0)
+            if isinstance(simulator_mips, dict)
+            else float(simulator_mips)
         )
         model = SpeedupModel(simulator_mips=arch_mips, n_exe=n_exe, cooldown_s=cooldown_s)
         target = Target.from_name(arch)

@@ -13,7 +13,7 @@ Two pieces live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy.stats import norm
@@ -76,7 +76,8 @@ class BayesianOptimizer:
         for coordinate, (name, (low, high)) in zip(unit, self.bounds.items()):
             coordinate = float(np.clip(coordinate, 0.0, 1.0))
             if self.log_scale:
-                params[name] = float(np.exp(np.log(low) + coordinate * (np.log(high) - np.log(low))))
+                log_span = np.log(high) - np.log(low)
+                params[name] = float(np.exp(np.log(low) + coordinate * log_span))
             else:
                 params[name] = float(low + coordinate * (high - low))
         return params
@@ -194,7 +195,8 @@ class BayesianGPModel:
             validation_idx = permutation
 
         objective = self._objective_factory(
-            features[train_idx], targets[train_idx], features[validation_idx], targets[validation_idx]
+            features[train_idx], targets[train_idx],
+            features[validation_idx], targets[validation_idx],
         )
         optimizer = BayesianOptimizer(
             objective,

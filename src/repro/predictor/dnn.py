@@ -87,8 +87,10 @@ class DNNRegressor:
             self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
             self._biases.append(np.zeros(fan_out))
 
-        adam_m = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
-        adam_v = [np.zeros_like(w) for w in self._weights] + [np.zeros_like(b) for b in self._biases]
+        adam_m = ([np.zeros_like(w) for w in self._weights]
+                  + [np.zeros_like(b) for b in self._biases])
+        adam_v = ([np.zeros_like(w) for w in self._weights]
+                  + [np.zeros_like(b) for b in self._biases])
         beta1, beta2, epsilon = 0.9, 0.999, 1e-8
         step = 0
 

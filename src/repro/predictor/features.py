@@ -15,7 +15,7 @@ time they are approximated with a static or dynamic window (Section III-E).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -61,7 +61,8 @@ class FeatureExtractor:
         }
         for level in self.cache_levels:
             for numerator, denominator in _CACHE_RATIOS:
-                name = f"{level}_{numerator}_per_{'read' if numerator.startswith('read') else 'write'}_access"
+                request = 'read' if numerator.startswith('read') else 'write'
+                name = f"{level}_{numerator}_per_{request}_access"
                 features[name] = _safe_ratio(
                     flat_stats.get(f"{level}.{numerator}", 0.0),
                     flat_stats.get(f"{level}.{denominator}", 0.0),

@@ -279,5 +279,6 @@ class ScorePredictor:
 
     def __repr__(self) -> str:
         return (
-            f"ScorePredictor(model={self.model_name}, trained_groups={sorted(self.group_statistics)})"
+            f"ScorePredictor(model={self.model_name}, "
+            f"trained_groups={sorted(self.group_statistics)})"
         )

@@ -12,9 +12,15 @@ array-based ``"vectorized"`` chunk engine, which produce bit-identical
 statistics.  The trace reaches the engines in one of two bit-equivalent
 representations: materialised address chunks (``"expanded"``) or compressed
 affine run descriptors (``"descriptor"``, the vectorized default — see
-:meth:`repro.codegen.program.Program.memory_trace_descriptors`).  Simulation
-results are memoized across identical ``(program, hierarchy, trace
-options)`` requests via :mod:`repro.sim.memo`.
+:meth:`repro.codegen.program.Program.memory_trace_descriptors`).  All
+replacement policies run on both engines: random replacement draws its
+victims from a replayable counter-based stream (:func:`repro.sim.engine.
+victim_rank`, seeded via ``TraceOptions.rng_seed`` / ``CacheConfig.
+rng_seed``), so stochastic caches stay bit-identical across engines, trace
+representations and chunk schedules.  Simulation results are memoized across
+identical ``(program, hierarchy, trace options)`` requests via
+:mod:`repro.sim.memo`; the victim-stream seed joins the key exactly when a
+random-replacement level is present.
 """
 
 from repro.sim.stats import StatGroup, SimulationStats
@@ -30,11 +36,17 @@ from repro.sim.engine import (
     default_trace_mode,
     resolve_engine,
     resolve_trace_mode,
+    victim_rank,
 )
 from repro.sim.cache import CacheConfig, Cache, ReplacementPolicy
 from repro.sim.memory import MainMemory
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
-from repro.sim.configs import CACHE_HIERARCHIES, cache_hierarchy_for, TABLE1_ROWS
+from repro.sim.configs import (
+    CACHE_HIERARCHIES,
+    TABLE1_ROWS,
+    cache_hierarchy_for,
+    hierarchy_with_replacement,
+)
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions, run_data_trace
 from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
 from repro.sim.simulator import Simulator, SimulationResult, SimulatorPool
@@ -53,6 +65,7 @@ __all__ = [
     "default_trace_mode",
     "resolve_engine",
     "resolve_trace_mode",
+    "victim_rank",
     "CacheConfig",
     "Cache",
     "ReplacementPolicy",
@@ -62,6 +75,7 @@ __all__ = [
     "CacheLevelConfig",
     "CACHE_HIERARCHIES",
     "cache_hierarchy_for",
+    "hierarchy_with_replacement",
     "TABLE1_ROWS",
     "AtomicSimpleCPU",
     "TraceOptions",

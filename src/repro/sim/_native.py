@@ -4,7 +4,8 @@ The vectorized engine's event phase (rank rounds plus scalar chain tails,
 see :mod:`repro.sim.engine`) pays a fixed NumPy-dispatch cost per round,
 which dominates on workloads whose chunks concentrate events in few sets.
 The per-set walk itself is the trivial reference algorithm — a linear tag
-scan and a min-tick victim pick — so when a C compiler is available the
+scan and a min-tick (LRU/FIFO) or replayable-stream (random) victim pick —
+so when a C compiler is available the
 whole phase is compiled once per interpreter installation and executed as a
 single foreign call (the GIL is released for the duration, which also helps
 the ``threads`` pool backend).
@@ -38,9 +39,22 @@ _SOURCE = r"""
  * VectorCacheState._run_events / _scalar_chain semantics exactly:
  *  - hit: mark, OR the dirty flag in, update the recency tick (LRU only);
  *  - miss with a free way: fill it;
- *  - miss in a full set: evict the minimum-tick way (ticks are unique),
- *    reporting the victim line and its dirty state.
+ *  - miss in a full set: evict a victim, reporting its line and dirty
+ *    state.  LRU/FIFO evict the minimum-tick way (ticks are unique);
+ *    random draws a rank from the replayable victim stream — the SplitMix64
+ *    finalizer over the (seed, set, per-set eviction ordinal) key, the same
+ *    constants as repro.sim.engine.victim_rank — and evicts the way holding
+ *    the rank-th most recently inserted line.
+ *
+ * policy: 0 = fifo, 1 = lru, 2 = random.
  */
+static uint64_t repro_victim_hash(uint64_t key)
+{
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+    return key ^ (key >> 31);
+}
+
 void repro_run_events(
     int64_t n_events,
     const int64_t *event_sets,
@@ -51,12 +65,16 @@ void repro_run_events(
     int64_t *victim_line,
     uint8_t *victim_wb,
     int64_t assoc,
-    int32_t lru,
+    int32_t policy,
+    uint64_t rng_seed,
     int64_t *tags,
     uint8_t *dirty,
     int64_t *recency,
-    int64_t *occupancy)
+    int64_t *occupancy,
+    int64_t *evictions)
 {
+    const int32_t lru = policy == 1;
+    const uint64_t seed_term = rng_seed * 0x9E3779B97F4A7C15ULL;
     for (int64_t i = 0; i < n_events; i++) {
         const int64_t set = event_sets[i];
         const int64_t line = event_lines[i];
@@ -78,9 +96,23 @@ void repro_run_events(
             way = occ;
             occupancy[set] = occ + 1;
         } else {
-            way = 0;
-            for (int64_t w = 1; w < assoc; w++) {
-                if (rrow[w] < rrow[way]) way = w;
+            if (policy == 2) {
+                const uint64_t key = seed_term
+                    ^ ((uint64_t)set * 0xC2B2AE3D27D4EB4FULL)
+                    ^ ((uint64_t)evictions[set] * 0x165667B19E3779F9ULL);
+                const int64_t rank = (int64_t)(repro_victim_hash(key) % (uint64_t)assoc);
+                evictions[set] += 1;
+                way = 0;
+                for (int64_t w = 0; w < assoc; w++) {
+                    int64_t newer = 0;
+                    for (int64_t v = 0; v < assoc; v++) newer += rrow[v] > rrow[w];
+                    if (newer == rank) { way = w; break; }
+                }
+            } else {
+                way = 0;
+                for (int64_t w = 1; w < assoc; w++) {
+                    if (rrow[w] < rrow[way]) way = w;
+                }
             }
             victim_line[i] = row[way];
             victim_wb[i] = drow[way];
@@ -171,8 +203,10 @@ def event_kernel():
         pointer(np.bool_, flags="C_CONTIGUOUS"),
         ctypes.c_int64,
         ctypes.c_int32,
+        ctypes.c_uint64,
         pointer(np.int64, flags="C_CONTIGUOUS"),
         pointer(np.bool_, flags="C_CONTIGUOUS"),
+        pointer(np.int64, flags="C_CONTIGUOUS"),
         pointer(np.int64, flags="C_CONTIGUOUS"),
         pointer(np.int64, flags="C_CONTIGUOUS"),
     ]

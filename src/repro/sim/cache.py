@@ -13,9 +13,18 @@ Two interchangeable simulation engines back the model:
   Simple, obviously correct, and the behavioural baseline.
 * ``"vectorized"`` — the array-based chunk engine of
   :mod:`repro.sim.engine`; bit-identical statistics at a multiple of the
-  throughput.  Caches with random replacement always use the reference
-  engine, because the random victim choice consumes RNG draws in trace
-  order, which the chunk schedule cannot replay.
+  throughput.
+
+All replacement policies — including ``random`` — run on either engine.
+Random victims come from the replayable counter-based stream of
+:func:`repro.sim.engine.victim_rank`, keyed on ``(rng_seed, set index,
+per-set eviction ordinal)``: the ``k``-th eviction in a set always evicts
+the same rank (by descending insertion recency) for a given seed, no matter
+which engine — or which schedule inside the vectorized engine — processes
+the trace.  ``CacheConfig.rng_seed`` (overridable per cache via the
+``rng_seed`` constructor argument) selects the stream; two caches with the
+same seed and trace are bit-identical, two different seeds draw independent
+victim sequences.
 
 The engine is selected per cache via the ``engine`` constructor argument and
 defaults to :func:`repro.sim.engine.default_engine` (environment variable
@@ -31,7 +40,6 @@ import numpy as np
 
 from repro.sim.engine import (
     DESCRIPTOR_HEAD_FRACTION,
-    ENGINE_REFERENCE,
     ENGINE_VECTORIZED,
     SCALAR_CHUNK_CUTOFF,
     ChunkOutcome,
@@ -39,6 +47,7 @@ from repro.sim.engine import (
     chunk_heads,
     estimated_heads,
     resolve_engine,
+    victim_rank,
 )
 
 
@@ -67,6 +76,9 @@ class CacheConfig:
     associativity: int
     line_bytes: int = 64
     replacement: str = ReplacementPolicy.LRU
+    #: Seed of the replayable random-replacement victim stream; ignored by
+    #: the deterministic policies (LRU/FIFO).
+    rng_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.size_bytes != self.sets * self.associativity * self.line_bytes:
@@ -91,6 +103,7 @@ class CacheConfig:
         associativity: int,
         line_bytes: int = 64,
         replacement: str = ReplacementPolicy.LRU,
+        rng_seed: int = 0,
     ) -> "CacheConfig":
         """Build a config from sets/ways/line size, deriving the total size."""
         return CacheConfig(
@@ -100,6 +113,7 @@ class CacheConfig:
             associativity=associativity,
             line_bytes=line_bytes,
             replacement=replacement,
+            rng_seed=rng_seed,
         )
 
 
@@ -114,27 +128,29 @@ class Cache:
         self,
         config: CacheConfig,
         next_level=None,
-        rng_seed: int = 0,
+        rng_seed: Optional[int] = None,
         engine: Optional[str] = None,
     ):
         self.config = config
         self.next_level = next_level
         self._offset_bits = int(np.log2(config.line_bytes))
         self._set_mask = config.sets - 1
-        engine = resolve_engine(engine)
-        if config.replacement == ReplacementPolicy.RANDOM:
-            # Random victims consume RNG draws in trace order; only the
-            # per-access reference loop replays that order bit-identically.
-            engine = ENGINE_REFERENCE
-        self.engine = engine
+        self.engine = resolve_engine(engine)
+        self.rng_seed = config.rng_seed if rng_seed is None else int(rng_seed)
         self._state: Optional[VectorCacheState] = None
-        # Per-set list of [tag, dirty] entries; index 0 is most recently used.
+        # Per-set list of [tag, dirty] entries; index 0 is most recently used
+        # (LRU) or most recently inserted (FIFO/random).
         self._sets: List[List[List[int]]] = []
+        # Per-set eviction ordinals of the replayable random victim stream
+        # (reference engine; the vectorized state keeps its own array).
+        self._evictions: List[int] = []
         if self.engine == ENGINE_VECTORIZED:
-            self._state = VectorCacheState(config.sets, config.associativity, config.replacement)
+            self._state = VectorCacheState(
+                config.sets, config.associativity, config.replacement, rng_seed=self.rng_seed
+            )
         else:
             self._sets = [[] for _ in range(config.sets)]
-        self._rng = np.random.default_rng(rng_seed)
+            self._evictions = [0] * config.sets
         self.reset_stats()
         # Direct line-address forwarding is only valid when the next level
         # uses the same line size; otherwise byte addresses are re-derived.
@@ -158,11 +174,12 @@ class Cache:
         self._last_miss_line = -2
 
     def reset_state(self) -> None:
-        """Flush the cache contents and zero the counters."""
+        """Flush the cache contents, rewind the victim stream and zero the counters."""
         if self._state is not None:
             self._state.reset()
         else:
             self._sets = [[] for _ in range(self.config.sets)]
+            self._evictions = [0] * self.config.sets
         self.reset_stats()
 
     @property
@@ -228,7 +245,8 @@ class Cache:
         # locals for speed, and a per-access call would slow the hot path.
         # Bit-identity across all four access paths (scalar/batch x
         # reference/vectorized) is enforced by tests/test_sim_engine.py.
-        entries = self._sets[line & self._set_mask]
+        set_index = line & self._set_mask
+        entries = self._sets[set_index]
         found = None
         for position, entry in enumerate(entries):
             if entry[0] == line:
@@ -257,7 +275,14 @@ class Cache:
         victim = None
         if len(entries) >= self.config.associativity:
             if self.config.replacement == ReplacementPolicy.RANDOM:
-                victim = entries.pop(int(self._rng.integers(0, len(entries))))
+                # Entries are ordered by insertion recency, so the stream's
+                # rank indexes the list directly (a full set holds exactly
+                # `associativity` entries).
+                rank = victim_rank(
+                    self.rng_seed, set_index, self._evictions[set_index], len(entries)
+                )
+                self._evictions[set_index] += 1
+                victim = entries.pop(rank)
             else:
                 victim = entries.pop()
             if is_write:
@@ -345,6 +370,8 @@ class Cache:
         assoc = self.config.associativity
         lru = self.config.replacement == ReplacementPolicy.LRU
         fifo = self.config.replacement == ReplacementPolicy.FIFO
+        rng_seed = self.rng_seed
+        evictions = self._evictions
 
         hits = 0
         read_hits = 0
@@ -394,7 +421,9 @@ class Cache:
                 if lru or fifo:
                     victim = entries.pop()
                 else:
-                    victim = entries.pop(int(self._rng.integers(0, len(entries))))
+                    rank = victim_rank(rng_seed, set_index, evictions[set_index], assoc)
+                    evictions[set_index] += 1
+                    victim = entries.pop(rank)
                 if write:
                     write_replacements += 1
                 else:

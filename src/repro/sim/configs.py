@@ -6,6 +6,7 @@ the x86 CPU has a large L3 (LLC).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
@@ -49,9 +50,34 @@ TABLE1_ROWS: List[tuple] = [
 ]
 
 
-def cache_hierarchy_for(arch: str, engine: Optional[str] = None) -> CacheHierarchy:
+def hierarchy_with_replacement(arch: str, replacement: str) -> CacheHierarchyConfig:
+    """The Table I hierarchy of ``arch`` with every level using ``replacement``.
+
+    The geometry is untouched — only the policy field of each level changes —
+    so the variant exercises exactly the Table I scenario class under a
+    different replacement policy (``"random"`` being the interesting one: its
+    victims come from the replayable seeded stream, see
+    :mod:`repro.sim.engine`).
+    """
+    key = arch.strip().lower()
+    if key not in CACHE_HIERARCHIES:
+        raise KeyError(f"no cache hierarchy defined for architecture {arch!r}")
+    base = CACHE_HIERARCHIES[key]
+    return replace(
+        base,
+        name=f"{base.name}-{replacement}",
+        l1d=replace(base.l1d, replacement=replacement),
+        l1i=replace(base.l1i, replacement=replacement),
+        l2=replace(base.l2, replacement=replacement),
+        l3=replace(base.l3, replacement=replacement) if base.l3 is not None else None,
+    )
+
+
+def cache_hierarchy_for(
+    arch: str, engine: Optional[str] = None, rng_seed: int = 0
+) -> CacheHierarchy:
     """Instantiate the Table I cache hierarchy for ``arch`` (x86/arm/riscv)."""
     key = arch.strip().lower()
     if key not in CACHE_HIERARCHIES:
         raise KeyError(f"no cache hierarchy defined for architecture {arch!r}")
-    return CacheHierarchy(CACHE_HIERARCHIES[key], engine=engine)
+    return CacheHierarchy(CACHE_HIERARCHIES[key], engine=engine, rng_seed=rng_seed)

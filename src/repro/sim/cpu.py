@@ -47,12 +47,21 @@ class TraceOptions:
     ``sample_fraction`` is 1; sampled traces keep or drop whole chunks, so
     pin ``chunk_iterations`` explicitly when a sampled run must stay
     reproducible across releases.
+
+    ``seed`` drives trace *sampling* only.  ``rng_seed`` seeds the
+    replayable random-replacement victim stream of the simulated caches
+    (see :mod:`repro.sim.engine`); it is ignored by hierarchies without a
+    random-replacement level, and the memoization key normalises it away in
+    that case.  Runs with equal seeds are bit-identical across engines,
+    trace representations and chunk schedules; runs with different seeds
+    draw independent victim sequences.
     """
 
     max_accesses: Optional[int] = None
     sample_fraction: float = 1.0
     chunk_iterations: int = 1 << 16
     seed: int = 0
+    rng_seed: int = 0
     engine: Optional[str] = None
     trace: Optional[str] = None
 

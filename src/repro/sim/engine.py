@@ -72,10 +72,22 @@ processing (same-line overlap is harmless: the chain machinery of step 3
 aggregates it).  The resulting heads join the pipeline at step 3 unchanged,
 which keeps descriptor statistics bit-identical to the expanded engines.
 
-The random replacement policy is not vectorized: its victim choice consumes
-one RNG draw per eviction *in trace order*, which a round-based schedule
-cannot replay bit-identically.  :class:`repro.sim.cache.Cache` keeps the
-reference engine for random-replacement caches.
+Replayable random replacement
+-----------------------------
+The random policy draws its victims from a *counter-based* stream instead of
+a stateful RNG: the victim of the ``k``-th eviction in set ``s`` is
+``victim_rank(rng_seed, s, k) = mix64(rng_seed, s, k) % associativity``,
+a rank into the set's lines ordered by descending insertion tick (rank 0 is
+the most recently inserted line, exactly the head of the reference engine's
+per-set list).  Because the stream is keyed per set, victims do not depend on
+how accesses of *different* sets interleave — any engine can compute the
+victim of a set's ``k``-th eviction in closed form, in whatever schedule it
+processes events (per-access loop, rank rounds, chain tails, or the compiled
+kernel), and all of them stay bit-identical for the same ``rng_seed``.
+Random-policy chunks skip only the LRU re-touch pre-resolution (a random
+victim can evict any line, so re-touches are not guaranteed hits); run
+collapse, descriptor head collapse and the whole event phase apply
+unchanged.
 """
 
 from __future__ import annotations
@@ -115,6 +127,52 @@ ROUND_WIDTH_CUTOFF = 24
 #: expands the chunk instead: without real run collapse, per-head
 #: bookkeeping cannot beat the expanded path's narrow-key radix sort.
 DESCRIPTOR_HEAD_FRACTION = 0.35
+
+#: Mixing constants of the replayable random-replacement victim stream
+#: (SplitMix64 finalizer over a product-combined ``(seed, set, ordinal)``
+#: key).  The C event kernel in :mod:`repro.sim._native` hard-codes the same
+#: constants; change them only together.
+_MASK64 = (1 << 64) - 1
+_MIX_SEED = 0x9E3779B97F4A7C15
+_MIX_SET = 0xC2B2AE3D27D4EB4F
+_MIX_ORDINAL = 0x165667B19E3779F9
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+
+
+def victim_rank(rng_seed: int, set_index: int, ordinal: int, associativity: int) -> int:
+    """Victim rank of the ``ordinal``-th eviction in ``set_index``.
+
+    The rank indexes the set's resident lines by descending insertion tick:
+    rank 0 evicts the most recently inserted line (the head of the reference
+    engine's per-set list).  The stream is a pure function of its key, so
+    every engine — and every schedule inside the vectorized engine — draws
+    identical victims for the same seed without sharing RNG state.
+    """
+    key = (
+        (rng_seed & _MASK64) * _MIX_SEED
+        ^ set_index * _MIX_SET
+        ^ ordinal * _MIX_ORDINAL
+    ) & _MASK64
+    z = ((key ^ (key >> 30)) * _MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+    z ^= z >> 31
+    return z % associativity
+
+
+def _victim_ranks(
+    rng_seed: int, set_indices: np.ndarray, ordinals: np.ndarray, associativity: int
+) -> np.ndarray:
+    """Vectorized :func:`victim_rank` over parallel set/ordinal arrays."""
+    key = (
+        np.uint64((rng_seed & _MASK64) * _MIX_SEED & _MASK64)
+        ^ set_indices.astype(np.uint64) * np.uint64(_MIX_SET)
+        ^ ordinals.astype(np.uint64) * np.uint64(_MIX_ORDINAL)
+    )
+    z = (key ^ (key >> np.uint64(30))) * np.uint64(_MIX_A)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_B)
+    z ^= z >> np.uint64(31)
+    return (z % np.uint64(associativity)).astype(np.int64)
 
 
 def default_engine() -> str:
@@ -367,14 +425,16 @@ class ChunkOutcome:
 class VectorCacheState:
     """Array-based tag store and chunk processor for one cache level."""
 
-    def __init__(self, sets: int, associativity: int, replacement: str):
-        if replacement not in ("lru", "fifo"):
+    def __init__(self, sets: int, associativity: int, replacement: str, rng_seed: int = 0):
+        if replacement not in ("lru", "fifo", "random"):
             raise ValueError(
-                f"vectorized engine supports lru/fifo replacement, got {replacement!r}"
+                f"vectorized engine supports lru/fifo/random replacement, got {replacement!r}"
             )
         self.sets = sets
         self.associativity = associativity
         self.replacement = replacement
+        self.rng_seed = int(rng_seed)
+        self._random = replacement == "random"
         self._set_mask = sets - 1
         self.reset()
 
@@ -386,6 +446,10 @@ class VectorCacheState:
         self.age = np.zeros((sets, assoc), dtype=np.int64)
         self.order = np.zeros((sets, assoc), dtype=np.int64)
         self.occupancy = np.zeros(sets, dtype=np.int64)
+        # Per-set eviction ordinals: the counter half of the replayable
+        # random-replacement victim stream (maintained for every policy so
+        # the kernel ABI stays uniform; only random consumes it).
+        self.evictions = np.zeros(sets, dtype=np.int64)
         # Monotone global tick; pre-chunk ages are always strictly smaller
         # than the ticks assigned inside the next chunk.
         self._tick = 1
@@ -435,7 +499,9 @@ class VectorCacheState:
             way = occupancy
             self.occupancy[set_index] = occupancy + 1
         else:
-            if lru:
+            if self._random:
+                way = self._random_victim_way(set_index)
+            elif lru:
                 way = int(self.age[set_index].argmin())
             else:
                 way = int(self.order[set_index].argmin())
@@ -448,6 +514,20 @@ class VectorCacheState:
         else:
             self.order[set_index, way] = age_value
         return False, victim_line, victim_dirty
+
+    def _random_victim_way(self, set_index: int) -> int:
+        """Draw the next replayable random victim way of a full ``set_index``.
+
+        Consumes the set's eviction ordinal and maps the drawn rank to the
+        way holding the rank-th most recently inserted line (insertion ticks
+        are unique within a set, so the rank selection is deterministic).
+        """
+        rank = victim_rank(
+            self.rng_seed, set_index, int(self.evictions[set_index]), self.associativity
+        )
+        self.evictions[set_index] += 1
+        ticks = self.order[set_index]
+        return int(np.argsort(ticks)[self.associativity - 1 - rank])
 
     def process_single(self, line: int, is_write: bool, last_miss_line: int) -> ChunkOutcome:
         """Scalar fast path for one access (no array allocations on hits)."""
@@ -673,9 +753,12 @@ class VectorCacheState:
             age_value = np.empty(n_heads, dtype=np.int64)
             age_value[group_perm] = chain_last[chain_of]
         else:
+            # FIFO and random: a re-touch is not a guaranteed hit (FIFO
+            # ignores recency; a random victim can be any line), so every
+            # head is an event.  The tick records insertion order only.
             event_mask = np.ones(n_heads, dtype=bool)
             dirty_value = any_write
-            age_value = head_orig  # FIFO: insertion order of the access
+            age_value = head_orig
 
         event_pos = np.flatnonzero(event_mask)
         n_events = int(event_pos.size)
@@ -756,6 +839,7 @@ class VectorCacheState:
         """
         kernel = event_kernel()
         if kernel is not None:
+            policy = {"fifo": 0, "lru": 1, "random": 2}[self.replacement]
             kernel(
                 event_sets.size,
                 np.ascontiguousarray(event_sets),
@@ -766,11 +850,13 @@ class VectorCacheState:
                 victim_line,
                 victim_wb,
                 self.associativity,
-                1 if self.replacement == "lru" else 0,
+                policy,
+                self.rng_seed & _MASK64,
                 self.tags,
                 self.dirty,
                 self.age if self.replacement == "lru" else self.order,
                 self.occupancy,
+                self.evictions,
             )
             return
         n_events = int(event_sets.size)
@@ -807,14 +893,23 @@ class VectorCacheState:
             way_hit = match.argmax(axis=1)
             occ_sel = occupancy[sel]
             full = occ_sel == assoc
-            if lru:
+            miss = ~hit
+            evicting = miss & full
+            if self._random:
+                # Replayable victim stream: each lane is a distinct set, so
+                # drawing with the set's current eviction ordinal — and
+                # advancing only the ordinals of lanes that actually evict —
+                # consumes the per-set stream exactly as the scalar paths do.
+                ranks = _victim_ranks(self.rng_seed, sel, self.evictions[sel], assoc)
+                by_tick = np.argsort(order[sel], axis=1)
+                victim_way = by_tick[lanes[:width], assoc - 1 - ranks]
+                self.evictions[sel[evicting]] += 1
+            elif lru:
                 victim_way = age[sel].argmin(axis=1)
             else:
                 victim_way = order[sel].argmin(axis=1)
             way = np.where(hit, way_hit, np.where(full, victim_way, occ_sel))
             evicted = rows[lanes[:width], way]
-            miss = ~hit
-            evicting = miss & full
             hit_out[idx] = hit
             victim_line[idx] = np.where(evicting, evicted, -1)
             victim_wb[idx] = evicting & dirty[sel, way]
@@ -864,9 +959,12 @@ class VectorCacheState:
         postdate later events of the same set, so a recency-ordered list walk
         would mispick victims.  Ticks are unique, so min-tick selection is
         deterministic; for FIFO the tick is the insertion order and hits do
-        not update it, which makes the same selection exact there too.
+        not update it, which makes the same selection exact there too.  The
+        random policy instead draws a rank from the replayable victim stream
+        and evicts the rank-th most recently inserted line (max tick first).
         """
         lru = self.replacement == "lru"
+        random_policy = self._random
         assoc = self.associativity
         occupancy = int(self.occupancy[set_index])
         recency = self.age if lru else self.order
@@ -892,10 +990,18 @@ class VectorCacheState:
                     entries[found][2] = tick
                 continue
             if len(entries) >= assoc:
-                victim_slot = 0
-                for slot in range(1, len(entries)):
-                    if entries[slot][2] < entries[victim_slot][2]:
-                        victim_slot = slot
+                if random_policy:
+                    rank = victim_rank(
+                        self.rng_seed, set_index, int(self.evictions[set_index]), assoc
+                    )
+                    self.evictions[set_index] += 1
+                    by_tick = sorted(range(len(entries)), key=lambda s: -entries[s][2])
+                    victim_slot = by_tick[rank]
+                else:
+                    victim_slot = 0
+                    for slot in range(1, len(entries)):
+                        if entries[slot][2] < entries[victim_slot][2]:
+                            victim_slot = slot
                 victim = entries[victim_slot]
                 victim_line[out_offset + position] = victim[0]
                 victim_wb[out_offset + position] = victim[1]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -13,13 +13,20 @@ from repro.sim.memory import MainMemory
 
 @dataclass(frozen=True)
 class CacheLevelConfig:
-    """Geometry of one cache level, as listed in Table I (sets, associativity)."""
+    """Geometry and policy of one cache level, as listed in Table I.
+
+    ``replacement`` selects the level's replacement policy (LRU by default,
+    matching the paper's gem5 configuration); random-replacement levels draw
+    their victims from the replayable stream seeded by the hierarchy-level
+    ``rng_seed`` (see :meth:`to_cache_config`).
+    """
 
     size_bytes: int
     sets: int
     associativity: int
+    replacement: str = "lru"
 
-    def to_cache_config(self, name: str, line_bytes: int) -> CacheConfig:
+    def to_cache_config(self, name: str, line_bytes: int, rng_seed: int = 0) -> CacheConfig:
         """Convert to a full :class:`CacheConfig`."""
         return CacheConfig(
             name=name,
@@ -27,6 +34,8 @@ class CacheLevelConfig:
             sets=self.sets,
             associativity=self.associativity,
             line_bytes=line_bytes,
+            replacement=self.replacement,
+            rng_seed=rng_seed,
         )
 
 
@@ -57,20 +66,36 @@ class CacheHierarchy:
     CPUs in the paper.
     """
 
-    def __init__(self, config: CacheHierarchyConfig, engine: Optional[str] = None):
+    def __init__(
+        self, config: CacheHierarchyConfig, engine: Optional[str] = None, rng_seed: int = 0
+    ):
         self.config = config
         self.engine = engine
+        self.rng_seed = rng_seed
         self.memory = MainMemory()
         last_level: object = self.memory
         self.l3: Optional[Cache] = None
-        if config.l3 is not None:
-            self.l3 = Cache(
-                config.l3.to_cache_config("l3", config.line_bytes), last_level, engine=engine
+
+        level_index = {"l1d": 0, "l1i": 1, "l2": 2, "l3": 3}
+
+        def build(level: CacheLevelConfig, name: str, below) -> Cache:
+            # Levels derive distinct stream seeds from the hierarchy seed so
+            # same-geometry levels (e.g. a split L1) never replay each
+            # other's victim tape.
+            return Cache(
+                level.to_cache_config(
+                    name, config.line_bytes, rng_seed=rng_seed * 4 + level_index[name]
+                ),
+                below,
+                engine=engine,
             )
+
+        if config.l3 is not None:
+            self.l3 = build(config.l3, "l3", last_level)
             last_level = self.l3
-        self.l2 = Cache(config.l2.to_cache_config("l2", config.line_bytes), last_level, engine=engine)
-        self.l1d = Cache(config.l1d.to_cache_config("l1d", config.line_bytes), self.l2, engine=engine)
-        self.l1i = Cache(config.l1i.to_cache_config("l1i", config.line_bytes), self.l2, engine=engine)
+        self.l2 = build(config.l2, "l2", last_level)
+        self.l1d = build(config.l1d, "l1d", self.l2)
+        self.l1i = build(config.l1i, "l1i", self.l2)
 
     # -- access paths -----------------------------------------------------
     def access_data(self, address: int, is_write: bool) -> bool:

@@ -39,10 +39,21 @@ from repro.sim.stats import SimulationStats
 
 
 #: Version tag of the default shared cache directory.  Bump whenever a
-#: change alters simulation *results* (not just speed): the memoization key
-#: hashes only inputs, so cached statistics from an older behaviour would
-#: otherwise be served silently across upgrades.
-CACHE_SCHEMA_VERSION = 2
+#: change alters simulation *results* (not just speed) or the key payload
+#: shape: the memoization key hashes only inputs, so cached statistics from
+#: an older behaviour would otherwise be served silently across upgrades.
+#: v3: replacement policy per hierarchy level and the random-replacement
+#: ``rng_seed`` joined the key (the seed only when a random level is
+#: present — it cannot affect deterministic-policy results).
+CACHE_SCHEMA_VERSION = 3
+
+
+def _has_random_level(hierarchy: dict) -> bool:
+    """Whether any level of an ``asdict``-ed hierarchy config is random-replacement."""
+    return any(
+        isinstance(level, dict) and level.get("replacement") == "random"
+        for level in hierarchy.values()
+    )
 
 
 def shared_disk_cache_dir() -> Path:
@@ -91,14 +102,22 @@ class SimulationCache:
         lookups do not re-serialise the tree.  The trace *representation*
         (descriptor/expanded) is deliberately normalised out of the key —
         like the two engines, both representations produce bit-identical
-        statistics, so results memoized under one serve the other.
+        statistics, so results memoized under one serve the other.  The
+        random-replacement ``rng_seed`` is part of the key whenever any
+        hierarchy level uses the random policy — two runs with different
+        seeds can never share a cached result — and is normalised out
+        otherwise, where the replayable victim stream is never consumed and
+        the seed provably cannot affect statistics.
         """
+        hierarchy = asdict(hierarchy_config)
         trace = asdict(trace_options)
         trace.pop("engine", None)  # resolved and keyed separately
         trace.pop("trace", None)  # representation-neutral results
+        if not _has_random_level(hierarchy):
+            trace.pop("rng_seed", None)  # seed-neutral results
         payload = {
             "program": program.content_digest(),
-            "hierarchy": asdict(hierarchy_config),
+            "hierarchy": hierarchy,
             "trace": trace,
             "engine": engine,
         }

@@ -109,7 +109,9 @@ class Simulator:
                     host_seconds=elapsed,
                     cached=True,
                 )
-        hierarchy = CacheHierarchy(self.hierarchy_config, engine=self.engine)
+        hierarchy = CacheHierarchy(
+            self.hierarchy_config, engine=self.engine, rng_seed=self.trace_options.rng_seed
+        )
         cpu = AtomicSimpleCPU(hierarchy)
         stats = cpu.run(program, self.trace_options)
         if key is not None:
@@ -151,7 +153,9 @@ def _run_single(
     return simulator.run(program)
 
 
-def _run_slice(arch, hierarchy_config, trace_options, programs, engine, memoize) -> List[SimulationResult]:
+def _run_slice(
+    arch, hierarchy_config, trace_options, programs, engine, memoize
+) -> List[SimulationResult]:
     simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
     return [simulator.run(program) for program in programs]
 
@@ -194,7 +198,9 @@ class SimulatorPool:
     def run_many(self, programs: Sequence[Program]) -> List[SimulationResult]:
         """Simulate all ``programs`` and return results in input order."""
         if self.backend not in self.BACKENDS:
-            raise ValueError(f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}")
+            raise ValueError(
+                f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}"
+            )
         memo_dir = None
         if self.backend == "processes" and self.memoize:
             memo_dir = str(self.memo_dir) if self.memo_dir else str(shared_disk_cache_dir())

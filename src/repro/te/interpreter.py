@@ -24,7 +24,6 @@ from repro.te.expr import (
     Var,
 )
 from repro.te.ir import BufferLoad, BufferStore, For, IfThenElse, LoweredFunc, Seq, Stmt, Evaluate
-from repro.te.tensor import Tensor
 
 _NUMPY_DTYPES = {
     "float32": np.float32,

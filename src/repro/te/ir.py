@@ -8,7 +8,7 @@ instruction program for a target architecture.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.te.expr import Expr, Var, wrap
 from repro.te.tensor import Tensor

@@ -249,7 +249,9 @@ def _resolve_expr(expr: Expr, inline_map: Dict[int, ComputeOp]) -> Expr:
     if isinstance(expr, BufferLoad):
         return BufferLoad(expr.buffer, _resolve_expr(expr.index, inline_map))
     if isinstance(expr, BinaryOp):
-        return BinaryOp(expr.op, _resolve_expr(expr.a, inline_map), _resolve_expr(expr.b, inline_map))
+        return BinaryOp(
+            expr.op, _resolve_expr(expr.a, inline_map), _resolve_expr(expr.b, inline_map)
+        )
     if isinstance(expr, CmpOp):
         return CmpOp(expr.op, _resolve_expr(expr.a, inline_map), _resolve_expr(expr.b, inline_map))
     if isinstance(expr, LogicalOp):

@@ -106,7 +106,9 @@ class Stage:
             )
         if outer.kind != inner.kind:
             raise ValueError("cannot fuse a spatial axis with a reduction axis")
-        fused = IterVar(outer.extent * inner.extent, f"{outer.name}.{inner.name}.f", kind=outer.kind)
+        fused = IterVar(
+            outer.extent * inner.extent, f"{outer.name}.{inner.name}.f", kind=outer.kind
+        )
         self.relations.append(FuseRelation(fused, outer, inner))
         self.leaf_iter_vars[index_outer : index_outer + 2] = [fused]
         return fused
@@ -134,7 +136,7 @@ class Stage:
         self._annotate(iter_var, "vectorize")
 
     def parallel(self, iter_var: IterVar) -> None:
-        """Mark ``iter_var`` for parallel execution (recorded; single-core runs treat it as serial)."""
+        """Mark ``iter_var`` for parallel execution (single-core runs treat it as serial)."""
         self._annotate(iter_var, "parallel")
 
     def compute_inline(self) -> None:
@@ -211,7 +213,9 @@ class Schedule:
         return f"Schedule({[s.op.name for s in self.stages]})"
 
 
-def create_schedule(outputs: Union[Operation, Tensor, Sequence[Union[Operation, Tensor]]]) -> Schedule:
+def create_schedule(
+    outputs: Union[Operation, Tensor, Sequence[Union[Operation, Tensor]]],
+) -> Schedule:
     """Create a schedule for one or more output operations (or tensors)."""
     if isinstance(outputs, (Operation, Tensor)):
         outputs = [outputs]

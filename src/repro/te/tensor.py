@@ -161,7 +161,9 @@ def compute(
     if isinstance(body, Reduce):
         reduce_axes = list(body.axes)
 
-    op = ComputeOp(name=name, axis=axes, reduce_axis=reduce_axes, body=body, shape=shape, dtype=dtype)
+    op = ComputeOp(
+        name=name, axis=axes, reduce_axis=reduce_axes, body=body, shape=shape, dtype=dtype
+    )
     tensor = Tensor(op, shape, dtype, name)
     op.output_tensor = tensor
     return tensor

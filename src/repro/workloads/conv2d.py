@@ -31,7 +31,8 @@ class Conv2DParams:
 
     def as_args(self) -> tuple:
         """Positional argument tuple in the paper's Listing 5 order."""
-        return (self.n, self.h, self.w, self.co, self.ci, self.kh, self.kw, self.stride, self.padding)
+        return (self.n, self.h, self.w, self.co, self.ci, self.kh, self.kw,
+                self.stride, self.padding)
 
     @property
     def output_spatial(self) -> Tuple[int, int]:
@@ -116,11 +117,13 @@ def conv2d_bias_relu_template(
 
     if cfg["reorder"].val == "outer_co":
         conv_stage.reorder(
-            n_axis, co_outer, oh_axis, ow_outer, ci_outer, kh_axis, kw_axis, ci_inner, co_inner, ow_inner
+            n_axis, co_outer, oh_axis, ow_outer, ci_outer, kh_axis, kw_axis,
+            ci_inner, co_inner, ow_inner,
         )
     else:
         conv_stage.reorder(
-            n_axis, oh_axis, co_outer, ow_outer, ci_outer, kh_axis, kw_axis, ci_inner, co_inner, ow_inner
+            n_axis, oh_axis, co_outer, ow_outer, ci_outer, kh_axis, kw_axis,
+            ci_inner, co_inner, ow_inner,
         )
 
     if cfg["vectorize"].val:

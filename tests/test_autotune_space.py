@@ -7,12 +7,17 @@ import pytest
 from hypothesis import given, strategies as st
 
 import repro.workloads  # noqa: F401  - registers the built-in templates
-from repro.autotune import ConfigSpace, all_factorizations, create_task, get_template, list_templates
+from repro.autotune import (
+    ConfigSpace,
+    all_factorizations,
+    create_task,
+    get_template,
+    list_templates,
+)
 from repro.autotune.space import OtherOptionEntity, SplitEntity, factorize
 from repro.autotune.template import template
 from repro.codegen import Target
 from repro import te
-from repro.te import topi
 
 
 class TestFactorization:

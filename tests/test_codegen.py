@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.codegen import (
-    Buffer,
     LinearPredicate,
     Target,
     build_program,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.codegen import Target, build_program
 from repro.codegen.isa import InstructionCategory as IC
@@ -63,7 +63,9 @@ class TestNoiseModel:
         assert np.std(x86.factors(500)) > np.std(riscv.factors(500))
 
     def test_longer_cooldown_reduces_drift(self, rng):
-        config = NoiseConfig(sigma=0.0, outlier_probability=0.0, outlier_scale=0.0, thermal_drift=0.1)
+        config = NoiseConfig(
+            sigma=0.0, outlier_probability=0.0, outlier_scale=0.0, thermal_drift=0.1
+        )
         model = NoiseModel(config, rng)
         hot = model.factors(10, cooldown_s=0.0)
         cool = model.factors(10, cooldown_s=4.0)
@@ -172,7 +174,8 @@ class TestTargetBoard:
     @pytest.fixture(scope="class")
     def conv_programs(self):
         func, _ = make_conv_func()
-        return {arch: build_program(func, Target.from_name(arch)) for arch in ("x86", "arm", "riscv")}
+        archs = ("x86", "arm", "riscv")
+        return {arch: build_program(func, Target.from_name(arch)) for arch in archs}
 
     def test_measure_record_shape(self, conv_programs):
         board = TargetBoard("arm", trace_options=TraceOptions(max_accesses=20_000), seed=1)

@@ -18,7 +18,7 @@ from repro.codegen import Target, build_program
 from repro.hardware import TargetBoard
 from repro.metrics import evaluate_predictions
 from repro.predictor import ScorePredictor
-from repro.sim import Simulator, TraceOptions
+from repro.sim import TraceOptions
 from repro.te.lower import lower
 from repro.workloads import Conv2DParams, conv2d_bias_relu_workload
 

@@ -183,7 +183,9 @@ class TestBayesianGPModel:
 class TestGradientBoostedTrees:
     def test_fits_nonlinear_function(self):
         features, targets = nonlinear_data(n=400)
-        model = GradientBoostedTrees(n_estimators=150, learning_rate=0.1, max_depth=3, random_state=0)
+        model = GradientBoostedTrees(
+            n_estimators=150, learning_rate=0.1, max_depth=3, random_state=0
+        )
         model.fit(features, targets)
         predictions = model.predict(features)
         assert mse(targets, predictions) < 0.15 * np.var(targets)

@@ -26,15 +26,17 @@ from repro.sim import (
     Simulator,
     SimulatorPool,
     TraceOptions,
+    hierarchy_with_replacement,
     resolve_engine,
+    victim_rank,
 )
 import repro.sim.engine as engine_module
 
 
-def make_pair(sets, assoc, policy=ReplacementPolicy.LRU, with_memory=True):
+def make_pair(sets, assoc, policy=ReplacementPolicy.LRU, with_memory=True, rng_seed=0):
     """One reference and one vectorized cache with identical geometry."""
     config = CacheConfig.from_geometry(
-        "test", sets=sets, associativity=assoc, replacement=policy
+        "test", sets=sets, associativity=assoc, replacement=policy, rng_seed=rng_seed
     )
     reference = Cache(
         config, next_level=MainMemory() if with_memory else None, engine=ENGINE_REFERENCE
@@ -63,12 +65,14 @@ class TestEngineSelection:
     def test_resolve_default(self):
         assert resolve_engine(None) in (ENGINE_REFERENCE, ENGINE_VECTORIZED)
 
-    def test_random_policy_falls_back_to_reference(self):
+    def test_random_policy_stays_on_requested_engine(self):
+        # Until the replayable victim stream, random caches silently fell
+        # back to the reference loop; they now honour the engine selection.
         config = CacheConfig.from_geometry(
             "rand", sets=4, associativity=2, replacement=ReplacementPolicy.RANDOM
         )
-        cache = Cache(config, engine=ENGINE_VECTORIZED)
-        assert cache.engine == ENGINE_REFERENCE
+        assert Cache(config, engine=ENGINE_VECTORIZED).engine == ENGINE_VECTORIZED
+        assert Cache(config, engine=ENGINE_REFERENCE).engine == ENGINE_REFERENCE
 
     def test_trace_options_engine_threaded_to_simulator(self):
         simulator = Simulator("arm", trace_options=TraceOptions(engine=ENGINE_REFERENCE))
@@ -181,6 +185,179 @@ class TestEngineEquivalence:
         assert left == right
 
 
+class TestRandomReplacement:
+    """The replayable victim stream: bit-identity and seed semantics.
+
+    Random replacement draws victims from a counter-based stream keyed on
+    ``(rng_seed, set index, per-set eviction ordinal)``, so the reference
+    loop, the NumPy rank rounds, the chain tails and the compiled kernel
+    must all pick identical victims for the same seed.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 200), st.booleans()), min_size=1, max_size=600),
+        st.sampled_from(GEOMETRIES + [(4, 3), (32, 16), (2, 1)]),
+        st.integers(0, 2**63 - 1),
+        st.integers(1, 4),
+    )
+    def test_property_equivalence_across_seeds(self, accesses, geometry, seed, n_chunks):
+        """Reference and vectorized agree for any seed, geometry and chunking."""
+        sets, assoc = geometry
+        reference, vectorized = make_pair(
+            sets, assoc, policy=ReplacementPolicy.RANDOM, rng_seed=seed
+        )
+        lines = np.asarray([line for line, _ in accesses], dtype=np.int64)
+        writes = np.asarray([write for _, write in accesses], dtype=bool)
+        for chunk_lines, chunk_writes in zip(
+            np.array_split(lines, n_chunks), np.array_split(writes, n_chunks)
+        ):
+            reference.access_lines(chunk_lines, chunk_writes)
+            vectorized.access_lines(chunk_lines, chunk_writes)
+        assert_equivalent(reference, vectorized)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_large_random_trace_equivalence(self, seed):
+        """Bulk random-policy traces exercise rounds, tails and the kernel."""
+        rng = np.random.default_rng(seed)
+        reference, vectorized = make_pair(
+            16, 4, policy=ReplacementPolicy.RANDOM, rng_seed=seed
+        )
+        for _ in range(3):
+            size = int(rng.integers(200, 4000))
+            lines = rng.integers(0, 400, size=size).astype(np.int64)
+            writes = rng.random(size) < 0.3
+            reference.access_lines(lines, writes)
+            vectorized.access_lines(lines, writes)
+        assert_equivalent(reference, vectorized)
+
+    def test_skewed_trace_hits_chain_tail(self):
+        """A single-set-dominated random trace goes through the scalar chain."""
+        rng = np.random.default_rng(0)
+        reference, vectorized = make_pair(8, 2, policy=ReplacementPolicy.RANDOM, rng_seed=9)
+        hot = rng.integers(0, 64, size=3000) * 8  # always set 0
+        cold = rng.integers(0, 512, size=1000)
+        lines = np.concatenate([hot, cold])
+        rng.shuffle(lines)
+        writes = rng.random(lines.size) < 0.5
+        reference.access_lines(lines, writes)
+        vectorized.access_lines(lines, writes)
+        assert_equivalent(reference, vectorized)
+
+    def test_numpy_rounds_match_compiled_kernel(self, monkeypatch):
+        """The pure-NumPy event phase is bit-identical to the C kernel.
+
+        With the kernel unavailable both runs take the NumPy path and the
+        assertion is trivially true; CI also runs the whole suite under
+        ``REPRO_SIM_NATIVE=0`` to pin the pure-NumPy path against the
+        reference loop.
+        """
+        rng = np.random.default_rng(4)
+        lines = rng.integers(0, 500, size=6000).astype(np.int64)
+        writes = rng.random(lines.size) < 0.4
+
+        def run(disable_kernel):
+            config = CacheConfig.from_geometry(
+                "k", sets=16, associativity=4,
+                replacement=ReplacementPolicy.RANDOM, rng_seed=21,
+            )
+            cache = Cache(config, next_level=MainMemory(), engine=ENGINE_VECTORIZED)
+            if disable_kernel:
+                monkeypatch.setattr(engine_module, "event_kernel", lambda: None)
+            try:
+                cache.access_lines(lines, writes)
+            finally:
+                monkeypatch.undo()
+            return cache.stats_dict(), cache.next_level.stats_dict()
+
+        assert run(disable_kernel=True) == run(disable_kernel=False)
+
+    def test_seed_changes_victims(self):
+        """Two seeds must diverge on an eviction-heavy trace."""
+        rng = np.random.default_rng(1)
+        lines = rng.integers(0, 64, size=5000).astype(np.int64)
+        writes = np.zeros(lines.size, dtype=bool)
+        stats = []
+        for seed in (0, 1):
+            _, vectorized = make_pair(4, 2, policy=ReplacementPolicy.RANDOM, rng_seed=seed)
+            vectorized.access_lines(lines, writes)
+            stats.append(vectorized.stats_dict())
+        assert stats[0] != stats[1]
+
+    def test_same_seed_is_replayable_after_reset(self):
+        rng = np.random.default_rng(2)
+        lines = rng.integers(0, 128, size=2000).astype(np.int64)
+        writes = rng.random(lines.size) < 0.5
+        _, cache = make_pair(8, 2, policy=ReplacementPolicy.RANDOM, rng_seed=5)
+        cache.access_lines(lines, writes)
+        first = cache.stats_dict()
+        cache.reset_state()  # rewinds the per-set eviction ordinals too
+        cache.access_lines(lines, writes)
+        assert cache.stats_dict() == first
+
+    def test_victim_rank_is_deterministic_and_bounded(self):
+        seen = set()
+        for ordinal in range(512):
+            rank = victim_rank(7, 3, ordinal, 8)
+            assert 0 <= rank < 8
+            assert rank == victim_rank(7, 3, ordinal, 8)
+            seen.add(rank)
+        assert seen == set(range(8))  # the stream reaches every way
+
+    def test_victim_ranks_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        sets = rng.integers(0, 1 << 15, size=200).astype(np.int64)
+        ordinals = rng.integers(0, 1 << 20, size=200).astype(np.int64)
+        for seed in (0, 1, 2**31, 2**63 - 1):
+            got = engine_module._victim_ranks(seed, sets, ordinals, 16)
+            expected = [
+                victim_rank(seed, int(s), int(k), 16) for s, k in zip(sets, ordinals)
+            ]
+            assert got.tolist() == expected
+
+    def test_random_hierarchy_simulator_equivalence(self, conv_program_x86):
+        """Reference vs vectorized(+descriptor) through a full random hierarchy."""
+        config = CacheHierarchyConfig(
+            name="tiny-random",
+            l1d=CacheLevelConfig(4 * 64 * 2, 4, 2, replacement=ReplacementPolicy.RANDOM),
+            l1i=CacheLevelConfig(4 * 64 * 2, 4, 2, replacement=ReplacementPolicy.RANDOM),
+            l2=CacheLevelConfig(8 * 64 * 2, 8, 2, replacement=ReplacementPolicy.RANDOM),
+            l3=CacheLevelConfig(16 * 64 * 4, 16, 4, replacement=ReplacementPolicy.RANDOM),
+        )
+        options = TraceOptions(max_accesses=30_000, rng_seed=13)
+        ref = Simulator(
+            "x86", config, trace_options=options, engine=ENGINE_REFERENCE, memoize=False
+        ).run(conv_program_x86)
+        vec = Simulator(
+            "x86", config, trace_options=options, engine=ENGINE_VECTORIZED, memoize=False
+        ).run(conv_program_x86)
+        left, right = ref.flat_stats(), vec.flat_stats()
+        left.pop("sim.host_seconds")
+        right.pop("sim.host_seconds")
+        assert left == right
+        # The tiny hierarchy must actually evict, or the test proves nothing.
+        assert left["l1d.read_replacements"] + left["l1d.write_replacements"] > 0
+
+    def test_hierarchy_with_replacement_variant(self):
+        variant = hierarchy_with_replacement("x86", ReplacementPolicy.RANDOM)
+        assert all(
+            level.replacement == ReplacementPolicy.RANDOM
+            for level in variant.levels().values()
+        )
+        base = Simulator("x86").hierarchy_config
+        assert variant.l1d.sets == base.l1d.sets  # geometry untouched
+        with pytest.raises(KeyError):
+            hierarchy_with_replacement("sparc", ReplacementPolicy.RANDOM)
+
+    def test_split_l1_streams_are_independent(self):
+        """Same-geometry L1D/L1I levels must not share one victim tape."""
+        hierarchy = CacheHierarchy(
+            hierarchy_with_replacement("x86", ReplacementPolicy.RANDOM), rng_seed=3
+        )
+        assert hierarchy.l1d.rng_seed != hierarchy.l1i.rng_seed
+
+
 class TestScalarFastPath:
     @pytest.mark.parametrize(
         "policy", [ReplacementPolicy.LRU, ReplacementPolicy.FIFO, ReplacementPolicy.RANDOM]
@@ -256,6 +433,50 @@ class TestMemoization:
         )
         other_engine = memo.make_key(conv_program_x86, config, base, ENGINE_REFERENCE)
         assert len({key, other_budget, other_engine}) == 3
+
+    def test_key_incorporates_random_replacement_seed(self, conv_program_x86):
+        """Two runs with different victim-stream seeds can never share a result."""
+        memo = SimulationCache()
+        random_config = hierarchy_with_replacement("x86", ReplacementPolicy.RANDOM)
+        keys = {
+            memo.make_key(
+                conv_program_x86,
+                random_config,
+                TraceOptions(max_accesses=5_000, rng_seed=seed),
+                ENGINE_VECTORIZED,
+            )
+            for seed in (0, 1, 2)
+        }
+        assert len(keys) == 3
+
+    def test_key_is_seed_neutral_without_random_levels(self, conv_program_x86):
+        """Deterministic hierarchies never consume the stream: one key per result."""
+        memo = SimulationCache()
+        lru_config = Simulator("x86").hierarchy_config
+        keys = {
+            memo.make_key(
+                conv_program_x86,
+                lru_config,
+                TraceOptions(max_accesses=5_000, rng_seed=seed),
+                ENGINE_VECTORIZED,
+            )
+            for seed in (0, 1, 2)
+        }
+        assert len(keys) == 1
+
+    def test_key_distinguishes_replacement_policy(self, conv_program_x86):
+        memo = SimulationCache()
+        base = TraceOptions(max_accesses=5_000)
+        lru_key = memo.make_key(
+            conv_program_x86, Simulator("x86").hierarchy_config, base, ENGINE_VECTORIZED
+        )
+        random_key = memo.make_key(
+            conv_program_x86,
+            hierarchy_with_replacement("x86", ReplacementPolicy.RANDOM),
+            base,
+            ENGINE_VECTORIZED,
+        )
+        assert lru_key != random_key
 
     def test_lru_bound(self):
         from repro.sim.stats import SimulationStats

@@ -8,7 +8,6 @@ import pytest
 from repro.sim import (
     CACHE_HIERARCHIES,
     AtomicSimpleCPU,
-    CacheHierarchy,
     Simulator,
     SimulatorPool,
     TraceOptions,
@@ -142,7 +141,9 @@ class TestCpuAndSimulator:
             Simulator("sparc")
 
     def test_pool_serial(self, conv_program_x86, conv_program_riscv):
-        pool = SimulatorPool(arch="x86", n_parallel=2, trace_options=TraceOptions(max_accesses=5_000))
+        pool = SimulatorPool(
+            arch="x86", n_parallel=2, trace_options=TraceOptions(max_accesses=5_000)
+        )
         results = pool.run_many([conv_program_x86, conv_program_x86])
         assert len(results) == 2
         assert results[0].flat_stats()["cpu.num_insts"] == results[1].flat_stats()["cpu.num_insts"]

@@ -57,6 +57,17 @@ TINY_HIERARCHY = CacheHierarchyConfig(
     l3=CacheLevelConfig(size_bytes=16 * 64 * 4, sets=16, associativity=4),
 )
 
+#: The same geometry with random replacement everywhere: descriptor chunks
+#: must replay the seeded victim stream bit-identically to the reference
+#: loop on the expanded stream.
+TINY_RANDOM_HIERARCHY = CacheHierarchyConfig(
+    name="tiny-random",
+    l1d=CacheLevelConfig(4 * 64 * 2, 4, 2, replacement="random"),
+    l1i=CacheLevelConfig(4 * 64 * 2, 4, 2, replacement="random"),
+    l2=CacheLevelConfig(8 * 64 * 2, 8, 2, replacement="random"),
+    l3=CacheLevelConfig(16 * 64 * 4, 16, 4, replacement="random"),
+)
+
 
 def build_program(buffers, roots, name="prog"):
     return Program(name, Target.x86(), buffers, roots)
@@ -131,11 +142,13 @@ def assert_trace_equal(program: Program, **options) -> None:
         assert np.array_equal(writes, got_writes), f"chunk {index} writes"
 
 
-def assert_stats_equal(program: Program, **options) -> None:
-    reference = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_REFERENCE)
+def assert_stats_equal(
+    program: Program, hierarchy=TINY_HIERARCHY, rng_seed: int = 0, **options
+) -> None:
+    reference = CacheHierarchy(hierarchy, engine=ENGINE_REFERENCE, rng_seed=rng_seed)
     for addresses, writes in program.memory_trace(**options):
         reference.access_data_batch(addresses, writes)
-    descriptor = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
+    descriptor = CacheHierarchy(hierarchy, engine=ENGINE_VECTORIZED, rng_seed=rng_seed)
     for chunk in program.memory_trace_descriptors(**options):
         descriptor.access_data_descriptors(chunk)
     assert reference.stats_dict() == descriptor.stats_dict()
@@ -154,6 +167,42 @@ class TestDescriptorTraceProperty:
             options["seed"] = seed
         assert_trace_equal(program, **options)
         assert_stats_equal(program, **options)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_replacement_descriptor_equivalence(self, seed):
+        """Descriptor chunks replay the seeded victim stream bit-identically.
+
+        The generated programs cover guards, predicates, gathers and
+        truncation; the hierarchy uses random replacement at every level, so
+        the vectorized engine's closed-form head collapse must consume the
+        per-set eviction ordinals exactly as the reference loop does.
+        """
+        rng = np.random.default_rng(1000 + seed)
+        program = random_program(rng)
+        options = dict(chunk_iterations=int(rng.choice([5, 64, 1024])))
+        if rng.random() < 0.5:
+            options["max_accesses"] = int(rng.integers(1, 2000))
+        assert_stats_equal(
+            program, hierarchy=TINY_RANDOM_HIERARCHY, rng_seed=seed, **options
+        )
+
+    def test_random_replacement_truncation_and_chunking_invariance(self):
+        rng = np.random.default_rng(77)
+        program = random_program(rng)
+        base = None
+        for chunk_iterations in (7, 100, 1 << 14):
+            hierarchy = CacheHierarchy(
+                TINY_RANDOM_HIERARCHY, engine=ENGINE_VECTORIZED, rng_seed=5
+            )
+            for chunk in program.memory_trace_descriptors(
+                chunk_iterations=chunk_iterations, max_accesses=1500
+            ):
+                hierarchy.access_data_descriptors(chunk)
+            stats = hierarchy.stats_dict()
+            if base is None:
+                base = stats
+            else:
+                assert stats == base
 
     def test_chunking_invariance_of_statistics(self):
         rng = np.random.default_rng(11)
