@@ -26,8 +26,10 @@ Scale knobs (environment variables):
 
 * ``REPRO_BENCH_SIM_TRACE`` — simulated accesses per workload (default 300000)
 * ``REPRO_BENCH_SMOKE``     — set to 1 for a quick correctness pass, as used
-  by CI: small trace, no absolute floors, but the descriptor path must not
-  be slower than the expanded vectorized path end-to-end.
+  by CI: small trace, no absolute throughput floors, but the descriptor path
+  must not be slower than the expanded vectorized path end-to-end and the
+  group 0 trace-memory compression ratio must clear its floor (the grid
+  descriptor gate — timing-free, so it applies in smoke mode too).
 """
 
 from __future__ import annotations
@@ -68,6 +70,12 @@ RANDOM_MIN_SPEEDUP = 3.0
 #: descriptor-era engine must at least double them (non-smoke only; the
 #: floor is host-absolute, so rerun on comparable idle hardware).
 PR1_VECTORIZED_MACCS = {3: 10.74, 4: 10.35}
+#: Trace-memory compression floor for Table II group 0 (tiled schedule with
+#: a tiny affine window — the geometry that forced the multi-level grid
+#: descriptors).  PR 2's 1-D run batches sat at ~1.1x here; the grid
+#: front-end must hold at least this much, in smoke mode too (a regression
+#: to per-window runs drops it below the floor immediately).
+GROUP0_COMPRESSION_FLOOR = 3.0
 ARCH = "x86"
 GROUPS = (0, 1, 2, 3, 4)
 #: Table I geometry with random replacement at every level, driven with a
@@ -123,6 +131,12 @@ def _drive_batches(chunks, engine, random_policy=False):
 def _drive_descriptors(chunks, random_policy=False):
     """Walk pre-built descriptor chunks through a cold Table I hierarchy."""
     hierarchy = _make_hierarchy(ENGINE_VECTORIZED, random_policy)
+    for chunk in chunks:
+        for batch in chunk.batches:
+            # Cold-consumer timing: grid expansions are memoized on the
+            # batch, so a repeat over the same pre-built chunks would skip
+            # work every first-time consumer pays.
+            batch.__dict__.pop("_degrid_cache", None)
     start = time.perf_counter()
     for chunk in chunks:
         hierarchy.access_data_descriptors(chunk)
@@ -287,6 +301,16 @@ def test_bench_sim_throughput(results_dir):
     )
 
     groups = payload["groups"]
+    # Compression gate (smoke and full): the grid descriptor front-end must
+    # keep the worst-compressing Table II geometry above the floor.  The
+    # ratio is a pure function of the emitted descriptors — no timing noise —
+    # so no tolerance is applied.
+    group0_compression = groups["0"]["trace_compression"]
+    assert group0_compression >= GROUP0_COMPRESSION_FLOOR, (
+        f"Table II group 0 trace-memory compression fell to "
+        f"{group0_compression:.2f}x (floor: {GROUP0_COMPRESSION_FLOOR}x): the "
+        f"grid descriptor front-end is no longer compressing tiled windows"
+    )
     if SMOKE:
         # CI gate: the descriptor default must never lose to the expanded
         # path end-to-end.  The tiny smoke trace makes per-group timings

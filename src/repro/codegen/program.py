@@ -9,6 +9,16 @@ memory reference trace either as materialised address chunks
 (:meth:`Program.memory_trace`) or as compressed affine run descriptors
 (:meth:`Program.memory_trace_descriptors`) that the vectorized cache engine
 consumes without ever expanding the address stream.
+
+Descriptors are multi-level **grid run batches** ``(base, strides[],
+counts[])``: the innermost level is a run of consecutive accesses (the
+affine window), and each outer level replicates the stored runs across one
+predicate-free loop variable, so a tiled inner window nested under outer
+loops is a single descriptor instead of one stored run per window.  Only
+the digit combinations of loop variables that appear in some predicate are
+enumerated as stored runs — their windows clip differently — which keeps
+guarded and padded accesses compressed too.  See :class:`AccessRunBatch`
+and :class:`_AccessRunPlan` for the exact layout and emission rules.
 """
 
 from __future__ import annotations
@@ -209,6 +219,19 @@ class AccessRunBatch:
     position lattice as three scalars instead of two arrays
     (``uniform_count``, ``first_pos_start``, ``first_pos_step``); use
     :meth:`run_counts` / :meth:`run_first_pos` to materialise either form.
+
+    **Grid batches** add replication levels on top of the stored runs: with
+    ``grid_strides`` / ``grid_counts`` / ``grid_pos_strides`` set (parallel
+    ``(L,)`` arrays, outer level first), every stored run is replicated once
+    per grid point ``d = (d_0, …, d_{L-1})``, ``d_l in range(grid_counts[l])``,
+    shifted by ``sum(grid_strides[l] * d_l)`` bytes and
+    ``sum(grid_pos_strides[l] * d_l)`` trace positions.  A tiled inner window
+    nested under outer loops is thereby one descriptor ``(base, strides[],
+    counts[])`` instead of one run per window: the stored runs enumerate only
+    the predicate-affected digit combinations, and every predicate-free loop
+    variable becomes a grid level.  :meth:`degrid` expands the levels back to
+    an equivalent plain run batch (the engine does this transiently, per
+    innermost row, when collapsing to line heads).
     """
 
     bases: np.ndarray  # (R,) int64 byte address of each run's first access
@@ -220,30 +243,86 @@ class AccessRunBatch:
     uniform_count: int = 0  # scalar form of ``counts``
     first_pos_start: int = 0  # scalar form of ``first_pos``: start + r * step
     first_pos_step: int = 0
+    grid_strides: Optional[np.ndarray] = None  # (L,) int64 byte stride per level
+    grid_counts: Optional[np.ndarray] = None  # (L,) int64 grid points per level, all > 1
+    grid_pos_strides: Optional[np.ndarray] = None  # (L,) int64 position stride per level
+
+    @property
+    def grid_multiplicity(self) -> int:
+        """Number of grid points each stored run is replicated over."""
+        if self.grid_counts is None:
+            return 1
+        multiplicity = 1
+        for count in self.grid_counts.tolist():
+            multiplicity *= count
+        return multiplicity
 
     @property
     def total(self) -> int:
         """Number of accesses described by the batch."""
         if self.counts is not None:
-            return int(self.counts.sum())
-        return self.uniform_count * int(self.bases.size)
+            base = int(self.counts.sum())
+        else:
+            base = self.uniform_count * int(self.bases.size)
+        return base * self.grid_multiplicity
 
     def run_counts(self) -> np.ndarray:
-        """Per-run access counts, materialised."""
+        """Per-run access counts of the stored runs, materialised."""
         if self.counts is not None:
             return self.counts
         return np.full(self.bases.size, self.uniform_count, dtype=np.int64)
 
     def run_first_pos(self) -> np.ndarray:
-        """Per-run first trace positions, materialised."""
+        """Per-run first trace positions of the stored runs, materialised."""
         if self.first_pos is not None:
             return self.first_pos
         return self.first_pos_start + self.first_pos_step * np.arange(
             self.bases.size, dtype=np.int64
         )
 
+    def degrid(self) -> "AccessRunBatch":
+        """An equivalent batch with the grid levels expanded into runs.
+
+        Each stored run appears once per grid point, shifted by the level
+        offsets; the result describes bit-identical members.  Plain batches
+        return ``self`` unchanged.  The expansion is cached on the batch
+        (batches are immutable once emitted), so repeated consumers — the
+        engine collapses heads once per cache level walk — pay it once;
+        callers must treat the result as read-only.
+        """
+        if self.grid_counts is None:
+            return self
+        cached = getattr(self, "_degrid_cache", None)
+        if cached is not None:
+            return cached
+        offset_addr = np.zeros(1, dtype=np.int64)
+        offset_pos = np.zeros(1, dtype=np.int64)
+        for stride, count, pos_stride in zip(
+            self.grid_strides.tolist(),
+            self.grid_counts.tolist(),
+            self.grid_pos_strides.tolist(),
+        ):
+            k = np.arange(count, dtype=np.int64)
+            offset_addr = (offset_addr[:, None] + stride * k[None, :]).reshape(-1)
+            offset_pos = (offset_pos[:, None] + pos_stride * k[None, :]).reshape(-1)
+        flat = AccessRunBatch(
+            bases=(offset_addr[:, None] + self.bases[None, :]).reshape(-1),
+            stride=self.stride,
+            pos_stride=self.pos_stride,
+            is_write=self.is_write,
+            first_pos=(offset_pos[:, None] + self.run_first_pos()[None, :]).reshape(-1),
+        )
+        if self.counts is None:
+            flat.uniform_count = self.uniform_count
+        else:
+            flat.counts = np.tile(self.counts, offset_addr.size)
+        self._degrid_cache = flat
+        return flat
+
     def member_addresses(self) -> Tuple[np.ndarray, np.ndarray]:
         """Expand to per-access ``(addresses, positions)`` arrays."""
+        if self.grid_counts is not None:
+            return self.degrid().member_addresses()
         counts = self.run_counts()
         k = _ragged_arange(counts)
         addresses = np.repeat(self.bases, counts) + self.stride * k
@@ -253,7 +332,13 @@ class AccessRunBatch:
     def nbytes(self) -> int:
         """Storage footprint of the descriptor arrays."""
         size = self.bases.nbytes
-        for array in (self.counts, self.first_pos):
+        for array in (
+            self.counts,
+            self.first_pos,
+            self.grid_strides,
+            self.grid_counts,
+            self.grid_pos_strides,
+        ):
             if array is not None:
                 size += array.nbytes
         return size
@@ -319,34 +404,30 @@ class DescriptorChunk:
 
         The ``keep``-th smallest member position bounds the surviving
         accesses, so each run batch is clipped analytically instead of
-        expanding the chunk.
+        expanding the chunk.  Grid batches stay grids: the cutoff splits the
+        outermost level into fully-kept slabs (a smaller grid) plus at most
+        one partially-kept slab, which recurses one level down — so a trace
+        truncated mid-grid keeps its compression.
         """
         if keep >= self.total:
             return self
-        positions = [batch.member_addresses()[1] for batch in self.batches]
-        if self.positions is not None and self.positions.size:
-            positions.append(self.positions)
-        merged = np.concatenate(positions) if len(positions) > 1 else positions[0]
-        cutoff = int(np.partition(merged, keep - 1)[keep - 1]) + 1
+        # Binary-search the cutoff (one past the ``keep``-th smallest member
+        # position) on the analytic member count — positions are unique, so
+        # the count is a step function and the chunk is never expanded.
+        low, high = 0, max(int(self.pos_bound), 1)
+        while low + 1 < high:
+            mid = (low + high) // 2
+            counted = sum(_count_below(batch, mid) for batch in self.batches)
+            if self.positions is not None and self.positions.size:
+                counted += int(np.count_nonzero(self.positions < mid))
+            if counted >= keep:
+                high = mid
+            else:
+                low = mid
+        cutoff = high
         batches = []
         for batch in self.batches:
-            first_pos = batch.run_first_pos()
-            counts = np.clip(
-                -((first_pos - cutoff) // batch.pos_stride), 0, batch.run_counts()
-            )
-            alive = counts > 0
-            if not alive.any():
-                continue
-            batches.append(
-                AccessRunBatch(
-                    bases=batch.bases[alive],
-                    stride=batch.stride,
-                    pos_stride=batch.pos_stride,
-                    is_write=batch.is_write,
-                    counts=counts[alive],
-                    first_pos=first_pos[alive],
-                )
-            )
+            batches.extend(_clip_batch(batch, cutoff))
         addresses = writes = span_positions = None
         if self.positions is not None and self.positions.size:
             alive = self.positions < cutoff
@@ -371,8 +452,134 @@ class DescriptorChunk:
         return size
 
 
+def _clip_runs(batch: AccessRunBatch, cutoff: int) -> Optional[AccessRunBatch]:
+    """Clip a plain (grid-free) batch to member positions below ``cutoff``."""
+    first_pos = batch.run_first_pos()
+    counts = np.clip(-((first_pos - cutoff) // batch.pos_stride), 0, batch.run_counts())
+    alive = counts > 0
+    if not alive.any():
+        return None
+    return AccessRunBatch(
+        bases=batch.bases[alive],
+        stride=batch.stride,
+        pos_stride=batch.pos_stride,
+        is_write=batch.is_write,
+        counts=counts[alive],
+        first_pos=first_pos[alive],
+    )
+
+
+def _outer_slab_span(batch: AccessRunBatch) -> Tuple[int, int]:
+    """Position range ``[lo, hi]`` of a grid batch's first outer-level slab."""
+    first_pos = batch.run_first_pos()
+    slab_lo = int(first_pos.min())
+    slab_hi = int((first_pos + (batch.run_counts() - 1) * batch.pos_stride).max())
+    for count, pos_stride in zip(
+        batch.grid_counts[1:].tolist(), batch.grid_pos_strides[1:].tolist()
+    ):
+        step = (count - 1) * pos_stride
+        slab_lo += min(0, step)
+        slab_hi += max(0, step)
+    return slab_lo, slab_hi
+
+
+def _drop_outer_level(batch: AccessRunBatch, slabs: int) -> AccessRunBatch:
+    """The sub-batch at outer-level index ``slabs``, one grid level down."""
+    partial = AccessRunBatch(
+        bases=batch.bases + int(batch.grid_strides[0]) * slabs,
+        stride=batch.stride,
+        pos_stride=batch.pos_stride,
+        is_write=batch.is_write,
+        counts=batch.counts,
+        first_pos=batch.run_first_pos() + int(batch.grid_pos_strides[0]) * slabs,
+        uniform_count=batch.uniform_count,
+    )
+    if batch.grid_counts.size > 1:
+        partial.grid_strides = batch.grid_strides[1:]
+        partial.grid_counts = batch.grid_counts[1:]
+        partial.grid_pos_strides = batch.grid_pos_strides[1:]
+    return partial
+
+
+def _count_below(batch: AccessRunBatch, cutoff: int) -> int:
+    """Number of the batch's members at trace positions below ``cutoff``.
+
+    Grid batches are counted slab-analytically (mirroring
+    :func:`_clip_batch`), so the cost is per stored run and level, not per
+    member.
+    """
+    if batch.grid_counts is not None:
+        slab_lo, slab_hi = _outer_slab_span(batch)
+        outer_count = int(batch.grid_counts[0])
+        outer_pos = int(batch.grid_pos_strides[0])
+        if outer_pos <= slab_hi - slab_lo:
+            return _count_below(batch.degrid(), cutoff)
+        full = min(max((cutoff - 1 - slab_hi) // outer_pos + 1, 0), outer_count)
+        counted = full * (batch.total // outer_count)
+        if full < outer_count and slab_lo + full * outer_pos < cutoff:
+            counted += _count_below(_drop_outer_level(batch, full), cutoff)
+        return counted
+    first_pos = batch.run_first_pos()
+    counts = np.clip(-((first_pos - cutoff) // batch.pos_stride), 0, batch.run_counts())
+    return int(counts.sum())
+
+
+def _clip_batch(batch: AccessRunBatch, cutoff: int) -> List[AccessRunBatch]:
+    """Clip any batch to member positions below ``cutoff``, keeping grids.
+
+    The emitter's grid levels tile disjoint, ascending position ranges, so
+    the outermost level splits into fully-kept slabs (the same grid with a
+    shorter outer count) plus at most one partial slab that recurses one
+    level down; only the innermost, run-level remainder is clipped per run.
+    Hand-built grids whose slabs overlap in position space fall back to
+    clipping the degridded runs, which is always exact.
+    """
+    if batch.grid_counts is None:
+        clipped = _clip_runs(batch, cutoff)
+        return [clipped] if clipped is not None else []
+    slab_lo, slab_hi = _outer_slab_span(batch)
+    outer_count = int(batch.grid_counts[0])
+    outer_pos = int(batch.grid_pos_strides[0])
+    if outer_pos <= slab_hi - slab_lo:
+        clipped = _clip_runs(batch.degrid(), cutoff)
+        return [clipped] if clipped is not None else []
+    full = min(max((cutoff - 1 - slab_hi) // outer_pos + 1, 0), outer_count)
+    out: List[AccessRunBatch] = []
+    if full > 0:
+        kept = AccessRunBatch(
+            bases=batch.bases,
+            stride=batch.stride,
+            pos_stride=batch.pos_stride,
+            is_write=batch.is_write,
+            counts=batch.counts,
+            first_pos=batch.first_pos,
+            uniform_count=batch.uniform_count,
+            first_pos_start=batch.first_pos_start,
+            first_pos_step=batch.first_pos_step,
+        )
+        if full > 1:
+            kept.grid_strides = batch.grid_strides.copy()
+            kept.grid_counts = batch.grid_counts.copy()
+            kept.grid_pos_strides = batch.grid_pos_strides.copy()
+            kept.grid_counts[0] = full
+        elif batch.grid_counts.size > 1:
+            kept.grid_strides = batch.grid_strides[1:]
+            kept.grid_counts = batch.grid_counts[1:]
+            kept.grid_pos_strides = batch.grid_pos_strides[1:]
+        out.append(kept)
+    if full < outer_count and slab_lo + full * outer_pos < cutoff:
+        out.extend(_clip_batch(_drop_outer_level(batch, full), cutoff))
+    return out
+
+
+#: Window ranges narrower than this are emitted as plain per-window runs —
+#: grid bookkeeping (box decomposition, level canonicalisation) cannot pay
+#: off below it.
+_MIN_GRID_WINDOWS = 8
+
+
 class _AccessRunPlan:
-    """Per access-lane decomposition of a nest into affine windows.
+    """Per access-lane decomposition of a nest into affine windows and grids.
 
     The flattened iteration space splits into aligned windows of ``window``
     iterations inside which the byte address is affine in the flat iteration
@@ -381,6 +588,18 @@ class _AccessRunPlan:
     window is the largest suffix of the loop nest for which this holds; in
     the worst case it degenerates to a single iteration, which is still exact
     (one run per iteration).
+
+    Above the window, the outer loop variables are factored into **grid run
+    batches** instead of one stored run per window: the chunk's window range
+    is decomposed into aligned boxes, and inside each box only the digit
+    combinations of variables that appear in some predicate are enumerated
+    as stored runs (their windows can clip differently), while every
+    predicate-free variable becomes a grid replication level ``(stride,
+    count, pos_stride)``.  A tiled inner window nested under outer loops is
+    then a single descriptor; the degenerate cases (every variable
+    predicate-involved, or a tiny window range) fall back to the exact
+    per-window emission, so the decomposition never loses precision — only
+    compression.
     """
 
     def __init__(
@@ -449,23 +668,199 @@ class _AccessRunPlan:
         # digits never matter), which keeps the per-window cost at two
         # integer divisions per *contributing* var.
         self.outer: List[Tuple[int, int, int, List[int]]] = []
+        # Outer→inner (block, size, coeff, per-predicate coeffs, is_pred) for
+        # every non-trivial outer var: the grid path box-decomposes the
+        # window range over these, factoring predicate-free vars into grid
+        # levels and enumerating only predicate-involved digit combinations.
+        dims: List[Tuple[int, int, int, List[int], bool]] = []
         divisor = 1
         for var, size in reversed(outer):
             coeff = access.coeffs.get(var, 0)
             pred_coeffs = [predicate.coeffs.get(var, 0) for predicate in predicates]
             if coeff or any(pred_coeffs):
                 self.outer.append((divisor, size, coeff, pred_coeffs))
+            if size > 1:
+                dims.append((divisor, size, coeff, pred_coeffs, any(pred_coeffs)))
             divisor *= size
+        dims.reverse()
+        self.dims = dims
+        self.has_free_dim = any(not is_pred for _, _, _, _, is_pred in dims)
         self.pred_slopes: List[int] = [slope or 0 for slope in pred_per_iter]
         self.pred_consts: List[int] = [predicate.const for predicate in predicates]
         self.pred_ops: List[str] = [predicate.op for predicate in predicates]
 
-    def emit(self, start: int, stop: int, slots: int) -> Optional[AccessRunBatch]:
-        """Runs of this access for flat iterations ``[start, stop)``."""
+    def emit(self, start: int, stop: int, slots: int) -> List[AccessRunBatch]:
+        """Run batches of this access for flat iterations ``[start, stop)``."""
         window = self.window
         w_first = start // window
         w_last = (stop - 1) // window
-        w = np.arange(w_first, w_last + 1, dtype=np.int64)
+        if not self.has_free_dim or w_last - w_first + 1 < _MIN_GRID_WINDOWS:
+            batch = self._emit_runs(
+                np.arange(w_first, w_last + 1, dtype=np.int64), start, stop, slots
+            )
+            return [batch] if batch is not None else []
+        # Chunk-edge windows cut mid-window go through the exact per-window
+        # path; the aligned interior is box-decomposed into grids.
+        aligned_lo = w_first + (1 if start % window else 0)
+        aligned_hi = w_last + (0 if stop % window else 1)
+        batches: List[AccessRunBatch] = []
+        ragged: List[Tuple[int, int]] = []
+        if aligned_lo > w_first:
+            ragged.append((w_first, aligned_lo))
+        if aligned_lo < aligned_hi:
+            boxes, small = self._boxes(aligned_lo, aligned_hi)
+            ragged.extend(small)
+            for box in boxes:
+                batch = self._emit_box(box, start, slots)
+                if batch is not None:
+                    batches.append(batch)
+        if aligned_hi <= w_last:
+            ragged.append((aligned_hi, w_last + 1))
+        if ragged:
+            w = np.concatenate(
+                [np.arange(a, b, dtype=np.int64) for a, b in ragged]
+            )
+            batch = self._emit_runs(w, start, stop, slots)
+            if batch is not None:
+                batches.append(batch)
+        return batches
+
+    def _boxes(
+        self, w_lo: int, w_hi: int
+    ) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int]]]:
+        """Decompose window range ``[w_lo, w_hi)`` into aligned boxes.
+
+        A box ``(w0, level, count)`` covers the contiguous windows
+        ``[w0, w0 + count * block(level))`` where ``w0`` is aligned to
+        ``block(level)``: the digit at ``level`` takes ``count`` consecutive
+        values while every deeper digit runs its full range, so addresses and
+        predicate values are multi-affine over the box.  Ranges too small to
+        benefit are returned separately for the per-window path.
+        """
+        boxes: List[Tuple[int, int, int]] = []
+        small: List[Tuple[int, int]] = []
+        dims = self.dims
+
+        def recurse(a: int, b: int, level: int) -> None:
+            if a >= b:
+                return
+            if level >= len(dims):  # pragma: no cover - innermost block is 1
+                small.append((a, b))
+                return
+            block = dims[level][0]
+            if a % block:
+                head_end = min(b, (a // block + 1) * block)
+                recurse(a, head_end, level + 1)
+                a = head_end
+                if a >= b:
+                    return
+            full = (b - a) // block
+            if full:
+                if full * block < _MIN_GRID_WINDOWS:
+                    small.append((a, a + full * block))
+                else:
+                    boxes.append((a, level, full))
+                a += full * block
+            recurse(a, b, level + 1)
+
+        recurse(w_lo, w_hi, 0)
+        return boxes, small
+
+    def _emit_box(
+        self, box: Tuple[int, int, int], start: int, slots: int
+    ) -> Optional[AccessRunBatch]:
+        """One grid batch for the full windows of an aligned box."""
+        w0, level, count = box
+        window = self.window
+        dims = self.dims
+        # Constants contributed by the digits of the box origin (digits below
+        # the box level are zero by alignment).
+        index0 = self.index_const
+        pred0 = list(self.pred_consts)
+        for block, size, coeff, pred_coeffs, _ in dims:
+            digit = (w0 // block) % size
+            if digit:
+                index0 += coeff * digit
+                for position, pcoeff in enumerate(pred_coeffs):
+                    if pcoeff:
+                        pred0[position] += pcoeff * digit
+        levels: List[Tuple[int, int, int]] = []  # (stride, count, pos_stride)
+        pred_dims: List[Tuple[int, int, int, List[int]]] = []
+        for index_level in range(level, len(dims)):
+            block, size, coeff, pred_coeffs, is_pred = dims[index_level]
+            extent = count if index_level == level else size
+            if extent == 1:
+                continue
+            if is_pred:
+                pred_dims.append((block, extent, coeff, pred_coeffs))
+            else:
+                levels.append((coeff * self.elem, extent, block * window * slots))
+        if pred_dims:
+            combos = 1
+            for _, extent, _, _ in pred_dims:
+                combos *= extent
+            flat = np.arange(combos, dtype=np.int64)
+            index = np.full(combos, index0, dtype=np.int64)
+            pred_base = [np.full(combos, const, dtype=np.int64) for const in pred0]
+            w_rel = np.zeros(combos, dtype=np.int64)
+            for block, extent, coeff, pred_coeffs in reversed(pred_dims):
+                digit = flat % extent
+                flat //= extent
+                if coeff:
+                    index += coeff * digit
+                for base, pcoeff in zip(pred_base, pred_coeffs):
+                    if pcoeff:
+                        base += pcoeff * digit
+                w_rel += block * digit
+        else:
+            index = np.full(1, index0, dtype=np.int64)
+            pred_base = [np.full(1, const, dtype=np.int64) for const in pred0]
+            w_rel = np.zeros(1, dtype=np.int64)
+        lo = np.zeros(index.shape, dtype=np.int64)
+        hi = np.full(index.shape, window, dtype=np.int64)
+        for base, slope, op in zip(pred_base, self.pred_slopes, self.pred_ops):
+            lo, hi = _clip_interval(lo, hi, base, slope, op)
+        keep = hi > lo
+        if not keep.any():
+            return None
+        if not keep.all():
+            lo, hi, index, w_rel = lo[keep], hi[keep], index[keep], w_rel[keep]
+        bases = self.base_address + index * self.elem + self.stride * lo
+        counts = hi - lo
+        first_pos = ((w0 + w_rel) * window + lo - start) * slots + self.slot
+        batch = self._pack_runs(bases, counts, first_pos, slots)
+        self._attach_levels(batch, levels)
+        return batch
+
+    @staticmethod
+    def _attach_levels(batch: AccessRunBatch, levels: List[Tuple[int, int, int]]) -> None:
+        """Canonicalise and attach grid levels (outer→inner) to a batch.
+
+        Adjacent levels forming one arithmetic progression (the outer level
+        steps exactly one inner lattice span, in both address and position
+        space) merge into a single longer level.
+        """
+        merged: List[Tuple[int, int, int]] = []
+        for stride, count, pos_stride in levels:
+            merged.append((stride, count, pos_stride))
+            while len(merged) > 1:
+                s_outer, c_outer, p_outer = merged[-2]
+                s_inner, c_inner, p_inner = merged[-1]
+                if s_outer == s_inner * c_inner and p_outer == p_inner * c_inner:
+                    merged[-2:] = [(s_inner, c_outer * c_inner, p_inner)]
+                else:
+                    break
+        if not merged:
+            return
+        batch.grid_strides = np.array([s for s, _, _ in merged], dtype=np.int64)
+        batch.grid_counts = np.array([c for _, c, _ in merged], dtype=np.int64)
+        batch.grid_pos_strides = np.array([p for _, _, p in merged], dtype=np.int64)
+
+    def _emit_runs(
+        self, w: np.ndarray, start: int, stop: int, slots: int
+    ) -> Optional[AccessRunBatch]:
+        """Exact per-window runs for an explicit window-index array."""
+        window = self.window
         index = np.full(w.shape, self.index_const, dtype=np.int64)
         pred_base = [np.full(w.shape, const, dtype=np.int64) for const in self.pred_consts]
         for divisor, size, coeff, pred_coeffs in self.outer:
@@ -475,33 +870,6 @@ class _AccessRunPlan:
             for base, pcoeff in zip(pred_base, pred_coeffs):
                 if pcoeff:
                     base += pcoeff * digit
-
-        batch = AccessRunBatch(
-            bases=index, stride=self.stride, pos_stride=slots, is_write=self.is_write
-        )
-        head_cut = start - w_first * window  # first window starts mid-chunk
-        tail_cut = (w_last + 1) * window - stop
-        if not pred_base:
-            # Unpredicated: every window is full except possibly the two
-            # chunk-edge windows, so the batch is regular by construction.
-            np.multiply(index, self.elem, out=index)
-            index += self.base_address
-            if head_cut:
-                index[0] += self.stride * head_cut
-            if head_cut or tail_cut:
-                counts = np.full(w.shape, window, dtype=np.int64)
-                counts[0] -= head_cut
-                counts[-1] -= tail_cut
-                first_pos = (w * window - start) * slots + self.slot
-                first_pos[0] += head_cut * slots
-                batch.counts = counts
-                batch.first_pos = first_pos
-            else:
-                batch.uniform_count = window
-                batch.first_pos_start = self.slot
-                batch.first_pos_step = window * slots
-            return batch
-
         window_start = w * window
         lo = np.maximum(start, window_start) - window_start
         hi = np.minimum(stop, window_start + window) - window_start
@@ -515,7 +883,15 @@ class _AccessRunPlan:
         bases = self.base_address + index * self.elem + self.stride * lo
         counts = hi - lo
         first_pos = (w * window + lo - start) * slots + self.slot
-        batch.bases = bases
+        return self._pack_runs(bases, counts, first_pos, slots)
+
+    def _pack_runs(
+        self, bases: np.ndarray, counts: np.ndarray, first_pos: np.ndarray, slots: int
+    ) -> AccessRunBatch:
+        """Build a batch, preferring the scalar regular form when it fits."""
+        batch = AccessRunBatch(
+            bases=bases, stride=self.stride, pos_stride=slots, is_write=self.is_write
+        )
         count0 = int(counts[0])
         step = int(first_pos[1] - first_pos[0]) if first_pos.size > 1 else 0
         if (counts == count0).all() and (
@@ -963,8 +1339,10 @@ class Program:
             valid = np.stack(chunk_valid, axis=1).reshape(-1)
             if valid.all():
                 yield addresses.astype(np.uint64), writes
-            else:
+            elif valid.any():
                 yield addresses[valid].astype(np.uint64), writes[valid]
+            # An all-masked chunk yields nothing, mirroring the descriptor
+            # stream, which skips empty chunks entirely.
             start = stop
 
     def memory_trace_descriptors(
@@ -1028,11 +1406,16 @@ class Program:
                 continue
             batches = []
             for plan in plans:
-                batch = plan.emit(start, stop, slots)
-                if batch is not None:
-                    batches.append(batch)
+                batches.extend(plan.emit(start, stop, slots))
+            total_accesses = sum(batch.total for batch in batches)
+            if total_accesses == 0:
+                # Every plan's windows are masked out: skip the chunk rather
+                # than dispatching the engine on an empty descriptor (the
+                # expanded path skips the matching all-masked chunk too).
+                start = stop
+                continue
             yield DescriptorChunk(
-                total=sum(batch.total for batch in batches),
+                total=total_accesses,
                 pos_bound=(stop - start) * slots,
                 batches=batches,
             )

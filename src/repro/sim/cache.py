@@ -321,11 +321,12 @@ class Cache:
     def access_descriptors(self, chunk) -> int:
         """Process one :class:`~repro.codegen.program.DescriptorChunk` in order.
 
-        The vectorized engine consumes the affine run descriptors directly —
-        collapsed line heads are derived in closed form and only those enter
-        the chunk pipeline.  The reference engine (and tiny chunks, where
-        head bookkeeping cannot pay off) expands the chunk and takes the
-        batch path; both routes produce bit-identical statistics.
+        The vectorized engine consumes the grid run descriptors directly —
+        collapsed line heads are derived in closed form per innermost row
+        and only those enter the chunk pipeline.  The reference engine (and
+        tiny chunks, where head bookkeeping cannot pay off) expands the
+        chunk and takes the batch path; both routes produce bit-identical
+        statistics.
         """
         if chunk.total == 0:
             return 0

@@ -57,20 +57,28 @@ Accesses within one chunk are independent across sets; only accesses to the
 Descriptor front-end
 --------------------
 :meth:`repro.codegen.program.Program.memory_trace_descriptors` emits the
-trace as affine ``(base, stride, count)`` run batches instead of address
-arrays.  :func:`chunk_heads` maps each run to its collapsed per-line heads in
-closed form — a run with ``|stride| < line_bytes`` touches a staircase of
-consecutive lines whose per-line member ranges are pure interval arithmetic,
-a zero-stride run is a single head, and a run with ``|stride| >=
-line_bytes`` yields one head per access — so steps 1–2 above never see the
-expanded stream and their cost scales with the number of *distinct-line
-heads* rather than the number of accesses.  Closed-form collapse is only
-exact while no *other* line of the same set is interleaved with a head's
-members; heads whose position intervals overlap a different-line head of the
-same set are therefore exploded back into exact singleton members before
-processing (same-line overlap is harmless: the chain machinery of step 3
-aggregates it).  The resulting heads join the pipeline at step 3 unchanged,
-which keeps descriptor statistics bit-identical to the expanded engines.
+trace as multi-level grid run batches ``(base, strides[], counts[])``
+instead of address arrays: the innermost level is an affine run, and outer
+levels replicate the stored runs across predicate-free loop variables (a
+tiled inner window nested under outer loops is one descriptor).
+:func:`chunk_heads` expands the replication levels transiently — one 1-D
+run per innermost row — and maps each row to its collapsed per-line heads
+in closed form: a run with ``|stride| < line_bytes`` touches a staircase of
+consecutive lines whose per-line member ranges are pure interval
+arithmetic, a zero-stride run is a single head, and a run with ``|stride|
+>= line_bytes`` yields one head per access.  Adjacent rows landing on the
+same line merge in the final same-(set, line) pass, so steps 1–2 above
+never see the expanded stream and their cost scales with the number of
+*distinct-line heads* rather than the number of accesses.  Closed-form
+collapse is only exact while no *other* line of the same set is interleaved
+with a head's members; heads whose position intervals overlap a
+different-line head of the same set are therefore **segment-split** at the
+overlap boundaries — clean prefix and suffix sub-runs stay collapsed, and
+only remainders still conflicted after :data:`SEGMENT_SPLIT_PASSES` rounds
+are exploded into exact singleton members (same-line overlap is harmless:
+the chain machinery of step 3 aggregates it).  The resulting heads join the
+pipeline at step 3 unchanged, which keeps descriptor statistics
+bit-identical to the expanded engines.
 
 Replayable random replacement
 -----------------------------
@@ -127,6 +135,13 @@ ROUND_WIDTH_CUTOFF = 24
 #: expands the chunk instead: without real run collapse, per-head
 #: bookkeeping cannot beat the expanded path's narrow-key radix sort.
 DESCRIPTOR_HEAD_FRACTION = 0.35
+#: Number of passes in which :func:`chunk_heads` segment-splits conflicted
+#: collapsed heads (clean prefix/suffix kept collapsed, covered middle
+#: exploded) instead of exploding whole runs.  One pass resolves every
+#: conflict — sub-runs stay inside their head's original interval — so this
+#: is a safety bound; ``0`` restores pure singleton explosion (the
+#: split-vs-explode equivalence tests pin this).
+SEGMENT_SPLIT_PASSES = 2
 
 #: Mixing constants of the replayable random-replacement victim stream
 #: (SplitMix64 finalizer over a product-combined ``(seed, set, ordinal)``
@@ -209,19 +224,27 @@ def resolve_trace_mode(trace: Optional[str], engine: str) -> str:
 
 
 def estimated_heads(chunk: DescriptorChunk, offset_bits: int) -> int:
-    """Exact pre-explosion head count of a chunk, without building heads."""
+    """Pre-explosion head count of a chunk, without building heads.
+
+    Exact for plain batches; for grid batches the stored rows' head counts
+    are scaled by the grid multiplicity (a replicated row shares its stored
+    row's span up to one line of alignment shift), which keeps the estimate
+    O(stored rows) instead of materialising the grid.
+    """
     line_bytes = 1 << offset_bits
     total = 0
     for batch in chunk.batches:
+        multiplicity = batch.grid_multiplicity
         if batch.stride == 0:
-            total += int(batch.bases.size)
+            total += int(batch.bases.size) * multiplicity
         elif abs(batch.stride) >= line_bytes:
-            total += batch.total
+            total += batch.total  # grid multiplicity already included
         else:
             counts = batch.run_counts()
             first = batch.bases >> offset_bits
             last = (batch.bases + (counts - 1) * batch.stride) >> offset_bits
-            total += int(np.abs(last - first).sum()) + int(counts.size)
+            per_row = int(np.abs(last - first).sum()) + int(counts.size)
+            total += per_row * multiplicity
     if chunk.addresses is not None:
         total += int(chunk.addresses.size)
     return total
@@ -286,14 +309,21 @@ def chunk_heads(chunk: DescriptorChunk, offset_bits: int, set_mask: int):
     """Build the collapsed, set-sorted head arrays of one descriptor chunk.
 
     Heads come out sorted by ``(set, position)`` — the order
-    :meth:`VectorCacheState.process_descriptor_heads` expects.  Closed-form
-    collapse is exact only while no other line of the same set interleaves
-    with a head's members, so heads whose position intervals overlap a
-    *different-line* head of the same set are exploded into exact singleton
-    members (one pass suffices: singletons cannot introduce new overlaps).
+    :meth:`VectorCacheState.process_descriptor_heads` expects.  Grid batches
+    are collapsed per innermost row: the replication levels are expanded
+    transiently (one 1-D run per innermost row) and each row collapses to
+    line heads in closed form; adjacent rows landing on the same line merge
+    in the final same-(set, line) pass.  Closed-form collapse is exact only
+    while no other line of the same set interleaves with a head's members,
+    so conflicted heads — those whose position intervals overlap a
+    *different-line* head of the same set — are **segment-split**: the run
+    is cut at the overlap boundaries into at most three sub-runs (clean
+    prefix, conflicted middle, clean suffix) and re-tested, and only
+    remainders still irreducible after :data:`SEGMENT_SPLIT_PASSES` passes
+    are exploded into singleton members.
     """
     explicit = chunk.addresses is not None and chunk.addresses.size
-    parts = [_batch_heads(batch, offset_bits) for batch in chunk.batches]
+    parts = [_batch_heads(batch.degrid(), offset_bits) for batch in chunk.batches]
     n_parts = sum(part[0].size for part in parts) + (
         int(chunk.addresses.size) if explicit else 0
     )
@@ -319,7 +349,8 @@ def chunk_heads(chunk: DescriptorChunk, offset_bits: int, set_mask: int):
 
     bound = max(int(chunk.pos_bound), 1)
     collapsed_any = bool((run_len > 1).any())
-    while True:  # at most two passes: singletons cannot introduce overlaps
+    split_passes = SEGMENT_SPLIT_PASSES
+    while True:  # splitting shrinks runs every pass; explosion then ends it
         order = _head_order(lines & set_mask, head_orig, bound, set_mask)
         lines = lines[order]
         run_len = run_len[order]
@@ -331,7 +362,8 @@ def chunk_heads(chunk: DescriptorChunk, offset_bits: int, set_mask: int):
 
         n_heads = int(lines.size)
         key = sets * bound + head_orig
-        interval_end = np.maximum.accumulate(key + (run_len - 1) * pos_stride)
+        last_key = key + (run_len - 1) * pos_stride
+        interval_end = np.maximum.accumulate(last_key)
         clean = np.empty(n_heads, dtype=bool)
         clean[0] = True
         np.greater(key[1:], interval_end[:-1], out=clean[1:])
@@ -343,19 +375,65 @@ def chunk_heads(chunk: DescriptorChunk, offset_bits: int, set_mask: int):
             np.minimum.reduceat(lines, cluster_starts)
             != np.maximum.reduceat(lines, cluster_starts)
         )[cluster_of]
-        explode = conflicted & (run_len > 1)
-        if not explode.any():
-            break
-        keep = ~explode
-        exploded_len = run_len[explode]
-        rep = np.repeat(np.flatnonzero(explode), exploded_len)
-        k = _ragged_arange(exploded_len)
-        member_pos = head_orig[rep] + k * pos_stride
-        member_write = first_write[rep]  # members share the head's write flag
-        lines = np.concatenate([lines[keep], lines[rep]])
-        run_len = np.concatenate([run_len[keep], np.ones(rep.size, dtype=np.int64)])
-        head_orig = np.concatenate([head_orig[keep], member_pos])
-        first_write = np.concatenate([first_write[keep], member_write])
+        target = conflicted & (run_len > 1)
+        if not target.any():
+            break  # conflicted heads are all singletons, which are exact
+        cut = np.flatnonzero(target)
+        if split_passes > 0:
+            split_passes -= 1
+            # Overlap bounds are needed only inside conflicted clusters —
+            # typically a small fraction of the heads — so the reduceat
+            # machinery runs on the compacted conflicted subset.
+            sub = np.flatnonzero(conflicted)
+            sub_clean = clean[sub]
+            prefix_sub, suffix_sub = _split_lengths(
+                key[sub],
+                last_key[sub],
+                run_len[sub],
+                np.flatnonzero(sub_clean),
+                np.cumsum(sub_clean) - 1,
+                pos_stride,
+            )
+            position_in_sub = np.cumsum(conflicted) - 1
+            cut_prefix = prefix_sub[position_in_sub[cut]]
+            cut_suffix = suffix_sub[position_in_sub[cut]]
+        else:
+            cut_prefix = np.zeros(cut.size, dtype=np.int64)
+            cut_suffix = cut_prefix
+        # Members strictly before/after the foreign overlap stay collapsed
+        # sub-runs; the covered middle is the irreducible remainder and is
+        # exploded right away.  Every piece lies inside its head's original
+        # interval, so the next pass finds the sub-runs clean (or conflicted
+        # only with singletons) and the loop ends — like pure explosion, but
+        # without materialising the clean prefix/suffix members.
+        cut_middle = run_len[cut] - cut_prefix - cut_suffix
+        keep = ~target
+        pieces_lines = [lines[keep]]
+        pieces_len = [run_len[keep]]
+        pieces_orig = [head_orig[keep]]
+        pieces_write = [first_write[keep]]
+        for offset, length in (
+            (np.zeros(cut.size, dtype=np.int64), cut_prefix),
+            (run_len[cut] - cut_suffix, cut_suffix),
+        ):
+            alive = length > 0
+            if not alive.any():
+                continue
+            pieces_lines.append(lines[cut][alive])
+            pieces_len.append(length[alive])
+            pieces_orig.append(head_orig[cut][alive] + offset[alive] * pos_stride)
+            pieces_write.append(first_write[cut][alive])
+        if cut_middle.any():
+            rep = np.repeat(cut, cut_middle)
+            k = _ragged_arange(cut_middle) + np.repeat(cut_prefix, cut_middle)
+            pieces_lines.append(lines[rep])
+            pieces_len.append(np.ones(rep.size, dtype=np.int64))
+            pieces_orig.append(head_orig[rep] + k * pos_stride)
+            pieces_write.append(first_write[rep])  # members share the head's flag
+        lines = np.concatenate(pieces_lines)
+        run_len = np.concatenate(pieces_len)
+        head_orig = np.concatenate(pieces_orig)
+        first_write = np.concatenate(pieces_write)
         collapsed_any = bool((run_len > 1).any())
     write_counts = run_len * first_write
     last_orig = head_orig + (run_len - 1) * pos_stride
@@ -377,6 +455,49 @@ def chunk_heads(chunk: DescriptorChunk, offset_bits: int, set_mask: int):
         first_write = first_write[starts]
         head_orig = head_orig[starts]
     return sets, lines, first_write, write_counts, head_orig, last_orig
+
+
+def _split_lengths(
+    key: np.ndarray,
+    last_key: np.ndarray,
+    run_len: np.ndarray,
+    cluster_starts: np.ndarray,
+    cluster_of: np.ndarray,
+    pos_stride: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-head clean prefix/suffix member counts within overlap clusters.
+
+    For every head, the members strictly before the earliest start — and
+    strictly after the latest end — of the *other* intervals of its cluster
+    cannot have foreign members interleaved (every other head's members lie
+    inside its own interval), so those sub-runs stay exactly collapsible.
+    Exclusive minima/maxima are derived from the cluster's two smallest
+    starts and two largest ends; using all other heads (not only
+    different-line ones) is conservative — it can only over-split, never
+    produce an inexact sub-run.
+    """
+    sentinel = np.iinfo(np.int64).max // 2
+    min1 = np.minimum.reduceat(key, cluster_starts)
+    at_min = key == min1[cluster_of]
+    min_dup = np.add.reduceat(at_min.astype(np.int64), cluster_starts) > 1
+    min2 = np.minimum.reduceat(np.where(at_min, sentinel, key), cluster_starts)
+    other_start = np.where(
+        at_min & ~min_dup[cluster_of], min2[cluster_of], min1[cluster_of]
+    )
+    max1 = np.maximum.reduceat(last_key, cluster_starts)
+    at_max = last_key == max1[cluster_of]
+    max_dup = np.add.reduceat(at_max.astype(np.int64), cluster_starts) > 1
+    max2 = np.maximum.reduceat(np.where(at_max, -sentinel, last_key), cluster_starts)
+    other_end = np.where(
+        at_max & ~max_dup[cluster_of], max2[cluster_of], max1[cluster_of]
+    )
+    # Members sit at key + t * pos_stride for t < run_len; count those below
+    # the exclusive-other start and above the exclusive-other end.
+    prefix_len = np.clip(_ceil_div(other_start - key, pos_stride), 0, run_len)
+    suffix_len = np.clip(run_len - 1 - (other_end - key) // pos_stride, 0, run_len)
+    # Single-head clusters see sentinel bounds; they are never conflicted,
+    # so their (nonsense) lengths are masked out by the caller.
+    return prefix_len, suffix_len
 
 
 def _head_order(head_sets: np.ndarray, head_orig: np.ndarray, pos_bound: int, set_mask: int):

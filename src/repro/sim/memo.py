@@ -133,7 +133,12 @@ class SimulationCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return _stats_from_flat(flat)
-            flat = self._load_from_disk(key)
+        # The disk read happens outside the lock so concurrent workers are
+        # not serialized behind file I/O (mirroring ``put``); the re-locked
+        # insert is a double-checked write — entries are content-addressed,
+        # so a racing inserter of the same key wrote identical data.
+        flat = self._load_from_disk(key)
+        with self._lock:
             if flat is not None:
                 self._insert(key, flat)
                 self.hits += 1
@@ -186,11 +191,12 @@ class SimulationCache:
             self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __repr__(self) -> str:
         return (
-            f"SimulationCache({len(self._entries)}/{self.maxsize} entries, "
+            f"SimulationCache({len(self)}/{self.maxsize} entries, "
             f"{self.hits} hits, {self.misses} misses)"
         )
 

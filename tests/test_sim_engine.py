@@ -506,6 +506,65 @@ class TestMemoization:
         right.pop("sim.host_seconds")
         assert left == right
 
+    def test_disk_load_happens_outside_lock(self, tmp_path, monkeypatch):
+        """``get`` must not hold the store lock across disk reads — the
+        ``threads`` pool backend would otherwise serialize behind file I/O."""
+        from repro.sim.stats import SimulationStats
+
+        memo = SimulationCache(maxsize=4, disk_dir=tmp_path)
+        stats = SimulationStats()
+        stats.group("sim").set("trace_accesses", 1.0)
+        memo.put("key", stats)
+        memo.clear()  # force the next get through the disk layer
+        original = SimulationCache._load_from_disk
+        observed = {}
+
+        def spying_load(self, key):
+            observed["locked"] = self._lock.locked()
+            return original(self, key)
+
+        monkeypatch.setattr(SimulationCache, "_load_from_disk", spying_load)
+        assert memo.get("key") is not None
+        assert observed["locked"] is False
+
+    def test_concurrent_get_put_and_len(self, tmp_path):
+        """Hammer one disk-backed cache from many threads: every lookup sees
+        a consistent snapshot and the LRU bound holds throughout."""
+        import threading
+
+        from repro.sim.stats import SimulationStats
+
+        memo = SimulationCache(maxsize=6, disk_dir=tmp_path)
+        seeder = SimulationCache(maxsize=6, disk_dir=tmp_path)
+        for index in range(8):
+            stats = SimulationStats()
+            stats.group("sim").set("trace_accesses", float(index))
+            seeder.put(f"key{index}", stats)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(40):
+                    for index in range(8):
+                        got = memo.get(f"key{index}")
+                        if got is not None:
+                            flat = dict(got.as_dict())
+                            assert flat["sim.trace_accesses"] == float(index)
+                        stats = SimulationStats()
+                        stats.group("sim").set("trace_accesses", float(index))
+                        memo.put(f"key{index}", stats)
+                        assert 0 <= len(memo) <= 6
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(memo) <= 6
+
     def test_memoize_disabled(self, conv_program_x86):
         options = TraceOptions(max_accesses=5_000)
         simulator = Simulator("x86", trace_options=options, memoize=False)

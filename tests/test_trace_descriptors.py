@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.codegen.program import (
     Block,
@@ -317,6 +319,347 @@ class TestDescriptorShapes:
         )
         assert_trace_equal(scalar)
         assert_stats_equal(scalar)
+
+
+def _tiled_program(splits, elem=4, outer_order=None, inner_order=None, extra_accesses=()):
+    """A conv2d-style tiled schedule: logical dims split into outer/inner loops.
+
+    ``splits`` is a list of ``(outer, inner)`` factor pairs, one per logical
+    (row-major) tensor dimension; the loop nest runs all outer loops first,
+    then all inner loops, so the innermost affine window is tiny and the
+    descriptor emitter must grid the outer structure to compress anything.
+    """
+    n_dims = len(splits)
+    extents = [o * i for o, i in splits]
+    strides = [1] * n_dims
+    for d in range(n_dims - 2, -1, -1):
+        strides[d] = strides[d + 1] * extents[d + 1]
+    outer_order = list(outer_order if outer_order is not None else range(n_dims))
+    inner_order = list(inner_order if inner_order is not None else range(n_dims))
+    loops = [(f"o{d}", splits[d][0]) for d in outer_order]
+    loops += [(f"i{d}", splits[d][1]) for d in inner_order]
+    coeffs = {}
+    for d in range(n_dims):
+        coeffs[f"o{d}"] = strides[d] * splits[d][1]
+        coeffs[f"i{d}"] = strides[d]
+    buffer = Buffer("b", size_bytes=(strides[0] * extents[0] + 16) * elem, element_bytes=elem)
+    accesses = [MemoryAccess(buffer=buffer, coeffs=coeffs, const=0, is_store=False)]
+    for access in extra_accesses:
+        accesses.append(access(buffer, coeffs, splits, inner_order))
+    node = Block(accesses=accesses)
+    for name, extent in reversed(loops):
+        node = Loop(var=name, extent=extent, kind="serial", body=node)
+    return build_program([buffer], [node])
+
+
+def _padded_store(buffer, coeffs, splits, inner_order):
+    """A store guarded by a padding-style window on logical dim 0."""
+    predicate = LinearPredicate({"o0": splits[0][1], "i0": 1}, -1, "ge")
+    return MemoryAccess(
+        buffer=buffer, coeffs=dict(coeffs), const=1, is_store=True, predicates=[predicate]
+    )
+
+
+def _promoted_load(buffer, coeffs, splits, inner_order):
+    """A scalar-promoted load that fires on the first innermost iteration only."""
+    hoisted = f"i{inner_order[-1]}"
+    return MemoryAccess(
+        buffer=buffer,
+        coeffs={name: value for name, value in coeffs.items() if name != hoisted},
+        const=3,
+        is_store=False,
+        predicates=[LinearPredicate({hoisted: 1}, 0, "eq")],
+    )
+
+
+class TestGridRunBatches:
+    """Multi-level grid descriptors: structure, truncation, engine collapse."""
+
+    def test_tiled_nest_compresses_to_grids(self):
+        program = _tiled_program([(4, 3), (5, 2), (3, 4)])
+        chunks = list(program.memory_trace_descriptors())
+        assert len(chunks) == 1
+        chunk = chunks[0]
+        assert any(batch.grid_counts is not None for batch in chunk.batches)
+        # One stored run plus a handful of level scalars, not one run per
+        # tiled window (the nest has 4*5*3 * 3*2 = 360 windows).
+        assert chunk.nbytes() < 512
+        assert_trace_equal(program)
+        assert_stats_equal(program)
+
+    def test_predicated_tiled_nest(self):
+        program = _tiled_program(
+            [(4, 3), (5, 2), (3, 4)], extra_accesses=[_padded_store, _promoted_load]
+        )
+        chunks = list(program.memory_trace_descriptors())
+        expanded_bytes = sum(
+            a.nbytes + w.nbytes for a, w in program.memory_trace()
+        )
+        assert sum(chunk.nbytes() for chunk in chunks) * 3 < expanded_bytes
+        assert_trace_equal(program)
+        assert_stats_equal(program)
+
+    def test_degrid_matches_member_addresses(self):
+        from repro.codegen.program import AccessRunBatch
+
+        batch = AccessRunBatch(
+            bases=np.array([0x100, 0x900], dtype=np.int64),
+            stride=8,
+            pos_stride=3,
+            is_write=False,
+            counts=np.array([3, 2], dtype=np.int64),
+            first_pos=np.array([0, 9], dtype=np.int64),
+            grid_strides=np.array([0x2000, 64], dtype=np.int64),
+            grid_counts=np.array([2, 4], dtype=np.int64),
+            grid_pos_strides=np.array([400, 100], dtype=np.int64),
+        )
+        assert batch.grid_multiplicity == 8
+        assert batch.total == 5 * 8
+        flat = batch.degrid()
+        assert flat.grid_counts is None and flat.total == batch.total
+        addresses, positions = batch.member_addresses()
+        flat_addresses, flat_positions = flat.member_addresses()
+        order, flat_order = np.argsort(positions), np.argsort(flat_positions)
+        assert np.array_equal(addresses[order], flat_addresses[flat_order])
+        assert np.array_equal(positions[order], flat_positions[flat_order])
+
+    def test_truncate_mid_grid_keeps_grid_form(self):
+        program = _tiled_program([(6, 2), (4, 3), (2, 5)])
+        full = list(program.memory_trace_descriptors())
+        assert any(b.grid_counts is not None for c in full for b in c.batches)
+        total = sum(chunk.total for chunk in full)
+        # Land strictly inside the grid: an odd cut well past the first slab.
+        keep = total // 2 + 7
+        chunks = list(program.memory_trace_descriptors(max_accesses=keep))
+        assert sum(chunk.total for chunk in chunks) == keep
+        assert any(
+            batch.grid_counts is not None for batch in chunks[-1].batches
+        ), "mid-grid truncation should keep the fully-covered slabs as a grid"
+        assert_trace_equal(program, max_accesses=keep)
+        assert_stats_equal(program, max_accesses=keep)
+
+    def test_truncate_overlapping_handbuilt_grid_falls_back(self):
+        # Slabs of the outer level overlap in position space — impossible for
+        # the built-in emitter, legal for hand-built producers: truncation
+        # must detect it and clip the degridded runs instead.
+        from repro.codegen.program import AccessRunBatch
+
+        batch = AccessRunBatch(
+            bases=np.array([0x100], dtype=np.int64),
+            stride=4,
+            pos_stride=7,
+            is_write=False,
+            uniform_count=3,
+            first_pos_start=0,
+            grid_strides=np.array([0x40], dtype=np.int64),
+            grid_counts=np.array([4], dtype=np.int64),
+            grid_pos_strides=np.array([5], dtype=np.int64),  # < run span of 14
+        )
+        chunk = DescriptorChunk(total=12, pos_bound=32, batches=[batch])
+        addresses, writes = chunk.expand()
+        truncated = chunk.truncate(7)
+        t_addresses, t_writes = truncated.expand()
+        assert truncated.total == 7
+        assert np.array_equal(t_addresses, addresses[:7])
+        assert np.array_equal(t_writes, writes[:7])
+
+    def test_all_masked_chunks_are_skipped(self):
+        # The guard masks out whole chunk-sized stretches (i >= 6 never
+        # holds in the second half): neither stream yields empty chunks and
+        # they stay chunk-aligned.
+        buffer = Buffer("b", size_bytes=1 << 12, element_bytes=4)
+        access = MemoryAccess(buffer=buffer, coeffs={"i": 1, "j": 1}, const=0, is_store=False)
+        node = Guard(
+            predicates=[LinearPredicate({"i": -1}, 5, "ge")],  # i <= 5
+            body=Block(accesses=[access]),
+        )
+        for name, extent in (("j", 8), ("i", 12)):
+            node = Loop(var=name, extent=extent, kind="serial", body=node)
+        program = build_program([buffer], [node])
+        descriptor_chunks = list(program.memory_trace_descriptors(chunk_iterations=8))
+        expanded_chunks = list(program.memory_trace(chunk_iterations=8))
+        assert len(descriptor_chunks) == len(expanded_chunks) == 6
+        assert all(chunk.total > 0 for chunk in descriptor_chunks)
+        assert all(addresses.size > 0 for addresses, _ in expanded_chunks)
+        assert_trace_equal(program, chunk_iterations=8)
+        assert_stats_equal(program, chunk_iterations=8)
+
+
+class TestSegmentSplitting:
+    """Conflicted collapsed heads: segment splitting vs singleton explosion."""
+
+    def _conflict_program(self):
+        # A long unit-stride run through buffer a interleaved with a
+        # line-hopping store through buffer b aliasing into the same sets:
+        # every collapsed head of the run overlaps foreign heads.
+        a = Buffer("a", size_bytes=1 << 13, element_bytes=4)
+        b = Buffer("b", size_bytes=1 << 13, element_bytes=4)
+        run = MemoryAccess(buffer=a, coeffs={"i": 1}, const=0, is_store=False)
+        hopper = MemoryAccess(buffer=b, coeffs={"i": 64}, const=0, is_store=True)
+        node = Loop(
+            var="i", extent=512, kind="serial", body=Block(accesses=[run, hopper])
+        )
+        return build_program([a, b], [node])
+
+    def test_splitting_is_bit_identical_to_explosion(self, monkeypatch):
+        import repro.sim.engine as engine_module
+
+        program = self._conflict_program()
+        options = dict(chunk_iterations=256)
+
+        def run_stats():
+            hierarchy = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
+            for chunk in program.memory_trace_descriptors(**options):
+                hierarchy.access_data_descriptors(chunk)
+            return hierarchy.stats_dict()
+
+        with_splitting = run_stats()
+        monkeypatch.setattr(engine_module, "SEGMENT_SPLIT_PASSES", 0)
+        explosion_only = run_stats()
+        assert with_splitting == explosion_only
+        assert_stats_equal(program, **options)
+
+    def test_splitting_avoids_member_explosion(self, monkeypatch):
+        # A localized conflict: one foreign singleton (same set, different
+        # line) lands in the middle of a 16-member collapsed head.  Splitting
+        # cuts the head into two collapsed sub-runs without materialising
+        # members; explosion shatters all 16 and relies on the final
+        # adjacent-merge pass to stitch them back together.  The outputs are
+        # bit-identical — splitting only removes the intermediate work.
+        import repro.sim.engine as engine_module
+        from repro.codegen.program import AccessRunBatch
+        from repro.sim.engine import chunk_heads
+
+        run = AccessRunBatch(
+            bases=np.array([0x1000], dtype=np.int64),
+            stride=4,
+            pos_stride=2,
+            is_write=True,
+            uniform_count=64,
+            first_pos_start=0,
+        )
+        foreign = AccessRunBatch(
+            bases=np.array([0x1100], dtype=np.int64),  # line 0x44: set 0, like 0x40
+            stride=0,
+            pos_stride=2,
+            is_write=False,
+            uniform_count=1,
+            first_pos_start=15,
+        )
+        chunk = DescriptorChunk(total=65, pos_bound=130, batches=[run, foreign])
+
+        original = engine_module._ragged_arange
+        calls = {"count": 0}
+
+        def counting(counts):
+            calls["count"] += 1
+            return original(counts)
+
+        monkeypatch.setattr(engine_module, "_ragged_arange", counting)
+        split_heads = chunk_heads(chunk, offset_bits=6, set_mask=3)
+        split_calls = calls["count"]
+        calls["count"] = 0
+        monkeypatch.setattr(engine_module, "SEGMENT_SPLIT_PASSES", 0)
+        exploded_heads = chunk_heads(chunk, offset_bits=6, set_mask=3)
+        assert calls["count"] > split_calls, "explosion should materialise members"
+        for split_part, exploded_part in zip(split_heads, exploded_heads):
+            assert np.array_equal(split_part, exploded_part)
+        # The conflicted 16-member head survives as collapsed sub-runs, and
+        # every member is accounted for (the run is a store: write counts).
+        assert int(split_heads[3].sum()) == 64
+
+        def run_stats():
+            hierarchy = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
+            hierarchy.l1d.access_descriptors(chunk)
+            return hierarchy.stats_dict()
+
+        explosion_stats = run_stats()
+        monkeypatch.setattr(engine_module, "SEGMENT_SPLIT_PASSES", 4)
+        assert run_stats() == explosion_stats
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_programs_split_vs_explode(self, seed, monkeypatch):
+        import repro.sim.engine as engine_module
+
+        rng = np.random.default_rng(5000 + seed)
+        program = random_program(rng)
+        options = dict(chunk_iterations=int(rng.choice([64, 1024])))
+
+        def run_stats():
+            hierarchy = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
+            for chunk in program.memory_trace_descriptors(**options):
+                hierarchy.access_data_descriptors(chunk)
+            return hierarchy.stats_dict()
+
+        with_splitting = run_stats()
+        monkeypatch.setattr(engine_module, "SEGMENT_SPLIT_PASSES", 0)
+        assert run_stats() == with_splitting
+
+
+@st.composite
+def tiled_programs(draw):
+    """Hypothesis strategy over tiled conv2d-style schedules."""
+    n_dims = draw(st.integers(2, 3))
+    splits = [
+        (draw(st.integers(1, 3)), draw(st.integers(1, 4))) for _ in range(n_dims)
+    ]
+    outer_order = draw(st.permutations(list(range(n_dims))))
+    inner_order = draw(st.permutations(list(range(n_dims))))
+    extras = []
+    if draw(st.booleans()):
+        extras.append(_padded_store)
+    if draw(st.booleans()):
+        extras.append(_promoted_load)
+    return _tiled_program(
+        splits,
+        elem=draw(st.sampled_from([4, 8])),
+        outer_order=outer_order,
+        inner_order=inner_order,
+        extra_accesses=extras,
+    )
+
+
+class TestGridHypothesis:
+    """Property-based equivalence of grid descriptors vs expanded traces."""
+
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        program=tiled_programs(),
+        chunk_iterations=st.sampled_from([5, 64, 1024, 1 << 16]),
+    )
+    def test_tiled_trace_and_stats_equivalence(self, program, chunk_iterations):
+        assert_trace_equal(program, chunk_iterations=chunk_iterations)
+        assert_stats_equal(program, chunk_iterations=chunk_iterations)
+
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(program=tiled_programs(), data=st.data())
+    def test_truncation_lands_anywhere(self, program, data):
+        total = sum(chunk.total for chunk in program.memory_trace_descriptors())
+        keep = data.draw(st.integers(1, max(total, 1)), label="max_accesses")
+        assert_trace_equal(program, max_accesses=keep)
+        assert_stats_equal(program, max_accesses=keep)
+
+    @settings(
+        max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        program=tiled_programs(),
+        rng_seed=st.integers(0, 7),
+        chunk_iterations=st.sampled_from([64, 1 << 16]),
+    )
+    def test_tiled_random_replacement_equivalence(
+        self, program, rng_seed, chunk_iterations
+    ):
+        assert_stats_equal(
+            program,
+            hierarchy=TINY_RANDOM_HIERARCHY,
+            rng_seed=rng_seed,
+            chunk_iterations=chunk_iterations,
+        )
 
 
 class TestTraceModePlumbing:
