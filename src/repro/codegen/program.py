@@ -572,6 +572,176 @@ def _clip_batch(batch: AccessRunBatch, cutoff: int) -> List[AccessRunBatch]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# descriptor arenas: cross-chunk packing for the native batch pipeline
+# ---------------------------------------------------------------------------
+
+#: Number of int64 columns in :attr:`DescriptorArena.chunk_meta`.
+ARENA_CHUNK_META = 7
+#: Number of int64 columns in :attr:`DescriptorArena.batch_meta`.
+ARENA_BATCH_META = 7
+
+
+@dataclass
+class DescriptorArena:
+    """A batch of :class:`DescriptorChunk` objects packed into flat arenas.
+
+    The arena is the wire format of the native descriptor pipeline
+    (:mod:`repro.sim._native`): every chunk of the batch is described by
+    contiguous ``int64`` arrays, so one foreign call can walk all of them
+    without touching Python objects per chunk.  Grid batches are packed as
+    grids — the replication levels are *not* expanded — and the packing is
+    pure bookkeeping (offset arithmetic plus a handful of concatenations),
+    so its cost is per batch and per chunk, never per access.
+
+    Layout (all arrays ``int64`` unless noted, all offsets half-open):
+
+    * ``chunk_meta[c] = (total, pos_bound, batch_start, batch_end,
+      explicit_start, explicit_end, pos_stride)`` — ``pos_stride`` is the
+      chunk-uniform trace-position stride of its batches (1 when the chunk
+      has none).
+    * ``batch_meta[b] = (is_write, stride, pos_stride, run_start, run_end,
+      grid_start, grid_end)``.
+    * ``bases`` / ``counts`` / ``first_pos`` — the stored runs, run-aligned
+      at ``[run_start:run_end)``.  The scalar count/position forms of
+      :class:`AccessRunBatch` are materialised here: the arena is a
+      short-lived dispatch buffer whose size is per stored run, never per
+      access, so uniform C-side indexing wins over the two extra arrays.
+    * ``grids[grid_start:grid_end] = (stride, count, pos_stride)`` rows,
+      outermost level first.
+    * ``explicit_addresses`` / ``explicit_writes`` (bool) /
+      ``explicit_positions`` — the chunks' explicit member spans,
+      concatenated.
+
+    ``chunks`` keeps the packed chunk objects so consumers without the
+    native kernel can fall back to the per-chunk path, and so equivalence
+    tests can replay both representations from one packing.
+    """
+
+    chunks: List[DescriptorChunk]
+    total: int
+    chunk_meta: np.ndarray
+    batch_meta: np.ndarray
+    bases: np.ndarray
+    counts: np.ndarray
+    first_pos: np.ndarray
+    grids: np.ndarray
+    explicit_addresses: np.ndarray
+    explicit_writes: np.ndarray
+    explicit_positions: np.ndarray
+    #: Largest single-chunk access count — the per-chunk scratch capacity
+    #: the native pipeline needs (heads never outnumber members).
+    max_chunk_total: int
+    #: Largest single-chunk position bound — sizes the position-scatter
+    #: scratch of the native sort.
+    max_pos_bound: int
+    #: Deepest grid nesting of any packed batch; the native pipeline walks
+    #: grids with a fixed-depth odometer and falls back past its limit.
+    max_grid_levels: int
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of packed chunks."""
+        return len(self.chunks)
+
+
+def pack_descriptor_arena(chunks: Sequence[DescriptorChunk]) -> DescriptorArena:
+    """Pack ``chunks`` into one :class:`DescriptorArena`.
+
+    Array data (bases, ragged counts, explicit spans) is concatenated;
+    grid levels are recorded as ``(stride, count, pos_stride)`` rows rather
+    than expanded.  The packed arena describes exactly the same accesses in
+    exactly the same order as walking the chunks one by one.
+    """
+    chunk_meta = np.zeros((len(chunks), ARENA_CHUNK_META), dtype=np.int64)
+    batch_rows: List[List[int]] = []
+    bases_parts: List[np.ndarray] = []
+    counts_parts: List[np.ndarray] = []
+    first_pos_parts: List[np.ndarray] = []
+    grid_rows: List[Tuple[int, int, int]] = []
+    explicit_addr_parts: List[np.ndarray] = []
+    explicit_write_parts: List[np.ndarray] = []
+    explicit_pos_parts: List[np.ndarray] = []
+    run_at = 0
+    explicit_at = 0
+    total = 0
+    max_chunk_total = 0
+    max_pos_bound = 0
+    max_grid_levels = 0
+    for index, chunk in enumerate(chunks):
+        batch_start = len(batch_rows)
+        for batch in chunk.batches:
+            n_runs = int(batch.bases.size)
+            bases_parts.append(batch.bases)
+            counts_parts.append(batch.run_counts())
+            first_pos_parts.append(batch.run_first_pos())
+            grid_start = len(grid_rows)
+            if batch.grid_counts is not None:
+                grid_rows.extend(
+                    zip(
+                        batch.grid_strides.tolist(),
+                        batch.grid_counts.tolist(),
+                        batch.grid_pos_strides.tolist(),
+                    )
+                )
+                max_grid_levels = max(max_grid_levels, int(batch.grid_counts.size))
+            batch_rows.append(
+                [
+                    int(batch.is_write),
+                    int(batch.stride),
+                    int(batch.pos_stride),
+                    run_at,
+                    run_at + n_runs,
+                    grid_start,
+                    len(grid_rows),
+                ]
+            )
+            run_at += n_runs
+        explicit_start = explicit_at
+        if chunk.addresses is not None and chunk.addresses.size:
+            explicit_addr_parts.append(chunk.addresses.astype(np.int64, copy=False))
+            explicit_write_parts.append(chunk.writes)
+            explicit_pos_parts.append(chunk.positions)
+            explicit_at += int(chunk.addresses.size)
+        pos_stride = chunk.batches[0].pos_stride if chunk.batches else 1
+        chunk_meta[index] = (
+            chunk.total,
+            chunk.pos_bound,
+            batch_start,
+            len(batch_rows),
+            explicit_start,
+            explicit_at,
+            pos_stride,
+        )
+        total += chunk.total
+        max_chunk_total = max(max_chunk_total, chunk.total)
+        max_pos_bound = max(max_pos_bound, chunk.pos_bound)
+
+    def _concat(parts: List[np.ndarray], dtype) -> np.ndarray:
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return np.ascontiguousarray(np.concatenate(parts), dtype=dtype)
+
+    return DescriptorArena(
+        chunks=list(chunks),
+        total=total,
+        chunk_meta=chunk_meta,
+        batch_meta=np.asarray(batch_rows, dtype=np.int64).reshape(
+            len(batch_rows), ARENA_BATCH_META
+        ),
+        bases=_concat(bases_parts, np.int64),
+        counts=_concat(counts_parts, np.int64),
+        first_pos=_concat(first_pos_parts, np.int64),
+        grids=np.asarray(grid_rows, dtype=np.int64).reshape(len(grid_rows), 3),
+        explicit_addresses=_concat(explicit_addr_parts, np.int64),
+        explicit_writes=_concat(explicit_write_parts, bool),
+        explicit_positions=_concat(explicit_pos_parts, np.int64),
+        max_chunk_total=max_chunk_total,
+        max_pos_bound=max_pos_bound,
+        max_grid_levels=max_grid_levels,
+    )
+
+
 #: Window ranges narrower than this are emitted as plain per-window runs —
 #: grid bookkeeping (box decomposition, level canonicalisation) cannot pay
 #: off below it.

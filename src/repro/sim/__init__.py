@@ -32,8 +32,11 @@ from repro.sim.engine import (
     TRACE_EXPANDED,
     TRACE_MODES,
     VectorCacheState,
+    arena_batching_available,
+    arena_batching_enabled,
     default_engine,
     default_trace_mode,
+    native_chunk_heads,
     resolve_engine,
     resolve_trace_mode,
     victim_rank,
@@ -61,8 +64,11 @@ __all__ = [
     "TRACE_EXPANDED",
     "TRACE_MODES",
     "VectorCacheState",
+    "arena_batching_available",
+    "arena_batching_enabled",
     "default_engine",
     "default_trace_mode",
+    "native_chunk_heads",
     "resolve_engine",
     "resolve_trace_mode",
     "victim_rank",

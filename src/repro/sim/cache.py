@@ -39,16 +39,21 @@ from typing import List, Optional
 import numpy as np
 
 from repro.sim.engine import (
+    ARENA_ACCESS_BATCH,
+    ARENA_CHUNK_BATCH,
     DESCRIPTOR_HEAD_FRACTION,
     ENGINE_VECTORIZED,
     SCALAR_CHUNK_CUTOFF,
     ChunkOutcome,
     VectorCacheState,
+    arena_batching_available,
     chunk_heads,
     estimated_heads,
     resolve_engine,
     victim_rank,
 )
+
+from repro.codegen.program import pack_descriptor_arena
 
 
 class ReplacementPolicy:
@@ -343,6 +348,64 @@ class Cache:
         outcome = self._state.process_descriptor_heads(
             chunk.total, chunk.pos_bound, *heads, self._last_miss_line
         )
+        self._apply_outcome(outcome)
+        if outcome.forwarded_lines is not None:
+            self._forward(outcome.forwarded_lines, outcome.forwarded_writes)
+        return outcome.hits
+
+    def access_descriptor_stream(self, chunks) -> int:
+        """Walk an iterable of descriptor chunks with cross-chunk batching.
+
+        Chunks are grouped into packed arenas of up to
+        :data:`ARENA_CHUNK_BATCH` chunks / :data:`ARENA_ACCESS_BATCH`
+        accesses, and each group runs through this level in one native
+        call (the driver picks closed-form head collapse or member
+        expansion per chunk, by the same head-fraction estimate as the
+        per-chunk path).  Without the batch kernel — or with
+        ``REPRO_SIM_ARENA=0`` — every chunk goes through
+        :meth:`access_descriptors` unchanged.  Statistics are bit-identical
+        either way; returns the total number of hits.
+        """
+        if self._state is None or not arena_batching_available():
+            hits = 0
+            for chunk in chunks:
+                hits += self.access_descriptors(chunk)
+            return hits
+        hits = 0
+        pending: List = []
+        pending_accesses = 0
+        for chunk in chunks:
+            pending.append(chunk)
+            pending_accesses += chunk.total
+            if len(pending) >= ARENA_CHUNK_BATCH or pending_accesses >= ARENA_ACCESS_BATCH:
+                hits += self.access_descriptor_arena(pack_descriptor_arena(pending))
+                pending, pending_accesses = [], 0
+        if pending:
+            hits += self.access_descriptor_arena(pack_descriptor_arena(pending))
+        return hits
+
+    def access_descriptor_arena(self, arena) -> int:
+        """Process a packed :class:`~repro.codegen.program.DescriptorArena`.
+
+        With the compiled batch kernel available, the whole arena — head
+        pipeline, stack-distance pre-resolution and event walk for every
+        chunk — runs as **one** foreign call against this level's tag
+        store, and the aggregated fill/write-back stream is handed to the
+        next level in one batch (statistics are chunking-invariant, so the
+        coarser forwarding granularity cannot change results).  Without the
+        kernel, the arena's chunks are replayed through the bit-identical
+        per-chunk path.
+        """
+        outcome = None
+        if self._state is not None:
+            outcome = self._state.process_descriptor_arena(
+                arena, self._offset_bits, self._last_miss_line
+            )
+        if outcome is None:
+            hits = 0
+            for chunk in arena.chunks:
+                hits += self.access_descriptors(chunk)
+            return hits
         self._apply_outcome(outcome)
         if outcome.forwarded_lines is not None:
             self._forward(outcome.forwarded_lines, outcome.forwarded_writes)

@@ -72,21 +72,33 @@ def run_data_trace(
     """Drive ``program``'s data trace through ``hierarchy``; returns accesses.
 
     Honours ``options.trace``, defaulting by the hierarchy's L1D engine:
-    descriptor chunks feed :meth:`CacheHierarchy.access_data_descriptors`
-    without ever materialising the address stream, expanded chunks go
-    through :meth:`CacheHierarchy.access_data_batch`.
+    descriptor chunks feed
+    :meth:`CacheHierarchy.access_data_descriptor_stream` — grouped into
+    packed arenas for the native batch kernel when it is available,
+    per-chunk otherwise — without ever materialising the address stream;
+    expanded chunks go through :meth:`CacheHierarchy.access_data_batch`.
     """
     mode = resolve_trace_mode(options.trace, hierarchy.l1d.engine)
     total = 0
     if mode == TRACE_DESCRIPTOR:
-        for chunk in program.memory_trace_descriptors(
+        chunks = program.memory_trace_descriptors(
             chunk_iterations=options.chunk_iterations,
             max_accesses=options.max_accesses,
             sample_fraction=options.sample_fraction,
             seed=options.seed,
-        ):
-            hierarchy.access_data_descriptors(chunk)
-            total += chunk.total
+        )
+
+        def counted():
+            nonlocal total
+            for chunk in chunks:
+                total += chunk.total
+                yield chunk
+
+        # Cross-chunk arena batching happens inside the stream walk: groups
+        # of head-friendly chunks become one native call per cache level
+        # (``REPRO_SIM_ARENA=0`` or a missing kernel restores per-chunk
+        # dispatch; statistics are identical either way).
+        hierarchy.access_data_descriptor_stream(counted())
     else:
         for addresses, is_write in program.memory_trace(
             chunk_iterations=options.chunk_iterations,

@@ -80,6 +80,24 @@ the chain machinery of step 3 aggregates it).  The resulting heads join the
 pipeline at step 3 unchanged, which keeps descriptor statistics
 bit-identical to the expanded engines.
 
+Native pipeline and arena batching
+----------------------------------
+With the compiled kernels of :mod:`repro.sim._native` available, the whole
+descriptor fast path runs below the Python line: descriptor chunks are
+grouped into packed :class:`~repro.codegen.program.DescriptorArena` buffers
+(:meth:`Cache.access_descriptor_stream`), and one foreign call per cache
+level per group performs the head pipeline (or, for chunks whose head
+estimate is poor, member expansion plus maximal collapse), the LRU
+stack-distance pre-resolution, the event walk and the statistics /
+forwarded-stream construction for every chunk of the group
+(:meth:`VectorCacheState.process_descriptor_arena`).  The combined miss
+stream reaches the next level as one batch; statistics are
+chunking-invariant, so the coarser granularity never changes results.
+:func:`chunk_heads` stays the bit-identity oracle (and the
+``REPRO_SIM_NATIVE=0`` fallback); ``REPRO_SIM_ARENA=0`` restores per-chunk
+dispatch on the native kernels.  Kernel scratch is pooled per thread
+(:class:`_ArenaScratch`), so short-lived hierarchies reuse warm pages.
+
 Replayable random replacement
 -----------------------------
 The random policy draws its victims from a *counter-based* stream instead of
@@ -101,13 +119,26 @@ unchanged.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.codegen.program import DescriptorChunk, _ceil_div, _ragged_arange
-from repro.sim._native import event_kernel
+from repro.codegen.program import (
+    DescriptorArena,
+    DescriptorChunk,
+    _ceil_div,
+    _ragged_arange,
+    pack_descriptor_arena,
+)
+from repro.sim._native import (
+    BATCH_STATS_SLOTS,
+    chunk_heads_kernel,
+    descriptor_batch_kernel,
+    event_kernel,
+    scratch_len,
+)
 
 #: Engine identifiers, threaded through ``Cache`` / ``CacheHierarchy`` /
 #: ``Simulator`` / ``SimulatorPool`` / ``TraceOptions``.
@@ -140,8 +171,24 @@ DESCRIPTOR_HEAD_FRACTION = 0.35
 #: exploded) instead of exploding whole runs.  One pass resolves every
 #: conflict — sub-runs stay inside their head's original interval — so this
 #: is a safety bound; ``0`` restores pure singleton explosion (the
-#: split-vs-explode equivalence tests pin this).
+#: split-vs-explode equivalence tests pin this).  The native head pipeline
+#: receives the value per call, so overrides apply to both implementations.
 SEGMENT_SPLIT_PASSES = 2
+
+#: Cross-chunk arena batching: descriptor chunks are grouped into
+#: :class:`~repro.codegen.program.DescriptorArena` packings of at most this
+#: many chunks / accesses, and each group is walked through the L1 front-end
+#: in **one** native call (``repro_descriptor_batch``), with the whole
+#: group's fill/write-back stream forwarded to the next level in one batch.
+#: The access bound also caps the forwarded-stream scratch (two entries per
+#: access worst case).  Statistics are chunking-invariant, so grouping never
+#: changes results — only dispatch overhead.
+ARENA_CHUNK_BATCH = 64
+ARENA_ACCESS_BATCH = 1 << 21
+
+#: Deepest grid nesting the native pipeline's fixed odometer supports;
+#: deeper (hand-built) batches fall back to the per-chunk NumPy path.
+ARENA_MAX_GRID_LEVELS = 62
 
 #: Mixing constants of the replayable random-replacement victim stream
 #: (SplitMix64 finalizer over a product-combined ``(seed, set, ordinal)``
@@ -221,6 +268,104 @@ def resolve_trace_mode(trace: Optional[str], engine: str) -> str:
     if trace not in TRACE_MODES:
         raise ValueError(f"unknown trace mode {trace!r}; expected one of {TRACE_MODES}")
     return trace
+
+
+class _ArenaScratch(threading.local):
+    """Per-thread native-pipeline scratch, shared across cache instances.
+
+    The batch kernel's workspace is sized by the largest chunk, not by the
+    cache, so every ``VectorCacheState`` in a thread can run over the same
+    block — and short-lived hierarchies (one per ``Simulator.run``) reuse
+    warm pages instead of fault-in'ing a fresh allocation per run.  The
+    kernel keeps two stateful tables inside the block (the position
+    scatter table and the hash stamps); ``stamp`` carries the process-
+    monotone stamp base between calls and ``layout`` tracks the carve so
+    a grown or re-carved buffer is re-initialised exactly once.
+    """
+
+    def __init__(self):
+        self.buffer: Optional[np.ndarray] = None
+        self.forwarded_lines: Optional[np.ndarray] = None
+        self.forwarded_writes: Optional[np.ndarray] = None
+        self.layout: Optional[Tuple[int, int]] = None
+        self.stamp = 0
+
+
+_ARENA_SCRATCH = _ArenaScratch()
+
+
+def arena_batching_enabled() -> bool:
+    """Whether cross-chunk arena batching is requested (``REPRO_SIM_ARENA``).
+
+    The toggle only affects dispatch granularity: arena-batched and
+    per-chunk processing are bit-identical (CI runs both).
+    """
+    return os.environ.get("REPRO_SIM_ARENA", "1") != "0"
+
+
+def arena_batching_available() -> bool:
+    """Whether the descriptor front-end should group chunks into arenas.
+
+    True exactly when batching is enabled and the compiled batch driver is
+    loadable — without the native kernel, packing would only add overhead
+    on top of the per-chunk NumPy pipeline.
+    """
+    return arena_batching_enabled() and descriptor_batch_kernel() is not None
+
+
+def native_chunk_heads(
+    chunk: DescriptorChunk,
+    offset_bits: int,
+    set_mask: int,
+    split_passes: Optional[int] = None,
+):
+    """Native counterpart of :func:`chunk_heads`, or ``None`` if unavailable.
+
+    Packs ``chunk`` into a one-chunk arena and runs the compiled head
+    pipeline; the result tuple is bit-identical to :func:`chunk_heads`
+    (the equivalence suite pins this).  This is the oracle entry point —
+    the hot path goes through :meth:`VectorCacheState.process_descriptor_arena`,
+    which amortizes packing and scratch across many chunks.
+    """
+    kernel = chunk_heads_kernel()
+    if kernel is None:
+        return None
+    arena = pack_descriptor_arena([chunk])
+    if arena.max_grid_levels > ARENA_MAX_GRID_LEVELS:
+        return None
+    cap = max(arena.max_chunk_total, 1)
+    pos_cap = max(arena.max_pos_bound, 1)
+    words = scratch_len(cap, pos_cap)
+    scratch = np.empty(words, dtype=np.int64)
+    outputs = [np.empty(cap, dtype=np.int64) for _ in range(6)]
+    if split_passes is None:
+        split_passes = SEGMENT_SPLIT_PASSES
+    n_heads = kernel(
+        arena.chunk_meta,
+        0,
+        arena.batch_meta,
+        arena.bases,
+        arena.counts,
+        arena.first_pos,
+        arena.grids,
+        arena.explicit_addresses,
+        arena.explicit_writes,
+        arena.explicit_positions,
+        offset_bits,
+        set_mask,
+        split_passes,
+        cap,
+        pos_cap,
+        scratch,
+        words,
+        *outputs,
+    )
+    if n_heads < 0:
+        return None
+    sets, lines, first_write, write_counts, head_orig, last_orig = (
+        array[:n_heads] for array in outputs
+    )
+    return sets, lines, first_write.astype(bool), write_counts, head_orig, last_orig
 
 
 def estimated_heads(chunk: DescriptorChunk, offset_bits: int) -> int:
@@ -557,6 +702,11 @@ class VectorCacheState:
         self.rng_seed = int(rng_seed)
         self._random = replacement == "random"
         self._set_mask = sets - 1
+        # Reusable scratch arrays, grown on demand and shared across chunks:
+        # per-chunk allocation churn dominates on small-chunk workloads.
+        # Views handed out by _buffer are only valid until the next request
+        # for the same name; every consumer is within one chunk dispatch.
+        self._buffers: dict = {}
         self.reset()
 
     def reset(self) -> None:
@@ -574,6 +724,122 @@ class VectorCacheState:
         # Monotone global tick; pre-chunk ages are always strictly smaller
         # than the ticks assigned inside the next chunk.
         self._tick = 1
+
+    def _buffer(self, name: str, size: int, dtype) -> np.ndarray:
+        """A reusable scratch view of at least ``size`` elements.
+
+        Contents are undefined on return; callers initialise what they use.
+        The backing array is kept on the state and grown geometrically, so
+        steady-state chunk processing performs no scratch allocations.
+        """
+        backing = self._buffers.get(name)
+        if backing is None or backing.size < size:
+            grown = max(size, 64, 2 * (backing.size if backing is not None else 0))
+            backing = np.empty(grown, dtype=dtype)
+            self._buffers[name] = backing
+        return backing[:size]
+
+    # -- native arena path --------------------------------------------------
+    def process_descriptor_arena(
+        self, arena: DescriptorArena, offset_bits: int, last_miss_line: int
+    ) -> Optional[ChunkOutcome]:
+        """Process a whole packed descriptor arena in one native call.
+
+        Runs the compiled head pipeline, the LRU stack-distance
+        pre-resolution and the event walk for every chunk of ``arena``
+        without returning to Python in between, and returns the aggregated
+        :class:`ChunkOutcome` (forwarded stream in program order, ready for
+        the next level in one batch).  Returns ``None`` when the batch
+        kernel is unavailable or the arena exceeds its grid-depth limit —
+        callers fall back to the bit-identical per-chunk path.
+
+        The outcome's forwarded arrays are views of reused scratch: they
+        are only valid until the next arena is processed, which matches
+        their single consumer (the owning cache forwards them immediately).
+        """
+        kernel = descriptor_batch_kernel()
+        if kernel is None or arena.max_grid_levels > ARENA_MAX_GRID_LEVELS:
+            return None
+        pool = _ARENA_SCRATCH
+        cap = max(arena.max_chunk_total, 1)
+        pos_cap = max(arena.max_pos_bound, 1)
+        # The carve is monotone in (cap, pos_cap): growing either only when
+        # the current layout is too small keeps re-initialisation (and the
+        # page faults of a fresh block) a once-per-growth event.
+        if pool.layout is not None:
+            cap = max(cap, pool.layout[0])
+            pos_cap = max(pos_cap, pool.layout[1])
+        words = scratch_len(cap, pos_cap)
+        init_tables = pool.buffer is None or pool.layout != (cap, pos_cap)
+        if pool.buffer is None or pool.buffer.size < words:
+            pool.buffer = np.empty(words, dtype=np.int64)
+            init_tables = True
+        if init_tables:
+            pool.layout = (cap, pos_cap)
+            pool.stamp = 0
+        bound = 2 * arena.total
+        if pool.forwarded_lines is None or pool.forwarded_lines.size < bound:
+            pool.forwarded_lines = np.empty(bound, dtype=np.int64)
+            pool.forwarded_writes = np.empty(bound, dtype=np.bool_)
+        forwarded_lines = pool.forwarded_lines
+        forwarded_writes = pool.forwarded_writes
+        stats = np.zeros(BATCH_STATS_SLOTS, dtype=np.int64)
+        policy = {"fifo": 0, "lru": 1, "random": 2}[self.replacement]
+        n_forwarded = kernel(
+            arena.n_chunks,
+            arena.chunk_meta,
+            arena.batch_meta,
+            arena.bases,
+            arena.counts,
+            arena.first_pos,
+            arena.grids,
+            arena.explicit_addresses,
+            arena.explicit_writes,
+            arena.explicit_positions,
+            offset_bits,
+            self.sets,
+            self.associativity,
+            policy,
+            self.rng_seed & _MASK64,
+            SEGMENT_SPLIT_PASSES,
+            round(DESCRIPTOR_HEAD_FRACTION * 1000),
+            cap,
+            pos_cap,
+            1 if init_tables else 0,
+            pool.stamp,
+            self._tick,
+            last_miss_line,
+            self.tags,
+            self.dirty,
+            self.age if self.replacement == "lru" else self.order,
+            self.occupancy,
+            self.evictions,
+            pool.buffer,
+            pool.buffer.size,
+            stats,
+            forwarded_lines,
+            forwarded_writes,
+        )
+        if n_forwarded < 0:  # cannot happen with pack-validated arenas
+            raise RuntimeError(f"native descriptor batch failed ({n_forwarded})")
+        pool.stamp = int(stats[12])
+        self._tick = int(stats[10])
+        outcome = ChunkOutcome(
+            hits=int(stats[0]),
+            read_hits=int(stats[1]),
+            write_hits=int(stats[2]),
+            read_misses=int(stats[3]),
+            write_misses=int(stats[4]),
+            read_replacements=int(stats[5]),
+            write_replacements=int(stats[6]),
+            writebacks=int(stats[7]),
+            sequential_misses=int(stats[8]),
+            last_miss_line=int(stats[9]),
+        )
+        if n_forwarded:
+            outcome.forwarded_lines = forwarded_lines[:n_forwarded]
+            outcome.forwarded_writes = forwarded_writes[:n_forwarded]
+        return outcome
 
     # -- introspection ------------------------------------------------------
     def resident_lines(self) -> int:
@@ -756,7 +1022,7 @@ class VectorCacheState:
         sorted_writes = is_write[perm]
 
         # 2. collapse consecutive same-line runs within each set group
-        head_flag = np.empty(n, dtype=bool)
+        head_flag = self._buffer("head_flag", n, np.bool_)
         head_flag[0] = True
         np.logical_or(
             sorted_lines[1:] != sorted_lines[:-1],
@@ -769,7 +1035,7 @@ class VectorCacheState:
         head_sets = sorted_sets[head_pos]
         first_write = sorted_writes[head_pos]
         run_writes = np.add.reduceat(sorted_writes.astype(np.int64), head_pos)
-        run_len = np.empty(n_heads, dtype=np.int64)
+        run_len = self._buffer("run_len", n_heads, np.int64)
         if n_heads > 1:
             run_len[:-1] = np.diff(head_pos)
         run_len[-1] = n - head_pos[-1]
@@ -888,9 +1154,15 @@ class VectorCacheState:
         event_dirty = dirty_value[event_pos]
         event_age = age_value[event_pos] + self._tick
         event_orig = head_orig[event_pos]
-        hit_out = np.zeros(n_events, dtype=bool)
-        victim_line = np.full(n_events, -1, dtype=np.int64)
-        victim_wb = np.zeros(n_events, dtype=bool)
+        # Event outcome arrays come from the reusable scratch pool: they are
+        # consumed below (statistics + forwarded stream) before this method
+        # returns, and per-chunk allocation churn dominates on small chunks.
+        hit_out = self._buffer("hit_out", n_events, np.bool_)
+        hit_out[:] = False
+        victim_line = self._buffer("victim_line", n_events, np.int64)
+        victim_line[:] = -1
+        victim_wb = self._buffer("victim_wb", n_events, np.bool_)
+        victim_wb[:] = False
 
         if n_events:
             self._run_events(

@@ -628,3 +628,149 @@ class TestProgramDigest:
         assert conv_program_x86.code_footprint_bytes() == pytest.approx(
             total + conv_program_x86.static_code_bytes
         )
+
+
+class TestArenaBatching:
+    """Cross-chunk arena batching is bit-identical to per-chunk dispatch.
+
+    The native batch driver walks whole groups of descriptor chunks in one
+    foreign call per cache level and forwards the combined miss stream to
+    the next level in one batch; every statistic must match both the
+    per-chunk descriptor path and the reference per-access loop, for every
+    replacement policy, across the ``REPRO_SIM_ARENA`` toggle and the
+    no-kernel fallback.
+    """
+
+    TINY = CacheHierarchyConfig(
+        name="tiny-arena",
+        l1d=CacheLevelConfig(4 * 64 * 2, 4, 2),
+        l1i=CacheLevelConfig(4 * 64 * 2, 4, 2),
+        l2=CacheLevelConfig(8 * 64 * 2, 8, 2),
+    )
+
+    def _flat(self, program, monkeypatch, arena, engine=ENGINE_VECTORIZED, rng_seed=0):
+        monkeypatch.setenv("REPRO_SIM_ARENA", "1" if arena else "0")
+        simulator = Simulator(
+            "x86",
+            trace_options=TraceOptions(max_accesses=30_000, rng_seed=rng_seed),
+            engine=engine,
+            memoize=False,
+        )
+        stats = simulator.run(program).flat_stats()
+        stats.pop("sim.host_seconds")
+        return stats
+
+    def test_simulator_toggle_bit_identical(self, conv_program_x86, monkeypatch):
+        batched = self._flat(conv_program_x86, monkeypatch, arena=True)
+        per_chunk = self._flat(conv_program_x86, monkeypatch, arena=False)
+        reference = self._flat(
+            conv_program_x86, monkeypatch, arena=True, engine=ENGINE_REFERENCE
+        )
+        assert batched == per_chunk == reference
+
+    @pytest.mark.parametrize("policy", ReplacementPolicy.ALL)
+    def test_policies_through_stream(self, conv_program_x86, policy):
+        """All three policies agree between stream and per-chunk dispatch."""
+        config = CacheHierarchyConfig(
+            name=f"tiny-{policy}",
+            l1d=CacheLevelConfig(4 * 64 * 2, 4, 2, replacement=policy),
+            l1i=CacheLevelConfig(4 * 64 * 2, 4, 2, replacement=policy),
+            l2=CacheLevelConfig(8 * 64 * 2, 8, 2, replacement=policy),
+        )
+        chunks = list(
+            conv_program_x86.memory_trace_descriptors(
+                chunk_iterations=512, max_accesses=20_000
+            )
+        )
+        streamed = CacheHierarchy(config, engine=ENGINE_VECTORIZED, rng_seed=11)
+        streamed.access_data_descriptor_stream(chunks)
+        per_chunk = CacheHierarchy(config, engine=ENGINE_VECTORIZED, rng_seed=11)
+        for chunk in chunks:
+            per_chunk.access_data_descriptors(chunk)
+        assert streamed.stats_dict() == per_chunk.stats_dict()
+
+    def test_stream_groups_multiple_arenas(self, conv_program_x86, monkeypatch):
+        """Tiny group bounds force several flushes; results cannot change."""
+        import repro.sim.cache as cache_module
+
+        chunks = list(
+            conv_program_x86.memory_trace_descriptors(
+                chunk_iterations=256, max_accesses=20_000
+            )
+        )
+        assert len(chunks) > 4  # several flushes at batch size 2
+        monkeypatch.setattr(cache_module, "ARENA_CHUNK_BATCH", 2)
+        grouped = CacheHierarchy(self.TINY, engine=ENGINE_VECTORIZED)
+        grouped.access_data_descriptor_stream(chunks)
+        monkeypatch.undo()
+        baseline = CacheHierarchy(self.TINY, engine=ENGINE_VECTORIZED)
+        baseline.access_data_descriptor_stream(chunks)
+        assert grouped.stats_dict() == baseline.stats_dict()
+
+    def test_stream_falls_back_without_kernel(self, conv_program_x86, monkeypatch):
+        import repro.sim.cache as cache_module
+
+        chunks = list(
+            conv_program_x86.memory_trace_descriptors(
+                chunk_iterations=512, max_accesses=10_000
+            )
+        )
+        monkeypatch.setattr(cache_module, "arena_batching_available", lambda: False)
+        fallback = CacheHierarchy(self.TINY, engine=ENGINE_VECTORIZED)
+        fallback.access_data_descriptor_stream(chunks)
+        monkeypatch.undo()
+        native = CacheHierarchy(self.TINY, engine=ENGINE_VECTORIZED)
+        native.access_data_descriptor_stream(chunks)
+        assert fallback.stats_dict() == native.stats_dict()
+
+    def test_env_toggle_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ARENA", raising=False)
+        assert engine_module.arena_batching_enabled()
+        monkeypatch.setenv("REPRO_SIM_ARENA", "0")
+        assert not engine_module.arena_batching_enabled()
+        assert not engine_module.arena_batching_available()
+        monkeypatch.setenv("REPRO_SIM_ARENA", "1")
+        assert engine_module.arena_batching_enabled()
+
+    def test_random_policy_arena_equivalence(self, conv_program_x86, monkeypatch):
+        """The replayable victim stream survives arena batching, per seed."""
+        for rng_seed in (0, 5):
+            config = hierarchy_with_replacement("x86", ReplacementPolicy.RANDOM)
+            monkeypatch.setenv("REPRO_SIM_ARENA", "1")
+            simulator = Simulator(
+                "x86",
+                hierarchy_config=config,
+                trace_options=TraceOptions(max_accesses=30_000, rng_seed=rng_seed),
+                memoize=False,
+            )
+            batched = simulator.run(conv_program_x86).flat_stats()
+            batched.pop("sim.host_seconds")
+            monkeypatch.setenv("REPRO_SIM_ARENA", "0")
+            per_chunk_sim = Simulator(
+                "x86",
+                hierarchy_config=config,
+                trace_options=TraceOptions(max_accesses=30_000, rng_seed=rng_seed),
+                memoize=False,
+            )
+            per_chunk = per_chunk_sim.run(conv_program_x86).flat_stats()
+            per_chunk.pop("sim.host_seconds")
+            assert batched == per_chunk
+
+    def test_scratch_pool_reused_across_hierarchies(self, conv_program_x86):
+        """Fresh hierarchies share the thread's kernel scratch safely.
+
+        The pooled workspace keeps stateful tables (position scatter,
+        hash stamps) across runs; three back-to-back cold runs must stay
+        bit-identical to each other.
+        """
+        chunks = list(
+            conv_program_x86.memory_trace_descriptors(
+                chunk_iterations=512, max_accesses=20_000
+            )
+        )
+        results = []
+        for _ in range(3):
+            hierarchy = CacheHierarchy(self.TINY, engine=ENGINE_VECTORIZED)
+            hierarchy.access_data_descriptor_stream(chunks)
+            results.append(hierarchy.stats_dict())
+        assert results[0] == results[1] == results[2]

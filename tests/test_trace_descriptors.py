@@ -784,3 +784,128 @@ class TestProgramDescriptorApi:
         descriptor = CacheHierarchy(TINY_HIERARCHY, engine=ENGINE_VECTORIZED)
         descriptor.access_data_descriptors(chunk)
         assert reference.stats_dict() == descriptor.stats_dict()
+
+
+# ---------------------------------------------------------------------------
+# native head pipeline (compiled counterpart of chunk_heads)
+# ---------------------------------------------------------------------------
+
+from repro.codegen.program import AccessRunBatch  # noqa: E402
+from repro.sim._native import chunk_heads_kernel  # noqa: E402
+from repro.sim.engine import chunk_heads, native_chunk_heads  # noqa: E402
+import repro.sim.engine as engine_module  # noqa: E402
+
+needs_native = pytest.mark.skipif(
+    chunk_heads_kernel() is None,
+    reason="compiled head pipeline unavailable (no compiler or REPRO_SIM_NATIVE=0)",
+)
+
+#: (offset_bits, set_mask) pairs covering the tiny test hierarchy's levels
+#: plus a wider L2-like geometry and a sub-64-byte line size.
+HEAD_GEOMETRIES = [(6, 3), (6, 7), (6, 255), (4, 15)]
+
+
+def assert_native_heads_equal(chunk, offset_bits, set_mask, split_passes):
+    """Native pipeline output must be bit-identical to :func:`chunk_heads`."""
+    saved = engine_module.SEGMENT_SPLIT_PASSES
+    engine_module.SEGMENT_SPLIT_PASSES = split_passes
+    try:
+        expected = chunk_heads(chunk, offset_bits, set_mask)
+    finally:
+        engine_module.SEGMENT_SPLIT_PASSES = saved
+    got = native_chunk_heads(chunk, offset_bits, set_mask, split_passes=split_passes)
+    assert got is not None
+    for field, (want, have) in enumerate(zip(expected, got)):
+        assert want.shape == have.shape, f"field {field} shape"
+        assert np.array_equal(
+            np.asarray(want, dtype=np.int64), np.asarray(have, dtype=np.int64)
+        ), f"field {field}"
+
+
+@needs_native
+class TestNativeHeadPipeline:
+    """The C head pipeline is bit-identical to the NumPy oracle.
+
+    ``chunk_heads`` stays the equivalence oracle (and the
+    ``REPRO_SIM_NATIVE=0`` fallback); every geometry, split-pass setting,
+    truncation point and grid/stored-run mix the emitter can produce must
+    come out of the compiled pipeline with identical head arrays — sets,
+    lines, write flags, write counts, first and last positions.
+    """
+
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        program=tiled_programs(),
+        chunk_iterations=st.sampled_from([5, 64, 1 << 16]),
+        split_passes=st.sampled_from([0, 1, 2]),
+        geometry=st.sampled_from(HEAD_GEOMETRIES),
+    )
+    def test_tiled_grid_chunks(self, program, chunk_iterations, split_passes, geometry):
+        offset_bits, set_mask = geometry
+        for chunk in program.memory_trace_descriptors(chunk_iterations=chunk_iterations):
+            assert_native_heads_equal(chunk, offset_bits, set_mask, split_passes)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_programs(self, seed):
+        rng = np.random.default_rng(700 + seed)
+        program = random_program(rng)
+        split_passes = seed % 3
+        offset_bits, set_mask = HEAD_GEOMETRIES[seed % len(HEAD_GEOMETRIES)]
+        for chunk in program.memory_trace_descriptors(chunk_iterations=97):
+            assert_native_heads_equal(chunk, offset_bits, set_mask, split_passes)
+
+    @settings(
+        max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(program=tiled_programs(), data=st.data())
+    def test_truncated_chunks(self, program, data):
+        chunks = list(program.memory_trace_descriptors())
+        total = sum(chunk.total for chunk in chunks)
+        keep = data.draw(st.integers(1, max(total, 1)), label="max_accesses")
+        for chunk in program.memory_trace_descriptors(max_accesses=keep):
+            assert_native_heads_equal(chunk, 6, 7, 2)
+
+    def test_expand_mode_matches_head_mode(self):
+        """The driver's expansion mode lands on the same merged heads.
+
+        ``split_passes=-1`` routes the oracle entry point through the
+        member-expansion pipeline (the mode the batch driver picks when
+        the head estimate is poor); its maximal collapse must equal the
+        closed-form + segment-split route for any split setting.
+        """
+        rng = np.random.default_rng(41)
+        for case in range(10):
+            program = random_program(rng)
+            for chunk in program.memory_trace_descriptors(chunk_iterations=173):
+                reference = native_chunk_heads(chunk, 6, 7, split_passes=2)
+                expanded = native_chunk_heads(chunk, 6, 7, split_passes=-1)
+                for want, have in zip(reference, expanded):
+                    assert np.array_equal(
+                        np.asarray(want, dtype=np.int64),
+                        np.asarray(have, dtype=np.int64),
+                    )
+
+    def test_mixed_chunk_with_explicit_span_native(self):
+        """Explicit members join the native pipeline as singleton heads."""
+        rng = np.random.default_rng(9)
+        batch = AccessRunBatch(
+            bases=np.array([0, 4096], dtype=np.int64),
+            stride=8,
+            pos_stride=2,
+            is_write=False,
+            counts=np.array([40, 40], dtype=np.int64),
+            first_pos=np.array([0, 80], dtype=np.int64),
+        )
+        span_positions = np.arange(1, 41, 2, dtype=np.int64)
+        chunk = DescriptorChunk(
+            total=80 + span_positions.size,
+            pos_bound=161,
+            batches=[batch],
+            addresses=rng.integers(0, 1 << 14, size=span_positions.size).astype(np.int64),
+            writes=rng.random(span_positions.size) < 0.5,
+            positions=span_positions,
+        )
+        for split_passes in (0, 1, 2):
+            assert_native_heads_equal(chunk, 6, 7, split_passes)
