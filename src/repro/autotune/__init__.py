@@ -30,8 +30,10 @@ from repro.autotune.measure import (
     MeasureResult,
     BuildResult,
     MeasureErrorNo,
+    RETRYABLE_ERROR_NOS,
     Builder,
     Runner,
+    measure_batch,
 )
 from repro.autotune.builder import LocalBuilder
 from repro.autotune.runner import LocalRunner, SimulatorRunner, RunnerStatsCollector
@@ -74,8 +76,10 @@ __all__ = [
     "MeasureResult",
     "BuildResult",
     "MeasureErrorNo",
+    "RETRYABLE_ERROR_NOS",
     "Builder",
     "Runner",
+    "measure_batch",
     "LocalBuilder",
     "LocalRunner",
     "SimulatorRunner",

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.autotune.space import ConfigEntity
 from repro.autotune.task import Task
 from repro.codegen.program import Program
+from repro.reliability import RetryPolicy
 
 
 class MeasureErrorNo:
@@ -25,6 +26,10 @@ class MeasureErrorNo:
     INSTANTIATION_ERROR = 1
     COMPILE_ERROR = 2
     RUNTIME_ERROR = 3
+    #: The candidate exceeded the runner's ``timeout_s`` simulation budget.
+    RUN_TIMEOUT = 4
+    #: The worker executing the candidate died (e.g. a broken process pool).
+    WORKER_CRASH = 5
 
 
 @dataclass
@@ -113,11 +118,40 @@ class Runner:
         raise NotImplementedError
 
 
+#: Error codes :func:`measure_batch` re-runs by default: transient
+#: infrastructure failures, not properties of the candidate itself.
+RETRYABLE_ERROR_NOS = (MeasureErrorNo.WORKER_CRASH, MeasureErrorNo.RUN_TIMEOUT)
+
+
 def measure_batch(
     builder: Builder,
     runner: Runner,
     measure_inputs: Sequence[MeasureInput],
+    retry: Optional[RetryPolicy] = None,
+    retryable: Sequence[int] = RETRYABLE_ERROR_NOS,
 ) -> List[MeasureResult]:
-    """Convenience helper: build then run a batch of measure inputs."""
+    """Build then run a batch of measure inputs, re-running transient failures.
+
+    Builds happen once.  After the first run, results whose ``error_no`` is
+    in ``retryable`` are re-run — only that failed slice, with the original
+    build artefacts — up to ``retry.max_attempts`` total attempts with
+    deterministic backoff between rounds.  ``retry=None`` reads
+    ``REPRO_RETRY_*`` from the environment, which disables retrying by
+    default, preserving the historical single-shot behaviour.
+    """
     build_results = builder.build(measure_inputs)
-    return runner.run(measure_inputs, build_results)
+    results = list(runner.run(measure_inputs, build_results))
+    policy = retry if retry is not None else RetryPolicy.from_env()
+    retryable_set = set(retryable)
+    for attempt in range(1, policy.max_attempts):
+        failed = [i for i, result in enumerate(results) if result.error_no in retryable_set]
+        if not failed:
+            break
+        time.sleep(policy.delay_s(attempt, key="measure_batch"))
+        retried = runner.run(
+            [measure_inputs[i] for i in failed],
+            [build_results[i] for i in failed],
+        )
+        for i, result in zip(failed, retried):
+            results[i] = result
+    return results

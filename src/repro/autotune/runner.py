@@ -26,11 +26,29 @@ from repro.autotune.measure import (
 )
 from repro.autotune.registry import get_func
 from repro.hardware.board import TargetBoard
+from repro.reliability import RetryPolicy
 from repro.sim.cpu import TraceOptions
-from repro.sim.simulator import SimulationResult, SimulatorPool
+from repro.sim.simulator import SimulationFailure, SimulationResult, SimulatorPool
 
 #: Signature of a score function: (simulation result, measure input) -> score.
 ScoreFunction = Callable[[SimulationResult, MeasureInput], float]
+
+#: How simulation failure kinds map onto measurement error codes.
+_FAILURE_ERROR_NO = {
+    SimulationFailure.TIMEOUT: MeasureErrorNo.RUN_TIMEOUT,
+    SimulationFailure.CRASH: MeasureErrorNo.WORKER_CRASH,
+    SimulationFailure.ERROR: MeasureErrorNo.RUNTIME_ERROR,
+}
+
+
+def _failure_result(failure: SimulationFailure) -> MeasureResult:
+    """Convert one pool failure record into a structured measurement error."""
+    return MeasureResult(
+        costs=[],
+        error_no=_FAILURE_ERROR_NO.get(failure.kind, MeasureErrorNo.RUNTIME_ERROR),
+        error_msg=f"{failure.kind} after {failure.attempts} attempt(s): {failure.error}",
+        all_cost=failure.host_seconds,
+    )
 
 
 class LocalRunner(Runner):
@@ -86,8 +104,10 @@ class SimulatorRunner(Runner):
         collect_results: bool = True,
         engine: Optional[str] = None,
         memoize: bool = True,
+        timeout_s: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
     ):
-        super().__init__(n_parallel=n_parallel)
+        super().__init__(n_parallel=n_parallel, timeout_s=timeout_s)
         self.arch = arch
         self.trace_options = trace_options
         self.score_function = score_function
@@ -98,6 +118,8 @@ class SimulatorRunner(Runner):
             backend=backend,
             engine=engine,
             memoize=memoize,
+            timeout_s=timeout_s,
+            retry=retry,
         )
         self.collect_results = collect_results
         #: Simulation results of every successful run, in measurement order.
@@ -109,12 +131,16 @@ class SimulatorRunner(Runner):
 
         This is the override point of the paper's interface: registering a
         function under ``"autotvm.simulator_run"`` replaces the built-in pool
-        (for instance to drive an external simulator).
+        (for instance to drive an external simulator).  The built-in pool
+        runs through the resilient API, so individual entries may be
+        :class:`~repro.sim.simulator.SimulationFailure` records (hung,
+        crashed or erroring candidates) instead of results; an external
+        override may return plain results only.
         """
         external = get_func("autotvm.simulator_run")
         if external is not None:
             return external(programs, self.arch, self.n_parallel)
-        return self.pool.run_many(programs)
+        return self.pool.run_many_resilient(programs)
 
     def default_score(self, result: SimulationResult, measure_input: MeasureInput) -> float:
         """Fallback score when no predictor is attached: total executed instructions.
@@ -137,7 +163,10 @@ class SimulatorRunner(Runner):
         ]
         simulation_results = self.simulator_run([program for _, program in indexed_programs])
         if self.collect_results:
-            self.simulation_results.extend(simulation_results)
+            self.simulation_results.extend(
+                result for result in simulation_results
+                if isinstance(result, SimulationResult)
+            )
         by_position: Dict[int, SimulationResult] = {
             position: result
             for (position, _), result in zip(indexed_programs, simulation_results)
@@ -157,6 +186,9 @@ class SimulatorRunner(Runner):
                 )
                 continue
             simulation = by_position[position]
+            if isinstance(simulation, SimulationFailure):
+                results.append(_failure_result(simulation))
+                continue
             score_fn = self.score_function or self.default_score
             try:
                 score = float(score_fn(simulation, measure_input))
@@ -200,8 +232,10 @@ class RunnerStatsCollector(Runner):
         backend: str = "serial",
         engine: Optional[str] = None,
         memoize: bool = True,
+        timeout_s: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
     ):
-        super().__init__(n_parallel=n_parallel)
+        super().__init__(n_parallel=n_parallel, timeout_s=timeout_s)
         self.board = board
         self.arch = arch or board.arch
         self.pool = SimulatorPool(
@@ -211,6 +245,8 @@ class RunnerStatsCollector(Runner):
             backend=backend,
             engine=engine,
             memoize=memoize,
+            timeout_s=timeout_s,
+            retry=retry,
         )
         #: Paired training records: (measure input, simulation result, measurement record).
         self.records: List[tuple] = []
@@ -222,7 +258,7 @@ class RunnerStatsCollector(Runner):
     ) -> List[MeasureResult]:
         results: List[MeasureResult] = []
         ok_programs = [build.program for build in build_results if build.ok]
-        simulations = iter(self.pool.run_many(ok_programs))
+        simulations = iter(self.pool.run_many_resilient(ok_programs))
         for measure_input, build in zip(measure_inputs, build_results):
             if not build.ok:
                 results.append(
@@ -230,6 +266,10 @@ class RunnerStatsCollector(Runner):
                 )
                 continue
             simulation = next(simulations)
+            if isinstance(simulation, SimulationFailure):
+                # No paired training record without a simulation half.
+                results.append(_failure_result(simulation))
+                continue
             record = self.board.measure(build.program)
             self.records.append((measure_input, simulation, record))
             results.append(

@@ -18,7 +18,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -29,6 +31,8 @@ from repro.codegen.target import Target
 from repro.hardware.board import TargetBoard
 from repro.hardware.measurement import MeasurementProtocol
 from repro.predictor.training import PredictorDataset, TrainingSample
+from repro.reliability import RetryPolicy
+from repro.reliability import faults
 from repro.sim.cpu import TraceOptions
 from repro.sim.simulator import Simulator
 from repro.utils.serialization import dump_json, load_json
@@ -93,6 +97,36 @@ class DatasetConfig:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+@dataclass
+class GroupFailure:
+    """Record of one kernel group that could not be generated."""
+
+    group_id: int
+    error: str
+    attempts: int = 1
+
+
+class DatasetGenerationError(RuntimeError):
+    """Some groups failed after retries; the rest of the dataset survived.
+
+    ``failures`` lists one :class:`GroupFailure` per failed group;
+    ``dataset`` holds the partial :class:`PredictorDataset` assembled from
+    every group that did succeed.
+    """
+
+    def __init__(self, failures: List[GroupFailure], dataset: PredictorDataset):
+        detail = "; ".join(
+            f"group {failure.group_id}: {failure.error} "
+            f"({failure.attempts} attempt(s))"
+            for failure in failures
+        )
+        super().__init__(
+            f"{len(failures)} group(s) failed during dataset generation: {detail}"
+        )
+        self.failures = failures
+        self.dataset = dataset
+
+
 def generate_group_samples(
     arch: str,
     group_id: int,
@@ -103,6 +137,7 @@ def generate_group_samples(
     protocol: Optional[MeasurementProtocol] = None,
 ) -> List[TrainingSample]:
     """Generate paired (simulator statistics, native run time) samples for one group."""
+    faults.maybe_crash_worker()
     trace_options = trace_options or TraceOptions(max_accesses=120_000)
     protocol = protocol or MeasurementProtocol()
     target = Target.from_name(arch)
@@ -144,12 +179,26 @@ def generate_group_samples(
     return samples
 
 
-def generate_dataset(config: DatasetConfig, verbose: bool = False) -> PredictorDataset:
+def generate_dataset(
+    config: DatasetConfig,
+    verbose: bool = False,
+    strict: bool = False,
+    retry: Optional[RetryPolicy] = None,
+) -> PredictorDataset:
     """Generate the full dataset for one architecture (all groups).
 
     Groups are generated concurrently on ``config.n_parallel`` workers
     (``config.backend`` selects threads or processes) and assembled in group
     order, which keeps the dataset bit-identical to a serial run.
+
+    A failing group no longer takes down the run: its error is recorded,
+    every other group completes, failed groups are re-generated serially
+    per ``retry`` (``None`` reads ``REPRO_RETRY_*``; retries are disabled
+    by default), and a :class:`DatasetGenerationError` — carrying the
+    per-group failure records *and* the partial dataset — is raised at the
+    end if any group still failed.  ``strict=True`` restores the historical
+    behaviour: the first group error propagates immediately and nothing
+    else is attempted.
     """
     trace_options = TraceOptions(max_accesses=config.trace_max_accesses, engine=config.engine)
     protocol = MeasurementProtocol(n_exe=config.n_exe, cooldown_s=config.cooldown_s)
@@ -172,8 +221,52 @@ def generate_dataset(config: DatasetConfig, verbose: bool = False) -> PredictorD
             protocol=protocol,
         )
 
+    if strict:
+        if workers == 1 or len(groups) <= 1:
+            per_group = [_generate(item) for item in groups]
+        elif config.backend == "processes":
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(
+                        generate_group_samples,
+                        config.arch,
+                        group_id,
+                        params,
+                        config.implementations_per_group,
+                        config.seed,
+                        trace_options,
+                        protocol,
+                    )
+                    for group_id, params in groups
+                ]
+                per_group = [future.result() for future in futures]
+        else:  # "threads"; the config validates the backend at construction
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                per_group = list(pool.map(_generate, groups))
+        for samples in per_group:
+            dataset.extend(samples)
+        return dataset
+
+    # Resilient path: contain per-group failures, keep generating the rest.
+    per_group_opt: List[Optional[List[TrainingSample]]] = [None] * len(groups)
+    failures: Dict[int, GroupFailure] = {}
+
+    def _record(index: int, error, attempts: int = 1) -> None:
+        message = (
+            f"{type(error).__name__}: {error}"
+            if isinstance(error, BaseException)
+            else str(error)
+        )
+        failures[index] = GroupFailure(
+            group_id=groups[index][0], error=message, attempts=attempts
+        )
+
     if workers == 1 or len(groups) <= 1:
-        per_group = [_generate(item) for item in groups]
+        for index, item in enumerate(groups):
+            try:
+                per_group_opt[index] = _generate(item)
+            except Exception as error:  # noqa: BLE001 — containment boundary
+                _record(index, error)
     elif config.backend == "processes":
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
@@ -189,12 +282,46 @@ def generate_dataset(config: DatasetConfig, verbose: bool = False) -> PredictorD
                 )
                 for group_id, params in groups
             ]
-            per_group = [future.result() for future in futures]
-    else:  # "threads"; the config validates the backend at construction
+            for index, future in enumerate(futures):
+                try:
+                    per_group_opt[index] = future.result()
+                except BrokenProcessPool:
+                    # The dead worker poisons every uncollected future; each
+                    # poisoned group gets its own record and a serial retry.
+                    _record(index, "worker process died (broken process pool)")
+                except Exception as error:  # noqa: BLE001 — containment boundary
+                    _record(index, error)
+    else:  # "threads"
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            per_group = list(pool.map(_generate, groups))
-    for samples in per_group:
-        dataset.extend(samples)
+            futures = [pool.submit(_generate, item) for item in groups]
+            for index, future in enumerate(futures):
+                try:
+                    per_group_opt[index] = future.result()
+                except Exception as error:  # noqa: BLE001 — containment boundary
+                    _record(index, error)
+
+    # Failed groups are re-generated serially (in the parent, away from any
+    # broken pool), with deterministic backoff between attempts.
+    policy = retry if retry is not None else RetryPolicy.from_env()
+    for index in sorted(failures):
+        attempts = failures[index].attempts
+        while attempts < policy.max_attempts:
+            time.sleep(policy.delay_s(attempts, key=f"group:{groups[index][0]}"))
+            attempts += 1
+            try:
+                per_group_opt[index] = _generate(groups[index])
+                del failures[index]
+                break
+            except Exception as error:  # noqa: BLE001 — containment boundary
+                _record(index, error, attempts=attempts)
+
+    for samples in per_group_opt:
+        if samples is not None:
+            dataset.extend(samples)
+    if failures:
+        raise DatasetGenerationError(
+            [failures[index] for index in sorted(failures)], dataset
+        )
     return dataset
 
 

@@ -1,0 +1,86 @@
+"""Cooperative deadlines for bounded simulation work.
+
+A :class:`Deadline` is an absolute point on the monotonic clock.  Long
+loops — the trace walk in :func:`repro.sim.cpu.run_data_trace` checks once
+per descriptor/address chunk — poll the ambient deadline and raise
+:class:`DeadlineExceeded` when it has passed, so a pathological candidate
+costs one chunk of overshoot instead of hanging the tuner.  The ambient
+deadline is a thread-local stack managed by :func:`deadline_scope`;
+``Simulator.run(..., timeout_s=...)`` and the pool workers install one per
+simulated program.  With no scope installed every check is a no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+
+class DeadlineExceeded(TimeoutError):
+    """A cooperative deadline expired mid-simulation."""
+
+    def __init__(self, budget_s: float, context: str = ""):
+        where = f" during {context}" if context else ""
+        super().__init__(f"simulation exceeded its {budget_s:.3g}s deadline{where}")
+        self.budget_s = budget_s
+        self.context = context
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute deadline on the monotonic clock."""
+
+    expires_at: float
+    budget_s: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(expires_at=time.monotonic() + seconds, budget_s=seconds)
+
+    def remaining(self) -> float:
+        """Seconds left (negative when expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return time.monotonic() >= self.expires_at
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the deadline has passed."""
+        if time.monotonic() >= self.expires_at:
+            raise DeadlineExceeded(self.budget_s, context)
+
+
+class _DeadlineStack(threading.local):
+    def __init__(self):
+        self.stack = []
+
+
+_SCOPES = _DeadlineStack()
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The innermost ambient deadline of this thread, or ``None``."""
+    stack = _SCOPES.stack
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]):
+    """Install ``deadline`` as the ambient deadline for the duration.
+
+    ``None`` installs nothing (so call sites can pass an optional budget
+    through unconditionally).  Scopes nest; the innermost wins.
+    """
+    if deadline is None:
+        yield None
+        return
+    _SCOPES.stack.append(deadline)
+    try:
+        yield deadline
+    finally:
+        _SCOPES.stack.pop()

@@ -52,7 +52,12 @@ from repro.sim.configs import (
 )
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions, run_data_trace
 from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
-from repro.sim.simulator import Simulator, SimulationResult, SimulatorPool
+from repro.sim.simulator import (
+    Simulator,
+    SimulationFailure,
+    SimulationResult,
+    SimulatorPool,
+)
 
 __all__ = [
     "StatGroup",
@@ -90,6 +95,7 @@ __all__ = [
     "default_simulation_cache",
     "shared_disk_cache_dir",
     "Simulator",
+    "SimulationFailure",
     "SimulationResult",
     "SimulatorPool",
 ]

@@ -37,9 +37,13 @@ import os
 import subprocess
 import sys
 import tempfile
+import warnings
 from typing import Dict, Optional
 
 import numpy as np
+
+from repro.reliability import NativeKernelDemotionWarning
+from repro.reliability import faults
 
 #: ``int64`` slots in the ``stats_out`` array of ``repro_descriptor_batch``:
 #: hits, read_hits, write_hits, read_misses, write_misses,
@@ -1370,8 +1374,70 @@ def _bind(library: ctypes.CDLL) -> Dict[str, object]:
     }
 
 
+def _probe(path: str) -> bool:
+    """One-time subprocess sanity check of the compiled library.
+
+    A fresh interpreter loads the library and calls its simplest entry
+    point, so a binary that would crash or fail to resolve takes down the
+    probe child instead of the first simulation worker.  Success is
+    recorded in a ``<library>.ok`` stamp next to the binary, so the probe
+    runs once per compiled artefact, not once per process.  The
+    ``native_probe`` fault-injection site simulates a probe failure.
+    """
+    if faults.should_inject("native_probe"):
+        return False
+    stamp = path + ".ok"
+    if os.path.exists(stamp):
+        return True
+    code = (
+        "import ctypes\n"
+        f"library = ctypes.CDLL({path!r})\n"
+        "library.repro_scratch_len.restype = ctypes.c_int64\n"
+        "library.repro_scratch_len.argtypes = [ctypes.c_int64, ctypes.c_int64]\n"
+        "assert library.repro_scratch_len(1, 1) > 0\n"
+    )
+    try:
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, timeout=60
+        )
+        if result.returncode != 0:
+            return False
+        with open(stamp, "w", encoding="utf-8"):
+            pass
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
+def demote(reason: str) -> None:
+    """Demote this process to the NumPy fallback paths (with a warning).
+
+    Called when a bound kernel misbehaves at runtime; every subsequent
+    ``*_kernel()`` accessor returns ``None``, so the engine's pure-NumPy
+    implementations — bit-identical by construction — take over for the
+    rest of the process.
+    """
+    global _functions
+    previously_active = bool(_functions)
+    _functions = {}
+    if previously_active:
+        warnings.warn(NativeKernelDemotionWarning(reason), stacklevel=3)
+
+
+def _reset_for_tests(remove_stamp: bool = False) -> None:
+    """Forget load/compile state so tests can exercise probe and demotion."""
+    global _functions, _compile_memo
+    _functions = None
+    _compile_memo = None
+    if remove_stamp:
+        try:
+            os.unlink(_library_path() + ".ok")
+        except OSError:
+            pass
+
+
 def _load() -> Dict[str, object]:
-    """Compile (once), load and bind the kernel library; cached per process."""
+    """Compile (once), probe, load and bind the kernels; cached per process."""
     global _functions
     if _functions is not None:
         return _functions
@@ -1380,6 +1446,14 @@ def _load() -> Dict[str, object]:
         return _functions
     path = _compile()
     if path is None:
+        return _functions
+    if not _probe(path):
+        warnings.warn(
+            NativeKernelDemotionWarning(
+                f"library probe failed for {path}; using NumPy fallback"
+            ),
+            stacklevel=3,
+        )
         return _functions
     try:
         library = ctypes.CDLL(path)

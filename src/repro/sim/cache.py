@@ -33,10 +33,13 @@ defaults to :func:`repro.sim.engine.default_engine` (environment variable
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
+
+from repro.reliability import faults
 
 from repro.sim.engine import (
     ARENA_ACCESS_BATCH,
@@ -344,7 +347,20 @@ class Cache:
         ):
             addresses, is_write = chunk.expand()
             return self.access_batch(addresses, is_write)
-        heads = chunk_heads(chunk, self._offset_bits, self._set_mask)
+        try:
+            faults.maybe_raise("descriptor_heads")
+            heads = chunk_heads(chunk, self._offset_bits, self._set_mask)
+        except Exception as error:  # noqa: BLE001 — head collapse is pure,
+            # so expansion recomputes the identical statistics from scratch.
+            warnings.warn(
+                RuntimeWarning(
+                    "descriptor head collapse failed "
+                    f"({type(error).__name__}: {error}); expanding chunk"
+                ),
+                stacklevel=2,
+            )
+            addresses, is_write = chunk.expand()
+            return self.access_batch(addresses, is_write)
         outcome = self._state.process_descriptor_heads(
             chunk.total, chunk.pos_bound, *heads, self._last_miss_line
         )

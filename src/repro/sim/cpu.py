@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.codegen.isa import InstructionCategory as IC
 from repro.codegen.program import Loop, Program
+from repro.reliability import current_deadline
 from repro.sim.engine import TRACE_DESCRIPTOR, resolve_trace_mode
 from repro.sim.hierarchy import CacheHierarchy
 from repro.sim.stats import SimulationStats
@@ -79,6 +80,11 @@ def run_data_trace(
     expanded chunks go through :meth:`CacheHierarchy.access_data_batch`.
     """
     mode = resolve_trace_mode(options.trace, hierarchy.l1d.engine)
+    # Cooperative deadline: polled once per trace chunk, so a hung or
+    # pathological candidate overshoots its budget by at most one chunk of
+    # work instead of blocking the caller indefinitely.  With no ambient
+    # deadline installed the check costs one comparison per chunk.
+    deadline = current_deadline()
     total = 0
     if mode == TRACE_DESCRIPTOR:
         chunks = program.memory_trace_descriptors(
@@ -91,6 +97,8 @@ def run_data_trace(
         def counted():
             nonlocal total
             for chunk in chunks:
+                if deadline is not None:
+                    deadline.check("descriptor trace walk")
                 total += chunk.total
                 yield chunk
 
@@ -106,6 +114,8 @@ def run_data_trace(
             sample_fraction=options.sample_fraction,
             seed=options.seed,
         ):
+            if deadline is not None:
+                deadline.check("expanded trace walk")
             hierarchy.access_data_batch(addresses, is_write)
             total += int(addresses.size)
     return total

@@ -132,11 +132,13 @@ from repro.codegen.program import (
     _ragged_arange,
     pack_descriptor_arena,
 )
+from repro.reliability import faults
 from repro.sim._native import (
     BATCH_STATS_SLOTS,
     chunk_heads_kernel,
     descriptor_batch_kernel,
     event_kernel,
+    demote as demote_native,
     scratch_len,
 )
 
@@ -329,6 +331,12 @@ def native_chunk_heads(
     """
     kernel = chunk_heads_kernel()
     if kernel is None:
+        return None
+    if faults.should_inject("native_fault"):
+        # Demote *before* the call: this entry point is pure (fresh scratch
+        # and outputs, no cache state), so the NumPy fallback recomputes the
+        # identical heads from the same chunk.
+        demote_native("injected fault at site 'native_fault' (head pipeline)")
         return None
     arena = pack_descriptor_arena([chunk])
     if arena.max_grid_levels > ARENA_MAX_GRID_LEVELS:
@@ -759,6 +767,12 @@ class VectorCacheState:
         """
         kernel = descriptor_batch_kernel()
         if kernel is None or arena.max_grid_levels > ARENA_MAX_GRID_LEVELS:
+            return None
+        if faults.should_inject("native_fault"):
+            # Demote *before* the kernel mutates the tag store: the caller
+            # falls back to the per-chunk path on the untouched state, so
+            # statistics stay bit-identical.
+            demote_native("injected fault at site 'native_fault' (batch driver)")
             return None
         pool = _ARENA_SCRATCH
         cap = max(arena.max_chunk_total, 1)
@@ -1231,6 +1245,12 @@ class VectorCacheState:
         per-round dispatch cost, GIL released).
         """
         kernel = event_kernel()
+        if kernel is not None and faults.should_inject("native_fault"):
+            # The NumPy rank rounds below consume the same event arrays and
+            # mutate the same state, so demotion here is invisible in the
+            # statistics.
+            demote_native("injected fault at site 'native_fault' (event walk)")
+            kernel = None
         if kernel is not None:
             policy = {"fifo": 0, "lru": 1, "random": 2}[self.replacement]
             kernel(

@@ -21,6 +21,16 @@ Memoized statistics match a fresh simulation bit-for-bit except for
 ``sim.host_seconds``, which is rewritten by the caller to the (much smaller)
 lookup time — reporting the original walk time for a served-from-cache run
 would misstate simulation cost, e.g. in the Eq. 4 speedup accounting.
+
+The on-disk layer is shared by many processes that can die at any point, so
+it is hardened against the resulting debris: entries are written as
+schema-versioned, checksummed envelopes; a truncated, garbled or
+wrong-schema entry is **quarantined** (renamed, never deleted — the bytes
+stay available for post-mortems) and served as a miss, emitting a
+:class:`~repro.reliability.MemoQuarantineWarning`; and stale ``.*.tmp``
+scratch files left behind by workers killed mid-write are swept on cache
+construction.  The chaos suite drives these paths through the
+``memo_corrupt_read`` / ``memo_corrupt_write`` fault-injection sites.
 """
 
 from __future__ import annotations
@@ -30,11 +40,15 @@ import json
 import os
 import tempfile
 import threading
+import time
+import warnings
 from collections import OrderedDict
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.reliability import MemoQuarantineWarning
+from repro.reliability import faults
 from repro.sim.stats import SimulationStats
 
 
@@ -46,6 +60,11 @@ from repro.sim.stats import SimulationStats
 #: ``rng_seed`` joined the key (the seed only when a random level is
 #: present — it cannot affect deterministic-policy results).
 CACHE_SCHEMA_VERSION = 3
+
+#: Orphaned write scratch (``.{key}.{pid}.tmp``) older than this is removed
+#: when a cache attaches to a disk directory; younger files may belong to a
+#: live writer mid-``os.replace``.  ``REPRO_MEMO_TMP_MAX_AGE_S`` overrides.
+STALE_TMP_MAX_AGE_S = 600.0
 
 
 def _has_random_level(hierarchy: dict) -> bool:
@@ -92,6 +111,29 @@ class SimulationCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Corrupted disk entries renamed aside (never deleted) by this cache.
+        self.quarantined = 0
+        if self.disk_dir is not None:
+            self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove orphaned ``.*.tmp`` write scratch left by killed workers.
+
+        Only files older than :data:`STALE_TMP_MAX_AGE_S` go — a younger
+        scratch file may belong to a live writer about to ``os.replace`` it.
+        """
+        max_age = float(os.environ.get("REPRO_MEMO_TMP_MAX_AGE_S", STALE_TMP_MAX_AGE_S))
+        now = time.time()
+        try:
+            candidates = list(self.disk_dir.glob(".*.tmp"))
+        except OSError:
+            return
+        for path in candidates:
+            try:
+                if now - path.stat().st_mtime > max_age:
+                    path.unlink(missing_ok=True)
+            except OSError:  # raced with another sweeper or the writer
+                continue
 
     # -- keys ---------------------------------------------------------------
     @staticmethod
@@ -158,8 +200,9 @@ class SimulationCache:
             # payloads) safe for readers.
             path = self.disk_dir / f"{key}.json"
             scratch = self.disk_dir / f".{key}.{os.getpid()}.tmp"
+            body = faults.corrupt_text("memo_corrupt_write", _encode_entry(flat))
             try:
-                scratch.write_text(json.dumps(flat, sort_keys=True), encoding="utf-8")
+                scratch.write_text(body, encoding="utf-8")
                 os.replace(scratch, path)
             except OSError:  # a full or read-only disk never breaks the run
                 scratch.unlink(missing_ok=True)
@@ -174,13 +217,28 @@ class SimulationCache:
         if self.disk_dir is None:
             return None
         path = self.disk_dir / f"{key}.json"
-        if not path.exists():
-            return None
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):  # corrupted entry: treat as a miss
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return None
-        return {str(k): float(v) for k, v in payload.items()}
+        except OSError:  # unreadable but present: leave it for a post-mortem
+            return None
+        text = faults.corrupt_text("memo_corrupt_read", text)
+        flat, reason = _decode_entry(text)
+        if flat is None:
+            self._quarantine(path, reason)
+            return None
+        return flat
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupted entry aside (rename, never delete) and warn."""
+        self.quarantined += 1
+        target = path.with_name(path.name + ".quarantine")
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass  # raced with another quarantiner or a fresh overwrite
+        warnings.warn(MemoQuarantineWarning(str(path), reason), stacklevel=3)
 
     # -- management ---------------------------------------------------------
     def clear(self) -> None:
@@ -199,6 +257,65 @@ class SimulationCache:
             f"SimulationCache({len(self)}/{self.maxsize} entries, "
             f"{self.hits} hits, {self.misses} misses)"
         )
+
+
+def _canonical_stats_json(flat: Dict[str, float]) -> str:
+    return json.dumps(flat, sort_keys=True, separators=(",", ":"))
+
+
+def _encode_entry(flat: Dict[str, float]) -> str:
+    """Serialise one entry as a schema-versioned, checksummed envelope.
+
+    Values are normalised to floats first so the checksum computed here
+    matches the one recomputed after a JSON round trip (which turns every
+    number into a float).
+    """
+    normalised = {str(k): float(v) for k, v in flat.items()}
+    stats_json = _canonical_stats_json(normalised)
+    checksum = hashlib.sha256(stats_json.encode("utf-8")).hexdigest()
+    return json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "sha256": checksum, "stats": normalised},
+        sort_keys=True,
+    )
+
+
+def _decode_entry(text: str):
+    """Parse and validate one disk entry.
+
+    Returns ``(flat_stats, "")`` on success or ``(None, reason)`` when the
+    entry must be quarantined.  Legacy flat-dictionary entries (written
+    before the envelope format, within the same schema directory) are still
+    accepted; everything else must carry the schema tag and a matching
+    checksum.
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return None, "not valid JSON (truncated or garbled)"
+    if not isinstance(payload, dict):
+        return None, f"unexpected payload type {type(payload).__name__}"
+    if "schema" in payload:
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None, (
+                f"schema {payload.get('schema')!r} != expected {CACHE_SCHEMA_VERSION}"
+            )
+        stats = payload.get("stats")
+        if not isinstance(stats, dict):
+            return None, "missing stats object"
+        try:
+            flat = {str(k): float(v) for k, v in stats.items()}
+        except (TypeError, ValueError):
+            return None, "non-numeric statistics values"
+        checksum = hashlib.sha256(
+            _canonical_stats_json(flat).encode("utf-8")
+        ).hexdigest()
+        if payload.get("sha256") != checksum:
+            return None, "checksum mismatch"
+        return flat, ""
+    try:  # legacy pre-envelope entry: a flat {"group.key": value} dict
+        return {str(k): float(v) for k, v in payload.items()}, ""
+    except (TypeError, ValueError):
+        return None, "non-numeric statistics values"
 
 
 def _stats_from_flat(flat: Dict[str, float]) -> SimulationStats:

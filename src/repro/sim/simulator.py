@@ -27,11 +27,23 @@ Two cross-cutting performance features live here:
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.codegen.program import Program
+from repro.reliability import (
+    BackendDegradationWarning,
+    Deadline,
+    DeadlineExceeded,
+    InjectedWorkerCrash,
+    RetryPolicy,
+    deadline_scope,
+)
+from repro.reliability import faults
 from repro.sim.configs import CACHE_HIERARCHIES
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
 from repro.sim.engine import resolve_engine, resolve_trace_mode
@@ -59,6 +71,31 @@ class SimulationResult:
     def dump(self) -> str:
         """gem5-style ``stats.txt`` rendering."""
         return self.stats.dump()
+
+
+@dataclass
+class SimulationFailure:
+    """Structured record of one candidate that could not be simulated.
+
+    Returned (never raised) by :meth:`SimulatorPool.run_many_resilient` in
+    place of a :class:`SimulationResult`, so one bad candidate cannot poison
+    the rest of a batch.  ``kind`` is one of the class constants below;
+    ``attempts`` counts every execution attempt including retries and pool
+    respawns.
+    """
+
+    #: The candidate exceeded its simulation deadline (``timeout_s``).
+    TIMEOUT = "timeout"
+    #: The worker executing the candidate died (e.g. a broken process pool).
+    CRASH = "crash"
+    #: The simulation raised an ordinary exception.
+    ERROR = "error"
+
+    program_name: str
+    kind: str
+    error: str
+    attempts: int = 1
+    host_seconds: float = 0.0
 
 
 class Simulator:
@@ -89,8 +126,23 @@ class Simulator:
             default_simulation_cache() if memoize else None
         )
 
-    def run(self, program: Program) -> SimulationResult:
-        """Simulate ``program`` on a cold cache hierarchy (or serve it cached)."""
+    def run(
+        self, program: Program, timeout_s: Optional[float] = None
+    ) -> SimulationResult:
+        """Simulate ``program`` on a cold cache hierarchy (or serve it cached).
+
+        A positive ``timeout_s`` installs a cooperative deadline for the
+        duration of the run: the trace walk polls it once per chunk and
+        raises :class:`~repro.reliability.DeadlineExceeded` when the budget
+        is spent, so a pathological candidate overshoots by at most one
+        chunk of work.
+        """
+        if timeout_s is not None and timeout_s > 0:
+            with deadline_scope(Deadline.after(timeout_s)):
+                return self._run(program)
+        return self._run(program)
+
+    def _run(self, program: Program) -> SimulationResult:
         key = None
         if self.memoize and self.memo_cache is not None:
             start = time.perf_counter()
@@ -160,6 +212,109 @@ def _run_slice(
     return [simulator.run(program) for program in programs]
 
 
+#: Union returned by the resilient pool API: one entry per program, in input
+#: order, each either a result or a structured failure record.
+ResilientOutcome = Union[SimulationResult, SimulationFailure]
+
+
+def _attempt_program(
+    simulator: Simulator,
+    program: Program,
+    timeout_s: float,
+    retry: RetryPolicy,
+) -> ResilientOutcome:
+    """Run one program with containment: failures become records, not raises.
+
+    Timeouts are final (retrying a deterministic overrun just doubles the
+    damage); crashes and ordinary errors are retried per ``retry`` with
+    deterministic backoff.
+    """
+    start = time.perf_counter()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            faults.maybe_crash_worker()
+            return simulator.run(program, timeout_s=timeout_s if timeout_s > 0 else None)
+        except DeadlineExceeded as error:
+            return SimulationFailure(
+                program_name=program.name,
+                kind=SimulationFailure.TIMEOUT,
+                error=str(error),
+                attempts=attempt,
+                host_seconds=time.perf_counter() - start,
+            )
+        except Exception as error:  # noqa: BLE001 — containment boundary
+            kind = (
+                SimulationFailure.CRASH
+                if isinstance(error, InjectedWorkerCrash)
+                else SimulationFailure.ERROR
+            )
+            if attempt >= retry.max_attempts:
+                return SimulationFailure(
+                    program_name=program.name,
+                    kind=kind,
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=attempt,
+                    host_seconds=time.perf_counter() - start,
+                )
+            time.sleep(retry.delay_s(attempt, key=program.name))
+
+
+def _run_slice_resilient(
+    arch, hierarchy_config, trace_options, programs, engine, memoize, timeout_s, retry
+) -> List[ResilientOutcome]:
+    simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
+    return [_attempt_program(simulator, program, timeout_s, retry) for program in programs]
+
+
+def _run_single_resilient(
+    arch, hierarchy_config, trace_options, program, engine, memoize, memo_dir, timeout_s
+) -> ResilientOutcome:
+    """Process-pool worker entry: converts in-worker failures into records.
+
+    Deadline overruns and ordinary exceptions come back as picklable
+    :class:`SimulationFailure` values so the parent never has to unpickle an
+    arbitrary exception; only a genuine worker death (or the injected
+    ``worker_crash`` hard exit below) surfaces as ``BrokenProcessPool``.
+    """
+    faults.maybe_crash_worker()
+    start = time.perf_counter()
+    try:
+        memo_cache = None
+        if memoize and memo_dir is not None:
+            memo_cache = _worker_cache(memo_dir)
+        simulator = Simulator(
+            arch, hierarchy_config, trace_options, engine=engine, memoize=memoize,
+            memo_cache=memo_cache,
+        )
+        return simulator.run(program, timeout_s=timeout_s if timeout_s > 0 else None)
+    except DeadlineExceeded as error:
+        return SimulationFailure(
+            program_name=program.name,
+            kind=SimulationFailure.TIMEOUT,
+            error=str(error),
+            host_seconds=time.perf_counter() - start,
+        )
+    except Exception as error:  # noqa: BLE001 — containment boundary
+        return SimulationFailure(
+            program_name=program.name,
+            kind=SimulationFailure.ERROR,
+            error=f"{type(error).__name__}: {error}",
+            host_seconds=time.perf_counter() - start,
+        )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a process pool down without waiting on hung or dead workers."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 — best-effort teardown
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 @dataclass
 class SimulatorPool:
     """Run many simulations, up to ``n_parallel`` at a time.
@@ -192,6 +347,16 @@ class SimulatorPool:
     #: Shared disk cache directory for the ``processes`` backend; ``None``
     #: selects the per-user default.
     memo_dir: Optional[str] = None
+    #: Per-candidate simulation budget in seconds for the resilient API
+    #: (0 = unlimited).  Enforced cooperatively inside the trace walk, with a
+    #: process-kill backstop on the ``processes`` backend.
+    timeout_s: float = 0.0
+    #: Retry policy for crashed or erroring candidates in the resilient API;
+    #: ``None`` reads ``REPRO_RETRY_*`` (retries disabled by default).
+    retry: Optional[RetryPolicy] = None
+    #: How many times a broken process pool is respawned before the
+    #: remaining work degrades to the ``threads`` backend.
+    max_pool_respawns: int = 2
 
     BACKENDS = ("serial", "threads", "processes")
 
@@ -260,3 +425,209 @@ class SimulatorPool:
             for future in futures:
                 results.extend(future.result())
         return results
+
+    # -- resilient execution ----------------------------------------------
+
+    def run_many_resilient(self, programs: Sequence[Program]) -> List[ResilientOutcome]:
+        """Simulate all ``programs``; failures become records, never raises.
+
+        Same dispatch as :meth:`run_many`, plus four containment layers:
+
+        * each candidate runs under the pool's ``timeout_s`` deadline, so a
+          hung candidate yields a ``timeout`` failure instead of blocking;
+        * crashed or erroring candidates are retried per ``retry`` (with
+          deterministic exponential backoff), then recorded as failures;
+        * a broken process pool is respawned up to ``max_pool_respawns``
+          times and only the unfinished slice is re-run;
+        * when the respawn budget is spent, the remaining work degrades
+          ``processes`` → ``threads`` → ``serial`` with a
+          :class:`~repro.reliability.BackendDegradationWarning` at each step.
+
+        Returns one entry per program, in input order, each either a
+        :class:`SimulationResult` or a :class:`SimulationFailure`.
+        Fault-free runs produce statistics bit-identical to
+        :meth:`run_many`.
+        """
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}"
+            )
+        retry = self.retry if self.retry is not None else RetryPolicy.from_env()
+        timeout_s = float(self.timeout_s or 0.0)
+        memo_dir = None
+        if self.backend == "processes" and self.memoize:
+            memo_dir = str(self.memo_dir) if self.memo_dir else str(shared_disk_cache_dir())
+        if self.backend == "serial" or self.n_parallel <= 1 or len(programs) <= 1:
+            return self._run_serial_resilient(programs, memo_dir, timeout_s, retry)
+        if self.backend == "threads":
+            return self._run_threads_resilient(programs, timeout_s, retry)
+        return self._run_processes_resilient(programs, memo_dir, timeout_s, retry)
+
+    def _run_serial_resilient(
+        self,
+        programs: Sequence[Program],
+        memo_dir: Optional[str],
+        timeout_s: float,
+        retry: RetryPolicy,
+    ) -> List[ResilientOutcome]:
+        memo_cache = _worker_cache(memo_dir) if memo_dir else None
+        simulator = Simulator(
+            self.arch,
+            self.hierarchy_config,
+            self.trace_options,
+            engine=self.engine,
+            memoize=self.memoize,
+            memo_cache=memo_cache,
+        )
+        return [_attempt_program(simulator, program, timeout_s, retry) for program in programs]
+
+    def _run_threads_resilient(
+        self, programs: Sequence[Program], timeout_s: float, retry: RetryPolicy
+    ) -> List[ResilientOutcome]:
+        """Chunked thread dispatch with per-program containment in each slice."""
+        workers = min(self.n_parallel, len(programs))
+        base, extra = divmod(len(programs), workers)
+        slices: List[Sequence[Program]] = []
+        position = 0
+        for worker in range(workers):
+            size = base + (1 if worker < extra else 0)
+            slices.append(programs[position : position + size])
+            position += size
+        results: List[ResilientOutcome] = []
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_slice_resilient,
+                    self.arch,
+                    self.hierarchy_config,
+                    self.trace_options,
+                    chunk,
+                    self.engine,
+                    self.memoize,
+                    timeout_s,
+                    retry,
+                )
+                for chunk in slices
+            ]
+            for chunk, future in zip(slices, futures):
+                try:
+                    results.extend(future.result())
+                except Exception as error:  # noqa: BLE001 — degrade, not die
+                    warnings.warn(
+                        BackendDegradationWarning(
+                            "threads", "serial", f"{type(error).__name__}: {error}"
+                        ),
+                        stacklevel=2,
+                    )
+                    results.extend(
+                        self._run_serial_resilient(chunk, None, timeout_s, retry)
+                    )
+        return results
+
+    def _run_processes_resilient(
+        self,
+        programs: Sequence[Program],
+        memo_dir: Optional[str],
+        timeout_s: float,
+        retry: RetryPolicy,
+    ) -> List[ResilientOutcome]:
+        """Process dispatch with crash isolation and pool respawn.
+
+        Workers convert their own timeouts and exceptions into
+        :class:`SimulationFailure` records, so the parent only has to handle
+        two hard failure modes: a dead worker (``BrokenProcessPool`` — the
+        pool is respawned and the unfinished slice re-runs) and a hung
+        worker (parent-side result timeout backstop — the pool is killed and
+        the candidate recorded as a timeout).
+        """
+        n = len(programs)
+        results: List[Optional[ResilientOutcome]] = [None] * n
+        attempts = [0] * n
+        pending = list(range(n))
+        respawns = 0
+        # Workers enforce timeout_s cooperatively and come back on their own;
+        # the parent-side backstop only trips for a truly wedged worker.
+        backstop = timeout_s * 2.0 + 5.0 if timeout_s > 0 else None
+        while pending:
+            pool = ProcessPoolExecutor(max_workers=min(self.n_parallel, len(pending)))
+            futures = {}
+            for i in pending:
+                attempts[i] += 1
+                futures[i] = pool.submit(
+                    _run_single_resilient,
+                    self.arch,
+                    self.hierarchy_config,
+                    self.trace_options,
+                    programs[i],
+                    self.engine,
+                    self.memoize,
+                    memo_dir,
+                    timeout_s,
+                )
+            broke = hung = False
+            for i, future in futures.items():
+                try:
+                    outcome = future.result(timeout=backstop)
+                except FuturesTimeoutError:
+                    results[i] = SimulationFailure(
+                        program_name=programs[i].name,
+                        kind=SimulationFailure.TIMEOUT,
+                        error=(
+                            f"worker did not return within {backstop:.3g}s "
+                            f"(budget {timeout_s:.3g}s plus grace); pool terminated"
+                        ),
+                        attempts=attempts[i],
+                        host_seconds=backstop or 0.0,
+                    )
+                    hung = True
+                    break
+                except BrokenProcessPool:
+                    broke = True
+                    break
+                except Exception as error:  # noqa: BLE001 — containment boundary
+                    outcome = SimulationFailure(
+                        program_name=programs[i].name,
+                        kind=SimulationFailure.ERROR,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                if isinstance(outcome, SimulationFailure):
+                    outcome.attempts = attempts[i]
+                    if (
+                        outcome.kind == SimulationFailure.ERROR
+                        and attempts[i] < retry.max_attempts
+                    ):
+                        time.sleep(retry.delay_s(attempts[i], key=programs[i].name))
+                        continue  # leave pending: resubmitted next round
+                results[i] = outcome
+            if broke or hung:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+            if hung:
+                # Innocent bystanders were killed with the pool; refund the
+                # attempt so the backstop victim alone pays for the hang.
+                for i in pending:
+                    if results[i] is None:
+                        attempts[i] -= 1
+            if broke:
+                respawns += 1
+            pending = [i for i in pending if results[i] is None]
+            if broke and respawns > self.max_pool_respawns and pending:
+                warnings.warn(
+                    BackendDegradationWarning(
+                        "processes",
+                        "threads",
+                        f"process pool broke {respawns} times "
+                        f"(respawn budget {self.max_pool_respawns})",
+                    ),
+                    stacklevel=3,
+                )
+                remaining = [programs[i] for i in pending]
+                if self.n_parallel > 1 and len(remaining) > 1:
+                    fallback = self._run_threads_resilient(remaining, timeout_s, retry)
+                else:
+                    fallback = self._run_serial_resilient(remaining, None, timeout_s, retry)
+                for i, outcome in zip(pending, fallback):
+                    results[i] = outcome
+                pending = []
+        return [outcome for outcome in results if outcome is not None]
