@@ -23,8 +23,7 @@ ARCH = "arm"
 class RawOnlyExtractor(FeatureExtractor):
     """Feature extractor without the group-normalised copies (Equation 2 off)."""
 
-    def vector(self, flat_stats, group_means):
-        raw = self.raw_features(flat_stats)
+    def vector_from_raw(self, raw, group_means):
         return np.asarray(
             [value for name, value in raw.items() if name != self.TOTAL_INSTRUCTIONS], dtype=float
         )

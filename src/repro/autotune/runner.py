@@ -14,8 +14,10 @@ function registry under the name ``"autotvm.simulator_run"``.
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import replace as dataclasses_replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.autotune.measure import (
     BuildResult,
@@ -29,6 +31,9 @@ from repro.hardware.board import TargetBoard
 from repro.reliability import RetryPolicy
 from repro.sim.cpu import TraceOptions
 from repro.sim.simulator import SimulationFailure, SimulationResult, SimulatorPool
+
+#: Union the resilient pool APIs hand back per candidate.
+SimulationOutcome = Union[SimulationResult, SimulationFailure]
 
 #: Signature of a score function: (simulation result, measure input) -> score.
 ScoreFunction = Callable[[SimulationResult, MeasureInput], float]
@@ -49,6 +54,20 @@ def _failure_result(failure: SimulationFailure) -> MeasureResult:
         error_msg=f"{failure.kind} after {failure.attempts} attempt(s): {failure.error}",
         all_cost=failure.host_seconds,
     )
+
+
+def batched_measurement_default() -> bool:
+    """Whether runners route simulations through the candidate-batch
+    scheduler by default (``REPRO_RUNNER_BATCH=0`` restores the
+    per-candidate path; results are bit-identical either way)."""
+    return os.environ.get("REPRO_RUNNER_BATCH", "1").strip().lower() not in (
+        "0", "false", "off",
+    )
+
+
+#: Callback invoked per candidate as its measurement settles (streaming
+#: consumption): ``(position, measure_input, measure_result)``.
+ResultCallback = Callable[[int, MeasureInput, MeasureResult], None]
 
 
 class LocalRunner(Runner):
@@ -92,7 +111,24 @@ class LocalRunner(Runner):
 
 
 class SimulatorRunner(Runner):
-    """Custom runner executing autotuning workloads on simulators (Listing 3)."""
+    """Custom runner executing autotuning workloads on simulators (Listing 3).
+
+    The measurement batch travels the **candidate-batch scheduler** by
+    default (``batch=True``): identical candidates — which GA populations
+    and model-based tuners produce in numbers — are deduplicated by
+    :meth:`~repro.codegen.program.Program.content_digest` *before* any
+    simulation (within one runner every other memoization-key component is
+    fixed, so digest-level dedupe coincides exactly with memo-key dedupe),
+    the surviving unique programs are submitted as one batch job on the
+    shared-arena fast path, and each unique result is fanned back out to
+    all duplicate positions as an independent copy.  Results stream back
+    per candidate (``on_result``) so a tuner's ``update()`` can consume
+    them incrementally; callbacks fire strictly in input order as the
+    settled prefix grows, because stateful score functions (the
+    predictor's window estimators) are order-sensitive.  Scores,
+    statistics, error mapping and retry accounting are bit-identical to
+    the per-candidate path (``REPRO_RUNNER_BATCH=0`` or ``batch=False``).
+    """
 
     def __init__(
         self,
@@ -106,6 +142,8 @@ class SimulatorRunner(Runner):
         memoize: bool = True,
         timeout_s: float = 0.0,
         retry: Optional[RetryPolicy] = None,
+        batch: Optional[bool] = None,
+        on_result: Optional[ResultCallback] = None,
     ):
         super().__init__(n_parallel=n_parallel, timeout_s=timeout_s)
         self.arch = arch
@@ -122,25 +160,39 @@ class SimulatorRunner(Runner):
             retry=retry,
         )
         self.collect_results = collect_results
+        self.batch = batched_measurement_default() if batch is None else bool(batch)
+        #: Streaming hook: called as each candidate's measurement settles.
+        self.on_result = on_result
         #: Simulation results of every successful run, in measurement order.
         self.simulation_results: List[SimulationResult] = []
+        #: Candidates inspected by / absorbed into batch-level deduplication.
+        self.dedupe_lookups = 0
+        self.dedupe_hits = 0
 
     # -- the simulator interface -------------------------------------------
-    def simulator_run(self, programs) -> List[SimulationResult]:
+    def simulator_run(self, programs) -> List[SimulationOutcome]:
         """Execute the built programs on the simulator pool.
 
         This is the override point of the paper's interface: registering a
         function under ``"autotvm.simulator_run"`` replaces the built-in pool
-        (for instance to drive an external simulator).  The built-in pool
-        runs through the resilient API, so individual entries may be
+        (for instance to drive an external simulator); with batching enabled
+        the override receives the *deduplicated* program list.  The built-in
+        pool runs through the resilient API, so individual entries may be
         :class:`~repro.sim.simulator.SimulationFailure` records (hung,
         crashed or erroring candidates) instead of results; an external
         override may return plain results only.
         """
+        return list(self._iter_simulator_run(programs))
+
+    def _iter_simulator_run(self, programs) -> Iterator[SimulationOutcome]:
+        """Stream pool outcomes in input order as candidates complete."""
         external = get_func("autotvm.simulator_run")
         if external is not None:
-            return external(programs, self.arch, self.n_parallel)
-        return self.pool.run_many_resilient(programs)
+            yield from external(programs, self.arch, self.n_parallel)
+        elif self.batch:
+            yield from self.pool.iter_batch_resilient(programs)
+        else:
+            yield from self.pool.run_many_resilient(programs)
 
     def default_score(self, result: SimulationResult, measure_input: MeasureInput) -> float:
         """Fallback score when no predictor is attached: total executed instructions.
@@ -161,58 +213,119 @@ class SimulatorRunner(Runner):
             for position, build in enumerate(build_results)
             if build.ok
         ]
-        simulation_results = self.simulator_run([program for _, program in indexed_programs])
+        # Deduplicate before any simulation: one simulation per distinct
+        # program content, fanned back out to every duplicate position.
+        # (With batching off, every position stays its own submission, so
+        # the per-candidate path is preserved exactly.)
+        unique_programs: List = []
+        positions_by_unique: List[List[int]] = []
+        if self.batch:
+            unique_by_digest: Dict[str, int] = {}
+            for position, program in indexed_programs:
+                digest = program.content_digest()
+                u = unique_by_digest.get(digest)
+                if u is None:
+                    u = unique_by_digest[digest] = len(unique_programs)
+                    unique_programs.append(program)
+                    positions_by_unique.append([])
+                positions_by_unique[u].append(position)
+        else:
+            for position, program in indexed_programs:
+                unique_programs.append(program)
+                positions_by_unique.append([position])
+        self.dedupe_lookups += len(indexed_programs)
+        self.dedupe_hits += len(indexed_programs) - len(unique_programs)
+
+        n = len(build_results)
+        results: List[Optional[MeasureResult]] = [None] * n
+        simulations: List[Optional[SimulationResult]] = [None] * n
+        pending: List[Optional[SimulationOutcome]] = [None] * n
+        settled = [False] * n
+        emitted = 0
+        elapsed_budget = time.perf_counter() - start
+
+        def drain() -> None:
+            # Score and emit the settled prefix strictly in input order.
+            # Scoring must not follow settle order: stateful score functions
+            # (the predictor's window estimators) are order-sensitive, and
+            # duplicate positions settle out of order under dedupe fan-out.
+            # Position-ordered scoring keeps the batched trajectory
+            # bit-identical to the per-candidate path.
+            nonlocal emitted
+            while emitted < n and settled[emitted]:
+                position = emitted
+                outcome = pending[position]
+                if isinstance(outcome, SimulationFailure):
+                    results[position] = _failure_result(outcome)
+                elif outcome is not None:
+                    simulations[position] = outcome
+                    results[position] = self._score_result(
+                        outcome, measure_inputs[position]
+                    )
+                # else: build failure, results[position] is already set.
+                self._emit(position, measure_inputs[position], results[position])
+                emitted += 1
+
+        for position, build in enumerate(build_results):
+            if not build.ok:
+                results[position] = MeasureResult(
+                    costs=[],
+                    error_no=build.error_no,
+                    error_msg=build.error_msg,
+                    all_cost=elapsed_budget / max(n, 1),
+                )
+                settled[position] = True
+        drain()
+
+        # Consume outcomes as they stream back: each unique result settles
+        # all of its duplicate positions immediately, so incremental
+        # consumers never wait on the tail of the generation.
+        for u, outcome in enumerate(self._iter_simulator_run(unique_programs)):
+            for copy_index, position in enumerate(positions_by_unique[u]):
+                if copy_index > 0 and not isinstance(outcome, SimulationFailure):
+                    # Fan-out copies are independent objects: downstream
+                    # consumers rewrite e.g. sim.host_seconds in place.
+                    pending[position] = dataclasses_replace(
+                        outcome, stats=outcome.stats.copy(), cached=True
+                    )
+                else:
+                    pending[position] = outcome
+                settled[position] = True
+            drain()
+
         if self.collect_results:
             self.simulation_results.extend(
-                result for result in simulation_results
-                if isinstance(result, SimulationResult)
+                simulation for simulation in simulations if simulation is not None
             )
-        by_position: Dict[int, SimulationResult] = {
-            position: result
-            for (position, _), result in zip(indexed_programs, simulation_results)
-        }
-        elapsed = time.perf_counter() - start
+        return [result for result in results if result is not None]
 
-        results: List[MeasureResult] = []
-        for position, (measure_input, build) in enumerate(zip(measure_inputs, build_results)):
-            if not build.ok:
-                results.append(
-                    MeasureResult(
-                        costs=[],
-                        error_no=build.error_no,
-                        error_msg=build.error_msg,
-                        all_cost=elapsed / max(len(build_results), 1),
-                    )
-                )
-                continue
-            simulation = by_position[position]
-            if isinstance(simulation, SimulationFailure):
-                results.append(_failure_result(simulation))
-                continue
-            score_fn = self.score_function or self.default_score
-            try:
-                score = float(score_fn(simulation, measure_input))
-            except Exception as error:
-                results.append(
-                    MeasureResult(
-                        costs=[],
-                        error_no=MeasureErrorNo.RUNTIME_ERROR,
-                        error_msg=f"score function failed: {error}",
-                        all_cost=simulation.host_seconds,
-                    )
-                )
-                continue
-            results.append(
-                MeasureResult(
-                    costs=[score],
-                    all_cost=simulation.host_seconds,
-                    extra={
-                        "sim_host_seconds": simulation.host_seconds,
-                        "sim_instructions": simulation.stats.get("cpu.num_insts"),
-                    },
-                )
+    def _score_result(
+        self, simulation: SimulationResult, measure_input: MeasureInput
+    ) -> MeasureResult:
+        score_fn = self.score_function or self.default_score
+        try:
+            score = float(score_fn(simulation, measure_input))
+        except Exception as error:
+            return MeasureResult(
+                costs=[],
+                error_no=MeasureErrorNo.RUNTIME_ERROR,
+                error_msg=f"score function failed: {error}",
+                all_cost=simulation.host_seconds,
             )
-        return results
+        return MeasureResult(
+            costs=[score],
+            all_cost=simulation.host_seconds,
+            extra={
+                "sim_host_seconds": simulation.host_seconds,
+                "sim_instructions": simulation.stats.get("cpu.num_insts"),
+            },
+        )
+
+    def _emit(
+        self, position: int, measure_input: MeasureInput, result: MeasureResult
+    ) -> None:
+        if self.on_result is not None:
+            self.on_result(position, measure_input, result)
 
 
 class RunnerStatsCollector(Runner):
@@ -234,6 +347,7 @@ class RunnerStatsCollector(Runner):
         memoize: bool = True,
         timeout_s: float = 0.0,
         retry: Optional[RetryPolicy] = None,
+        batch: Optional[bool] = None,
     ):
         super().__init__(n_parallel=n_parallel, timeout_s=timeout_s)
         self.board = board
@@ -248,6 +362,7 @@ class RunnerStatsCollector(Runner):
             timeout_s=timeout_s,
             retry=retry,
         )
+        self.batch = batched_measurement_default() if batch is None else bool(batch)
         #: Paired training records: (measure input, simulation result, measurement record).
         self.records: List[tuple] = []
 
@@ -258,7 +373,13 @@ class RunnerStatsCollector(Runner):
     ) -> List[MeasureResult]:
         results: List[MeasureResult] = []
         ok_programs = [build.program for build in build_results if build.ok]
-        simulations = iter(self.pool.run_many_resilient(ok_programs))
+        # The batched path streams simulations back while this loop is still
+        # measuring earlier candidates on the board, so the two halves of a
+        # training pair overlap instead of serialising per candidate.
+        if self.batch:
+            simulations = self.pool.iter_batch_resilient(ok_programs)
+        else:
+            simulations = iter(self.pool.run_many_resilient(ok_programs))
         for measure_input, build in zip(measure_inputs, build_results):
             if not build.ok:
                 results.append(

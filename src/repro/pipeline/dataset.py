@@ -34,7 +34,7 @@ from repro.predictor.training import PredictorDataset, TrainingSample
 from repro.reliability import RetryPolicy
 from repro.reliability import faults
 from repro.sim.cpu import TraceOptions
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import BatchSimulator, SimulationFailure
 from repro.utils.serialization import dump_json, load_json
 from repro.workloads.conv2d import Conv2DParams, conv2d_bias_relu_workload
 from repro.workloads.resnet import scaled_group_params
@@ -152,7 +152,7 @@ def generate_group_samples(
         TuningOptions(seed=seed + group_id),
         cost_model=RandomCostModel(seed=seed + group_id),
     )
-    simulator = Simulator(arch, trace_options=trace_options)
+    simulator = BatchSimulator(arch, trace_options=trace_options)
     board = TargetBoard(
         arch, protocol=protocol, trace_options=trace_options, seed=seed + 1000 + group_id
     )
@@ -161,12 +161,26 @@ def generate_group_samples(
     # Over-sample candidates: some may fail to build (they are skipped).
     candidates = policy.sample_candidates(int(n_implementations * 1.3) + 4)
     inputs, build_results = policy.build_candidates(candidates)
-    for index, (measure_input, build) in enumerate(zip(inputs, build_results)):
+    buildable = [
+        (index, build) for index, build in enumerate(build_results) if build.ok
+    ]
+    # Simulations stream back from the candidate-batch scheduler while the
+    # loop measures earlier candidates on the board, so the two halves of a
+    # training pair overlap instead of serialising; statistics are
+    # bit-identical to per-candidate Simulator.run.  A simulation failure
+    # fails the whole group, exactly like a raising per-candidate run —
+    # group-level containment and retries live in generate_dataset.
+    simulations = simulator.iter_batch(
+        [build.program for _, build in buildable], retry=RetryPolicy()
+    )
+    for (index, build), simulation in zip(buildable, simulations):
         if len(samples) >= n_implementations:
             break
-        if not build.ok:
-            continue
-        simulation = simulator.run(build.program)
+        if isinstance(simulation, SimulationFailure):
+            raise RuntimeError(
+                f"simulation of candidate {index} ({simulation.program_name!r}) "
+                f"failed ({simulation.kind}): {simulation.error}"
+            )
         record = board.measure(build.program)
         samples.append(
             TrainingSample(

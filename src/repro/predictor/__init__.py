@@ -10,11 +10,13 @@ optimisation, and gradient-boosted trees (XGBoost).
 
 from repro.predictor.losses import mse, mae, rss, get_loss
 from repro.predictor.features import (
+    FeatureCache,
     FeatureExtractor,
     GroupStatistics,
     StaticWindow,
     DynamicWindow,
     FEATURE_CACHE_LEVELS,
+    default_feature_cache,
 )
 from repro.predictor.linear import LinearRegressionModel
 from repro.predictor.dnn import DNNRegressor
@@ -40,11 +42,13 @@ __all__ = [
     "mae",
     "rss",
     "get_loss",
+    "FeatureCache",
     "FeatureExtractor",
     "GroupStatistics",
     "StaticWindow",
     "DynamicWindow",
     "FEATURE_CACHE_LEVELS",
+    "default_feature_cache",
     "LinearRegressionModel",
     "DNNRegressor",
     "ConstantKernel",

@@ -15,8 +15,10 @@ time they are approximated with a static or dynamic window (Section III-E).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,18 +42,111 @@ def _safe_ratio(numerator: float, denominator: float) -> float:
     return float(numerator / denominator) if denominator else 0.0
 
 
+class FeatureCache:
+    """Bounded LRU cache of raw feature dictionaries, keyed by program digest.
+
+    The companion of the simulation memo (:mod:`repro.sim.memo`): when the
+    simulator serves a memoized or deduplicated candidate, its statistics are
+    byte-for-byte those of the original, so the featurization is identical
+    too.  The digest is the result's ``sim_digest`` — the program's
+    ``content_digest`` qualified by hierarchy/trace/engine identity, i.e. the
+    simulation memo key — plus the extractor's cache-level tuple, which makes
+    repeated featurization of such candidates a dictionary lookup and can
+    never conflate identical programs simulated under different
+    configurations.  Thread-safe; entries are evicted least-recently-used
+    once ``maxsize`` is reached.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[str, Tuple[str, ...]], Dict[str, float]]" = (
+            OrderedDict()
+        )
+
+    def get(self, digest: str, levels: Tuple[str, ...]) -> Optional[Dict[str, float]]:
+        """The cached raw features for ``digest``, or ``None``.
+
+        Returns a copy so callers can never corrupt the cached entry.
+        """
+        key = (digest, levels)
+        with self._lock:
+            features = self._entries.get(key)
+            if features is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return dict(features)
+
+    def put(self, digest: str, levels: Tuple[str, ...], features: Mapping[str, float]) -> None:
+        """Store ``features`` under ``digest``, evicting the LRU entry if full."""
+        key = (digest, levels)
+        with self._lock:
+            self._entries[key] = dict(features)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_DEFAULT_FEATURE_CACHE = FeatureCache()
+
+
+def default_feature_cache() -> FeatureCache:
+    """The process-wide feature cache shared by all default extractors."""
+    return _DEFAULT_FEATURE_CACHE
+
+
 class FeatureExtractor:
     """Turns one simulation's flat statistics into the paper's raw features."""
 
     #: Feature that is only used in group-normalised form.
     TOTAL_INSTRUCTIONS = "total_instructions"
 
-    def __init__(self, cache_levels: Sequence[str] = FEATURE_CACHE_LEVELS):
+    def __init__(
+        self,
+        cache_levels: Sequence[str] = FEATURE_CACHE_LEVELS,
+        cache: Optional[FeatureCache] = None,
+    ):
         self.cache_levels = tuple(cache_levels)
+        self.cache = cache if cache is not None else default_feature_cache()
 
     # -- raw features -------------------------------------------------------
-    def raw_features(self, flat_stats: Mapping[str, float]) -> Dict[str, float]:
-        """Named raw features (Equation 1 style ratios plus the total count)."""
+    def raw_features(
+        self, flat_stats: Mapping[str, float], digest: Optional[str] = None
+    ) -> Dict[str, float]:
+        """Named raw features (Equation 1 style ratios plus the total count).
+
+        When ``digest`` identifies the originating simulation (the result's
+        ``sim_digest``), the result is served from / stored into the feature
+        cache, so re-featurizing a memoized or deduplicated candidate costs a
+        lookup instead of a recomputation.
+        """
+        if digest:
+            cached = self.cache.get(digest, self.cache_levels)
+            if cached is not None:
+                return cached
+        features = self._compute_raw_features(flat_stats)
+        if digest:
+            self.cache.put(digest, self.cache_levels, features)
+        return features
+
+    def _compute_raw_features(self, flat_stats: Mapping[str, float]) -> Dict[str, float]:
         total = float(flat_stats.get("cpu.num_insts", 0.0))
         features: Dict[str, float] = {
             "load_ratio": _safe_ratio(flat_stats.get("cpu.num_loads", 0.0), total),
@@ -85,14 +180,27 @@ class FeatureExtractor:
         self,
         flat_stats: Mapping[str, float],
         group_means: Mapping[str, float],
+        digest: Optional[str] = None,
     ) -> np.ndarray:
         """The model input vector for one implementation.
 
         The vector is the concatenation of the raw ratio features with the
         group-normalised form of every feature (Equation 2); the absolute
-        instruction count only appears in normalised form.
+        instruction count only appears in normalised form.  ``digest``, when
+        given, routes the raw featurization through the feature cache.
         """
-        raw = self.raw_features(flat_stats)
+        return self.vector_from_raw(self.raw_features(flat_stats, digest=digest), group_means)
+
+    def vector_from_raw(
+        self, raw: Mapping[str, float], group_means: Mapping[str, float]
+    ) -> np.ndarray:
+        """The model input vector from already-extracted raw features.
+
+        This is the layout extension point: both training
+        (:meth:`ScorePredictor.fit`) and inference (:meth:`vector`) route
+        through it, so subclasses that change the vector layout must
+        override this method rather than :meth:`vector`.
+        """
         values: List[float] = [
             value for name, value in raw.items() if name != self.TOTAL_INSTRUCTIONS
         ]
@@ -105,11 +213,19 @@ class FeatureExtractor:
         """Exact per-feature means over all implementations of one group."""
         if not all_stats:
             raise ValueError("cannot compute group means of an empty group")
+        return self.group_means_from_raw([self.raw_features(s) for s in all_stats])
+
+    def group_means_from_raw(
+        self, all_raw: Sequence[Mapping[str, float]]
+    ) -> Dict[str, float]:
+        """Exact per-feature means over already-extracted raw features."""
+        if not all_raw:
+            raise ValueError("cannot compute group means of an empty group")
         accumulator: Dict[str, float] = {}
-        for flat_stats in all_stats:
-            for name, value in self.raw_features(flat_stats).items():
+        for raw in all_raw:
+            for name, value in raw.items():
                 accumulator[name] = accumulator.get(name, 0.0) + value
-        return {name: value / len(all_stats) for name, value in accumulator.items()}
+        return {name: value / len(all_raw) for name, value in accumulator.items()}
 
 
 @dataclass
@@ -152,15 +268,16 @@ class StaticWindow:
             raise ValueError("window_size must be positive")
         self.extractor = extractor
         self.window_size = window_size
-        self._buffer: List[Mapping[str, float]] = []
+        #: Raw features (not flat statistics) of the buffered samples.
+        self._buffer: List[Dict[str, float]] = []
         self._means: Optional[Dict[str, float]] = None
 
-    def observe(self, flat_stats: Mapping[str, float]) -> None:
-        """Record one simulated implementation."""
+    def observe(self, flat_stats: Mapping[str, float], digest: Optional[str] = None) -> None:
+        """Record one simulated implementation (``digest`` enables the feature cache)."""
         if self._means is None:
-            self._buffer.append(dict(flat_stats))
+            self._buffer.append(self.extractor.raw_features(flat_stats, digest=digest))
             if len(self._buffer) >= self.window_size:
-                self._means = self.extractor.group_means(self._buffer)
+                self._means = self.extractor.group_means_from_raw(self._buffer)
 
     @property
     def ready(self) -> bool:
@@ -173,7 +290,7 @@ class StaticWindow:
             return self._means
         if not self._buffer:
             return {}
-        return self.extractor.group_means(self._buffer)
+        return self.extractor.group_means_from_raw(self._buffer)
 
 
 class DynamicWindow:
@@ -184,9 +301,9 @@ class DynamicWindow:
         self._sums: Dict[str, float] = {}
         self._count = 0
 
-    def observe(self, flat_stats: Mapping[str, float]) -> None:
+    def observe(self, flat_stats: Mapping[str, float], digest: Optional[str] = None) -> None:
         """Record one simulated implementation and update the running means."""
-        for name, value in self.extractor.raw_features(flat_stats).items():
+        for name, value in self.extractor.raw_features(flat_stats, digest=digest).items():
             self._sums[name] = self._sums.get(name, 0.0) + value
         self._count += 1
 

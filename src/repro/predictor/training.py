@@ -187,14 +187,16 @@ class ScorePredictor:
         targets: List[float] = []
         for group_id in dataset.group_ids():
             group_samples = dataset.group(group_id)
-            stats = GroupStatistics.from_samples(
-                self.extractor,
-                [s.flat_stats for s in group_samples],
-                [s.measured_time_s for s in group_samples],
+            # Featurize each sample exactly once: the raw features feed both
+            # the group means and the final vectors.
+            raw = [self.extractor.raw_features(s.flat_stats) for s in group_samples]
+            stats = GroupStatistics(
+                feature_means=self.extractor.group_means_from_raw(raw),
+                time_mean=float(np.mean([s.measured_time_s for s in group_samples])),
             )
             self.group_statistics[group_id] = stats
-            for sample in group_samples:
-                features.append(self.extractor.vector(sample.flat_stats, stats.feature_means))
+            for sample_raw, sample in zip(raw, group_samples):
+                features.append(self.extractor.vector_from_raw(sample_raw, stats.feature_means))
                 targets.append(stats.normalize_time(sample.measured_time_s))
         self.model.fit(np.asarray(features), np.asarray(targets))
         self.fitted = True
@@ -202,12 +204,20 @@ class ScorePredictor:
 
     # -- inference (Figure 4-II) -----------------------------------------------
     def predict_with_means(
-        self, flat_stats: Mapping[str, float], group_means: Mapping[str, float]
+        self,
+        flat_stats: Mapping[str, float],
+        group_means: Mapping[str, float],
+        digest: Optional[str] = None,
     ) -> float:
-        """Score one implementation given (estimated) group feature means."""
+        """Score one implementation given (estimated) group feature means.
+
+        ``digest`` (the result's ``sim_digest``) routes featurization through
+        the shared feature cache, so scoring a memoized or deduplicated
+        candidate never re-extracts its features.
+        """
         if not self.fitted:
             raise RuntimeError("the predictor has not been trained")
-        vector = self.extractor.vector(flat_stats, group_means)
+        vector = self.extractor.vector(flat_stats, group_means, digest=digest)
         return float(self.model.predict(vector[None, :])[0])
 
     def predict_dataset(
@@ -272,8 +282,9 @@ class ScorePredictor:
 
         def score(simulation_result, measure_input) -> float:
             flat_stats = simulation_result.flat_stats()
-            estimator.observe(flat_stats)
-            return self.predict_with_means(flat_stats, estimator.means())
+            digest = getattr(simulation_result, "sim_digest", "") or None
+            estimator.observe(flat_stats, digest=digest)
+            return self.predict_with_means(flat_stats, estimator.means(), digest=digest)
 
         return score
 

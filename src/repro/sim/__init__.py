@@ -53,6 +53,7 @@ from repro.sim.configs import (
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions, run_data_trace
 from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
 from repro.sim.simulator import (
+    BatchSimulator,
     Simulator,
     SimulationFailure,
     SimulationResult,
@@ -94,6 +95,7 @@ __all__ = [
     "SimulationCache",
     "default_simulation_cache",
     "shared_disk_cache_dir",
+    "BatchSimulator",
     "Simulator",
     "SimulationFailure",
     "SimulationResult",

@@ -135,10 +135,22 @@ class AtomicSimpleCPU:
         trace_accesses = run_data_trace(self.hierarchy, program, options)
         self._model_instruction_fetches(program, counts)
         elapsed = time.perf_counter() - start
+        return self.assemble_stats(counts, trace_accesses, elapsed)
 
+    def assemble_stats(
+        self, counts: dict, trace_accesses: int, host_seconds: float
+    ) -> SimulationStats:
+        """Build gem5-style statistics from ``counts`` + current cache state.
+
+        Split out of :meth:`run` so batched execution paths that drive the
+        trace themselves (e.g. the candidate-batch scheduler's shared-arena
+        sweep) assemble identical statistics from the same code.  The
+        hierarchy's counters must reflect exactly one candidate's trace
+        (plus :meth:`_model_instruction_fetches`) when this is called.
+        """
         stats = SimulationStats()
         sim_group = stats.group("sim")
-        sim_group.set("host_seconds", elapsed)
+        sim_group.set("host_seconds", host_seconds)
         sim_group.set("trace_accesses", trace_accesses)
 
         cpu = stats.group(self.name)

@@ -15,7 +15,9 @@ which does not affect results.  Values are stored as flat statistics snapshots a
 reconstructed into fresh :class:`~repro.sim.stats.SimulationStats` objects on
 every lookup, so callers can never mutate a cached entry through an alias.
 The store is thread-safe: the ``threads`` backend of
-:class:`~repro.sim.simulator.SimulatorPool` shares one cache across workers.
+:class:`~repro.sim.simulator.SimulatorPool` shares one cache across workers,
+and :meth:`SimulationCache.get_or_compute` coalesces concurrent requests for
+one key onto a single in-flight computation.
 
 Memoized statistics match a fresh simulation bit-for-bit except for
 ``sim.host_seconds``, which is rewritten by the caller to the (much smaller)
@@ -47,7 +49,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from repro.reliability import MemoQuarantineWarning
+from repro.reliability import MemoQuarantineWarning, current_deadline
 from repro.reliability import faults
 from repro.sim.stats import SimulationStats
 
@@ -109,8 +111,15 @@ class SimulationCache:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
         self._entries: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
         self._lock = threading.Lock()
+        #: In-flight computations keyed by memo key: concurrent
+        #: :meth:`get_or_compute` callers for one key block on one event
+        #: instead of racing to simulate the same candidate.
+        self._inflight: Dict[str, threading.Event] = {}
         self.hits = 0
         self.misses = 0
+        #: Requests served by waiting on another thread's in-flight
+        #: computation instead of simulating redundantly.
+        self.coalesced = 0
         #: Corrupted disk entries renamed aside (never deleted) by this cache.
         self.quarantined = 0
         if self.disk_dir is not None:
@@ -188,6 +197,52 @@ class SimulationCache:
             self.misses += 1
             return None
 
+    def get_or_compute(self, key, compute):
+        """Serve ``key`` from the cache, computing it at most once per process.
+
+        Returns ``(stats, computed)`` where ``computed`` is True when *this*
+        call ran ``compute``.  Concurrent callers for the same key (e.g. the
+        threads backend of the simulator pool evaluating a batch containing
+        duplicate candidates) coalesce onto one in-flight computation: the
+        first caller becomes the **leader** and simulates; the rest block on
+        the leader's event and are then served the freshly cached result.
+        If the leader raises, waiters wake, observe the miss, and compete to
+        become the next leader — a failed computation never wedges the key.
+
+        Waiters poll the ambient cooperative deadline while blocked, so a
+        candidate's ``timeout_s`` budget keeps its meaning even when the
+        candidate spends it waiting on a twin.
+        """
+        while True:
+            stats = self.get(key)
+            if stats is not None:
+                return stats, False
+            with self._lock:
+                flight = self._inflight.get(key)
+                leader = flight is None
+                if leader:
+                    flight = self._inflight[key] = threading.Event()
+            if not leader:
+                deadline = current_deadline()
+                while not flight.wait(timeout=0.05):
+                    if deadline is not None:
+                        deadline.check("coalesced memo wait")
+                with self._lock:
+                    self.coalesced += 1
+                continue  # leader finished: a cache hit, or compete to lead
+            try:
+                stats = compute()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.set()
+                raise
+            self.put(key, stats)
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.set()
+            return stats, True
+
     def put(self, key: str, stats: SimulationStats) -> None:
         """Store one simulation result."""
         flat = dict(stats.as_dict())
@@ -247,6 +302,7 @@ class SimulationCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.coalesced = 0
 
     def __len__(self) -> int:
         with self._lock:

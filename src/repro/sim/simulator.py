@@ -32,9 +32,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
-from repro.codegen.program import Program
+from repro.codegen.program import DescriptorChunk, Program, pack_descriptor_arena
 from repro.reliability import (
     BackendDegradationWarning,
     Deadline,
@@ -46,7 +46,13 @@ from repro.reliability import (
 from repro.reliability import faults
 from repro.sim.configs import CACHE_HIERARCHIES
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
-from repro.sim.engine import resolve_engine, resolve_trace_mode
+from repro.sim.engine import (
+    ARENA_ACCESS_BATCH,
+    ARENA_CHUNK_BATCH,
+    TRACE_DESCRIPTOR,
+    resolve_engine,
+    resolve_trace_mode,
+)
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig
 from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
 from repro.sim.stats import SimulationStats
@@ -63,6 +69,14 @@ class SimulationResult:
     host_seconds: float
     #: Whether the statistics were served from the memoization cache.
     cached: bool = False
+    #: Stable digest of the full simulation identity — the program's
+    #: :meth:`~repro.codegen.program.Program.content_digest` combined with the
+    #: hierarchy, trace options and engine via
+    #: :meth:`~repro.sim.memo.SimulationCache.make_key`.  Two results with the
+    #: same digest carry bit-identical statistics, so downstream consumers key
+    #: derived caches on it (e.g. the feature cache in
+    #: :mod:`repro.predictor.features`).  Empty when unknown.
+    sim_digest: str = ""
 
     def flat_stats(self) -> Dict[str, float]:
         """All statistics as a flat ``{"group.key": value}`` dictionary."""
@@ -143,14 +157,18 @@ class Simulator:
         return self._run(program)
 
     def _run(self, program: Program) -> SimulationResult:
-        key = None
         if self.memoize and self.memo_cache is not None:
             start = time.perf_counter()
             key = self.memo_cache.make_key(
                 program, self.hierarchy_config, self.trace_options, self.engine
             )
-            stats = self.memo_cache.get(key)
-            if stats is not None:
+            # Coalesced lookup: concurrent requests for the same key (threads
+            # backend, duplicate candidates across slices) block on one
+            # computation instead of simulating redundantly.
+            stats, computed = self.memo_cache.get_or_compute(
+                key, lambda: self._simulate(program)
+            )
+            if not computed:
                 elapsed = time.perf_counter() - start
                 stats.group("sim").set("host_seconds", elapsed)
                 return SimulationResult(
@@ -160,21 +178,367 @@ class Simulator:
                     trace_accesses=int(stats.get("sim.trace_accesses")),
                     host_seconds=elapsed,
                     cached=True,
+                    sim_digest=key,
                 )
-        hierarchy = CacheHierarchy(
-            self.hierarchy_config, engine=self.engine, rng_seed=self.trace_options.rng_seed
-        )
-        cpu = AtomicSimpleCPU(hierarchy)
-        stats = cpu.run(program, self.trace_options)
-        if key is not None:
-            self.memo_cache.put(key, stats)
+        else:
+            stats = self._simulate(program)
+            key = SimulationCache.make_key(
+                program, self.hierarchy_config, self.trace_options, self.engine
+            )
         return SimulationResult(
             program_name=program.name,
             arch=self.arch,
             stats=stats,
             trace_accesses=int(stats.get("sim.trace_accesses")),
             host_seconds=stats.get("sim.host_seconds"),
+            sim_digest=key,
         )
+
+    def _simulate(self, program: Program) -> SimulationStats:
+        """Uncached simulation of ``program`` on a cold hierarchy."""
+        hierarchy = CacheHierarchy(
+            self.hierarchy_config, engine=self.engine, rng_seed=self.trace_options.rng_seed
+        )
+        cpu = AtomicSimpleCPU(hierarchy)
+        return cpu.run(program, self.trace_options)
+
+
+#: Candidates lowered and packed together per wave of the batch simulator.
+#: Bounds the peak memory of materialised descriptor chunks (a wave's chunks
+#: are held until its shared arenas are packed) while keeping enough
+#: programs in flight to fill arena segments across candidate boundaries.
+BATCH_WAVE_CANDIDATES = 64
+
+
+@dataclass
+class _BatchCandidate:
+    """Book-keeping for one program travelling through a batch wave."""
+
+    index: int
+    program: Program
+    key: Optional[str] = None
+    counts: Optional[dict] = None
+    chunks: Optional[List[DescriptorChunk]] = None
+    trace_accesses: int = 0
+    lower_seconds: float = 0.0
+    started_at: float = 0.0
+    error: Optional[BaseException] = None
+    outcome: Optional[ResilientOutcome] = None
+
+
+class BatchSimulator(Simulator):
+    """Candidate-batch scheduler: many programs through one shared simulator.
+
+    Where :class:`Simulator` builds a cold :class:`CacheHierarchy` per call,
+    the batch simulator constructs the hierarchy **once** and resets it
+    between candidates (:meth:`CacheHierarchy.reset_state` restores the
+    exact cold start: flushed contents, rewound victim stream, zeroed
+    counters), eliminating the dominant per-candidate setup cost of the
+    tuning loop.  In descriptor trace mode it additionally lowers a whole
+    *wave* of candidates up front, packs their chunks into shared
+    :class:`~repro.codegen.program.DescriptorArena` segments with
+    per-candidate chunk-group boundaries, and sweeps each candidate's group
+    slice against the reset hierarchy — one dispatch per cache level per
+    group instead of per chunk, with the pooled arena scratch staying warm
+    across the whole wave.
+
+    Statistics are **bit-identical** to per-candidate :meth:`Simulator.run`
+    for every engine/trace combination (``sim.host_seconds`` excepted, as
+    with memoized results): every candidate still observes a cold
+    hierarchy, and statistics are chunking-invariant, so shared-arena
+    grouping cannot change them.  Reliability semantics survive batching:
+    each candidate carries its own cooperative deadline budget across the
+    lowering and sweep phases, failures are contained per candidate — a
+    crash or deadline inside a wave never poisons its neighbours — and
+    crashed or erroring candidates are re-attempted in isolation under the
+    same retry accounting as the serial resilient path.
+
+    Results stream back in input order as candidates complete
+    (:meth:`iter_batch`), so a tuner's ``update()`` or a dataset builder
+    can consume them incrementally instead of at a generation barrier.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cpu: Optional[AtomicSimpleCPU] = None
+
+    def _shared_cpu(self) -> AtomicSimpleCPU:
+        if self._cpu is None:
+            hierarchy = CacheHierarchy(
+                self.hierarchy_config,
+                engine=self.engine,
+                rng_seed=self.trace_options.rng_seed,
+            )
+            self._cpu = AtomicSimpleCPU(hierarchy)
+        return self._cpu
+
+    def _simulate(self, program: Program) -> SimulationStats:
+        """Cold-identical simulation on the shared, reset hierarchy."""
+        cpu = self._shared_cpu()
+        cpu.hierarchy.reset_state()
+        return cpu.run(program, self.trace_options)
+
+    # -- batch execution ---------------------------------------------------
+
+    def run_batch(
+        self, programs: Sequence[Program], timeout_s: Optional[float] = None
+    ) -> List[SimulationResult]:
+        """Simulate ``programs`` in order on the batch path; raises on failure.
+
+        The strict counterpart of :meth:`iter_batch` (no retries): the first
+        candidate that cannot be simulated raises ``RuntimeError`` carrying
+        the contained failure's kind and message.
+        """
+        results: List[SimulationResult] = []
+        for outcome in self.iter_batch(
+            programs, timeout_s=timeout_s, retry=RetryPolicy()
+        ):
+            if isinstance(outcome, SimulationFailure):
+                raise RuntimeError(
+                    f"batched simulation of {outcome.program_name!r} failed "
+                    f"({outcome.kind}): {outcome.error}"
+                )
+            results.append(outcome)
+        return results
+
+    def iter_batch(
+        self,
+        programs: Sequence[Program],
+        timeout_s: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> Iterator[ResilientOutcome]:
+        """Stream one outcome per program, in input order, as they complete.
+
+        Failures become :class:`SimulationFailure` records, never raises —
+        the batched equivalent of per-candidate
+        :func:`_attempt_program` containment.  Expanded-trace runs have no
+        packable descriptor form; they keep per-candidate trace walks and
+        still benefit from hierarchy reuse.
+        """
+        retry = retry if retry is not None else RetryPolicy.from_env()
+        timeout = float(timeout_s or 0.0)
+        if self.trace != TRACE_DESCRIPTOR:
+            for program in programs:
+                yield _attempt_program(self, program, timeout, retry)
+            return
+        wave: List[_BatchCandidate] = []
+        for index, program in enumerate(programs):
+            wave.append(_BatchCandidate(index=index, program=program))
+            if len(wave) >= BATCH_WAVE_CANDIDATES:
+                yield from self._flush_wave(wave, timeout, retry)
+                wave = []
+        if wave:
+            yield from self._flush_wave(wave, timeout, retry)
+
+    def _flush_wave(
+        self, wave: List[_BatchCandidate], timeout: float, retry: RetryPolicy
+    ) -> Iterator[ResilientOutcome]:
+        """Run one wave: memo → lower → pack shared arenas → sweep → retry."""
+        sweepable = [cand for cand in wave if self._prepare_candidate(cand, timeout)]
+        views = self._pack_wave(sweepable)
+        for cand in sweepable:
+            self._sweep_candidate(cand, views.get(cand.index, []), timeout)
+        for cand in wave:
+            if cand.outcome is None:
+                cand.outcome = self._retry_isolated(cand, timeout, retry)
+            yield cand.outcome
+
+    def _prepare_candidate(self, cand: _BatchCandidate, timeout: float) -> bool:
+        """Memo lookup and descriptor lowering; True when a sweep is due.
+
+        Lowering runs under the candidate's own deadline (polled per
+        lowered chunk); whatever budget it consumes is deducted from the
+        candidate's sweep-phase deadline, so the total stays ``timeout``.
+        """
+        cand.started_at = time.perf_counter()
+        options = self.trace_options
+        try:
+            faults.maybe_crash_worker()
+            if self.memoize and self.memo_cache is not None:
+                cand.key = self.memo_cache.make_key(
+                    cand.program, self.hierarchy_config, options, self.engine
+                )
+                stats = self.memo_cache.get(cand.key)
+                if stats is not None:
+                    elapsed = time.perf_counter() - cand.started_at
+                    stats.group("sim").set("host_seconds", elapsed)
+                    cand.outcome = SimulationResult(
+                        program_name=cand.program.name,
+                        arch=self.arch,
+                        stats=stats,
+                        trace_accesses=int(stats.get("sim.trace_accesses")),
+                        host_seconds=elapsed,
+                        cached=True,
+                        sim_digest=cand.key,
+                    )
+                    return False
+            deadline = Deadline.after(timeout) if timeout > 0 else None
+            with deadline_scope(deadline):
+                cand.counts = cand.program.instruction_counts()
+                chunks: List[DescriptorChunk] = []
+                total = 0
+                for chunk in cand.program.memory_trace_descriptors(
+                    chunk_iterations=options.chunk_iterations,
+                    max_accesses=options.max_accesses,
+                    sample_fraction=options.sample_fraction,
+                    seed=options.seed,
+                ):
+                    if deadline is not None:
+                        deadline.check("batched descriptor lowering")
+                    chunks.append(chunk)
+                    total += chunk.total
+            cand.chunks = chunks
+            cand.trace_accesses = total
+            cand.lower_seconds = time.perf_counter() - cand.started_at
+            return True
+        except DeadlineExceeded as error:
+            cand.outcome = SimulationFailure(
+                program_name=cand.program.name,
+                kind=SimulationFailure.TIMEOUT,
+                error=str(error),
+                attempts=1,
+                host_seconds=time.perf_counter() - cand.started_at,
+            )
+            return False
+        except Exception as error:  # noqa: BLE001 — containment boundary
+            cand.error = error
+            return False
+
+    def _pack_wave(
+        self, sweepable: List[_BatchCandidate]
+    ) -> Dict[int, List["DescriptorArena"]]:
+        """Pack the wave's chunks into shared arenas with candidate groups.
+
+        Arena segments fill across candidate boundaries up to the same
+        :data:`~repro.sim.engine.ARENA_CHUNK_BATCH` /
+        :data:`~repro.sim.engine.ARENA_ACCESS_BATCH` limits as the
+        single-candidate stream path; a large candidate simply spans
+        several groups in consecutive segments.  Returns each candidate's
+        group views keyed by candidate index, in sweep order.
+        """
+        views: Dict[int, List["DescriptorArena"]] = {}
+        cur_chunks: List[DescriptorChunk] = []
+        cur_sizes: List[int] = []
+        cur_cands: List[_BatchCandidate] = []
+        cur_accesses = 0
+
+        def flush() -> None:
+            nonlocal cur_chunks, cur_sizes, cur_cands, cur_accesses
+            if not cur_chunks:
+                return
+            arena = pack_descriptor_arena(cur_chunks, group_sizes=cur_sizes)
+            for group, cand in enumerate(cur_cands):
+                views.setdefault(cand.index, []).append(arena.group_view(group))
+            cur_chunks, cur_sizes, cur_cands, cur_accesses = [], [], [], 0
+
+        for cand in sweepable:
+            views.setdefault(cand.index, [])  # zero-access candidates sweep empty
+            new_group = True
+            for chunk in cand.chunks or []:
+                if cur_chunks and (
+                    len(cur_chunks) >= ARENA_CHUNK_BATCH
+                    or cur_accesses >= ARENA_ACCESS_BATCH
+                ):
+                    flush()
+                    new_group = True
+                if new_group:
+                    cur_sizes.append(0)
+                    cur_cands.append(cand)
+                    new_group = False
+                cur_chunks.append(chunk)
+                cur_sizes[-1] += 1
+                cur_accesses += chunk.total
+        flush()
+        return views
+
+    def _sweep_candidate(
+        self, cand: _BatchCandidate, views: List["DescriptorArena"], timeout: float
+    ) -> None:
+        """Replay one candidate's group slices against the reset hierarchy."""
+        cpu = self._shared_cpu()
+        sweep_start = time.perf_counter()
+        try:
+            deadline = None
+            if timeout > 0:
+                deadline = Deadline.after(timeout - cand.lower_seconds)
+                deadline.check("batched arena sweep")
+            cpu.hierarchy.reset_state()
+            with deadline_scope(deadline):
+                for view in views:
+                    if deadline is not None:
+                        deadline.check("batched arena sweep")
+                    cpu.hierarchy.access_data_descriptor_arena(view)
+                cpu._model_instruction_fetches(cand.program, cand.counts)
+            host = cand.lower_seconds + (time.perf_counter() - sweep_start)
+            stats = cpu.assemble_stats(cand.counts, cand.trace_accesses, host)
+            if cand.key is not None:
+                self.memo_cache.put(cand.key, stats)
+            cand.outcome = SimulationResult(
+                program_name=cand.program.name,
+                arch=self.arch,
+                stats=stats,
+                trace_accesses=cand.trace_accesses,
+                host_seconds=host,
+                sim_digest=cand.key
+                or SimulationCache.make_key(
+                    cand.program, self.hierarchy_config, self.trace_options, self.engine
+                ),
+            )
+        except DeadlineExceeded as error:
+            cand.outcome = SimulationFailure(
+                program_name=cand.program.name,
+                kind=SimulationFailure.TIMEOUT,
+                error=str(error),
+                attempts=1,
+                host_seconds=cand.lower_seconds + (time.perf_counter() - sweep_start),
+            )
+        except Exception as error:  # noqa: BLE001 — containment boundary
+            cand.error = error  # isolated retry decides kind and accounting
+
+    def _retry_isolated(
+        self, cand: _BatchCandidate, timeout: float, retry: RetryPolicy
+    ) -> ResilientOutcome:
+        """Re-attempt a crashed or erroring candidate alone, serial-style.
+
+        The batch pass was attempt 1; attempt numbering, backoff delays and
+        the final ``attempts`` count match :func:`_attempt_program` on a
+        deterministic failure, so batched retry accounting is
+        indistinguishable from the per-candidate path.  Timeouts stay
+        final, crashes and errors are retried.
+        """
+        error = cand.error
+        attempt = 1
+        while True:
+            kind = (
+                SimulationFailure.CRASH
+                if isinstance(error, InjectedWorkerCrash)
+                else SimulationFailure.ERROR
+            )
+            if attempt >= retry.max_attempts:
+                return SimulationFailure(
+                    program_name=cand.program.name,
+                    kind=kind,
+                    error=f"{type(error).__name__}: {error}",
+                    attempts=attempt,
+                    host_seconds=time.perf_counter() - cand.started_at,
+                )
+            time.sleep(retry.delay_s(attempt, key=cand.program.name))
+            attempt += 1
+            try:
+                faults.maybe_crash_worker()
+                return self.run(
+                    cand.program, timeout_s=timeout if timeout > 0 else None
+                )
+            except DeadlineExceeded as deadline_error:
+                return SimulationFailure(
+                    program_name=cand.program.name,
+                    kind=SimulationFailure.TIMEOUT,
+                    error=str(deadline_error),
+                    attempts=attempt,
+                    host_seconds=time.perf_counter() - cand.started_at,
+                )
+            except Exception as next_error:  # noqa: BLE001 — containment boundary
+                error = next_error
 
 
 #: Per-process disk-backed caches, keyed by directory: pool workers are
@@ -266,6 +630,29 @@ def _run_slice_resilient(
 ) -> List[ResilientOutcome]:
     simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
     return [_attempt_program(simulator, program, timeout_s, retry) for program in programs]
+
+
+def _run_batch_slice_resilient(
+    arch, hierarchy_config, trace_options, programs, engine, memoize, memo_dir,
+    timeout_s, retry
+) -> List[ResilientOutcome]:
+    """Worker entry for one batch slice: a shared-hierarchy batch simulator.
+
+    Used by both the threads backend (``memo_dir=None`` — the process-wide
+    cache is shared directly) and the processes backend (workers memoize
+    through the shared on-disk layer).  Containment happens inside
+    :meth:`BatchSimulator.iter_batch`, so the returned list always has one
+    entry per program; only a hard worker death surfaces to the parent.
+    """
+    faults.maybe_crash_worker()
+    memo_cache = None
+    if memoize and memo_dir is not None:
+        memo_cache = _worker_cache(memo_dir)
+    batch = BatchSimulator(
+        arch, hierarchy_config, trace_options, engine=engine, memoize=memoize,
+        memo_cache=memo_cache,
+    )
+    return list(batch.iter_batch(programs, timeout_s=timeout_s, retry=retry))
 
 
 def _run_single_resilient(
@@ -398,8 +785,8 @@ class SimulatorPool:
             ]
             return [future.result() for future in futures]
 
-    def _run_threaded(self, programs: Sequence[Program]) -> List[SimulationResult]:
-        """Chunked thread dispatch: each worker runs one contiguous slice."""
+    def _contiguous_slices(self, programs: Sequence[Program]) -> List[Sequence[Program]]:
+        """Split ``programs`` into up to ``n_parallel`` contiguous slices."""
         workers = min(self.n_parallel, len(programs))
         base, extra = divmod(len(programs), workers)
         slices: List[Sequence[Program]] = []
@@ -408,7 +795,12 @@ class SimulatorPool:
             size = base + (1 if worker < extra else 0)
             slices.append(programs[position : position + size])
             position += size
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        return slices
+
+    def _run_threaded(self, programs: Sequence[Program]) -> List[SimulationResult]:
+        """Chunked thread dispatch: each worker runs one contiguous slice."""
+        slices = self._contiguous_slices(programs)
+        with ThreadPoolExecutor(max_workers=len(slices)) as pool:
             futures = [
                 pool.submit(
                     _run_slice,
@@ -485,16 +877,9 @@ class SimulatorPool:
         self, programs: Sequence[Program], timeout_s: float, retry: RetryPolicy
     ) -> List[ResilientOutcome]:
         """Chunked thread dispatch with per-program containment in each slice."""
-        workers = min(self.n_parallel, len(programs))
-        base, extra = divmod(len(programs), workers)
-        slices: List[Sequence[Program]] = []
-        position = 0
-        for worker in range(workers):
-            size = base + (1 if worker < extra else 0)
-            slices.append(programs[position : position + size])
-            position += size
+        slices = self._contiguous_slices(programs)
         results: List[ResilientOutcome] = []
-        with ThreadPoolExecutor(max_workers=workers) as pool:
+        with ThreadPoolExecutor(max_workers=len(slices)) as pool:
             futures = [
                 pool.submit(
                     _run_slice_resilient,
@@ -631,3 +1016,192 @@ class SimulatorPool:
                     results[i] = outcome
                 pending = []
         return [outcome for outcome in results if outcome is not None]
+
+    # -- batched execution (candidate-batch scheduler) ---------------------
+
+    def run_batch_resilient(self, programs: Sequence[Program]) -> List[ResilientOutcome]:
+        """Batched :meth:`run_many_resilient`: same outcomes, arena fast path.
+
+        Dispatches through :class:`BatchSimulator` so every worker reuses
+        one hierarchy and sweeps shared descriptor arenas instead of paying
+        per-candidate setup.  Outcomes (results, failure records, retry
+        accounting) are bit-identical to :meth:`run_many_resilient` for the
+        same inputs, ``sim.host_seconds`` excepted.
+        """
+        return list(self.iter_batch_resilient(programs))
+
+    def iter_batch_resilient(
+        self, programs: Sequence[Program]
+    ) -> Iterator[ResilientOutcome]:
+        """Stream batched outcomes in input order as candidates complete.
+
+        The ``serial`` backend streams per candidate (wave-buffered); the
+        ``threads`` backend streams slice by slice as workers finish; the
+        ``processes`` backend yields after its respawn loop settles.  A
+        broken worker pool respawns and re-runs only its unfinished slices,
+        degrading ``processes`` → ``threads`` → ``serial`` with a
+        :class:`~repro.reliability.BackendDegradationWarning`, exactly like
+        the per-candidate resilient path.
+        """
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}"
+            )
+        retry = self.retry if self.retry is not None else RetryPolicy.from_env()
+        timeout_s = float(self.timeout_s or 0.0)
+        memo_dir = None
+        if self.backend == "processes" and self.memoize:
+            memo_dir = str(self.memo_dir) if self.memo_dir else str(shared_disk_cache_dir())
+        if self.backend == "serial" or self.n_parallel <= 1 or len(programs) <= 1:
+            memo_cache = _worker_cache(memo_dir) if memo_dir else None
+            batch = BatchSimulator(
+                self.arch,
+                self.hierarchy_config,
+                self.trace_options,
+                engine=self.engine,
+                memoize=self.memoize,
+                memo_cache=memo_cache,
+            )
+            yield from batch.iter_batch(programs, timeout_s=timeout_s, retry=retry)
+            return
+        slices = self._contiguous_slices(programs)
+        if self.backend == "threads":
+            yield from self._iter_batch_threads(slices, timeout_s, retry)
+            return
+        yield from self._iter_batch_processes(slices, memo_dir, timeout_s, retry)
+
+    def _iter_batch_threads(
+        self,
+        slices: List[Sequence[Program]],
+        timeout_s: float,
+        retry: RetryPolicy,
+    ) -> Iterator[ResilientOutcome]:
+        """One batch simulator per thread slice; yields slices in order."""
+        with ThreadPoolExecutor(max_workers=len(slices)) as pool:
+            futures = [
+                pool.submit(
+                    _run_batch_slice_resilient,
+                    self.arch,
+                    self.hierarchy_config,
+                    self.trace_options,
+                    chunk,
+                    self.engine,
+                    self.memoize,
+                    None,
+                    timeout_s,
+                    retry,
+                )
+                for chunk in slices
+            ]
+            for chunk, future in zip(slices, futures):
+                try:
+                    outcomes = future.result()
+                except Exception as error:  # noqa: BLE001 — degrade, not die
+                    warnings.warn(
+                        BackendDegradationWarning(
+                            "threads", "serial", f"{type(error).__name__}: {error}"
+                        ),
+                        stacklevel=2,
+                    )
+                    outcomes = _run_batch_slice_resilient(
+                        self.arch,
+                        self.hierarchy_config,
+                        self.trace_options,
+                        chunk,
+                        self.engine,
+                        self.memoize,
+                        None,
+                        timeout_s,
+                        retry,
+                    )
+                yield from outcomes
+
+    def _iter_batch_processes(
+        self,
+        slices: List[Sequence[Program]],
+        memo_dir: Optional[str],
+        timeout_s: float,
+        retry: RetryPolicy,
+    ) -> Iterator[ResilientOutcome]:
+        """Batch slices on worker processes with respawn and degradation.
+
+        Workers contain per-candidate failures themselves, so the parent
+        only handles hard worker deaths: a broken or wedged pool is
+        terminated and only the unfinished slices re-run, up to
+        ``max_pool_respawns`` respawns, after which the remaining slices
+        degrade to the threads backend (whose cooperative deadlines keep
+        per-candidate isolation).
+        """
+        n = len(slices)
+        results: List[Optional[List[ResilientOutcome]]] = [None] * n
+        pending = list(range(n))
+        respawns = 0
+        emitted = 0
+        while pending:
+            pool = ProcessPoolExecutor(max_workers=min(self.n_parallel, len(pending)))
+            futures = {}
+            for s in pending:
+                futures[s] = pool.submit(
+                    _run_batch_slice_resilient,
+                    self.arch,
+                    self.hierarchy_config,
+                    self.trace_options,
+                    slices[s],
+                    self.engine,
+                    self.memoize,
+                    memo_dir,
+                    timeout_s,
+                    retry,
+                )
+            broke = False
+            for s, future in futures.items():
+                # Workers enforce timeout_s per candidate cooperatively; the
+                # parent backstop covers a truly wedged worker and scales
+                # with the slice it is waiting for.
+                backstop = (
+                    (timeout_s * 2.0 + 5.0) * len(slices[s]) if timeout_s > 0 else None
+                )
+                try:
+                    results[s] = future.result(timeout=backstop)
+                except (BrokenProcessPool, FuturesTimeoutError):
+                    broke = True
+                    break
+                except Exception as error:  # noqa: BLE001 — containment boundary
+                    results[s] = [
+                        SimulationFailure(
+                            program_name=program.name,
+                            kind=SimulationFailure.ERROR,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                        for program in slices[s]
+                    ]
+            if broke:
+                _terminate_pool(pool)
+                respawns += 1
+            else:
+                pool.shutdown(wait=True)
+            pending = [s for s in pending if results[s] is None]
+            if broke and respawns > self.max_pool_respawns and pending:
+                warnings.warn(
+                    BackendDegradationWarning(
+                        "processes",
+                        "threads",
+                        f"process pool broke {respawns} times "
+                        f"(respawn budget {self.max_pool_respawns})",
+                    ),
+                    stacklevel=3,
+                )
+                flattened = list(
+                    self._iter_batch_threads(
+                        [slices[s] for s in pending], timeout_s, retry
+                    )
+                )
+                at = 0
+                for s in pending:
+                    size = len(slices[s])
+                    results[s] = flattened[at : at + size]
+                    at += size
+                pending = []
+            while emitted < n and results[emitted] is not None:
+                yield from results[emitted]
+                emitted += 1

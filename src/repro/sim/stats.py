@@ -72,6 +72,16 @@ class SimulationStats:
             return self._groups[group_name].get(key, default)
         return default
 
+    def copy(self) -> "SimulationStats":
+        """An independent deep copy (used when one result fans out to many
+        consumers that may rewrite e.g. ``sim.host_seconds``)."""
+        clone = SimulationStats()
+        for group in self._groups.values():
+            clone_group = clone.group(group.name)
+            for key, value in group.items():
+                clone_group.set(key, value)
+        return clone
+
     def dump(self) -> str:
         """Render the statistics in a gem5 ``stats.txt``-like format."""
         lines = ["---------- Begin Simulation Statistics ----------"]

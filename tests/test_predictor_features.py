@@ -8,6 +8,7 @@ from hypothesis import given, strategies as st
 
 from repro.predictor import (
     DynamicWindow,
+    FeatureCache,
     FeatureExtractor,
     GroupStatistics,
     StaticWindow,
@@ -140,3 +141,77 @@ class TestWindows:
     def test_empty_windows_return_empty_means(self):
         assert DynamicWindow(FeatureExtractor()).means() == {}
         assert StaticWindow(FeatureExtractor(), 4).means() == {}
+
+
+class TestFeatureCache:
+    def test_digest_hits_are_bit_identical(self):
+        cache = FeatureCache(maxsize=4)
+        extractor = FeatureExtractor(cache=cache)
+        stats = fake_stats()
+        first = extractor.raw_features(stats, digest="d1")
+        second = extractor.raw_features(stats, digest="d1")
+        assert first == second == extractor.raw_features(stats)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_no_digest_bypasses_the_cache(self):
+        cache = FeatureCache()
+        extractor = FeatureExtractor(cache=cache)
+        extractor.raw_features(fake_stats())
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_returned_dicts_are_independent_copies(self):
+        cache = FeatureCache()
+        extractor = FeatureExtractor(cache=cache)
+        first = extractor.raw_features(fake_stats(), digest="d1")
+        first["load_ratio"] = -1.0
+        assert extractor.raw_features(fake_stats(), digest="d1")["load_ratio"] != -1.0
+
+    def test_levels_are_part_of_the_key(self):
+        cache = FeatureCache()
+        full = FeatureExtractor(cache=cache)
+        l1_only = FeatureExtractor(cache_levels=("l1d",), cache=cache)
+        stats = fake_stats()
+        assert full.raw_features(stats, digest="d1") != l1_only.raw_features(stats, digest="d1")
+        assert len(cache) == 2
+
+    def test_lru_eviction_at_capacity(self):
+        cache = FeatureCache(maxsize=2)
+        extractor = FeatureExtractor(cache=cache)
+        for digest in ("a", "b", "c"):
+            extractor.raw_features(fake_stats(), digest=digest)
+        assert len(cache) == 2
+        assert cache.get("a", extractor.cache_levels) is None  # evicted first
+        assert cache.get("c", extractor.cache_levels) is not None
+
+    def test_clear_resets_counters(self):
+        cache = FeatureCache()
+        extractor = FeatureExtractor(cache=cache)
+        extractor.raw_features(fake_stats(), digest="d1")
+        extractor.raw_features(fake_stats(), digest="d1")
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureCache(maxsize=0)
+
+    def test_windows_route_digests_through_the_cache(self):
+        cache = FeatureCache()
+        extractor = FeatureExtractor(cache=cache)
+        dynamic = DynamicWindow(extractor)
+        uncached = DynamicWindow(FeatureExtractor(cache=FeatureCache()))
+        for i in range(3):
+            stats = fake_stats(loads=100.0 * (i % 2 + 1))
+            dynamic.observe(stats, digest=f"d{i % 2}")
+            uncached.observe(stats)
+        assert dynamic.means() == uncached.means()
+        assert cache.hits == 1  # the repeated digest
+
+    def test_vector_from_raw_matches_vector(self):
+        extractor = FeatureExtractor(cache=FeatureCache())
+        stats = fake_stats()
+        means = extractor.group_means([stats, fake_stats(loads=200.0)])
+        raw = extractor.raw_features(stats)
+        assert np.array_equal(
+            extractor.vector(stats, means), extractor.vector_from_raw(raw, means)
+        )
