@@ -12,10 +12,11 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
+import repro
 from repro import te
 from repro.codegen import Target, build_program
 from repro.hardware import TargetBoard
-from repro.sim import Simulator, TraceOptions
+from repro.sim import TraceOptions
 from repro.te import topi
 
 
@@ -57,8 +58,10 @@ def main() -> None:
         target = Target.from_name(arch)
         program = build_program(func, target)
 
-        # Instruction-accurate simulation: counts and cache behaviour, no timing.
-        simulation = Simulator(arch, trace_options=trace_options).run(program)
+        # Instruction-accurate simulation: counts and cache behaviour, no
+        # timing.  repro.simulate is the stable facade — it never raises for
+        # a failed simulation (it returns a SimulationFailure record instead).
+        simulation = repro.simulate(program, arch, trace_options=trace_options)
         stats = simulation.flat_stats()
 
         # Native measurement on the modelled board (15 reps, 1 s cooldown, median).

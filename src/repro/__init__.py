@@ -19,5 +19,67 @@ __all__ = [
     "metrics",
     "workloads",
     "pipeline",
+    "service",
     "utils",
+    "simulate",
+    "simulate_batch",
 ]
+
+
+def _resolve_target(program, hierarchy):
+    """Split the facade's ``hierarchy`` argument into (arch, hierarchy_config).
+
+    ``hierarchy`` may be an architecture name (Table I defaults looked up by
+    name), an explicit ``CacheHierarchyConfig``, or ``None`` (the program's
+    own target architecture with its default hierarchy).
+    """
+    if hierarchy is None:
+        return program.target.name, None
+    if isinstance(hierarchy, str):
+        return hierarchy, None
+    return program.target.name, hierarchy
+
+
+def simulate(program, hierarchy=None, *, config=None, trace_options=None, timeout_s=None):
+    """Simulate one program; the stable top-level entry point.
+
+    Returns a :class:`repro.sim.SimulationResult` on success or a structured
+    :class:`repro.sim.SimulationFailure` on timeout/crash/error — it never
+    raises for a failed simulation.  ``hierarchy`` is an architecture name,
+    a :class:`repro.sim.CacheHierarchyConfig`, or ``None`` (the program's own
+    target); ``config`` is a :class:`repro.sim.RuntimeConfig` (defaults to
+    the env-deferring ``RuntimeConfig()``).
+    """
+    outcomes = simulate_batch(
+        [program],
+        hierarchy,
+        config=config,
+        trace_options=trace_options,
+        timeout_s=timeout_s,
+    )
+    return outcomes[0]
+
+
+def simulate_batch(
+    programs, hierarchy=None, *, config=None, trace_options=None, timeout_s=None
+):
+    """Simulate many programs on the candidate-batch fast path.
+
+    Returns one :class:`repro.sim.SimulationResult` or
+    :class:`repro.sim.SimulationFailure` per program, in input order, with
+    per-candidate failure containment (one bad candidate never poisons the
+    batch).  Statistics are bit-identical to per-program :func:`simulate`.
+    """
+    from repro.sim import BatchSimulator, TraceOptions
+
+    programs = list(programs)
+    if not programs:
+        return []
+    arch, hierarchy_config = _resolve_target(programs[0], hierarchy)
+    batch = BatchSimulator(
+        arch,
+        hierarchy_config,
+        trace_options if trace_options is not None else TraceOptions(),
+        config=config,
+    )
+    return list(batch.iter_batch(programs, timeout_s=timeout_s))

@@ -30,6 +30,7 @@ from repro.autotune.registry import get_func
 from repro.hardware.board import TargetBoard
 from repro.reliability import RetryPolicy
 from repro.sim.cpu import TraceOptions
+from repro.sim.runtime_config import RuntimeConfig
 from repro.sim.simulator import SimulationFailure, SimulationResult, SimulatorPool
 
 #: Union the resilient pool APIs hand back per candidate.
@@ -144,11 +145,13 @@ class SimulatorRunner(Runner):
         retry: Optional[RetryPolicy] = None,
         batch: Optional[bool] = None,
         on_result: Optional[ResultCallback] = None,
+        config: Optional[RuntimeConfig] = None,
     ):
         super().__init__(n_parallel=n_parallel, timeout_s=timeout_s)
         self.arch = arch
         self.trace_options = trace_options
         self.score_function = score_function
+        self.config = config if config is not None else RuntimeConfig()
         self.pool = SimulatorPool(
             arch=arch,
             n_parallel=n_parallel,
@@ -158,9 +161,11 @@ class SimulatorRunner(Runner):
             memoize=memoize,
             timeout_s=timeout_s,
             retry=retry,
+            config=self.config,
         )
         self.collect_results = collect_results
-        self.batch = batched_measurement_default() if batch is None else bool(batch)
+        # Precedence: explicit kwarg > config field > REPRO_RUNNER_BATCH > on.
+        self.batch = self.config.resolved_runner_batch() if batch is None else bool(batch)
         #: Streaming hook: called as each candidate's measurement settles.
         self.on_result = on_result
         #: Simulation results of every successful run, in measurement order.
@@ -348,10 +353,12 @@ class RunnerStatsCollector(Runner):
         timeout_s: float = 0.0,
         retry: Optional[RetryPolicy] = None,
         batch: Optional[bool] = None,
+        config: Optional[RuntimeConfig] = None,
     ):
         super().__init__(n_parallel=n_parallel, timeout_s=timeout_s)
         self.board = board
         self.arch = arch or board.arch
+        self.config = config if config is not None else RuntimeConfig()
         self.pool = SimulatorPool(
             arch=self.arch,
             n_parallel=n_parallel,
@@ -361,8 +368,9 @@ class RunnerStatsCollector(Runner):
             memoize=memoize,
             timeout_s=timeout_s,
             retry=retry,
+            config=self.config,
         )
-        self.batch = batched_measurement_default() if batch is None else bool(batch)
+        self.batch = self.config.resolved_runner_batch() if batch is None else bool(batch)
         #: Paired training records: (measure input, simulation result, measurement record).
         self.records: List[tuple] = []
 

@@ -6,9 +6,15 @@ Usage examples::
     python -m repro.cli table --arch x86 --implementations 36 --repeats 2
     python -m repro.cli fig5 --arch arm
     python -m repro.cli eq4
+    python -m repro.cli serve --arch riscv --port 8642 --db results.db
+    python -m repro.cli serve --check
+    python -m repro.cli query --url http://127.0.0.1:8642 --stats
 
-Each sub-command prints the same artefact the corresponding benchmark
-regenerates; the CLI exists so the experiments can be driven without pytest.
+Each experiment sub-command prints the same artefact the corresponding
+benchmark regenerates; the CLI exists so the experiments can be driven
+without pytest.  ``serve`` runs the simulation service (``--check``
+validates the runtime configuration and store without binding a port) and
+``query`` talks to a running one.
 """
 
 from __future__ import annotations
@@ -150,6 +156,73 @@ def cmd_eq4(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service (or just validate its configuration)."""
+    from repro.sim import RuntimeConfig
+    from repro.service import ResultStore, ServiceServer, SimulationService, Tenant
+
+    config = RuntimeConfig.from_env()
+    try:
+        config.validate()
+    except (ValueError, KeyError) as error:
+        print(f"invalid runtime configuration: {error}", file=sys.stderr)
+        return 2
+    if args.check:
+        print(format_table(
+            ["field", "environment variable", "resolved value"],
+            [list(row) for row in config.describe()],
+            title="runtime configuration",
+        ))
+        store = ResultStore(args.db, max_entries=args.max_entries, max_age_s=args.max_age)
+        print(f"store: {store!r}")
+        store.close()
+        print("configuration OK")
+        return 0
+    tenants = {}
+    for index, spec in enumerate(args.api_key or []):
+        name, _, key = spec.rpartition(":")
+        tenants[key] = Tenant(name=name or f"tenant{index}", api_key=key, quota=args.quota)
+    store = ResultStore(args.db, max_entries=args.max_entries, max_age_s=args.max_age)
+    if args.import_memo_dir:
+        imported = store.import_disk_cache(args.import_memo_dir)
+        print(f"imported {imported} entries from {args.import_memo_dir}")
+    config.apply_process_toggles()
+    trace_options = TraceOptions(max_accesses=args.trace) if args.trace else None
+    service = SimulationService(
+        args.arch, store, config=config, tenants=tenants, trace_options=trace_options
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+    print(f"serving {args.arch} simulations on http://{args.host}:{args.port} "
+          f"(db {args.db}, {len(tenants)} tenant(s))")
+    try:
+        server.serve_forever()
+    finally:
+        service.close()
+        store.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Query a running simulation service (stats or one stored digest)."""
+    import json
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.url, api_key=args.key)
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.digest:
+        result = client.result(args.digest)
+        if result is None:
+            print(f"no result stored for digest {args.digest}", file=sys.stderr)
+            return 1
+        print(result.dump())
+        return 0
+    print("nothing to do: pass --stats or --digest", file=sys.stderr)
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -182,6 +255,35 @@ def build_parser() -> argparse.ArgumentParser:
     eq4.add_argument("--count", type=int, default=3, help="schedules per group")
     eq4.add_argument("--trace", type=int, default=120_000)
     eq4.set_defaults(func=cmd_eq4)
+
+    serve = commands.add_parser("serve", help="run the simulation service")
+    serve.add_argument("--arch", choices=["x86", "arm", "riscv"], default="riscv")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--db", default=":memory:",
+                       help="SQLite database path of the shared result store")
+    serve.add_argument("--api-key", action="append", metavar="NAME:KEY",
+                       help="register one tenant (repeatable); no keys = open dev mode")
+    serve.add_argument("--quota", type=int, default=0,
+                       help="per-tenant request quota (0 = unlimited)")
+    serve.add_argument("--max-entries", type=int, default=100_000,
+                       help="LRU bound of the result store")
+    serve.add_argument("--max-age", type=float, default=0.0,
+                       help="age eviction window in seconds (0 = none)")
+    serve.add_argument("--trace", type=int, default=None,
+                       help="simulated memory references per request (default: unbounded)")
+    serve.add_argument("--import-memo-dir", default=None,
+                       help="import an existing flat-file memo directory on startup")
+    serve.add_argument("--check", action="store_true",
+                       help="validate the runtime configuration and store, then exit")
+    serve.set_defaults(func=cmd_serve)
+
+    query = commands.add_parser("query", help="query a running simulation service")
+    query.add_argument("--url", default="http://127.0.0.1:8642")
+    query.add_argument("--key", default=None, help="API key (X-Api-Key header)")
+    query.add_argument("--stats", action="store_true", help="print GET /stats")
+    query.add_argument("--digest", default=None, help="fetch one result by digest")
+    query.set_defaults(func=cmd_query)
     return parser
 
 

@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: shared result store, HTTP front door, workers.
+
+The serving layer on top of the simulation engine (the ROADMAP's
+"millions of users" direction): a SQLite-backed
+:class:`~repro.service.store.ResultStore` replacing the flat-file disk memo
+as the shared backend, an asyncio HTTP service
+(:class:`~repro.service.server.ServiceServer`) with per-tenant API keys,
+quotas and in-flight request coalescing, a
+:class:`~repro.service.worker.SimulationWorker` pool draining misses through
+arena-batched :class:`~repro.sim.BatchSimulator` waves, and a stdlib HTTP
+:class:`~repro.service.client.ServiceClient` that plugs into the autotuning
+registry.  Run one with ``python -m repro.cli serve``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import (
+    ServiceServer,
+    SimulationService,
+    Tenant,
+    hierarchy_from_dict,
+)
+from repro.service.store import SERVICE_SCHEMA_VERSION, ResultStore
+from repro.service.worker import SimulationJob, SimulationWorker
+
+__all__ = [
+    "SERVICE_SCHEMA_VERSION",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SimulationJob",
+    "SimulationService",
+    "SimulationWorker",
+    "Tenant",
+    "hierarchy_from_dict",
+]

@@ -1,0 +1,169 @@
+"""HTTP client for the simulation service (stdlib :mod:`http.client` only).
+
+:class:`ServiceClient` speaks the :mod:`repro.service.server` protocol and
+rebuilds full :class:`~repro.sim.SimulationResult` objects from the
+transported flat statistics (via :func:`repro.sim.memo.stats_from_flat`), so
+service-backed callers receive the same object shape as local simulation —
+bit-identical statistics, with ``host_seconds`` reporting the round-trip
+time instead of the remote walk time (exactly the memoized-result
+convention).
+
+:meth:`ServiceClient.simulator_run` adapts the client to the autotuning
+registry's ``"autotvm.simulator_run"`` override signature, so a tuner can
+run its whole measurement loop against a shared service::
+
+    from repro.autotune.registry import register_func
+    client = ServiceClient("http://127.0.0.1:8642", api_key="...")
+    register_func("autotvm.simulator_run", client.simulator_run, override=True)
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import time
+from dataclasses import asdict
+from http.client import HTTPConnection
+from typing import Dict, List, Optional, Sequence
+from urllib.parse import urlsplit
+
+from repro.sim.hierarchy import CacheHierarchyConfig
+from repro.sim.memo import stats_from_flat
+from repro.sim.simulator import ResilientOutcome, SimulationFailure, SimulationResult
+
+
+class ServiceError(RuntimeError):
+    """A non-simulation protocol failure (auth, quota, malformed request)."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking client for one simulation service endpoint."""
+
+    def __init__(self, base_url: str, api_key: Optional[str] = None,
+                 timeout_s: float = 600.0):
+        parts = urlsplit(base_url)
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.api_key = api_key
+        self.timeout_s = float(timeout_s)
+
+    # -- transport ----------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        headers = {"Content-Type": "application/json"}
+        if self.api_key is not None:
+            headers["X-Api-Key"] = self.api_key
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8")
+            return response.status, (json.loads(text) if text else {})
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode_outcome(payload: dict, host_seconds: float) -> ResilientOutcome:
+        if payload.get("status") == "failed":
+            return SimulationFailure(
+                program_name=payload.get("program_name", ""),
+                kind=payload.get("kind", SimulationFailure.ERROR),
+                error=payload.get("error", ""),
+                attempts=int(payload.get("attempts", 1)),
+                host_seconds=host_seconds,
+            )
+        flat = {str(k): float(v) for k, v in payload["stats"].items()}
+        stats = stats_from_flat(flat)
+        stats.group("sim").set("host_seconds", host_seconds)
+        return SimulationResult(
+            program_name=payload.get("program_name", ""),
+            arch=payload.get("arch", ""),
+            stats=stats,
+            trace_accesses=int(payload.get("trace_accesses", 0)),
+            host_seconds=host_seconds,
+            cached=bool(payload.get("cached", False)),
+            sim_digest=payload.get("digest", ""),
+        )
+
+    # -- API ----------------------------------------------------------------
+    def simulate(
+        self,
+        program,
+        hierarchy: Optional[CacheHierarchyConfig] = None,
+        wait: bool = True,
+    ) -> ResilientOutcome:
+        """Simulate one program through the service.
+
+        Returns a :class:`SimulationResult` (statistics bit-identical to a
+        local run, ``host_seconds`` = round-trip time) or a structured
+        :class:`SimulationFailure`.  Raises :class:`ServiceError` only for
+        protocol-level failures (auth, quota, malformed payloads).
+        """
+        start = time.perf_counter()
+        payload: Dict[str, object] = {
+            "program": base64.b64encode(pickle.dumps(program)).decode("ascii"),
+            "wait": wait,
+        }
+        if hierarchy is not None:
+            payload["hierarchy"] = asdict(hierarchy)
+        status, body = self._request("POST", "/simulate", payload)
+        elapsed = time.perf_counter() - start
+        if status in (200, 500) and body.get("status") in ("done", "failed"):
+            return self._decode_outcome(body, elapsed)
+        if status == 202:
+            return SimulationFailure(
+                program_name=getattr(program, "name", ""),
+                kind=SimulationFailure.TIMEOUT,
+                error=f"queued as {body.get('digest', '?')}; poll /results/{{digest}}",
+                host_seconds=elapsed,
+            )
+        raise ServiceError(status, body)
+
+    def simulate_batch(
+        self, programs: Sequence, hierarchy: Optional[CacheHierarchyConfig] = None
+    ) -> List[ResilientOutcome]:
+        """Simulate many programs (one request each, coalesced server-side)."""
+        return [self.simulate(program, hierarchy) for program in programs]
+
+    def result(self, digest: str) -> Optional[SimulationResult]:
+        """Fetch a stored result by digest; ``None`` when unknown."""
+        start = time.perf_counter()
+        status, body = self._request("GET", f"/results/{digest}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceError(status, body)
+        outcome = self._decode_outcome(body, time.perf_counter() - start)
+        assert isinstance(outcome, SimulationResult)
+        return outcome
+
+    def stats(self) -> dict:
+        """The service's ``GET /stats`` counters."""
+        status, body = self._request("GET", "/stats")
+        if status != 200:
+            raise ServiceError(status, body)
+        return body
+
+    def healthy(self) -> bool:
+        """Whether the service answers its liveness probe."""
+        try:
+            status, body = self._request("GET", "/healthz")
+        except OSError:
+            return False
+        return status == 200 and body.get("status") == "ok"
+
+    # -- autotuning adapter -------------------------------------------------
+    def simulator_run(self, programs, arch=None, n_parallel=None) -> List[ResilientOutcome]:
+        """``"autotvm.simulator_run"`` registry adapter: tuner → service.
+
+        Matches the external-simulator override signature of
+        :meth:`repro.autotune.runner.SimulatorRunner.simulator_run`
+        (``arch``/``n_parallel`` are fixed service-side and ignored here).
+        """
+        return self.simulate_batch(programs)

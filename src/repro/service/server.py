@@ -1,0 +1,439 @@
+"""Async HTTP front door for simulation-as-a-service.
+
+A deliberately small HTTP/1.1 layer over stdlib :mod:`asyncio` (no new
+dependencies): the event loop owns connection handling, every request
+handler runs on a thread pool because the interesting ones block on
+simulation.  Endpoints:
+
+* ``POST /simulate`` — body ``{"program": <base64 pickle>, "hierarchy":
+  {...}?, "wait": true?}``.  Served from the result store when the digest is
+  known; otherwise the miss is queued to the worker pool (``wait=true``
+  blocks for the outcome, ``wait=false`` returns ``202 queued``).
+  Concurrent requests for one digest coalesce onto a single computation
+  through :meth:`~repro.sim.memo.SimulationCache.get_or_compute` — the
+  leader simulates, twins wait, everyone gets the same bits.
+* ``GET /results/{digest}`` — fetch a stored result by digest (404 on miss).
+* ``GET /stats`` — service, store, cache, worker and per-tenant counters.
+* ``GET /healthz`` — unauthenticated liveness probe.
+
+Multi-tenancy: requests carry an ``X-Api-Key`` header resolved against the
+configured :class:`Tenant` table (401 on unknown keys, 429 once a tenant's
+request quota is spent).  An empty tenant table disables authentication —
+the single-user dev mode.  Programs travel as pickled payloads, which is an
+arbitrary-code-execution surface by design of :mod:`pickle`: the service is
+built for *trusted* tenants behind API keys, not the open internet.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.sim.cpu import TraceOptions
+from repro.sim.hierarchy import CacheHierarchyConfig, CacheLevelConfig
+from repro.sim.memo import SimulationCache
+from repro.sim.runtime_config import RuntimeConfig
+from repro.sim.simulator import BatchSimulator, SimulationFailure
+from repro.service.store import ResultStore
+from repro.service.worker import SimulationWorker
+
+#: Upper bound on accepted request bodies (pickled programs are small; a
+#: multi-megabyte body is a client bug or abuse, not a schedule).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass
+class Tenant:
+    """One API tenant: key, display name and request quota (0 = unlimited)."""
+
+    name: str
+    api_key: str
+    quota: int = 0
+    requests: int = 0
+
+
+def hierarchy_from_dict(payload: dict) -> CacheHierarchyConfig:
+    """Rebuild a :class:`CacheHierarchyConfig` from its ``asdict`` JSON form."""
+
+    def level(entry) -> Optional[CacheLevelConfig]:
+        if entry is None:
+            return None
+        return CacheLevelConfig(
+            size_bytes=int(entry["size_bytes"]),
+            sets=int(entry["sets"]),
+            associativity=int(entry["associativity"]),
+            replacement=str(entry.get("replacement", "lru")),
+        )
+
+    return CacheHierarchyConfig(
+        name=str(payload["name"]),
+        l1d=level(payload["l1d"]),
+        l1i=level(payload["l1i"]),
+        l2=level(payload["l2"]),
+        l3=level(payload.get("l3")),
+        line_bytes=int(payload.get("line_bytes", 64)),
+    )
+
+
+class _JobFailed(Exception):
+    """Internal: carries a SimulationFailure out of a coalesced computation."""
+
+    def __init__(self, failure: SimulationFailure):
+        super().__init__(failure.error)
+        self.failure = failure
+
+
+class SimulationService:
+    """The service's request logic, independent of the HTTP transport."""
+
+    def __init__(
+        self,
+        arch: str,
+        store: ResultStore,
+        config: Optional[RuntimeConfig] = None,
+        tenants: Optional[Dict[str, Tenant]] = None,
+        hierarchy_config: Optional[CacheHierarchyConfig] = None,
+        trace_options: Optional[TraceOptions] = None,
+        wait_timeout_s: float = 300.0,
+    ):
+        self.arch = arch
+        self.store = store
+        self.config = config if config is not None else RuntimeConfig()
+        #: Tenants keyed by API key; empty disables authentication (dev mode).
+        self.tenants = dict(tenants or {})
+        self.wait_timeout_s = float(wait_timeout_s)
+        self.cache = SimulationCache(store=store)
+        self.simulator = BatchSimulator(
+            arch,
+            hierarchy_config,
+            trace_options if trace_options is not None else TraceOptions(),
+            memo_cache=self.cache,
+            config=self.config,
+        )
+        self.worker = SimulationWorker(
+            self.simulator,
+            timeout_s=self.config.timeout_s,
+            retry=self.config.resolved_retry(),
+        )
+        self.started_at = time.time()
+        self.requests = 0
+        self.served_cached = 0
+        self.computed = 0
+        self.queued = 0
+        self.failed = 0
+        self._lock = threading.Lock()
+
+    # -- auth ---------------------------------------------------------------
+    def authenticate(
+        self, api_key: Optional[str]
+    ) -> Tuple[Optional[Tenant], Optional[Tuple[int, dict]]]:
+        """Resolve a tenant; returns ``(tenant, None)`` or ``(None, error)``."""
+        if not self.tenants:
+            return None, None  # dev mode: no auth configured
+        tenant = self.tenants.get(api_key or "")
+        if tenant is None:
+            return None, (401, {"error": "unknown or missing API key"})
+        with self._lock:
+            if tenant.quota > 0 and tenant.requests >= tenant.quota:
+                return None, (
+                    429,
+                    {"error": f"tenant {tenant.name!r} exceeded quota {tenant.quota}"},
+                )
+            tenant.requests += 1
+        return tenant, None
+
+    # -- request handlers ---------------------------------------------------
+    def _digest_for(self, program, hierarchy_config) -> str:
+        return SimulationCache.make_key(
+            program, hierarchy_config, self.simulator.trace_options, self.simulator.engine
+        )
+
+    def _result_body(self, digest: str, flat: Dict[str, float], cached: bool,
+                     program_name: str) -> dict:
+        return {
+            "status": "done",
+            "digest": digest,
+            "cached": cached,
+            "program_name": program_name,
+            "arch": self.arch,
+            "trace_accesses": int(flat.get("sim.trace_accesses", 0.0)),
+            "stats": flat,
+        }
+
+    @staticmethod
+    def _failure_body(digest: str, failure: SimulationFailure) -> dict:
+        return {
+            "status": "failed",
+            "digest": digest,
+            "program_name": failure.program_name,
+            "kind": failure.kind,
+            "error": failure.error,
+            "attempts": failure.attempts,
+        }
+
+    def handle_simulate(self, payload: dict) -> Tuple[int, dict]:
+        """``POST /simulate``: memoized result, queued miss, or failure record."""
+        with self._lock:
+            self.requests += 1
+        try:
+            program = pickle.loads(base64.b64decode(payload["program"]))
+        except KeyError:
+            return 400, {"error": "missing required field 'program'"}
+        except Exception as error:  # noqa: BLE001 — client payload boundary
+            return 400, {"error": f"undecodable program payload: {error}"}
+        hierarchy = self.simulator.hierarchy_config
+        if payload.get("hierarchy") is not None:
+            try:
+                hierarchy = hierarchy_from_dict(payload["hierarchy"])
+            except (KeyError, TypeError, ValueError) as error:
+                return 400, {"error": f"malformed hierarchy config: {error}"}
+        digest = self._digest_for(program, hierarchy)
+        cached = self.cache.get(digest)
+        if cached is not None:
+            with self._lock:
+                self.served_cached += 1
+            return 200, self._result_body(digest, cached.as_dict(), True, program.name)
+        if not payload.get("wait", True):
+            with self._lock:
+                self.queued += 1
+            self.worker.submit(digest, program)
+            return 202, {"status": "queued", "digest": digest}
+
+        def compute():
+            # Runs on the leader only: concurrent POSTs for one digest
+            # coalesce here via get_or_compute; twins block until the leader
+            # settles and are served the freshly cached statistics.
+            outcome = self._compute_miss(digest, program, hierarchy)
+            if isinstance(outcome, SimulationFailure):
+                raise _JobFailed(outcome)
+            return outcome.stats
+
+        try:
+            stats, computed = self.cache.get_or_compute(digest, compute)
+        except _JobFailed as error:
+            with self._lock:
+                self.failed += 1
+            return 500, self._failure_body(digest, error.failure)
+        with self._lock:
+            if computed:
+                self.computed += 1
+            else:
+                self.served_cached += 1
+        return 200, self._result_body(digest, stats.as_dict(), not computed, program.name)
+
+    def _compute_miss(self, digest: str, program, hierarchy):
+        """Simulate one miss: worker wave for the service hierarchy, inline
+        one-off simulation for a request-supplied hierarchy."""
+        if hierarchy is self.simulator.hierarchy_config:
+            return self.worker.run_sync(digest, program, self.wait_timeout_s)
+        from repro.sim.simulator import Simulator, _attempt_program
+
+        # Unmemoized on purpose: this runs inside the leader slot of
+        # ``cache.get_or_compute(digest, ...)``, so a memoizing simulator
+        # would re-enter ``get_or_compute`` on the same key and wait on its
+        # own in-flight event.  The leader writes the result through the
+        # cache (and store) under ``digest`` when this returns.
+        one_off = Simulator(
+            self.arch,
+            hierarchy,
+            self.simulator.trace_options,
+            config=self.config.with_overrides(memoize=False),
+        )
+        return _attempt_program(
+            one_off, program, self.config.timeout_s, self.config.resolved_retry()
+        )
+
+    def handle_result(self, digest: str) -> Tuple[int, dict]:
+        """``GET /results/{digest}``: stored statistics or 404."""
+        with self._lock:
+            self.requests += 1
+        stats = self.cache.get(digest)
+        if stats is None:
+            return 404, {"error": f"no result stored for digest {digest}"}
+        return 200, self._result_body(digest, stats.as_dict(), True, "")
+
+    def handle_stats(self) -> Tuple[int, dict]:
+        """``GET /stats``: every layer's counters plus the service hit rate."""
+        served = self.served_cached + self.computed
+        return 200, {
+            "arch": self.arch,
+            "uptime_s": time.time() - self.started_at,
+            "requests": self.requests,
+            "served_cached": self.served_cached,
+            "computed": self.computed,
+            "queued": self.queued,
+            "failed": self.failed,
+            "hit_rate": (self.served_cached / served) if served else 0.0,
+            "store": self.store.counters(),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "coalesced": self.cache.coalesced,
+            },
+            "worker": self.worker.counters(),
+            "tenants": {
+                tenant.name: {"requests": tenant.requests, "quota": tenant.quota}
+                for tenant in self.tenants.values()
+            },
+        }
+
+    def close(self) -> None:
+        self.worker.stop()
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+
+class ServiceServer:
+    """asyncio HTTP server wiring one :class:`SimulationService` to a socket."""
+
+    def __init__(self, service: SimulationService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    # -- HTTP plumbing ------------------------------------------------------
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[_Request]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body of {length} bytes exceeds {MAX_BODY_BYTES}")
+        body = await reader.readexactly(length) if length else b""
+        return _Request(method=method, path=path, headers=headers, body=body)
+
+    @staticmethod
+    def _encode_response(status: int, payload: dict) -> bytes:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                   401: "Unauthorized", 404: "Not Found", 405: "Method Not Allowed",
+                   429: "Too Many Requests", 500: "Internal Server Error"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        return head.encode("latin-1") + body
+
+    def _route(self, request: _Request) -> Tuple[int, dict]:
+        """Dispatch one request; runs on the executor thread pool."""
+        if request.path == "/healthz":
+            return 200, {"status": "ok"}
+        _tenant, error = self.service.authenticate(request.headers.get("x-api-key"))
+        if error is not None:
+            return error
+        if request.method == "POST" and request.path == "/simulate":
+            try:
+                payload = json.loads(request.body.decode("utf-8") or "{}")
+            except ValueError:
+                return 400, {"error": "request body is not valid JSON"}
+            return self.service.handle_simulate(payload)
+        if request.method == "GET" and request.path.startswith("/results/"):
+            return self.service.handle_result(request.path[len("/results/"):])
+        if request.method == "GET" and request.path == "/stats":
+            return self.service.handle_stats()
+        return 404, {"error": f"no route for {request.method} {request.path}"}
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            # Handlers block on simulation; keep the loop responsive by
+            # running them on the default thread-pool executor.
+            status, payload = await asyncio.get_running_loop().run_in_executor(
+                None, self._route, request
+            )
+        except Exception as error:  # noqa: BLE001 — one bad connection only
+            status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+        try:
+            writer.write(self._encode_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def _serve(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def serve_forever(self) -> None:
+        """Run the server on the calling thread (the CLI entry point)."""
+        try:
+            asyncio.run(self._serve())
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+
+    def start_in_thread(self, timeout: float = 10.0) -> "ServiceServer":
+        """Run the server on a daemon thread; returns once the port is bound."""
+
+        def run() -> None:
+            self._loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self._serve())
+            except asyncio.CancelledError:
+                pass
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service server did not come up in time")
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the server thread and the worker behind it."""
+        if self._loop is not None and self._server is not None:
+            def shutdown() -> None:
+                assert self._server is not None
+                self._server.close()
+                for task in asyncio.all_tasks(self._loop):
+                    task.cancel()
+
+            self._loop.call_soon_threadsafe(shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.service.close()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

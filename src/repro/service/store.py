@@ -1,0 +1,248 @@
+"""DB-backed shared result store: the memo layer's flat files grown a schema.
+
+:class:`ResultStore` is the repo layer of the simulation service: one SQLite
+database (stdlib :mod:`sqlite3`, WAL mode) holding simulation statistics
+keyed on their ``sim_digest`` — the same content-addressed memoization key
+the flat-file disk layer in :mod:`repro.sim.memo` uses, so the two backends
+are interchangeable and mutually importable.  Rows are schema-versioned
+twice over: by the store's own table layout
+(:data:`SERVICE_SCHEMA_VERSION`) and by the memo semantic version
+(:data:`~repro.sim.memo.CACHE_SCHEMA_VERSION`, which changes whenever
+simulation *results* change).  A mismatch on either drops and recreates the
+table — entries are content-addressed recomputables, never the only copy of
+anything.
+
+The store plugs straight into :class:`~repro.sim.memo.SimulationCache` as
+its duck-typed ``store=`` backend (``get(key) -> flat dict | None`` /
+``put(key, flat)``), putting it behind the cache's in-memory LRU and
+in-flight coalescing, and is safe for many threads over one connection
+(serialised by an internal lock; cross-process sharing goes through WAL).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.sim.memo import CACHE_SCHEMA_VERSION, _decode_entry
+
+#: Version of the store's own table layout.  Bump on layout changes; the
+#: memo :data:`CACHE_SCHEMA_VERSION` is tracked separately in ``meta`` and
+#: invalidates rows whenever simulation semantics change.
+SERVICE_SCHEMA_VERSION = 1
+
+
+def _canonical(flat: Dict[str, float]) -> str:
+    return json.dumps(flat, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Shared simulation-result store over one SQLite database.
+
+    ``max_entries`` bounds the table LRU-style on ``last_used`` (0 =
+    unbounded); ``max_age_s`` additionally evicts rows not used within the
+    window (0 = no age limit).  ``hits``/``misses``/``evictions`` count this
+    store instance's traffic and are surfaced by ``GET /stats``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path] = ":memory:",
+        max_entries: int = 100_000,
+        max_age_s: float = 0.0,
+    ):
+        self.path = str(path)
+        self.max_entries = int(max_entries)
+        self.max_age_s = float(max_age_s)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        with self._lock:
+            self._ensure_schema()
+
+    # -- schema -------------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        rows = dict(self._conn.execute("SELECT key, value FROM meta"))
+        expected = {
+            "service_schema": str(SERVICE_SCHEMA_VERSION),
+            "memo_schema": str(CACHE_SCHEMA_VERSION),
+        }
+        if rows and rows != expected:
+            # Stale layout or stale simulation semantics: every row is a
+            # content-addressed recomputable, so drop instead of migrating.
+            self._conn.execute("DROP TABLE IF EXISTS results")
+            self._conn.execute("DELETE FROM meta")
+            rows = {}
+        if not rows:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                sorted(expected.items()),
+            )
+        self._conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS results (
+                digest     TEXT PRIMARY KEY,
+                schema     INTEGER NOT NULL,
+                stats      TEXT NOT NULL,
+                sha256     TEXT NOT NULL,
+                created_at REAL NOT NULL,
+                last_used  REAL NOT NULL,
+                use_count  INTEGER NOT NULL DEFAULT 0
+            )
+            """
+        )
+        self._conn.execute(
+            "CREATE INDEX IF NOT EXISTS results_last_used ON results (last_used)"
+        )
+        self._conn.commit()
+
+    # -- CRUD ---------------------------------------------------------------
+    def get(self, digest: str) -> Optional[Dict[str, float]]:
+        """Fetch one flat statistics snapshot; ``None`` on miss or corruption."""
+        now = time.time()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT stats, sha256, schema FROM results WHERE digest = ?", (digest,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            stats_json, checksum, schema = row
+            if schema != CACHE_SCHEMA_VERSION or (
+                hashlib.sha256(stats_json.encode("utf-8")).hexdigest() != checksum
+            ):
+                # Defensive: a corrupted or stale row is dropped and re-simulated.
+                self._conn.execute("DELETE FROM results WHERE digest = ?", (digest,))
+                self._conn.commit()
+                self.misses += 1
+                return None
+            self._conn.execute(
+                "UPDATE results SET last_used = ?, use_count = use_count + 1 "
+                "WHERE digest = ?",
+                (now, digest),
+            )
+            self._conn.commit()
+            self.hits += 1
+        try:
+            flat = json.loads(stats_json)
+            return {str(k): float(v) for k, v in flat.items()}
+        except (ValueError, TypeError, AttributeError):
+            return None
+
+    def put(self, digest: str, flat: Dict[str, float]) -> None:
+        """Insert or refresh one result (idempotent — keys are content hashes)."""
+        normalised = {str(k): float(v) for k, v in flat.items()}
+        stats_json = _canonical(normalised)
+        checksum = hashlib.sha256(stats_json.encode("utf-8")).hexdigest()
+        now = time.time()
+        with self._lock:
+            self._conn.execute(
+                """
+                INSERT INTO results
+                    (digest, schema, stats, sha256, created_at, last_used, use_count)
+                VALUES (?, ?, ?, ?, ?, ?, 0)
+                ON CONFLICT(digest) DO UPDATE SET last_used = excluded.last_used
+                """,
+                (digest, CACHE_SCHEMA_VERSION, stats_json, checksum, now, now),
+            )
+            self._evict_locked(now)
+            self._conn.commit()
+
+    def _evict_locked(self, now: float) -> None:
+        """Age- then LRU-evict; caller holds the lock and commits."""
+        if self.max_age_s > 0:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE last_used < ?", (now - self.max_age_s,)
+            )
+            self.evictions += cursor.rowcount
+        if self.max_entries > 0:
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+            overflow = count - self.max_entries
+            if overflow > 0:
+                cursor = self._conn.execute(
+                    """
+                    DELETE FROM results WHERE digest IN (
+                        SELECT digest FROM results
+                        ORDER BY last_used ASC, digest ASC LIMIT ?
+                    )
+                    """,
+                    (overflow,),
+                )
+                self.evictions += cursor.rowcount
+
+    def evict(self) -> int:
+        """Apply the age/LRU policy now; returns total evictions so far."""
+        with self._lock:
+            self._evict_locked(time.time())
+            self._conn.commit()
+            return self.evictions
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+            return int(count)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE digest = ?", (digest,)
+            ).fetchone()
+            return row is not None
+
+    # -- migration ----------------------------------------------------------
+    def import_disk_cache(self, directory: Union[str, Path]) -> int:
+        """Import a flat-file memo directory (``<digest>.json`` envelopes).
+
+        The migration path from the pre-service shared disk cache: every
+        decodable, checksum-valid envelope of the current memo schema is
+        inserted under its filename digest.  Corrupt, legacy-format or
+        wrong-schema entries are skipped (the disk layer's own quarantine
+        discipline already handles them).  Returns the number imported.
+        """
+        directory = Path(directory)
+        imported = 0
+        for path in sorted(directory.glob("*.json")):
+            try:
+                text = path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            flat, _reason = _decode_entry(text)
+            if flat is None:
+                continue
+            self.put(path.stem, flat)
+            imported += 1
+        return imported
+
+    # -- introspection ------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Store metrics for ``GET /stats``: size, traffic, hit rate."""
+        total = self.hits + self.misses
+        return {
+            "entries": float(len(self)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore({self.path!r}, {len(self)} entries, "
+            f"{self.hits} hits, {self.misses} misses, {self.evictions} evictions)"
+        )

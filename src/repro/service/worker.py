@@ -1,0 +1,152 @@
+"""Service worker: drains queued simulation misses in BatchSimulator waves.
+
+Requests that miss the :class:`~repro.service.store.ResultStore` are queued
+as jobs; a background worker thread gathers queued jobs into waves and runs
+them through :class:`~repro.sim.simulator.BatchSimulator.iter_batch` — the
+shared-arena fast path with the full reliability semantics (cooperative
+per-candidate deadlines, retry accounting, per-candidate crash containment).
+A crashed or erroring candidate settles as a structured
+:class:`~repro.sim.simulator.SimulationFailure` for its own requester only;
+its wave-mates and the worker itself keep going, mirroring
+``SimulatorPool.run_many_resilient`` containment.
+
+The worker writes every computed result through the batch simulator's memo
+cache (memory LRU → store), so the HTTP layer's coalesced waiters find it
+there the moment the job settles.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.codegen.program import Program
+from repro.reliability import RetryPolicy
+from repro.sim.simulator import (
+    BATCH_WAVE_CANDIDATES,
+    BatchSimulator,
+    ResilientOutcome,
+    SimulationFailure,
+)
+
+
+@dataclass
+class SimulationJob:
+    """One queued simulation request travelling through the worker."""
+
+    digest: str
+    program: Program
+    done: threading.Event = field(default_factory=threading.Event)
+    outcome: Optional[ResilientOutcome] = None
+
+    def wait(self, timeout: Optional[float] = None) -> ResilientOutcome:
+        """Block until the job settles; a worker hang becomes a TIMEOUT record."""
+        if not self.done.wait(timeout):
+            return SimulationFailure(
+                program_name=self.program.name,
+                kind=SimulationFailure.TIMEOUT,
+                error=f"service worker did not settle job within {timeout}s",
+            )
+        assert self.outcome is not None
+        return self.outcome
+
+
+class SimulationWorker:
+    """Background thread running queued jobs through one batch simulator."""
+
+    def __init__(
+        self,
+        simulator: BatchSimulator,
+        timeout_s: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
+        max_wave: int = BATCH_WAVE_CANDIDATES,
+        poll_s: float = 0.05,
+    ):
+        self.simulator = simulator
+        self.timeout_s = float(timeout_s)
+        self.retry = retry
+        self.max_wave = int(max_wave)
+        self.poll_s = float(poll_s)
+        self._queue: "queue.Queue[SimulationJob]" = queue.Queue()
+        self._stop = threading.Event()
+        self.waves = 0
+        self.jobs = 0
+        self.failures = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sim-worker", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, digest: str, program: Program) -> SimulationJob:
+        """Queue one simulation; returns the job handle to wait on."""
+        job = SimulationJob(digest=digest, program=program)
+        self._queue.put(job)
+        return job
+
+    def run_sync(
+        self, digest: str, program: Program, wait_timeout: Optional[float] = None
+    ) -> ResilientOutcome:
+        """Queue and block until the outcome settles (HTTP ``wait=true`` path)."""
+        return self.submit(digest, program).wait(wait_timeout)
+
+    def _gather_wave(self) -> List[SimulationJob]:
+        """Block for the first job, then drain whatever else is queued."""
+        try:
+            first = self._queue.get(timeout=self.poll_s)
+        except queue.Empty:
+            return []
+        wave = [first]
+        while len(wave) < self.max_wave:
+            try:
+                wave.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        return wave
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            wave = self._gather_wave()
+            if not wave:
+                continue
+            self.waves += 1
+            self.jobs += len(wave)
+            try:
+                outcomes = self.simulator.iter_batch(
+                    [job.program for job in wave],
+                    timeout_s=self.timeout_s if self.timeout_s > 0 else None,
+                    retry=self.retry,
+                )
+                for job, outcome in zip(wave, outcomes):
+                    if isinstance(outcome, SimulationFailure):
+                        self.failures += 1
+                    job.outcome = outcome
+                    job.done.set()
+            except Exception as error:  # noqa: BLE001 — worker must survive
+                # iter_batch contains per-candidate failures itself; this
+                # backstop converts an unexpected whole-wave fault into one
+                # failure record per still-unsettled job.
+                for job in wave:
+                    if not job.done.is_set():
+                        self.failures += 1
+                        job.outcome = SimulationFailure(
+                            program_name=job.program.name,
+                            kind=SimulationFailure.CRASH,
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                        job.done.set()
+
+    def counters(self) -> dict:
+        """Worker metrics for ``GET /stats``."""
+        return {
+            "waves": self.waves,
+            "jobs": self.jobs,
+            "failures": self.failures,
+            "queued": self._queue.qsize(),
+        }
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the drain loop; queued-but-unstarted jobs are abandoned."""
+        self._stop.set()
+        self._thread.join(timeout)

@@ -51,7 +51,13 @@ from repro.sim.configs import (
     hierarchy_with_replacement,
 )
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions, run_data_trace
-from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
+from repro.sim.memo import (
+    SimulationCache,
+    default_simulation_cache,
+    shared_disk_cache_dir,
+    stats_from_flat,
+)
+from repro.sim.runtime_config import RuntimeConfig
 from repro.sim.simulator import (
     BatchSimulator,
     Simulator,
@@ -95,6 +101,8 @@ __all__ = [
     "SimulationCache",
     "default_simulation_cache",
     "shared_disk_cache_dir",
+    "stats_from_flat",
+    "RuntimeConfig",
     "BatchSimulator",
     "Simulator",
     "SimulationFailure",

@@ -102,13 +102,24 @@ def shared_disk_cache_dir() -> Path:
 class SimulationCache:
     """LRU-bounded memoization store for simulation statistics."""
 
-    def __init__(self, maxsize: int = 128, disk_dir: Optional[Union[str, Path]] = None):
+    def __init__(
+        self,
+        maxsize: int = 128,
+        disk_dir: Optional[Union[str, Path]] = None,
+        store=None,
+    ):
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         if self.disk_dir is not None:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
+        #: Optional shared backing store (duck-typed, e.g.
+        #: :class:`repro.service.ResultStore`): ``get(key) -> flat dict | None``
+        #: and ``put(key, flat)``.  Consulted after the in-memory LRU and the
+        #: disk layer, written through on every :meth:`put`.  Store errors are
+        #: contained as misses — a degraded backend never breaks a run.
+        self.store = store
         self._entries: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
         self._lock = threading.Lock()
         #: In-flight computations keyed by memo key: concurrent
@@ -189,6 +200,8 @@ class SimulationCache:
         # insert is a double-checked write — entries are content-addressed,
         # so a racing inserter of the same key wrote identical data.
         flat = self._load_from_disk(key)
+        if flat is None:
+            flat = self._load_from_store(key)
         with self._lock:
             if flat is not None:
                 self._insert(key, flat)
@@ -261,6 +274,11 @@ class SimulationCache:
                 os.replace(scratch, path)
             except OSError:  # a full or read-only disk never breaks the run
                 scratch.unlink(missing_ok=True)
+        if self.store is not None:
+            try:
+                self.store.put(key, flat)
+            except Exception:  # noqa: BLE001 — a degraded store never breaks a run
+                pass
 
     def _insert(self, key: str, flat: Dict[str, float]) -> None:
         self._entries[key] = flat
@@ -284,6 +302,21 @@ class SimulationCache:
             self._quarantine(path, reason)
             return None
         return flat
+
+    def _load_from_store(self, key: str) -> Optional[Dict[str, float]]:
+        """Consult the shared backing store; errors are contained as misses."""
+        if self.store is None:
+            return None
+        try:
+            flat = self.store.get(key)
+        except Exception:  # noqa: BLE001 — a degraded store never breaks a run
+            return None
+        if flat is None:
+            return None
+        try:
+            return {str(k): float(v) for k, v in flat.items()}
+        except (AttributeError, TypeError, ValueError):
+            return None
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a corrupted entry aside (rename, never delete) and warn."""
@@ -374,13 +407,21 @@ def _decode_entry(text: str):
         return None, "non-numeric statistics values"
 
 
-def _stats_from_flat(flat: Dict[str, float]) -> SimulationStats:
-    """Rebuild a :class:`SimulationStats` from its flat snapshot."""
+def stats_from_flat(flat: Dict[str, float]) -> SimulationStats:
+    """Rebuild a :class:`SimulationStats` from its flat snapshot.
+
+    The inverse of ``SimulationStats.as_dict()``; used by the memo layer and
+    by service clients reconstructing results from transported flat stats.
+    """
     stats = SimulationStats()
     for flat_key, value in flat.items():
         group_name, _, key = flat_key.rpartition(".")
         stats.group(group_name).set(key, value)
     return stats
+
+
+#: Backwards-compatible private alias (pre-service internal name).
+_stats_from_flat = stats_from_flat
 
 
 #: Process-wide default cache shared by all memoizing simulators.

@@ -1,0 +1,229 @@
+"""Typed runtime configuration: one resolution point for the toggle surface.
+
+The simulation stack grew one environment variable per PR — engine selection,
+trace representation, native-kernel and arena-batching toggles, the batched
+measurement path, retry policy, the shared memo directory.  Each used to be
+read ad hoc at its point of use (``os.environ.get`` scattered through
+``engine.py``, ``simulator.py``, ``runner.py``, ``memo.py``), which made the
+effective configuration of a run impossible to inspect or to pin down for a
+service process.
+
+:class:`RuntimeConfig` consolidates that surface into a frozen dataclass with
+**one documented env-resolution point**, :meth:`RuntimeConfig.from_env`:
+
+========================  =======================  ==============================
+``RuntimeConfig`` field   environment variable     meaning
+========================  =======================  ==============================
+``engine``                ``REPRO_SIM_ENGINE``     cache-simulation engine
+                                                   (``reference``/``vectorized``;
+                                                   default ``vectorized``)
+``trace``                 ``REPRO_SIM_TRACE``      trace representation
+                                                   (``expanded``/``descriptor``;
+                                                   default by engine)
+``native``                ``REPRO_SIM_NATIVE``     compiled C kernels (``0``
+                                                   disables; default on)
+``arena``                 ``REPRO_SIM_ARENA``      cross-chunk arena batching
+                                                   (``0`` disables; default on)
+``runner_batch``          ``REPRO_RUNNER_BATCH``   candidate-batch measurement
+                                                   path (``0``/``false``/``off``
+                                                   disables; default on)
+``memo_dir``              ``REPRO_SIM_MEMO_DIR``   shared on-disk memo directory
+                                                   (default: per-user temp dir)
+``retry``                 ``REPRO_RETRY_*``        retry policy of the resilient
+                                                   APIs (attempts/base delay/max
+                                                   delay/seed; default disabled)
+========================  =======================  ==============================
+
+Every field defaults to *unset* (``None``), which defers to the environment at
+use time — exactly the pre-config behaviour, so exporting a ``REPRO_*``
+variable keeps working unchanged for code that never touches a config object.
+An explicit field value overrides the environment.  ``from_env()`` snapshots
+the current environment into explicit values, pinning them against later
+environment changes; it is the one place the variables above are read into
+structured form.
+
+``native`` and ``arena`` are process-global toggles (the native library probe
+and the arena dispatch gate read the environment directly, deep inside the
+engine); :meth:`apply_process_toggles` writes them back to ``os.environ`` for
+service entry points that must pin the whole process, and
+:meth:`RuntimeConfig.describe` renders the resolved surface for
+``repro.cli serve --check``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields, replace
+from typing import List, Mapping, Optional, Tuple
+
+from repro.reliability import RetryPolicy
+from repro.sim.engine import resolve_engine, resolve_trace_mode
+
+#: ``(field, env var, description)`` rows of the documented toggle surface.
+ENV_SURFACE: Tuple[Tuple[str, str, str], ...] = (
+    ("engine", "REPRO_SIM_ENGINE", "cache-simulation engine (reference/vectorized)"),
+    ("trace", "REPRO_SIM_TRACE", "trace representation (expanded/descriptor)"),
+    ("native", "REPRO_SIM_NATIVE", "compiled C kernels (0 disables)"),
+    ("arena", "REPRO_SIM_ARENA", "cross-chunk arena batching (0 disables)"),
+    ("runner_batch", "REPRO_RUNNER_BATCH", "candidate-batch measurement path"),
+    ("memo_dir", "REPRO_SIM_MEMO_DIR", "shared on-disk memo directory"),
+    ("retry", "REPRO_RETRY_ATTEMPTS (+_BASE_DELAY_S/_MAX_DELAY_S/_SEED)",
+     "retry policy of the resilient APIs"),
+)
+
+
+def _native_flag(value: Optional[str]) -> bool:
+    """``REPRO_SIM_NATIVE``/``REPRO_SIM_ARENA`` reading: only ``"0"`` disables."""
+    return value != "0"
+
+
+def _batch_flag(value: Optional[str]) -> bool:
+    """``REPRO_RUNNER_BATCH`` semantics (matches ``batched_measurement_default``)."""
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "false", "off")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """The consolidated toggle surface of one simulation stack instance.
+
+    ``None`` fields defer to the environment at use time (the pre-config
+    behaviour); explicit values override it.  Instances are frozen — derive
+    variants with :func:`dataclasses.replace` or :meth:`with_overrides`.
+    """
+
+    #: Cache-simulation engine; ``None`` defers to ``REPRO_SIM_ENGINE``.
+    engine: Optional[str] = None
+    #: Trace representation; ``None`` defers to ``REPRO_SIM_TRACE`` / engine.
+    trace: Optional[str] = None
+    #: Compiled-kernel toggle (process-global; see :meth:`apply_process_toggles`).
+    native: Optional[bool] = None
+    #: Arena-batching toggle (process-global; see :meth:`apply_process_toggles`).
+    arena: Optional[bool] = None
+    #: Whether runners use the candidate-batch measurement path.
+    runner_batch: Optional[bool] = None
+    #: Whether simulators memoize results at all (no env var; default on).
+    memoize: Optional[bool] = None
+    #: Shared on-disk memo directory; ``None`` defers to ``REPRO_SIM_MEMO_DIR``
+    #: (and then the per-user default of :func:`repro.sim.memo.shared_disk_cache_dir`).
+    memo_dir: Optional[str] = None
+    #: Per-candidate simulation budget in seconds (0 = unlimited).
+    timeout_s: float = 0.0
+    #: Retry policy of the resilient APIs; ``None`` defers to ``REPRO_RETRY_*``.
+    retry: Optional[RetryPolicy] = field(default=None)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "RuntimeConfig":
+        """Snapshot the current environment into explicit field values.
+
+        This is the one documented resolution point of every ``REPRO_*``
+        toggle (see the module table); the returned config reproduces the
+        pre-config env-var semantics exactly and pins them against later
+        environment changes.
+        """
+        env = os.environ if environ is None else environ
+        return cls(
+            engine=env.get("REPRO_SIM_ENGINE") or None,
+            trace=env.get("REPRO_SIM_TRACE") or None,
+            native=_native_flag(env.get("REPRO_SIM_NATIVE")),
+            arena=_native_flag(env.get("REPRO_SIM_ARENA")),
+            runner_batch=_batch_flag(env.get("REPRO_RUNNER_BATCH")),
+            memoize=True,
+            memo_dir=env.get("REPRO_SIM_MEMO_DIR") or None,
+            retry=RetryPolicy(
+                max_attempts=int(env.get("REPRO_RETRY_ATTEMPTS", "1")),
+                base_delay_s=float(env.get("REPRO_RETRY_BASE_DELAY_S", "0.05")),
+                max_delay_s=float(env.get("REPRO_RETRY_MAX_DELAY_S", "2.0")),
+                seed=int(env.get("REPRO_RETRY_SEED", "0")),
+            ),
+        )
+
+    # -- resolution ---------------------------------------------------------
+    def resolved_engine(self, override: Optional[str] = None) -> str:
+        """The effective engine: ``override`` > field > environment > default."""
+        return resolve_engine(override or self.engine)
+
+    def resolved_trace(self, engine: str, override: Optional[str] = None) -> str:
+        """The effective trace mode for ``engine`` (same precedence chain)."""
+        return resolve_trace_mode(override or self.trace, engine)
+
+    def resolved_native(self) -> bool:
+        """The effective compiled-kernel toggle (field, else ``REPRO_SIM_NATIVE``)."""
+        if self.native is not None:
+            return self.native
+        return _native_flag(os.environ.get("REPRO_SIM_NATIVE"))
+
+    def resolved_arena(self) -> bool:
+        """The effective arena toggle (field, else ``REPRO_SIM_ARENA``)."""
+        if self.arena is not None:
+            return self.arena
+        return _native_flag(os.environ.get("REPRO_SIM_ARENA"))
+
+    def resolved_runner_batch(self) -> bool:
+        """The effective batched-measurement toggle (field, else env)."""
+        if self.runner_batch is not None:
+            return self.runner_batch
+        return _batch_flag(os.environ.get("REPRO_RUNNER_BATCH"))
+
+    def resolved_memoize(self) -> bool:
+        """The effective memoization toggle (default on; no env var)."""
+        return True if self.memoize is None else self.memoize
+
+    def resolved_retry(self) -> RetryPolicy:
+        """The effective retry policy (field, else ``REPRO_RETRY_*``)."""
+        return self.retry if self.retry is not None else RetryPolicy.from_env()
+
+    def resolved_memo_dir(self) -> str:
+        """The effective shared memo directory (field, else env, else default)."""
+        if self.memo_dir is not None:
+            return str(self.memo_dir)
+        from repro.sim.memo import shared_disk_cache_dir
+
+        return str(shared_disk_cache_dir())
+
+    # -- process-global toggles ---------------------------------------------
+    def apply_process_toggles(self) -> None:
+        """Pin the process-global toggles by writing them back to ``os.environ``.
+
+        The native-kernel probe and the arena dispatch gate are read deep
+        inside the engine on every call; long-lived service processes call
+        this once at startup so the config object is authoritative for the
+        whole process.
+        """
+        os.environ["REPRO_SIM_NATIVE"] = "1" if self.resolved_native() else "0"
+        os.environ["REPRO_SIM_ARENA"] = "1" if self.resolved_arena() else "0"
+        os.environ["REPRO_RUNNER_BATCH"] = "1" if self.resolved_runner_batch() else "0"
+        if self.memo_dir is not None:
+            os.environ["REPRO_SIM_MEMO_DIR"] = str(self.memo_dir)
+
+    def validate(self) -> "RuntimeConfig":
+        """Resolve and type-check every field; raises ``ValueError`` on nonsense."""
+        engine = self.resolved_engine()
+        self.resolved_trace(engine)
+        self.resolved_retry()
+        if self.timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {self.timeout_s}")
+        return self
+
+    def describe(self) -> List[Tuple[str, str, str]]:
+        """``(field, env var, resolved value)`` rows for ``serve --check``."""
+        engine = self.resolved_engine()
+        resolved = {
+            "engine": engine,
+            "trace": self.resolved_trace(engine),
+            "native": "on" if self.resolved_native() else "off",
+            "arena": "on" if self.resolved_arena() else "off",
+            "runner_batch": "on" if self.resolved_runner_batch() else "off",
+            "memo_dir": self.resolved_memo_dir(),
+            "retry": repr(self.resolved_retry()),
+        }
+        return [(name, env_var, resolved[name]) for name, env_var, _ in ENV_SURFACE]
+
+    def with_overrides(self, **overrides) -> "RuntimeConfig":
+        """A copy with ``overrides`` applied; unknown keys raise ``TypeError``."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise TypeError(f"unknown RuntimeConfig fields: {sorted(unknown)}")
+        return replace(self, **overrides)

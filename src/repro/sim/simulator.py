@@ -54,8 +54,13 @@ from repro.sim.engine import (
     resolve_trace_mode,
 )
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig
-from repro.sim.memo import SimulationCache, default_simulation_cache, shared_disk_cache_dir
+from repro.sim.memo import SimulationCache, default_simulation_cache
+from repro.sim.runtime_config import RuntimeConfig
 from repro.sim.stats import SimulationStats
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit ``None``/value,
+#: so the deprecated ``engine=``/``memoize=`` kwargs warn only when used.
+_UNSET = object()
 
 
 @dataclass
@@ -120,24 +125,60 @@ class Simulator:
         arch: str,
         hierarchy_config: Optional[CacheHierarchyConfig] = None,
         trace_options: TraceOptions = TraceOptions(),
-        engine: Optional[str] = None,
-        memoize: bool = True,
+        engine=_UNSET,
+        memoize=_UNSET,
         memo_cache: Optional[SimulationCache] = None,
+        *,
+        config: Optional[RuntimeConfig] = None,
     ):
+        """Build a simulator for ``arch``.
+
+        Runtime toggles (engine, trace representation, memoization, retry,
+        memo directory) come from ``config`` — a
+        :class:`~repro.sim.runtime_config.RuntimeConfig`, defaulting to the
+        env-deferring ``RuntimeConfig()``.  The per-toggle ``engine=`` and
+        ``memoize=`` kwargs are **deprecated** (still honoured, with a
+        :class:`DeprecationWarning`, for one release): pass
+        ``config=RuntimeConfig(engine=..., memoize=...)`` instead.
+
+        Resolution precedence, most specific first: deprecated kwarg >
+        ``config`` field > ``TraceOptions`` field > environment > default.
+        """
         self.arch = arch.strip().lower()
         if hierarchy_config is None:
             if self.arch not in CACHE_HIERARCHIES:
                 raise KeyError(f"no default cache hierarchy for architecture {arch!r}")
             hierarchy_config = CACHE_HIERARCHIES[self.arch]
         self.hierarchy_config = hierarchy_config
-        self.engine = resolve_engine(engine or trace_options.engine)
+        self.config = config if config is not None else RuntimeConfig()
+        if engine is _UNSET:
+            engine = None
+        else:
+            warnings.warn(
+                "Simulator(engine=...) is deprecated; pass "
+                "config=RuntimeConfig(engine=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if memoize is _UNSET:
+            memoize = self.config.resolved_memoize()
+        else:
+            warnings.warn(
+                "Simulator(memoize=...) is deprecated; pass "
+                "config=RuntimeConfig(memoize=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self.engine = resolve_engine(engine or self.config.engine or trace_options.engine)
         # Pin the trace representation at construction so later environment
         # changes cannot make runs disagree with the inspected attribute.
-        self.trace = resolve_trace_mode(trace_options.trace, self.engine)
+        self.trace = resolve_trace_mode(
+            self.config.trace or trace_options.trace, self.engine
+        )
         self.trace_options = replace(trace_options, trace=self.trace)
-        self.memoize = memoize
+        self.memoize = bool(memoize)
         self.memo_cache = memo_cache if memo_cache is not None else (
-            default_simulation_cache() if memoize else None
+            default_simulation_cache() if self.memoize else None
         )
 
     def run(
@@ -149,8 +190,11 @@ class Simulator:
         duration of the run: the trace walk polls it once per chunk and
         raises :class:`~repro.reliability.DeadlineExceeded` when the budget
         is spent, so a pathological candidate overshoots by at most one
-        chunk of work.
+        chunk of work.  ``None`` falls back to the config's ``timeout_s``
+        (0 = unlimited).
         """
+        if timeout_s is None:
+            timeout_s = self.config.timeout_s
         if timeout_s is not None and timeout_s > 0:
             with deadline_scope(Deadline.after(timeout_s)):
                 return self._run(program)
@@ -315,8 +359,8 @@ class BatchSimulator(Simulator):
         packable descriptor form; they keep per-candidate trace walks and
         still benefit from hierarchy reuse.
         """
-        retry = retry if retry is not None else RetryPolicy.from_env()
-        timeout = float(timeout_s or 0.0)
+        retry = retry if retry is not None else self.config.resolved_retry()
+        timeout = float(timeout_s if timeout_s is not None else self.config.timeout_s or 0.0)
         if self.trace != TRACE_DESCRIPTOR:
             for program in programs:
                 yield _attempt_program(self, program, timeout, retry)
@@ -555,24 +599,23 @@ def _worker_cache(memo_dir: str) -> SimulationCache:
 
 
 def _run_single(
-    arch, hierarchy_config, trace_options, program, engine, memoize, memo_dir=None
+    arch, hierarchy_config, trace_options, program, config, memo_dir=None
 ) -> SimulationResult:
     memo_cache = None
-    if memoize and memo_dir is not None:
+    if config.resolved_memoize() and memo_dir is not None:
         # Worker processes memoize through a shared on-disk layer: results
         # computed by any worker (or an earlier run) are served to all.
         memo_cache = _worker_cache(memo_dir)
     simulator = Simulator(
-        arch, hierarchy_config, trace_options, engine=engine, memoize=memoize,
-        memo_cache=memo_cache,
+        arch, hierarchy_config, trace_options, memo_cache=memo_cache, config=config
     )
     return simulator.run(program)
 
 
 def _run_slice(
-    arch, hierarchy_config, trace_options, programs, engine, memoize
+    arch, hierarchy_config, trace_options, programs, config
 ) -> List[SimulationResult]:
-    simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
+    simulator = Simulator(arch, hierarchy_config, trace_options, config=config)
     return [simulator.run(program) for program in programs]
 
 
@@ -626,14 +669,14 @@ def _attempt_program(
 
 
 def _run_slice_resilient(
-    arch, hierarchy_config, trace_options, programs, engine, memoize, timeout_s, retry
+    arch, hierarchy_config, trace_options, programs, config, timeout_s, retry
 ) -> List[ResilientOutcome]:
-    simulator = Simulator(arch, hierarchy_config, trace_options, engine=engine, memoize=memoize)
+    simulator = Simulator(arch, hierarchy_config, trace_options, config=config)
     return [_attempt_program(simulator, program, timeout_s, retry) for program in programs]
 
 
 def _run_batch_slice_resilient(
-    arch, hierarchy_config, trace_options, programs, engine, memoize, memo_dir,
+    arch, hierarchy_config, trace_options, programs, config, memo_dir,
     timeout_s, retry
 ) -> List[ResilientOutcome]:
     """Worker entry for one batch slice: a shared-hierarchy batch simulator.
@@ -646,17 +689,16 @@ def _run_batch_slice_resilient(
     """
     faults.maybe_crash_worker()
     memo_cache = None
-    if memoize and memo_dir is not None:
+    if config.resolved_memoize() and memo_dir is not None:
         memo_cache = _worker_cache(memo_dir)
     batch = BatchSimulator(
-        arch, hierarchy_config, trace_options, engine=engine, memoize=memoize,
-        memo_cache=memo_cache,
+        arch, hierarchy_config, trace_options, memo_cache=memo_cache, config=config
     )
     return list(batch.iter_batch(programs, timeout_s=timeout_s, retry=retry))
 
 
 def _run_single_resilient(
-    arch, hierarchy_config, trace_options, program, engine, memoize, memo_dir, timeout_s
+    arch, hierarchy_config, trace_options, program, config, memo_dir, timeout_s
 ) -> ResilientOutcome:
     """Process-pool worker entry: converts in-worker failures into records.
 
@@ -669,11 +711,10 @@ def _run_single_resilient(
     start = time.perf_counter()
     try:
         memo_cache = None
-        if memoize and memo_dir is not None:
+        if config.resolved_memoize() and memo_dir is not None:
             memo_cache = _worker_cache(memo_dir)
         simulator = Simulator(
-            arch, hierarchy_config, trace_options, engine=engine, memoize=memoize,
-            memo_cache=memo_cache,
+            arch, hierarchy_config, trace_options, memo_cache=memo_cache, config=config
         )
         return simulator.run(program, timeout_s=timeout_s if timeout_s > 0 else None)
     except DeadlineExceeded as error:
@@ -744,8 +785,24 @@ class SimulatorPool:
     #: How many times a broken process pool is respawned before the
     #: remaining work degrades to the ``threads`` backend.
     max_pool_respawns: int = 2
+    #: Consolidated runtime configuration.  Per-field dataclass knobs above
+    #: (``engine``/``memoize``/``memo_dir``/``timeout_s``/``retry``) override
+    #: the corresponding config fields when set, so legacy call sites keep
+    #: their exact semantics; new call sites should pass ``config`` alone.
+    config: Optional[RuntimeConfig] = None
 
     BACKENDS = ("serial", "threads", "processes")
+
+    def _runtime(self) -> RuntimeConfig:
+        """The pool's effective config: legacy per-field knobs folded in."""
+        cfg = self.config if self.config is not None else RuntimeConfig()
+        return cfg.with_overrides(
+            engine=self.engine or cfg.engine,
+            memoize=cfg.resolved_memoize() and self.memoize,
+            memo_dir=self.memo_dir or cfg.memo_dir,
+            timeout_s=self.timeout_s or cfg.timeout_s,
+            retry=self.retry or cfg.retry,
+        )
 
     def run_many(self, programs: Sequence[Program]) -> List[SimulationResult]:
         """Simulate all ``programs`` and return results in input order."""
@@ -753,18 +810,18 @@ class SimulatorPool:
             raise ValueError(
                 f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}"
             )
+        cfg = self._runtime()
         memo_dir = None
-        if self.backend == "processes" and self.memoize:
-            memo_dir = str(self.memo_dir) if self.memo_dir else str(shared_disk_cache_dir())
+        if self.backend == "processes" and cfg.resolved_memoize():
+            memo_dir = cfg.resolved_memo_dir()
         if self.backend == "serial" or self.n_parallel <= 1 or len(programs) <= 1:
             memo_cache = _worker_cache(memo_dir) if memo_dir else None
             simulator = Simulator(
                 self.arch,
                 self.hierarchy_config,
                 self.trace_options,
-                engine=self.engine,
-                memoize=self.memoize,
                 memo_cache=memo_cache,
+                config=cfg,
             )
             return [simulator.run(program) for program in programs]
         if self.backend == "threads":
@@ -777,8 +834,7 @@ class SimulatorPool:
                     self.hierarchy_config,
                     self.trace_options,
                     program,
-                    self.engine,
-                    self.memoize,
+                    cfg,
                     memo_dir,
                 )
                 for program in programs
@@ -800,6 +856,7 @@ class SimulatorPool:
     def _run_threaded(self, programs: Sequence[Program]) -> List[SimulationResult]:
         """Chunked thread dispatch: each worker runs one contiguous slice."""
         slices = self._contiguous_slices(programs)
+        cfg = self._runtime()
         with ThreadPoolExecutor(max_workers=len(slices)) as pool:
             futures = [
                 pool.submit(
@@ -808,8 +865,7 @@ class SimulatorPool:
                     self.hierarchy_config,
                     self.trace_options,
                     chunk,
-                    self.engine,
-                    self.memoize,
+                    cfg,
                 )
                 for chunk in slices
             ]
@@ -844,11 +900,12 @@ class SimulatorPool:
             raise ValueError(
                 f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}"
             )
-        retry = self.retry if self.retry is not None else RetryPolicy.from_env()
-        timeout_s = float(self.timeout_s or 0.0)
+        cfg = self._runtime()
+        retry = cfg.resolved_retry()
+        timeout_s = float(cfg.timeout_s or 0.0)
         memo_dir = None
-        if self.backend == "processes" and self.memoize:
-            memo_dir = str(self.memo_dir) if self.memo_dir else str(shared_disk_cache_dir())
+        if self.backend == "processes" and cfg.resolved_memoize():
+            memo_dir = cfg.resolved_memo_dir()
         if self.backend == "serial" or self.n_parallel <= 1 or len(programs) <= 1:
             return self._run_serial_resilient(programs, memo_dir, timeout_s, retry)
         if self.backend == "threads":
@@ -867,9 +924,8 @@ class SimulatorPool:
             self.arch,
             self.hierarchy_config,
             self.trace_options,
-            engine=self.engine,
-            memoize=self.memoize,
             memo_cache=memo_cache,
+            config=self._runtime(),
         )
         return [_attempt_program(simulator, program, timeout_s, retry) for program in programs]
 
@@ -878,6 +934,7 @@ class SimulatorPool:
     ) -> List[ResilientOutcome]:
         """Chunked thread dispatch with per-program containment in each slice."""
         slices = self._contiguous_slices(programs)
+        cfg = self._runtime()
         results: List[ResilientOutcome] = []
         with ThreadPoolExecutor(max_workers=len(slices)) as pool:
             futures = [
@@ -887,8 +944,7 @@ class SimulatorPool:
                     self.hierarchy_config,
                     self.trace_options,
                     chunk,
-                    self.engine,
-                    self.memoize,
+                    cfg,
                     timeout_s,
                     retry,
                 )
@@ -933,6 +989,7 @@ class SimulatorPool:
         # Workers enforce timeout_s cooperatively and come back on their own;
         # the parent-side backstop only trips for a truly wedged worker.
         backstop = timeout_s * 2.0 + 5.0 if timeout_s > 0 else None
+        cfg = self._runtime()
         while pending:
             pool = ProcessPoolExecutor(max_workers=min(self.n_parallel, len(pending)))
             futures = {}
@@ -944,8 +1001,7 @@ class SimulatorPool:
                     self.hierarchy_config,
                     self.trace_options,
                     programs[i],
-                    self.engine,
-                    self.memoize,
+                    cfg,
                     memo_dir,
                     timeout_s,
                 )
@@ -1047,20 +1103,20 @@ class SimulatorPool:
             raise ValueError(
                 f"unknown pool backend {self.backend!r}; expected one of {self.BACKENDS}"
             )
-        retry = self.retry if self.retry is not None else RetryPolicy.from_env()
-        timeout_s = float(self.timeout_s or 0.0)
+        cfg = self._runtime()
+        retry = cfg.resolved_retry()
+        timeout_s = float(cfg.timeout_s or 0.0)
         memo_dir = None
-        if self.backend == "processes" and self.memoize:
-            memo_dir = str(self.memo_dir) if self.memo_dir else str(shared_disk_cache_dir())
+        if self.backend == "processes" and cfg.resolved_memoize():
+            memo_dir = cfg.resolved_memo_dir()
         if self.backend == "serial" or self.n_parallel <= 1 or len(programs) <= 1:
             memo_cache = _worker_cache(memo_dir) if memo_dir else None
             batch = BatchSimulator(
                 self.arch,
                 self.hierarchy_config,
                 self.trace_options,
-                engine=self.engine,
-                memoize=self.memoize,
                 memo_cache=memo_cache,
+                config=cfg,
             )
             yield from batch.iter_batch(programs, timeout_s=timeout_s, retry=retry)
             return
@@ -1077,6 +1133,7 @@ class SimulatorPool:
         retry: RetryPolicy,
     ) -> Iterator[ResilientOutcome]:
         """One batch simulator per thread slice; yields slices in order."""
+        cfg = self._runtime()
         with ThreadPoolExecutor(max_workers=len(slices)) as pool:
             futures = [
                 pool.submit(
@@ -1085,8 +1142,7 @@ class SimulatorPool:
                     self.hierarchy_config,
                     self.trace_options,
                     chunk,
-                    self.engine,
-                    self.memoize,
+                    cfg,
                     None,
                     timeout_s,
                     retry,
@@ -1108,8 +1164,7 @@ class SimulatorPool:
                         self.hierarchy_config,
                         self.trace_options,
                         chunk,
-                        self.engine,
-                        self.memoize,
+                        cfg,
                         None,
                         timeout_s,
                         retry,
@@ -1137,6 +1192,7 @@ class SimulatorPool:
         pending = list(range(n))
         respawns = 0
         emitted = 0
+        cfg = self._runtime()
         while pending:
             pool = ProcessPoolExecutor(max_workers=min(self.n_parallel, len(pending)))
             futures = {}
@@ -1147,8 +1203,7 @@ class SimulatorPool:
                     self.hierarchy_config,
                     self.trace_options,
                     slices[s],
-                    self.engine,
-                    self.memoize,
+                    cfg,
                     memo_dir,
                     timeout_s,
                     retry,

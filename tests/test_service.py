@@ -1,0 +1,660 @@
+"""Service-layer tests: result store, runtime config, facade, HTTP service.
+
+Covers the simulation-as-a-service stack end to end against real simulation
+paths: :class:`~repro.service.ResultStore` CRUD/eviction/migration, the
+:class:`~repro.sim.RuntimeConfig` env-parity contract (``from_env()`` must
+reproduce the legacy per-variable semantics exactly), the deprecation shim on
+``Simulator``'s per-toggle kwargs, the ``repro.simulate`` facade, and the HTTP
+service itself — request coalescing on duplicate digests, auth/quota
+enforcement, worker-crash containment parity with ``run_many_resilient``, and
+client-vs-local bit-identity (``sim.host_seconds``, a wall-clock observable,
+is excluded from every comparison, as everywhere else in the suite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sqlite3
+import threading
+import time
+import warnings
+
+import pytest
+
+import repro
+import repro.workloads  # noqa: F401 — registers the schedule templates
+from repro.autotune import LocalBuilder, MeasureInput, create_task
+from repro.autotune.runner import batched_measurement_default
+from repro.codegen import Target
+from repro.reliability import RetryPolicy, faults
+from repro.service import (
+    ResultStore,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    SimulationService,
+    Tenant,
+    hierarchy_from_dict,
+)
+from repro.sim import (
+    RuntimeConfig,
+    SimulationCache,
+    SimulationFailure,
+    SimulationResult,
+    Simulator,
+    SimulatorPool,
+    TraceOptions,
+)
+from repro.sim.engine import resolve_engine, resolve_trace_mode
+from repro.sim.memo import _encode_entry, shared_disk_cache_dir
+from repro.sim.runtime_config import ENV_SURFACE
+
+TRACE = TraceOptions(max_accesses=15_000)
+
+#: Every environment variable of the documented toggle surface.
+ALL_ENV_VARS = (
+    "REPRO_SIM_ENGINE",
+    "REPRO_SIM_TRACE",
+    "REPRO_SIM_NATIVE",
+    "REPRO_SIM_ARENA",
+    "REPRO_RUNNER_BATCH",
+    "REPRO_SIM_MEMO_DIR",
+    "REPRO_RETRY_ATTEMPTS",
+    "REPRO_RETRY_BASE_DELAY_S",
+    "REPRO_RETRY_MAX_DELAY_S",
+    "REPRO_RETRY_SEED",
+)
+
+
+@pytest.fixture(autouse=True)
+def _fault_free():
+    """Shield every test from ambient ``REPRO_FAULT_INJECT`` (CI chaos legs)."""
+    faults.configure("")
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def matmul_task():
+    return create_task("matmul", (8, 8, 8), Target.arm())
+
+
+@pytest.fixture(scope="module")
+def programs(matmul_task):
+    inputs = [
+        MeasureInput(matmul_task, matmul_task.config_space.get(i)) for i in (0, 1, 2, 3)
+    ]
+    builds = LocalBuilder().build(inputs)
+    assert all(build.ok for build in builds)
+    return [build.program for build in builds]
+
+
+@pytest.fixture(scope="module")
+def big_task():
+    return create_task("matmul", (16, 16, 16), Target.arm())
+
+
+@pytest.fixture(scope="module")
+def big_programs(big_task):
+    inputs = [MeasureInput(big_task, big_task.config_space.get(i)) for i in (0, 1)]
+    builds = LocalBuilder().build(inputs)
+    assert all(build.ok for build in builds)
+    return [build.program for build in builds]
+
+
+def flat(result):
+    """Statistics of one simulation, minus the wall-clock observable."""
+    stats = dict(result.stats.as_dict())
+    stats.pop("sim.host_seconds", None)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# ResultStore
+# ---------------------------------------------------------------------------
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self):
+        store = ResultStore(":memory:")
+        payload = {"cpu.num_insts": 128.0, "l1d.miss_rate": 0.25}
+        store.put("digest-a", payload)
+        assert len(store) == 1
+        assert "digest-a" in store
+        assert store.get("digest-a") == payload
+        assert store.get("unknown") is None
+        counters = store.counters()
+        assert counters["hits"] == 1.0
+        assert counters["misses"] == 1.0
+        assert counters["hit_rate"] == 0.5
+        store.close()
+
+    def test_put_is_idempotent(self):
+        store = ResultStore(":memory:")
+        store.put("digest-a", {"cpu.num_insts": 1.0})
+        store.put("digest-a", {"cpu.num_insts": 1.0})
+        assert len(store) == 1
+        store.close()
+
+    def test_lru_eviction_bounds_entries(self):
+        store = ResultStore(":memory:", max_entries=2)
+        for digest in ("a", "b", "c"):
+            store.put(digest, {"cpu.num_insts": 1.0})
+            time.sleep(0.01)  # keep last_used strictly ordered
+        assert len(store) == 2
+        assert "a" not in store  # the least recently used row went first
+        assert "b" in store and "c" in store
+        assert store.evictions == 1
+        store.close()
+
+    def test_age_eviction(self):
+        store = ResultStore(":memory:", max_age_s=0.05)
+        store.put("old", {"cpu.num_insts": 1.0})
+        time.sleep(0.12)
+        store.put("new", {"cpu.num_insts": 2.0})
+        assert "old" not in store
+        assert "new" in store
+        assert store.evictions >= 1
+        store.close()
+
+    def test_persists_across_instances(self, tmp_path):
+        db = tmp_path / "results.db"
+        first = ResultStore(db)
+        first.put("digest-a", {"cpu.num_insts": 7.0})
+        first.close()
+        second = ResultStore(db)
+        assert second.get("digest-a") == {"cpu.num_insts": 7.0}
+        second.close()
+
+    def test_memo_schema_bump_drops_rows(self, tmp_path):
+        db = tmp_path / "results.db"
+        store = ResultStore(db)
+        store.put("digest-a", {"cpu.num_insts": 1.0})
+        store.close()
+        conn = sqlite3.connect(db)
+        conn.execute("UPDATE meta SET value = '999' WHERE key = 'memo_schema'")
+        conn.commit()
+        conn.close()
+        reopened = ResultStore(db)
+        assert len(reopened) == 0  # content-addressed recomputables: dropped
+        assert reopened.get("digest-a") is None
+        reopened.close()
+
+    def test_corrupted_row_is_a_miss_and_deleted(self):
+        store = ResultStore(":memory:")
+        store.put("digest-a", {"cpu.num_insts": 1.0})
+        store._conn.execute(
+            "UPDATE results SET stats = ? WHERE digest = ?",
+            (json.dumps({"cpu.num_insts": 999.0}), "digest-a"),
+        )
+        store._conn.commit()
+        assert store.get("digest-a") is None  # checksum mismatch
+        assert "digest-a" not in store
+        store.close()
+
+    def test_import_disk_cache_envelopes(self, tmp_path):
+        memo_dir = tmp_path / "memo"
+        memo_dir.mkdir()
+        payload = {"cpu.num_insts": 5.0, "l2.miss_rate": 0.5}
+        (memo_dir / "aaa.json").write_text(_encode_entry(payload), encoding="utf-8")
+        (memo_dir / "bad.json").write_text("garbage{", encoding="utf-8")
+        (memo_dir / "stale.json").write_text(
+            json.dumps({"schema": 999, "sha256": "x", "stats": {}}), encoding="utf-8"
+        )
+        store = ResultStore(":memory:")
+        assert store.import_disk_cache(memo_dir) == 1
+        assert store.get("aaa") == payload
+        assert len(store) == 1
+        store.close()
+
+    def test_import_real_memo_dir_roundtrip(self, tmp_path, programs):
+        """Migration path: a flat-file memo written by a real simulation."""
+        memo_dir = tmp_path / "memo"
+        cache = SimulationCache(disk_dir=memo_dir)
+        simulator = Simulator("arm", trace_options=TRACE, memo_cache=cache)
+        result = simulator.run(programs[0])
+        store = ResultStore(":memory:")
+        assert store.import_disk_cache(memo_dir) == 1
+        key = SimulationCache.make_key(
+            programs[0], simulator.hierarchy_config, TRACE, simulator.engine
+        )
+        assert store.get(key) == dict(result.stats.as_dict())
+        store.close()
+
+    def test_cache_store_backend_roundtrip(self, programs):
+        """A second cache over the same store serves the first one's results."""
+        store = ResultStore(":memory:")
+        first = Simulator(
+            "arm", trace_options=TRACE, memo_cache=SimulationCache(store=store)
+        )
+        computed = first.run(programs[0])
+        assert not computed.cached
+        second = Simulator(
+            "arm", trace_options=TRACE, memo_cache=SimulationCache(store=store)
+        )
+        served = second.run(programs[0])
+        assert served.cached  # cold memory LRU: the hit came from the store
+        assert flat(served) == flat(computed)
+        assert store.hits >= 1
+        store.close()
+
+    def test_degraded_store_never_breaks_a_run(self, programs):
+        class _BrokenStore:
+            def get(self, key):
+                raise RuntimeError("store down")
+
+            def put(self, key, payload):
+                raise RuntimeError("store down")
+
+        cache = SimulationCache(store=_BrokenStore())
+        result = Simulator("arm", trace_options=TRACE, memo_cache=cache).run(programs[0])
+        assert isinstance(result, SimulationResult)
+
+
+# ---------------------------------------------------------------------------
+# RuntimeConfig
+# ---------------------------------------------------------------------------
+
+
+ENV_CASES = [
+    {},
+    {"REPRO_SIM_ENGINE": "reference"},
+    {"REPRO_SIM_TRACE": "expanded"},
+    {"REPRO_SIM_NATIVE": "0", "REPRO_SIM_ARENA": "0"},
+    {"REPRO_RUNNER_BATCH": "off"},
+    {
+        "REPRO_RETRY_ATTEMPTS": "3",
+        "REPRO_RETRY_BASE_DELAY_S": "0.01",
+        "REPRO_RETRY_MAX_DELAY_S": "0.5",
+        "REPRO_RETRY_SEED": "9",
+    },
+    {"REPRO_SIM_MEMO_DIR": "@tmp"},
+]
+
+
+class TestRuntimeConfig:
+    @pytest.mark.parametrize("env", ENV_CASES, ids=lambda env: ",".join(env) or "clean")
+    def test_from_env_matches_legacy_semantics(self, env, monkeypatch, tmp_path):
+        """``from_env()`` must reproduce every legacy env-var reader exactly."""
+        for name in ALL_ENV_VARS:
+            monkeypatch.delenv(name, raising=False)
+        for name, value in env.items():
+            monkeypatch.setenv(name, str(tmp_path) if value == "@tmp" else value)
+        config = RuntimeConfig.from_env()
+        assert config.resolved_engine() == resolve_engine(None)
+        engine = config.resolved_engine()
+        assert config.resolved_trace(engine) == resolve_trace_mode(None, engine)
+        assert config.resolved_native() == (env.get("REPRO_SIM_NATIVE") != "0")
+        assert config.resolved_arena() == (env.get("REPRO_SIM_ARENA") != "0")
+        assert config.resolved_runner_batch() == batched_measurement_default()
+        assert config.resolved_retry() == RetryPolicy.from_env()
+        assert config.resolved_memo_dir() == str(shared_disk_cache_dir())
+        assert config.resolved_memoize() is True
+
+    def test_default_config_defers_to_env(self, monkeypatch):
+        """A plain ``RuntimeConfig()`` keeps reading the environment at use time."""
+        config = RuntimeConfig()
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert config.resolved_engine() == "reference"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "vectorized")
+        assert config.resolved_engine() == "vectorized"
+
+    def test_from_env_pins_against_later_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        monkeypatch.setenv("REPRO_RUNNER_BATCH", "off")
+        config = RuntimeConfig.from_env()
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "vectorized")
+        monkeypatch.delenv("REPRO_RUNNER_BATCH")
+        assert config.resolved_engine() == "reference"
+        assert config.resolved_runner_batch() is False
+
+    def test_explicit_fields_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "vectorized")
+        config = RuntimeConfig(engine="reference", runner_batch=False)
+        assert config.resolved_engine() == "reference"
+        assert config.resolved_runner_batch() is False
+
+    def test_with_overrides_rejects_unknown_fields(self):
+        config = RuntimeConfig()
+        derived = config.with_overrides(engine="reference", timeout_s=1.5)
+        assert derived.engine == "reference"
+        assert derived.timeout_s == 1.5
+        assert config.engine is None  # frozen original untouched
+        with pytest.raises(TypeError, match="unknown RuntimeConfig fields"):
+            config.with_overrides(enginee="reference")
+
+    def test_validate_rejects_nonsense(self):
+        with pytest.raises(ValueError, match="unknown simulation engine"):
+            RuntimeConfig(engine="warp-drive").validate()
+        with pytest.raises(ValueError, match="timeout_s"):
+            RuntimeConfig(timeout_s=-1.0).validate()
+        assert RuntimeConfig().validate() is not None
+
+    def test_describe_covers_the_documented_surface(self):
+        rows = RuntimeConfig.from_env().describe()
+        assert [row[0] for row in rows] == [name for name, _, _ in ENV_SURFACE]
+        assert all(len(row) == 3 and all(row) for row in rows)
+
+    def test_apply_process_toggles(self, monkeypatch):
+        for name in ("REPRO_SIM_NATIVE", "REPRO_SIM_ARENA", "REPRO_RUNNER_BATCH"):
+            monkeypatch.delenv(name, raising=False)
+        import os
+
+        RuntimeConfig(native=False, arena=True, runner_batch=False).apply_process_toggles()
+        assert os.environ["REPRO_SIM_NATIVE"] == "0"
+        assert os.environ["REPRO_SIM_ARENA"] == "1"
+        assert os.environ["REPRO_RUNNER_BATCH"] == "0"
+
+
+# ---------------------------------------------------------------------------
+# Simulator config API (deprecation shim) and the repro.simulate facade
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatorConfigAPI:
+    def test_legacy_engine_kwarg_warns_but_works(self, programs):
+        with pytest.warns(DeprecationWarning, match="engine"):
+            legacy = Simulator("arm", trace_options=TRACE, engine="reference")
+        assert legacy.engine == "reference"
+        modern = Simulator(
+            "arm", trace_options=TRACE, config=RuntimeConfig(engine="reference")
+        )
+        assert flat(legacy.run(programs[0])) == flat(modern.run(programs[0]))
+
+    def test_legacy_memoize_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="memoize"):
+            simulator = Simulator("arm", trace_options=TRACE, memoize=False)
+        assert simulator.memoize is False
+
+    def test_config_path_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            simulator = Simulator(
+                "arm",
+                trace_options=TRACE,
+                config=RuntimeConfig(engine="reference", memoize=False),
+            )
+        assert simulator.engine == "reference"
+        assert simulator.memoize is False
+
+    def test_pool_threads_config_through(self, programs):
+        """Engines are bit-identical, so a config-selected reference pool
+        must reproduce the default pool's statistics exactly."""
+        default = SimulatorPool("arm", trace_options=TRACE).run_many(programs)
+        configured = SimulatorPool(
+            "arm", trace_options=TRACE, config=RuntimeConfig(engine="reference")
+        ).run_many(programs)
+        assert [flat(r) for r in configured] == [flat(r) for r in default]
+
+
+class TestFacade:
+    def test_simulate_matches_local_simulator(self, programs):
+        facade = repro.simulate(programs[0], "arm", trace_options=TRACE)
+        local = Simulator("arm", trace_options=TRACE).run(programs[0])
+        assert isinstance(facade, SimulationResult)
+        assert facade.arch == local.arch == "arm"
+        assert flat(facade) == flat(local)
+
+    def test_simulate_batch_preserves_order(self, programs):
+        outcomes = repro.simulate_batch(programs, "arm", trace_options=TRACE)
+        assert [o.program_name for o in outcomes] == [p.name for p in programs]
+        singles = [repro.simulate(p, "arm", trace_options=TRACE) for p in programs]
+        assert [flat(o) for o in outcomes] == [flat(s) for s in singles]
+
+    def test_simulate_defaults_to_program_target(self, programs):
+        result = repro.simulate(programs[0], trace_options=TRACE)
+        assert isinstance(result, SimulationResult)
+        assert result.arch == "arm"  # the program's own target
+
+    def test_simulate_contains_failures(self, big_programs):
+        """The facade never raises for a failed simulation."""
+        faults.configure("worker_crash:n=1", seed=7)
+        outcome = repro.simulate(
+            big_programs[0],
+            "arm",
+            trace_options=TRACE,
+            config=RuntimeConfig(memoize=False, retry=RetryPolicy(max_attempts=1)),
+        )
+        assert isinstance(outcome, SimulationFailure)
+        assert outcome.kind == SimulationFailure.CRASH
+
+
+# ---------------------------------------------------------------------------
+# HTTP service
+# ---------------------------------------------------------------------------
+
+
+def _service(arch="arm", store=None, tenants=None, config=None):
+    """One running service on an ephemeral port; caller stops the server."""
+    store = store if store is not None else ResultStore(":memory:")
+    service = SimulationService(arch, store, config=config, tenants=tenants)
+    server = ServiceServer(service, port=0).start_in_thread()
+    return server, service, store
+
+
+class TestServiceHTTP:
+    def test_roundtrip_is_bit_identical_to_local(self, programs):
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            assert client.healthy()
+            remote = client.simulate(programs[0])
+            assert isinstance(remote, SimulationResult)
+            assert not remote.cached
+            local = Simulator("arm").run(programs[0])
+            assert flat(remote) == flat(local)
+            assert remote.sim_digest == SimulationCache.make_key(
+                programs[0],
+                service.simulator.hierarchy_config,
+                service.simulator.trace_options,
+                service.simulator.engine,
+            )
+            again = client.simulate(programs[0])
+            assert again.cached
+            assert flat(again) == flat(remote)
+        finally:
+            server.stop()
+            store.close()
+
+    def test_results_endpoint(self, programs):
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            first = client.simulate(programs[0])
+            fetched = client.result(first.sim_digest)
+            assert fetched is not None
+            assert flat(fetched) == flat(first)
+            assert client.result("0" * 64) is None  # 404 → None
+        finally:
+            server.stop()
+            store.close()
+
+    def test_wait_false_queues_and_worker_drains(self, programs):
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            queued = client.simulate(programs[1], wait=False)
+            assert isinstance(queued, SimulationFailure)  # "queued" placeholder
+            assert queued.kind == SimulationFailure.TIMEOUT
+            digest = SimulationCache.make_key(
+                programs[1],
+                service.simulator.hierarchy_config,
+                service.simulator.trace_options,
+                service.simulator.engine,
+            )
+            deadline = time.time() + 30.0
+            result = None
+            while result is None and time.time() < deadline:
+                result = client.result(digest)
+                if result is None:
+                    time.sleep(0.05)
+            assert result is not None
+            assert flat(result) == flat(Simulator("arm").run(programs[1]))
+        finally:
+            server.stop()
+            store.close()
+
+    def test_duplicate_digests_coalesce_onto_one_computation(self, programs):
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            n_clients = 4
+            barrier = threading.Barrier(n_clients)
+            outcomes = [None] * n_clients
+
+            def post(slot):
+                barrier.wait()
+                outcomes[slot] = client.simulate(programs[2])
+
+            threads = [
+                threading.Thread(target=post, args=(slot,)) for slot in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60.0)
+            assert all(isinstance(o, SimulationResult) for o in outcomes)
+            assert len({json.dumps(flat(o), sort_keys=True) for o in outcomes}) == 1
+            # One digest, one computation: the leader simulated, everyone
+            # else was coalesced in flight or served from the fresh cache.
+            assert service.computed == 1
+            assert service.served_cached == n_clients - 1
+            assert service.worker.jobs == 1
+        finally:
+            server.stop()
+            store.close()
+
+    def test_auth_and_quota_enforcement(self, programs):
+        tenants = {
+            "secret-key": Tenant(name="alice", api_key="secret-key", quota=2),
+        }
+        server, service, store = _service(tenants=tenants)
+        try:
+            anonymous = ServiceClient(server.url)
+            assert anonymous.healthy()  # liveness probe is unauthenticated
+            with pytest.raises(ServiceError) as unauthorized:
+                anonymous.stats()
+            assert unauthorized.value.status == 401
+            wrong = ServiceClient(server.url, api_key="wrong-key")
+            with pytest.raises(ServiceError) as rejected:
+                wrong.stats()
+            assert rejected.value.status == 401
+            alice = ServiceClient(server.url, api_key="secret-key")
+            alice.stats()
+            alice.stats()
+            with pytest.raises(ServiceError) as throttled:
+                alice.stats()
+            assert throttled.value.status == 429
+        finally:
+            server.stop()
+            store.close()
+
+    def test_hierarchy_override_roundtrip(self, programs):
+        default = SimulationService("arm", ResultStore(":memory:"))
+        base = default.simulator.hierarchy_config
+        default.close()
+        assert hierarchy_from_dict(dataclasses.asdict(base)) == base
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            custom = dataclasses.replace(base, name=base.name + "-custom")
+            remote = client.simulate(programs[3], hierarchy=custom)
+            assert isinstance(remote, SimulationResult)
+            baseline = client.simulate(programs[3])
+            assert remote.sim_digest != baseline.sim_digest  # keyed per hierarchy
+            # Identical geometry under a different name: same statistics.
+            assert flat(remote) == flat(baseline)
+        finally:
+            server.stop()
+            store.close()
+
+    def test_worker_crash_containment_matches_resilient_pool(self, big_programs):
+        config = RuntimeConfig(retry=RetryPolicy(max_attempts=1))
+        server, service, store = _service(config=config)
+        try:
+            client = ServiceClient(server.url)
+            faults.configure("worker_crash:n=1", seed=7)
+            failure = client.simulate(big_programs[1])
+            assert isinstance(failure, SimulationFailure)
+            # The crash was contained: the worker survived and the very next
+            # request for the same digest simulates successfully.
+            recovered = client.simulate(big_programs[1])
+            assert isinstance(recovered, SimulationResult)
+            stats = client.stats()
+            assert stats["failed"] == 1
+            assert stats["worker"]["failures"] == 1
+            # Parity with the local resilient API under the same profile.
+            faults.configure("worker_crash:n=1", seed=7)
+            pool = SimulatorPool("arm", memoize=False, retry=RetryPolicy(max_attempts=1))
+            local = pool.run_many_resilient([big_programs[1]])[0]
+            assert isinstance(local, SimulationFailure)
+            assert failure.kind == local.kind
+            assert failure.attempts == local.attempts
+        finally:
+            server.stop()
+            store.close()
+
+    def test_repeated_batch_served_from_shared_store(self, programs):
+        """A fresh service over the same store serves a repeated batch
+        entirely from the ResultStore (the >= 90 % acceptance gate)."""
+        store = ResultStore(":memory:")
+        server1, service1, _ = _service(store=store)
+        try:
+            first = ServiceClient(server1.url).simulate_batch(programs)
+            assert all(isinstance(r, SimulationResult) for r in first)
+        finally:
+            server1.stop()
+        server2, service2, _ = _service(store=store)
+        try:
+            client2 = ServiceClient(server2.url)
+            second = client2.simulate_batch(programs)
+            assert all(isinstance(r, SimulationResult) for r in second)
+            assert all(r.cached for r in second)  # cold LRU → store hits
+            assert [flat(r) for r in second] == [flat(r) for r in first]
+            stats = client2.stats()
+            assert stats["hit_rate"] >= 0.9
+            assert stats["store"]["hits"] >= len(programs)
+            assert stats["computed"] == 0
+        finally:
+            server2.stop()
+            store.close()
+
+    def test_stats_surface(self, programs):
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            client.simulate(programs[0])
+            client.simulate(programs[0])
+            stats = client.stats()
+            assert stats["arch"] == "arm"
+            assert stats["computed"] == 1
+            assert stats["served_cached"] == 1
+            assert stats["hit_rate"] == 0.5
+            for section in ("store", "cache", "worker"):
+                assert isinstance(stats[section], dict)
+        finally:
+            server.stop()
+            store.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestServeCli:
+    def test_serve_check_validates_and_exits_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--check"]) == 0
+        output = capsys.readouterr().out
+        assert "runtime configuration" in output
+        assert "configuration OK" in output
+
+    def test_serve_check_rejects_bad_engine(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp-drive")
+        assert main(["serve", "--check"]) == 2
+        assert "invalid runtime configuration" in capsys.readouterr().err
