@@ -21,11 +21,13 @@ Two views are reported:
   materialisation entirely, so this is where trace compression shows up.
   ``e2e arena`` includes arena packing.
 
-A second table drives the same chunks through a random-replacement variant
-of the Table I geometry (replayable victim stream, fixed seed): all four
-paths must stay bit-identical — this is the CI random-policy equivalence
-gate — and the vectorized path must hold a >= 3x engine-side edge
-(non-smoke).
+Further tables drive the same chunks through Table I geometry variants
+with one registry replacement policy at every level — random (replayable
+victim stream, fixed seed), tree-PLRU and SRRIP: all four paths must stay
+bit-identical for every policy — this is the CI policy-equivalence gate —
+and each policy's vectorized path must hold a >= 3x engine-side edge over
+the reference loop (non-smoke), so new policies ride the fast paths
+instead of silently falling back.
 
 With the compiled kernel available, the native descriptor path must meet
 or beat the vectorized expanded path engine-side on at least
@@ -73,11 +75,12 @@ CHUNK_ITERATIONS = 1 << 16
 #: than the reference loop on at least one Table II workload (skipped in
 #: smoke mode, where the trace is too small to amortize fixed costs).
 MIN_SPEEDUP = 5.0
-#: Acceptance floor for the random-replacement configuration: the replayable
-#: victim stream keeps random caches on the vectorized/descriptor fast path,
-#: which must beat the (stream-ported) reference loop by at least this much
-#: on at least one Table II workload (non-smoke only).
-RANDOM_MIN_SPEEDUP = 3.0
+#: Acceptance floor for the non-default policy configurations: the policy
+#: registry keeps random/PLRU/RRIP caches on the vectorized/descriptor fast
+#: path, which must beat the reference loop by at least this much on at
+#: least one Table II workload per policy (non-smoke only) — the dominance
+#: floor that stops a new policy from silently degrading to scalar walks.
+ALT_POLICY_MIN_SPEEDUP = 3.0
 #: Vectorized Macc/s for the Table II stragglers as committed by PR 1
 #: (``git show <pr1>:benchmarks/results/sim_throughput.txt``); the
 #: descriptor-era engine must at least double them (non-smoke only; the
@@ -95,9 +98,14 @@ GROUP0_COMPRESSION_FLOOR = 3.0
 NATIVE_MIN_GROUP_WINS = 4
 ARCH = "x86"
 GROUPS = (0, 1, 2, 3, 4)
-#: Table I geometry with random replacement at every level, driven with a
-#: fixed victim-stream seed so recorded trajectories stay reproducible.
-RANDOM_HIERARCHY = hierarchy_with_replacement(ARCH, "random")
+#: Table I geometry variants with one registry policy at every level: the
+#: replayable random victim stream plus the PLRU/RRIP registry additions.
+#: The victim-stream seed is fixed so recorded trajectories stay
+#: reproducible (it only affects the random variant).
+ALT_POLICIES = ("random", "plru", "rrip")
+ALT_HIERARCHIES = {
+    policy: hierarchy_with_replacement(ARCH, policy) for policy in ALT_POLICIES
+}
 RANDOM_SEED = 1234
 
 
@@ -130,24 +138,26 @@ def _best(callable_, repeats):
     return best_seconds, best_stats
 
 
-def _make_hierarchy(engine, random_policy):
-    if random_policy:
-        return CacheHierarchy(RANDOM_HIERARCHY, engine=engine, rng_seed=RANDOM_SEED)
+def _make_hierarchy(engine, policy):
+    if policy is not None:
+        return CacheHierarchy(
+            ALT_HIERARCHIES[policy], engine=engine, rng_seed=RANDOM_SEED
+        )
     return cache_hierarchy_for(ARCH, engine=engine)
 
 
-def _drive_batches(chunks, engine, random_policy=False):
+def _drive_batches(chunks, engine, policy=None):
     """Walk pre-built address chunks through a cold Table I hierarchy."""
-    hierarchy = _make_hierarchy(engine, random_policy)
+    hierarchy = _make_hierarchy(engine, policy)
     start = time.perf_counter()
     for addresses, is_write in chunks:
         hierarchy.access_data_batch(addresses, is_write)
     return time.perf_counter() - start, hierarchy.stats_dict()
 
 
-def _drive_descriptors(chunks, random_policy=False):
+def _drive_descriptors(chunks, policy=None):
     """Walk pre-built descriptor chunks through a cold Table I hierarchy."""
-    hierarchy = _make_hierarchy(ENGINE_VECTORIZED, random_policy)
+    hierarchy = _make_hierarchy(ENGINE_VECTORIZED, policy)
     for chunk in chunks:
         for batch in chunk.batches:
             # Cold-consumer timing: grid expansions are memoized on the
@@ -160,7 +170,7 @@ def _drive_descriptors(chunks, random_policy=False):
     return time.perf_counter() - start, hierarchy.stats_dict()
 
 
-def _drive_descriptor_stream(chunks, random_policy=False):
+def _drive_descriptor_stream(chunks, policy=None):
     """Walk pre-built descriptor chunks via arena batching (native path).
 
     Timing includes arena packing — that is part of what the batched
@@ -168,7 +178,7 @@ def _drive_descriptor_stream(chunks, random_policy=False):
     per-chunk dispatch, bit-identically, and the column duplicates the
     ``descriptor`` one (the native gate is skipped in that case).
     """
-    hierarchy = _make_hierarchy(ENGINE_VECTORIZED, random_policy)
+    hierarchy = _make_hierarchy(ENGINE_VECTORIZED, policy)
     for chunk in chunks:
         for batch in chunk.batches:
             batch.__dict__.pop("_degrid_cache", None)
@@ -259,30 +269,43 @@ def test_bench_sim_throughput(results_dir):
         )
         assert e2e_arena_stats == e2e_desc_stats == e2e_exp_stats == reference_stats
 
-        # Random replacement: all four paths must replay the seeded victim
-        # stream bit-identically (this doubles as the CI equivalence gate),
-        # and the vectorized paths must keep their throughput edge.
-        random_reference_s, random_reference_stats = _best(
-            lambda: _drive_batches(batch_chunks, ENGINE_REFERENCE, random_policy=True), 2
-        )
-        random_vectorized_s, random_vectorized_stats = _best(
-            lambda: _drive_batches(batch_chunks, ENGINE_VECTORIZED, random_policy=True), 5
-        )
-        random_descriptor_s, random_descriptor_stats = _best(
-            lambda: _drive_descriptors(descriptor_chunks, random_policy=True), 5
-        )
-        random_native_s, random_native_stats = _best(
-            lambda: _drive_descriptor_stream(descriptor_chunks, random_policy=True), 5
-        )
-        assert random_vectorized_stats == random_reference_stats, (
-            f"random-policy vectorized statistics diverge on Table II group {group_id}"
-        )
-        assert random_descriptor_stats == random_reference_stats, (
-            f"random-policy descriptor statistics diverge on Table II group {group_id}"
-        )
-        assert random_native_stats == random_reference_stats, (
-            f"random-policy native statistics diverge on Table II group {group_id}"
-        )
+        # Non-default policies: all four paths must agree bit-identically
+        # for every registry policy (this doubles as the CI
+        # policy-equivalence gate), and the vectorized paths must keep
+        # their throughput edge so new policies ride the fast paths.
+        alt = {}
+        for alt_policy in ALT_POLICIES:
+            alt_reference_s, alt_reference_stats = _best(
+                lambda: _drive_batches(batch_chunks, ENGINE_REFERENCE, policy=alt_policy), 2
+            )
+            alt_vectorized_s, alt_vectorized_stats = _best(
+                lambda: _drive_batches(batch_chunks, ENGINE_VECTORIZED, policy=alt_policy), 5
+            )
+            alt_descriptor_s, alt_descriptor_stats = _best(
+                lambda: _drive_descriptors(descriptor_chunks, policy=alt_policy), 5
+            )
+            alt_native_s, alt_native_stats = _best(
+                lambda: _drive_descriptor_stream(descriptor_chunks, policy=alt_policy), 5
+            )
+            assert alt_vectorized_stats == alt_reference_stats, (
+                f"{alt_policy}-policy vectorized statistics diverge on "
+                f"Table II group {group_id}"
+            )
+            assert alt_descriptor_stats == alt_reference_stats, (
+                f"{alt_policy}-policy descriptor statistics diverge on "
+                f"Table II group {group_id}"
+            )
+            assert alt_native_stats == alt_reference_stats, (
+                f"{alt_policy}-policy native statistics diverge on "
+                f"Table II group {group_id}"
+            )
+            alt[f"{alt_policy}_reference"] = accesses / alt_reference_s / 1e6
+            alt[f"{alt_policy}_vectorized"] = accesses / alt_vectorized_s / 1e6
+            alt[f"{alt_policy}_descriptor"] = accesses / alt_descriptor_s / 1e6
+            alt[f"{alt_policy}_native"] = accesses / alt_native_s / 1e6
+            alt[f"{alt_policy}_vectorized_speedup"] = alt_reference_s / alt_vectorized_s
+            alt[f"{alt_policy}_descriptor_speedup"] = alt_reference_s / alt_descriptor_s
+            alt[f"{alt_policy}_native_speedup"] = alt_reference_s / alt_native_s
 
         group = {
             "accesses": accesses,
@@ -302,13 +325,7 @@ def test_bench_sim_throughput(results_dir):
             "trace_bytes_expanded": expanded_bytes,
             "trace_bytes_descriptor": descriptor_bytes,
             "trace_compression": expanded_bytes / descriptor_bytes,
-            "random_reference": accesses / random_reference_s / 1e6,
-            "random_vectorized": accesses / random_vectorized_s / 1e6,
-            "random_descriptor": accesses / random_descriptor_s / 1e6,
-            "random_native": accesses / random_native_s / 1e6,
-            "random_vectorized_speedup": random_reference_s / random_vectorized_s,
-            "random_descriptor_speedup": random_reference_s / random_descriptor_s,
-            "random_native_speedup": random_reference_s / random_native_s,
+            **alt,
         }
         payload["groups"][str(group_id)] = group
         rows.append(
@@ -349,36 +366,48 @@ def test_bench_sim_throughput(results_dir):
             f"include trace generation"
         ),
     )
-    random_rows = [
-        (
-            group_id,
-            f"{groups_row['random_reference']:.2f}",
-            f"{groups_row['random_vectorized']:.2f}",
-            f"{groups_row['random_descriptor']:.2f}",
-            f"{groups_row['random_native']:.2f}",
-            f"{groups_row['random_vectorized_speedup']:.2f}x",
-            f"{groups_row['random_native_speedup']:.2f}x",
-        )
-        for group_id, groups_row in sorted(
-            ((int(k), v) for k, v in payload["groups"].items())
-        )
-    ]
-    text += "\n" + format_table(
-        [
-            "group",
-            "ref Macc/s",
-            "vec Macc/s",
-            "desc Macc/s",
-            "native Macc/s",
-            "vec speedup",
-            "native speedup",
-        ],
-        random_rows,
-        title=(
-            f"Random replacement (replayable victim stream, seed {RANDOM_SEED}) on the "
-            f"Table I {ARCH} geometry; same pre-built chunks, engine-side"
+    policy_titles = {
+        "random": (
+            f"Random replacement (replayable victim stream, seed {RANDOM_SEED}) on "
+            f"the Table I {ARCH} geometry; same pre-built chunks, engine-side"
         ),
-    )
+        "plru": (
+            f"Tree-PLRU replacement on the Table I {ARCH} geometry; "
+            f"same pre-built chunks, engine-side"
+        ),
+        "rrip": (
+            f"SRRIP replacement on the Table I {ARCH} geometry; "
+            f"same pre-built chunks, engine-side"
+        ),
+    }
+    for alt_policy in ALT_POLICIES:
+        alt_rows = [
+            (
+                group_id,
+                f"{groups_row[f'{alt_policy}_reference']:.2f}",
+                f"{groups_row[f'{alt_policy}_vectorized']:.2f}",
+                f"{groups_row[f'{alt_policy}_descriptor']:.2f}",
+                f"{groups_row[f'{alt_policy}_native']:.2f}",
+                f"{groups_row[f'{alt_policy}_vectorized_speedup']:.2f}x",
+                f"{groups_row[f'{alt_policy}_native_speedup']:.2f}x",
+            )
+            for group_id, groups_row in sorted(
+                ((int(k), v) for k, v in payload["groups"].items())
+            )
+        ]
+        text += "\n" + format_table(
+            [
+                "group",
+                "ref Macc/s",
+                "vec Macc/s",
+                "desc Macc/s",
+                "native Macc/s",
+                "vec speedup",
+                "native speedup",
+            ],
+            alt_rows,
+            title=policy_titles[alt_policy],
+        )
     write_result(results_dir, "sim_throughput.txt", text)
     (results_dir / "sim_throughput.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
@@ -445,11 +474,15 @@ def test_bench_sim_throughput(results_dir):
         f"vectorized engine reached only {best:.2f}x on its best Table II "
         f"workload (floor: {MIN_SPEEDUP}x)"
     )
-    best_random = max(group["random_vectorized_speedup"] for group in groups.values())
-    assert best_random >= RANDOM_MIN_SPEEDUP, (
-        f"random-replacement vectorized engine reached only {best_random:.2f}x "
-        f"on its best Table II workload (floor: {RANDOM_MIN_SPEEDUP}x)"
-    )
+    for alt_policy in ALT_POLICIES:
+        best_alt = max(
+            group[f"{alt_policy}_vectorized_speedup"] for group in groups.values()
+        )
+        assert best_alt >= ALT_POLICY_MIN_SPEEDUP, (
+            f"{alt_policy}-replacement vectorized engine reached only "
+            f"{best_alt:.2f}x on its best Table II workload "
+            f"(floor: {ALT_POLICY_MIN_SPEEDUP}x)"
+        )
     for group_id, pr1_maccs in PR1_VECTORIZED_MACCS.items():
         now = groups[str(group_id)]["vectorized"]
         assert now >= 2.0 * pr1_maccs, (

@@ -147,6 +147,27 @@ class ConfigSpace:
             raise ValueError(f"knob {name!r} needs at least one candidate")
         self._register(name, [OtherOptionEntity(value) for value in candidates])
 
+    def define_replacement(
+        self, name: str = "replacement", policies: Optional[Sequence[str]] = None
+    ) -> None:
+        """Declare a cache replacement-policy knob over registry names.
+
+        Candidates default to every policy in the
+        :data:`repro.sim.policies.POLICIES` registry (wire-id order); an
+        explicit ``policies`` sequence restricts the choice and is validated
+        against the registry.  The selected value is the policy *name* — feed
+        it to :func:`repro.sim.configs.hierarchy_with_replacement` or
+        ``RuntimeConfig(replacement=...)`` when measuring the candidate, so
+        the tuner explores policy choice alongside the schedule knobs.
+        """
+        from repro.sim.policies import POLICY_NAMES, get_policy
+
+        if policies is None:
+            names = list(POLICY_NAMES)
+        else:
+            names = [get_policy(policy).name for policy in policies]
+        self.define_knob(name, names)
+
     def _register(self, name: str, candidates: List[object]) -> None:
         if name in self._knobs:
             # Templates are re-run for every configuration; keep the first definition.

@@ -88,7 +88,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     candidates = policy.sample_candidates(args.count)
     _, builds = policy.build_candidates(candidates)
     trace_options = TraceOptions(max_accesses=args.trace, rng_seed=args.rng_seed)
-    simulator = Simulator(args.arch, trace_options=trace_options)
+    from repro.sim import RuntimeConfig
+
+    config = RuntimeConfig(replacement=args.replacement)
+    simulator = Simulator(args.arch, trace_options=trace_options, config=config)
     board = TargetBoard(args.arch, trace_options=trace_options, seed=args.seed)
     rows = []
     for index, build in enumerate(builds):
@@ -239,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--rng-seed", type=int, default=0,
                           help="seed of the replayable random-replacement victim stream "
                           "(only relevant for hierarchies with a random-policy level)")
+    from repro.sim.policies import POLICY_NAMES
+
+    simulate.add_argument("--replacement", choices=POLICY_NAMES, default=None,
+                          help="replacement policy for every cache level "
+                          "(default: the per-level Table I policies)")
     simulate.set_defaults(func=cmd_simulate)
 
     table = commands.add_parser("table", help="regenerate Table III/IV/V for one architecture")

@@ -13,14 +13,18 @@ statistics.  The trace reaches the engines in one of two bit-equivalent
 representations: materialised address chunks (``"expanded"``) or compressed
 affine run descriptors (``"descriptor"``, the vectorized default — see
 :meth:`repro.codegen.program.Program.memory_trace_descriptors`).  All
-replacement policies run on both engines: random replacement draws its
-victims from a replayable counter-based stream (:func:`repro.sim.engine.
-victim_rank`, seeded via ``TraceOptions.rng_seed`` / ``CacheConfig.
-rng_seed``), so stochastic caches stay bit-identical across engines, trace
-representations and chunk schedules.  Simulation results are memoized across
-identical ``(program, hierarchy, trace options)`` requests via
-:mod:`repro.sim.memo`; the victim-stream seed joins the key exactly when a
-random-replacement level is present.
+replacement policies live in one registry (:mod:`repro.sim.policies` —
+LRU, FIFO, random, tree-PLRU, SRRIP) and run bit-identically on both
+engines: each :class:`~repro.sim.policies.PolicySpec` defines the state,
+touch rule and victim rule every execution layer consumes.  Random
+replacement draws its victims from a replayable counter-based stream
+(:func:`repro.sim.policies.victim_rank`, seeded via
+``TraceOptions.rng_seed`` / ``CacheConfig.rng_seed``), so stochastic
+caches stay bit-identical across engines, trace representations and chunk
+schedules.  Simulation results are memoized across identical ``(program,
+hierarchy, trace options)`` requests via :mod:`repro.sim.memo`; the
+victim-stream seed joins the key exactly when a victim-stream level is
+present.
 """
 
 from repro.sim.stats import StatGroup, SimulationStats
@@ -41,7 +45,15 @@ from repro.sim.engine import (
     resolve_trace_mode,
     victim_rank,
 )
-from repro.sim.cache import CacheConfig, Cache, ReplacementPolicy
+from repro.sim.cache import CacheConfig, Cache
+from repro.sim.policies import (
+    POLICIES,
+    POLICY_NAMES,
+    PolicySpec,
+    ReplacementPolicy,
+    get_policy,
+    policy_wire_id,
+)
 from repro.sim.memory import MainMemory
 from repro.sim.hierarchy import CacheHierarchy, CacheHierarchyConfig, CacheLevelConfig
 from repro.sim.configs import (
@@ -86,7 +98,12 @@ __all__ = [
     "victim_rank",
     "CacheConfig",
     "Cache",
+    "POLICIES",
+    "POLICY_NAMES",
+    "PolicySpec",
     "ReplacementPolicy",
+    "get_policy",
+    "policy_wire_id",
     "MainMemory",
     "CacheHierarchy",
     "CacheHierarchyConfig",

@@ -81,6 +81,94 @@ static uint64_t repro_victim_hash(uint64_t key)
 }
 
 /* ------------------------------------------------------------------ *
+ * Replacement-policy dispatch
+ *
+ * Wire ids are the stable integers of repro.sim.policies (PolicySpec
+ * .wire_id): 0 = fifo, 1 = lru, 2 = random, 3 = plru, 4 = rrip.  The
+ * traits table mirrors the registry's behavioural flags:
+ *  - touch_hit_recency: hits re-touch the recency tick (LRU only; every
+ *    policy writes the insertion tick on fills);
+ *  - exact_stack: a re-touch within `assoc` set events is a guaranteed
+ *    hit, enabling the stack-distance pre-resolution in the batch driver.
+ * ------------------------------------------------------------------ */
+typedef struct {
+    int32_t touch_hit_recency;
+    int32_t exact_stack;
+} repro_policy_traits;
+
+static const repro_policy_traits REPRO_POLICIES[5] = {
+    {0, 0},  /* 0 fifo */
+    {1, 1},  /* 1 lru */
+    {0, 0},  /* 2 random */
+    {0, 0},  /* 3 plru */
+    {0, 0},  /* 4 rrip */
+};
+
+/* Tree-PLRU over next_pow2(assoc) leaves: one int64 of node bits per set
+ * (node i's children are 2i+1 / 2i+2; bit 1 points the victim walk right).
+ * Mirrors repro.sim.policies._plru_touch_bits / _plru_victim_way. */
+static int64_t repro_plru_leaves(int64_t assoc)
+{
+    int64_t size = 1;
+    while (size < assoc) size <<= 1;
+    return size;
+}
+
+static void repro_plru_touch(int64_t *bits_slot, int64_t way, int64_t assoc)
+{
+    int64_t bits = *bits_slot;
+    int64_t size = repro_plru_leaves(assoc);
+    int64_t node = 0, lo = 0;
+    while (size > 1) {
+        const int64_t half = size >> 1;
+        if (way < lo + half) {
+            bits |= (int64_t)1 << node;
+            node = 2 * node + 1;
+        } else {
+            bits &= ~((int64_t)1 << node);
+            node = 2 * node + 2;
+            lo += half;
+        }
+        size = half;
+    }
+    *bits_slot = bits;
+}
+
+static int64_t repro_plru_victim(int64_t bits, int64_t assoc)
+{
+    int64_t size = repro_plru_leaves(assoc);
+    int64_t node = 0, lo = 0;
+    while (size > 1) {
+        const int64_t half = size >> 1;
+        int64_t dir = (bits >> node) & 1;
+        if (dir && lo + half >= assoc) dir = 0;  /* empty right half */
+        node = 2 * node + 1 + dir;
+        if (dir) lo += half;
+        size = half;
+    }
+    return lo;
+}
+
+/* SRRIP victim: age the whole set in closed form until a way reaches
+ * RRPV 3, then take the lowest-index such way.  Mirrors
+ * repro.sim.policies._RripSpec.victim_way (insert 2, hit promotes to 0). */
+static int64_t repro_rrip_victim(int64_t *arow, int64_t assoc)
+{
+    int64_t highest = arow[0];
+    for (int64_t w = 1; w < assoc; w++) {
+        if (arow[w] > highest) highest = arow[w];
+    }
+    if (highest < 3) {
+        const int64_t inc = 3 - highest;
+        for (int64_t w = 0; w < assoc; w++) arow[w] += inc;
+    }
+    for (int64_t w = 0; w < assoc; w++) {
+        if (arow[w] == 3) return w;
+    }
+    return 0;  /* unreachable: aging leaves a way at 3 */
+}
+
+/* ------------------------------------------------------------------ *
  * Event walk core
  *
  * Sequential per-set event walk on the engine's array tag store.  Events
@@ -96,7 +184,13 @@ static uint64_t repro_victim_hash(uint64_t key)
  *    constants as repro.sim.engine.victim_rank -- and evicts the way holding
  *    the rank-th most recently inserted line.
  *
- * policy: 0 = fifo, 1 = lru, 2 = random.  hit_out / victim_line /
+ * policy: 0 = fifo, 1 = lru, 2 = random, 3 = plru, 4 = rrip (the stable
+ * wire ids of repro.sim.policies).  `aux` is the registry's auxiliary
+ * state plane: PLRU tree bits (one int64 per set) or RRIP re-reference
+ * counters (one int64 per way); unused by the other policies.
+ * `event_retouch` marks events standing for a collapsed multi-access run
+ * (the later members are guaranteed hits, so RRIP leaves the line
+ * promoted, not at the insertion RRPV).  hit_out / victim_line /
  * victim_wb must arrive initialised to 0 / -1 / 0.
  * ------------------------------------------------------------------ */
 static void repro_events_core(
@@ -105,6 +199,7 @@ static void repro_events_core(
     const int64_t *event_lines,
     const uint8_t *event_dirty,
     const int64_t *event_age,
+    const uint8_t *event_retouch,
     uint8_t *hit_out,
     int64_t *victim_line,
     uint8_t *victim_wb,
@@ -114,10 +209,11 @@ static void repro_events_core(
     int64_t *tags,
     uint8_t *dirty,
     int64_t *recency,
+    int64_t *aux,
     int64_t *occupancy,
     int64_t *evictions)
 {
-    const int32_t lru = policy == 1;
+    const int32_t touch_hit = REPRO_POLICIES[policy].touch_hit_recency;
     for (int64_t i = 0; i < n_events; i++) {
         const int64_t set = event_sets[i];
         const int64_t line = event_lines[i];
@@ -132,7 +228,9 @@ static void repro_events_core(
         if (way >= 0) {
             hit_out[i] = 1;
             drow[way] |= event_dirty[i];
-            if (lru) rrow[way] = event_age[i];
+            if (touch_hit) rrow[way] = event_age[i];
+            else if (policy == 3) repro_plru_touch(aux + set, way, assoc);
+            else if (policy == 4) aux[set * assoc + way] = 0;
             continue;
         }
         if (occ < assoc) {
@@ -151,6 +249,10 @@ static void repro_events_core(
                     for (int64_t v = 0; v < assoc; v++) newer += rrow[v] > rrow[w];
                     if (newer == rank) { way = w; break; }
                 }
+            } else if (policy == 3) {
+                way = repro_plru_victim(aux[set], assoc);
+            } else if (policy == 4) {
+                way = repro_rrip_victim(aux + set * assoc, assoc);
             } else {
                 way = 0;
                 for (int64_t w = 1; w < assoc; w++) {
@@ -163,6 +265,8 @@ static void repro_events_core(
         row[way] = line;
         drow[way] = event_dirty[i];
         rrow[way] = event_age[i];
+        if (policy == 3) repro_plru_touch(aux + set, way, assoc);
+        else if (policy == 4) aux[set * assoc + way] = event_retouch[i] ? 0 : 2;
     }
 }
 
@@ -172,6 +276,7 @@ void repro_run_events(
     const int64_t *event_lines,
     const uint8_t *event_dirty,
     const int64_t *event_age,
+    const uint8_t *event_retouch,
     uint8_t *hit_out,
     int64_t *victim_line,
     uint8_t *victim_wb,
@@ -181,14 +286,15 @@ void repro_run_events(
     int64_t *tags,
     uint8_t *dirty,
     int64_t *recency,
+    int64_t *aux,
     int64_t *occupancy,
     int64_t *evictions)
 {
     repro_events_core(
-        n_events, event_sets, event_lines, event_dirty, event_age,
+        n_events, event_sets, event_lines, event_dirty, event_age, event_retouch,
         hit_out, victim_line, victim_wb, assoc, policy,
         rng_seed * 0x9E3779B97F4A7C15ULL,
-        tags, dirty, recency, occupancy, evictions);
+        tags, dirty, recency, aux, occupancy, evictions);
 }
 
 /* ------------------------------------------------------------------ *
@@ -231,7 +337,7 @@ typedef struct {
     /* chains (alias the conflict block) and events (alias the sides) */
     int64_t *chain_write, *chain_last;
     int64_t *ev_set, *ev_line, *ev_age, *ev_orig, *ev_fw, *ev_victim;
-    uint8_t *ev_dirty, *ev_hit, *ev_vwb;
+    uint8_t *ev_dirty, *ev_hit, *ev_vwb, *ev_retouch;
     /* line hash (LRU pre-resolution); probed within a per-segment
      * power-of-two window so touched pages track real segment sizes */
     int64_t *h_line, *h_rank, *h_chain, *h_stamp;
@@ -246,7 +352,7 @@ int64_t repro_scratch_len(int64_t cap, int64_t pos_cap)
     if (pos_cap < 1) pos_cap = 1;
     int64_t hash_cap = 16;
     while (hash_cap < 2 * cap) hash_cap <<= 1;
-    return 23 * cap + 65536 + 3 * ((cap + 7) / 8) + 4 * hash_cap + pos_cap + 8;
+    return 23 * cap + 65536 + 4 * ((cap + 7) / 8) + 4 * hash_cap + pos_cap + 8;
 }
 
 static int repro_ws_init(
@@ -311,6 +417,7 @@ static int repro_ws_init(
     ws->ev_dirty = (uint8_t *)p; p += (cap + 7) / 8;
     ws->ev_hit = (uint8_t *)p; p += (cap + 7) / 8;
     ws->ev_vwb = (uint8_t *)p; p += (cap + 7) / 8;
+    ws->ev_retouch = (uint8_t *)p; p += (cap + 7) / 8;
     if (init_tables) {
         for (int64_t i = 0; i < pos_cap; i++) ws->slot_of[i] = -1;
         memset(ws->h_stamp, 0, (size_t)hash_cap * sizeof(int64_t));
@@ -1059,6 +1166,7 @@ int64_t repro_descriptor_batch(
     int64_t *tags,
     uint8_t *dirty,
     int64_t *recency,
+    int64_t *aux,
     int64_t *occupancy,
     int64_t *evictions,
     int64_t *scratch,
@@ -1071,7 +1179,7 @@ int64_t repro_descriptor_batch(
     if (repro_ws_init(&ws, scratch, scratch_len, cap, pos_cap, init_tables)) return -1;
     const int64_t set_mask = n_sets - 1;
     const uint64_t seed_term = rng_seed * 0x9E3779B97F4A7C15ULL;
-    const int lru = policy == 1;
+    const int exact_stack = REPRO_POLICIES[policy].exact_stack;
     int64_t stamp = stamp_base;
     int64_t fwd = 0;
     int64_t hits = 0, read_hits = 0, write_hits = 0;
@@ -1100,11 +1208,11 @@ int64_t repro_descriptor_batch(
         }
         if (n_heads < 0) return n_heads;
 
-        /* build the event list: LRU folds guaranteed re-touches into
-         * chains (see VectorCacheState._process_heads); FIFO/random make
-         * every head an event */
+        /* build the event list: exact-stack policies (LRU) fold guaranteed
+         * re-touches into chains (see VectorCacheState._process_heads);
+         * FIFO/random/PLRU/RRIP make every head an event */
         int64_t n_events = 0;
-        if (lru) {
+        if (exact_stack) {
             int64_t i = 0;
             while (i < n_heads) {
                 const int64_t set = ws.f_set[i];
@@ -1150,6 +1258,7 @@ int64_t repro_descriptor_batch(
                 for (int64_t e = ev_base; e < n_events; e++) {
                     ws.ev_dirty[e] = ws.chain_write[e] ? 1 : 0;
                     ws.ev_age[e] = ws.chain_last[e] + tick;
+                    ws.ev_retouch[e] = 0;  /* re-touches folded into chains */
                 }
                 i = j;
             }
@@ -1161,6 +1270,7 @@ int64_t repro_descriptor_batch(
                 ws.ev_age[h] = ws.f_orig[h] + tick;
                 ws.ev_orig[h] = ws.f_orig[h];
                 ws.ev_fw[h] = ws.f_fw[h];
+                ws.ev_retouch[h] = ws.f_last[h] > ws.f_orig[h];
             }
             n_events = n_heads;
         }
@@ -1170,9 +1280,9 @@ int64_t repro_descriptor_batch(
             ws.ev_vwb[e] = 0;
         }
         repro_events_core(
-            n_events, ws.ev_set, ws.ev_line, ws.ev_dirty, ws.ev_age,
+            n_events, ws.ev_set, ws.ev_line, ws.ev_dirty, ws.ev_age, ws.ev_retouch,
             ws.ev_hit, ws.ev_victim, ws.ev_vwb, assoc, policy, seed_term,
-            tags, dirty, recency, occupancy, evictions);
+            tags, dirty, recency, aux, occupancy, evictions);
         tick += cm[1];
 
         /* statistics (mirrors VectorCacheState._process_heads step 5) */
@@ -1324,12 +1434,12 @@ def _bind(library: ctypes.CDLL) -> Dict[str, object]:
     run_events.restype = None
     run_events.argtypes = [
         ctypes.c_int64,
-        p64, p64, pbool, p64,  # event sets / lines / dirty / age
+        p64, p64, pbool, p64, pbool,  # event sets / lines / dirty / age / retouch
         pbool, p64, pbool,  # hit / victim line / victim writeback
         ctypes.c_int64,  # associativity
         ctypes.c_int32,  # policy
         ctypes.c_uint64,  # rng seed
-        p64, pbool, p64, p64, p64,  # tags / dirty / recency / occupancy / evictions
+        p64, pbool, p64, p64, p64, p64,  # tags / dirty / recency / aux / occupancy / evictions
     ]
 
     chunk_heads = library.repro_chunk_heads
@@ -1356,7 +1466,7 @@ def _bind(library: ctypes.CDLL) -> Dict[str, object]:
         ctypes.c_int64, ctypes.c_int64,  # cap, position-table capacity
         ctypes.c_int32, ctypes.c_int64,  # init tables flag, stamp base
         ctypes.c_int64, ctypes.c_int64,  # tick, last_miss_line
-        p64, pbool, p64, p64, p64,  # tags / dirty / recency / occupancy / evictions
+        p64, pbool, p64, p64, p64, p64,  # tags / dirty / recency / aux / occupancy / evictions
         p64, ctypes.c_int64,  # scratch, scratch length
         p64,  # stats_out
         p64, pbool,  # forwarded lines / writes

@@ -15,9 +15,13 @@ Two interchangeable simulation engines back the model:
   :mod:`repro.sim.engine`; bit-identical statistics at a multiple of the
   throughput.
 
-All replacement policies — including ``random`` — run on either engine.
-Random victims come from the replayable counter-based stream of
-:func:`repro.sim.engine.victim_rank`, keyed on ``(rng_seed, set index,
+Replacement behaviour comes from the :mod:`repro.sim.policies` registry:
+the reference loop drives a way-slot :class:`ReferenceCacheState` through
+each policy's scalar ``victim_way``/``touch`` hooks, so every registered
+policy (``lru``/``fifo``/``random``/``plru``/``rrip``) runs on either
+engine without a policy branch in this module.  Random victims come from
+the replayable counter-based stream of
+:func:`repro.sim.policies.victim_rank`, keyed on ``(rng_seed, set index,
 per-set eviction ordinal)``: the ``k``-th eviction in a set always evicts
 the same rank (by descending insertion recency) for a given seed, no matter
 which engine — or which schedule inside the vectorized engine — processes
@@ -53,20 +57,15 @@ from repro.sim.engine import (
     chunk_heads,
     estimated_heads,
     resolve_engine,
-    victim_rank,
+)
+from repro.sim.policies import (
+    PolicySpec,
+    ReferenceCacheState,
+    ReplacementPolicy,
+    get_policy,
 )
 
 from repro.codegen.program import pack_descriptor_arena
-
-
-class ReplacementPolicy:
-    """Replacement policy identifiers."""
-
-    LRU = "lru"
-    FIFO = "fifo"
-    RANDOM = "random"
-
-    ALL = (LRU, FIFO, RANDOM)
 
 
 @dataclass(frozen=True)
@@ -85,7 +84,7 @@ class CacheConfig:
     line_bytes: int = 64
     replacement: str = ReplacementPolicy.LRU
     #: Seed of the replayable random-replacement victim stream; ignored by
-    #: the deterministic policies (LRU/FIFO).
+    #: the policies that never consult it (everything except ``random``).
     rng_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -101,8 +100,7 @@ class CacheConfig:
             raise ValueError(f"number of sets must be a power of two, got {self.sets}")
         if self.line_bytes & (self.line_bytes - 1):
             raise ValueError(f"line size must be a power of two, got {self.line_bytes}")
-        if self.replacement not in ReplacementPolicy.ALL:
-            raise ValueError(f"unknown replacement policy {self.replacement!r}")
+        get_policy(self.replacement).validate_geometry(self.associativity)
 
     @staticmethod
     def from_geometry(
@@ -145,20 +143,19 @@ class Cache:
         self._set_mask = config.sets - 1
         self.engine = resolve_engine(engine)
         self.rng_seed = config.rng_seed if rng_seed is None else int(rng_seed)
+        self._policy: PolicySpec = get_policy(config.replacement)
         self._state: Optional[VectorCacheState] = None
-        # Per-set list of [tag, dirty] entries; index 0 is most recently used
-        # (LRU) or most recently inserted (FIFO/random).
-        self._sets: List[List[List[int]]] = []
-        # Per-set eviction ordinals of the replayable random victim stream
-        # (reference engine; the vectorized state keeps its own array).
-        self._evictions: List[int] = []
+        # Way-slot state of the reference engine, driven through the policy's
+        # scalar hooks (the vectorized state keeps its own arrays).
+        self._ref: Optional[ReferenceCacheState] = None
         if self.engine == ENGINE_VECTORIZED:
             self._state = VectorCacheState(
                 config.sets, config.associativity, config.replacement, rng_seed=self.rng_seed
             )
         else:
-            self._sets = [[] for _ in range(config.sets)]
-            self._evictions = [0] * config.sets
+            self._ref = ReferenceCacheState(
+                self._policy, config.sets, config.associativity, self.rng_seed
+            )
         self.reset_stats()
         # Direct line-address forwarding is only valid when the next level
         # uses the same line size; otherwise byte addresses are re-derived.
@@ -186,8 +183,9 @@ class Cache:
         if self._state is not None:
             self._state.reset()
         else:
-            self._sets = [[] for _ in range(self.config.sets)]
-            self._evictions = [0] * self.config.sets
+            self._ref = ReferenceCacheState(
+                self._policy, self.config.sets, self.config.associativity, self.rng_seed
+            )
         self.reset_stats()
 
     @property
@@ -253,23 +251,27 @@ class Cache:
         # locals for speed, and a per-access call would slow the hot path.
         # Bit-identity across all four access paths (scalar/batch x
         # reference/vectorized) is enforced by tests/test_sim_engine.py.
+        state = self._ref
+        spec = self._policy
         set_index = line & self._set_mask
-        entries = self._sets[set_index]
-        found = None
-        for position, entry in enumerate(entries):
-            if entry[0] == line:
-                found = position
+        tag_row = state.tags[set_index]
+        occupancy = state.occupancy[set_index]
+        way = -1
+        for position in range(occupancy):
+            if tag_row[position] == line:
+                way = position
                 break
-        if found is not None:
+        tick = state.tick
+        state.tick = tick + 1
+        if way >= 0:
             if is_write:
                 self.write_accesses += 1
                 self.write_hits += 1
-                entries[found][1] = 1
+                state.dirty[set_index][way] = 1
             else:
                 self.read_accesses += 1
                 self.read_hits += 1
-            if self.config.replacement == ReplacementPolicy.LRU and found != 0:
-                entries.insert(0, entries.pop(found))
+            spec.touch(state, set_index, way, tick, True)
             return True
         if is_write:
             self.write_accesses += 1
@@ -280,28 +282,26 @@ class Cache:
         if line == self._last_miss_line + 1:
             self.sequential_misses += 1
         self._last_miss_line = line
-        victim = None
-        if len(entries) >= self.config.associativity:
-            if self.config.replacement == ReplacementPolicy.RANDOM:
-                # Entries are ordered by insertion recency, so the stream's
-                # rank indexes the list directly (a full set holds exactly
-                # `associativity` entries).
-                rank = victim_rank(
-                    self.rng_seed, set_index, self._evictions[set_index], len(entries)
-                )
-                self._evictions[set_index] += 1
-                victim = entries.pop(rank)
-            else:
-                victim = entries.pop()
+        victim_line = -1
+        victim_dirty = 0
+        if occupancy >= self.config.associativity:
+            way = spec.victim_way(state, set_index)
+            victim_line = tag_row[way]
+            victim_dirty = state.dirty[set_index][way]
             if is_write:
                 self.write_replacements += 1
             else:
                 self.read_replacements += 1
-        entries.insert(0, [line, 1 if is_write else 0])
+        else:
+            way = occupancy
+            state.occupancy[set_index] = occupancy + 1
+        tag_row[way] = line
+        state.dirty[set_index][way] = 1 if is_write else 0
+        spec.touch(state, set_index, way, tick, False)
         self._forward_single(line, False)
-        if victim is not None and victim[1]:
+        if victim_dirty:
             self.writebacks += 1
-            self._forward_single(victim[0], True)
+            self._forward_single(victim_line, True)
         return False
 
     def access_batch(self, addresses: np.ndarray, is_write: np.ndarray) -> int:
@@ -446,12 +446,15 @@ class Cache:
         line_list = lines.tolist()
         write_list = is_write.tolist()
 
-        sets = self._sets
+        state = self._ref
+        spec = self._policy
         assoc = self.config.associativity
-        lru = self.config.replacement == ReplacementPolicy.LRU
-        fifo = self.config.replacement == ReplacementPolicy.FIFO
-        rng_seed = self.rng_seed
-        evictions = self._evictions
+        tags = state.tags
+        dirty = state.dirty
+        occupancies = state.occupancy
+        touch = spec.touch
+        victim_way = spec.victim_way
+        tick = state.tick
 
         hits = 0
         read_hits = 0
@@ -468,21 +471,22 @@ class Cache:
         forwarded_writes: List[bool] = []
 
         for line, set_index, write in zip(line_list, set_indices, write_list):
-            entries = sets[set_index]
-            found = None
-            for position, entry in enumerate(entries):
-                if entry[0] == line:
-                    found = position
+            tag_row = tags[set_index]
+            occupancy = occupancies[set_index]
+            way = -1
+            for position in range(occupancy):
+                if tag_row[position] == line:
+                    way = position
                     break
-            if found is not None:
+            if way >= 0:
                 hits += 1
                 if write:
                     write_hits += 1
-                    entries[found][1] = 1
+                    dirty[set_index][way] = 1
                 else:
                     read_hits += 1
-                if lru and found != 0:
-                    entries.insert(0, entries.pop(found))
+                touch(state, set_index, way, tick, True)
+                tick += 1
                 continue
 
             # Miss: fill from the next level, possibly evicting a victim.
@@ -497,23 +501,25 @@ class Cache:
             forwarded_lines.append(line)
             forwarded_writes.append(False)  # fill is a read from below
 
-            if len(entries) >= assoc:
-                if lru or fifo:
-                    victim = entries.pop()
-                else:
-                    rank = victim_rank(rng_seed, set_index, evictions[set_index], assoc)
-                    evictions[set_index] += 1
-                    victim = entries.pop(rank)
+            if occupancy >= assoc:
+                way = victim_way(state, set_index)
                 if write:
                     write_replacements += 1
                 else:
                     read_replacements += 1
-                if victim[1]:
+                if dirty[set_index][way]:
                     writebacks += 1
-                    forwarded_lines.append(victim[0])
+                    forwarded_lines.append(tag_row[way])
                     forwarded_writes.append(True)
-            entries.insert(0, [line, 1 if write else 0])
+            else:
+                way = occupancy
+                occupancies[set_index] = occupancy + 1
+            tag_row[way] = line
+            dirty[set_index][way] = 1 if write else 0
+            touch(state, set_index, way, tick, False)
+            tick += 1
 
+        state.tick = tick
         self.read_hits += read_hits
         self.write_hits += write_hits
         self.read_misses += read_misses
@@ -556,15 +562,14 @@ class Cache:
         """Number of valid lines currently resident."""
         if self._state is not None:
             return self._state.resident_lines()
-        return sum(len(entries) for entries in self._sets)
+        return self._ref.resident_lines()
 
     def contains(self, address: int) -> bool:
         """Whether the line holding ``address`` is resident."""
         line = int(address) >> self._offset_bits
         if self._state is not None:
             return self._state.contains_line(line)
-        entries = self._sets[line & self._set_mask]
-        return any(entry[0] == line for entry in entries)
+        return self._ref.contains_line(line, line & self._set_mask)
 
     def __repr__(self) -> str:
         cfg = self.config

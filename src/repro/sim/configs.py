@@ -55,21 +55,23 @@ def hierarchy_with_replacement(arch: str, replacement: str) -> CacheHierarchyCon
 
     The geometry is untouched — only the policy field of each level changes —
     so the variant exercises exactly the Table I scenario class under a
-    different replacement policy (``"random"`` being the interesting one: its
-    victims come from the replayable seeded stream, see
-    :mod:`repro.sim.engine`).
+    different replacement policy.  Any name in the
+    :data:`repro.sim.policies.POLICIES` registry works (``"random"`` draws
+    victims from the replayable seeded stream; ``"plru"``/``"rrip"`` carry
+    their aux state planes, see :mod:`repro.sim.policies`).
     """
     key = arch.strip().lower()
     if key not in CACHE_HIERARCHIES:
         raise KeyError(f"no cache hierarchy defined for architecture {arch!r}")
     base = CACHE_HIERARCHIES[key]
+    swapped = {
+        name: replace(level, replacement=replacement)
+        for name, level in base.levels().items()
+    }
     return replace(
         base,
         name=f"{base.name}-{replacement}",
-        l1d=replace(base.l1d, replacement=replacement),
-        l1i=replace(base.l1i, replacement=replacement),
-        l2=replace(base.l2, replacement=replacement),
-        l3=replace(base.l3, replacement=replacement) if base.l3 is not None else None,
+        **swapped,
     )
 
 

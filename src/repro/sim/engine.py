@@ -14,10 +14,23 @@ Each cache level keeps fixed-shape NumPy arrays:
 
 * ``tags``  — ``(sets, associativity) int64``; ``-1`` marks an empty way.
 * ``dirty`` — ``(sets, associativity) bool``; write-back state per way.
-* ``age``   — ``(sets, associativity) int64``; last-use tick (LRU victims).
-* ``order`` — ``(sets, associativity) int64``; insertion tick (FIFO victims).
+* ``recency`` — ``(sets, associativity) int64``; the policy's tick plane —
+  last-use tick under LRU (hits re-touch it), insertion tick otherwise.
+* ``aux``   — the policy's extra state plane from
+  :mod:`repro.sim.policies`: PLRU tree bits (``(sets,) int64``), RRIP
+  re-reference counters (``(sets, associativity) int64``), or a one-element
+  dummy for policies without one (uniform kernel ABI).
 * ``occupancy`` — ``(sets,) int64``; ways are filled in order before any
   eviction happens, so ways ``[0, occupancy)`` are exactly the valid ones.
+
+Replacement behaviour — victim selection and the touch/insert state-update
+rule — comes from the :class:`repro.sim.policies.PolicySpec` registry: the
+scalar event walk and the chain tails drive the spec's scalar hooks, the
+rank rounds drive its vectorized hooks, and the compiled kernels dispatch
+on the spec's stable ``wire_id``.  Policies with *exact stack gating*
+(``exact_stack`` — LRU) additionally enable the re-touch pre-resolution of
+step 3 below; every other policy (FIFO/random/PLRU/RRIP) degrades
+gracefully to plain chain/event evaluation of the same collapsed heads.
 
 Chunk algorithm
 ---------------
@@ -141,6 +154,12 @@ from repro.sim._native import (
     demote as demote_native,
     scratch_len,
 )
+from repro.sim.policies import (  # noqa: F401 — victim_rank/_victim_ranks re-exported
+    _MASK64,
+    _victim_ranks,
+    get_policy,
+    victim_rank,
+)
 
 #: Engine identifiers, threaded through ``Cache`` / ``CacheHierarchy`` /
 #: ``Simulator`` / ``SimulatorPool`` / ``TraceOptions``.
@@ -191,53 +210,6 @@ ARENA_ACCESS_BATCH = 1 << 21
 #: Deepest grid nesting the native pipeline's fixed odometer supports;
 #: deeper (hand-built) batches fall back to the per-chunk NumPy path.
 ARENA_MAX_GRID_LEVELS = 62
-
-#: Mixing constants of the replayable random-replacement victim stream
-#: (SplitMix64 finalizer over a product-combined ``(seed, set, ordinal)``
-#: key).  The C event kernel in :mod:`repro.sim._native` hard-codes the same
-#: constants; change them only together.
-_MASK64 = (1 << 64) - 1
-_MIX_SEED = 0x9E3779B97F4A7C15
-_MIX_SET = 0xC2B2AE3D27D4EB4F
-_MIX_ORDINAL = 0x165667B19E3779F9
-_MIX_A = 0xBF58476D1CE4E5B9
-_MIX_B = 0x94D049BB133111EB
-
-
-def victim_rank(rng_seed: int, set_index: int, ordinal: int, associativity: int) -> int:
-    """Victim rank of the ``ordinal``-th eviction in ``set_index``.
-
-    The rank indexes the set's resident lines by descending insertion tick:
-    rank 0 evicts the most recently inserted line (the head of the reference
-    engine's per-set list).  The stream is a pure function of its key, so
-    every engine — and every schedule inside the vectorized engine — draws
-    identical victims for the same seed without sharing RNG state.
-    """
-    key = (
-        (rng_seed & _MASK64) * _MIX_SEED
-        ^ set_index * _MIX_SET
-        ^ ordinal * _MIX_ORDINAL
-    ) & _MASK64
-    z = ((key ^ (key >> 30)) * _MIX_A) & _MASK64
-    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
-    z ^= z >> 31
-    return z % associativity
-
-
-def _victim_ranks(
-    rng_seed: int, set_indices: np.ndarray, ordinals: np.ndarray, associativity: int
-) -> np.ndarray:
-    """Vectorized :func:`victim_rank` over parallel set/ordinal arrays."""
-    key = (
-        np.uint64((rng_seed & _MASK64) * _MIX_SEED & _MASK64)
-        ^ set_indices.astype(np.uint64) * np.uint64(_MIX_SET)
-        ^ ordinals.astype(np.uint64) * np.uint64(_MIX_ORDINAL)
-    )
-    z = (key ^ (key >> np.uint64(30))) * np.uint64(_MIX_A)
-    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_B)
-    z ^= z >> np.uint64(31)
-    return (z % np.uint64(associativity)).astype(np.int64)
-
 
 def default_engine() -> str:
     """The engine used when none is requested (``REPRO_SIM_ENGINE`` overrides)."""
@@ -700,15 +672,12 @@ class VectorCacheState:
     """Array-based tag store and chunk processor for one cache level."""
 
     def __init__(self, sets: int, associativity: int, replacement: str, rng_seed: int = 0):
-        if replacement not in ("lru", "fifo", "random"):
-            raise ValueError(
-                f"vectorized engine supports lru/fifo/random replacement, got {replacement!r}"
-            )
+        self.policy = get_policy(replacement)
+        self.policy.validate_geometry(associativity)
         self.sets = sets
         self.associativity = associativity
         self.replacement = replacement
         self.rng_seed = int(rng_seed)
-        self._random = replacement == "random"
         self._set_mask = sets - 1
         # Reusable scratch arrays, grown on demand and shared across chunks:
         # per-chunk allocation churn dominates on small-chunk workloads.
@@ -722,8 +691,10 @@ class VectorCacheState:
         sets, assoc = self.sets, self.associativity
         self.tags = np.full((sets, assoc), -1, dtype=np.int64)
         self.dirty = np.zeros((sets, assoc), dtype=bool)
-        self.age = np.zeros((sets, assoc), dtype=np.int64)
-        self.order = np.zeros((sets, assoc), dtype=np.int64)
+        # Policy tick plane (last-use under LRU, insertion tick otherwise)
+        # and the policy's aux plane (PLRU bits / RRIP counters / dummy).
+        self.recency = np.zeros((sets, assoc), dtype=np.int64)
+        self.aux = self.policy.new_aux_arrays(sets, assoc)
         self.occupancy = np.zeros(sets, dtype=np.int64)
         # Per-set eviction ordinals: the counter half of the replayable
         # random-replacement victim stream (maintained for every policy so
@@ -798,7 +769,6 @@ class VectorCacheState:
         forwarded_lines = pool.forwarded_lines
         forwarded_writes = pool.forwarded_writes
         stats = np.zeros(BATCH_STATS_SLOTS, dtype=np.int64)
-        policy = {"fifo": 0, "lru": 1, "random": 2}[self.replacement]
         n_forwarded = kernel(
             arena.n_chunks,
             arena.chunk_meta,
@@ -813,7 +783,7 @@ class VectorCacheState:
             offset_bits,
             self.sets,
             self.associativity,
-            policy,
+            self.policy.wire_id,
             self.rng_seed & _MASK64,
             SEGMENT_SPLIT_PASSES,
             round(DESCRIPTOR_HEAD_FRACTION * 1000),
@@ -825,7 +795,8 @@ class VectorCacheState:
             last_miss_line,
             self.tags,
             self.dirty,
-            self.age if self.replacement == "lru" else self.order,
+            self.recency,
+            self.aux,
             self.occupancy,
             self.evictions,
             pool.buffer,
@@ -873,11 +844,15 @@ class VectorCacheState:
         line: int,
         dirty_value: bool,
         age_value: int,
+        retouch: bool = False,
     ) -> Tuple[bool, int, bool]:
         """Process one access sequentially on the array state.
 
         Returns ``(hit, victim_line, victim_was_dirty)`` with ``victim_line``
-        ``-1`` when no valid line was evicted.
+        ``-1`` when no valid line was evicted.  Victim selection and the
+        touch/insert rule come from the policy's scalar hooks, which operate
+        on this state's arrays directly.  ``retouch`` marks an event standing
+        for a collapsed multi-access run (see :meth:`PolicySpec.touch`).
         """
         tags = self.tags
         occupancy = int(self.occupancy[set_index])
@@ -887,12 +862,11 @@ class VectorCacheState:
             if row[candidate] == line:
                 way = candidate
                 break
-        lru = self.replacement == "lru"
+        spec = self.policy
         if way >= 0:
             if dirty_value:
                 self.dirty[set_index, way] = True
-            if lru:
-                self.age[set_index, way] = age_value
+            spec.touch(self, set_index, way, age_value, True, retouch)
             return True, -1, False
         victim_line = -1
         victim_dirty = False
@@ -900,35 +874,13 @@ class VectorCacheState:
             way = occupancy
             self.occupancy[set_index] = occupancy + 1
         else:
-            if self._random:
-                way = self._random_victim_way(set_index)
-            elif lru:
-                way = int(self.age[set_index].argmin())
-            else:
-                way = int(self.order[set_index].argmin())
+            way = spec.victim_way(self, set_index)
             victim_line = int(row[way])
             victim_dirty = bool(self.dirty[set_index, way])
         tags[set_index, way] = line
         self.dirty[set_index, way] = dirty_value
-        if lru:
-            self.age[set_index, way] = age_value
-        else:
-            self.order[set_index, way] = age_value
+        spec.touch(self, set_index, way, age_value, False, retouch)
         return False, victim_line, victim_dirty
-
-    def _random_victim_way(self, set_index: int) -> int:
-        """Draw the next replayable random victim way of a full ``set_index``.
-
-        Consumes the set's eviction ordinal and maps the drawn rank to the
-        way holding the rank-th most recently inserted line (insertion ticks
-        are unique within a set, so the rank selection is deterministic).
-        """
-        rank = victim_rank(
-            self.rng_seed, set_index, int(self.evictions[set_index]), self.associativity
-        )
-        self.evictions[set_index] += 1
-        ticks = self.order[set_index]
-        return int(np.argsort(ticks)[self.associativity - 1 - rank])
 
     def process_single(self, line: int, is_write: bool, last_miss_line: int) -> ChunkOutcome:
         """Scalar fast path for one access (no array allocations on hits)."""
@@ -1103,14 +1055,14 @@ class VectorCacheState:
         accesses to one line whose first access carries ``first_write`` and
         sits at chunk position ``head_orig`` (last at ``last_orig``).
         """
-        lru = self.replacement == "lru"
         assoc = self.associativity
         n_heads = int(head_sets.size)
         any_write = write_counts > 0
 
-        # 3. re-touch pre-resolution (LRU): group heads by (set, line) and
-        # fold guaranteed-hit re-touches into chains (see the module docs).
-        if lru:
+        # 3. re-touch pre-resolution: group heads by (set, line) and fold
+        # guaranteed-hit re-touches into chains (see the module docs).  Only
+        # exact-stack policies (LRU) can guarantee the re-touch hit.
+        if self.policy.exact_stack:
             group_perm = np.lexsort((head_lines, head_sets))
             grouped_sets = head_sets[group_perm]
             grouped_lines = head_lines[group_perm]
@@ -1153,13 +1105,21 @@ class VectorCacheState:
             dirty_value[group_perm] = chain_any_write[chain_of]
             age_value = np.empty(n_heads, dtype=np.int64)
             age_value[group_perm] = chain_last[chain_of]
+            # Re-touches are folded into chains; chain heads never need the
+            # collapsed-run promotion flag (LRU re-touches only move ticks,
+            # which ``age_value`` already carries).
+            retouch_value = np.zeros(n_heads, dtype=bool)
         else:
-            # FIFO and random: a re-touch is not a guaranteed hit (FIFO
-            # ignores recency; a random victim can be any line), so every
-            # head is an event.  The tick records insertion order only.
+            # Policies without exact stack gating (FIFO ignores recency, a
+            # random/PLRU/RRIP victim can be any line): a re-touch is not a
+            # guaranteed hit, so every head is an event.  The tick records
+            # insertion order only.  Multi-member heads carry the retouch
+            # flag so policies whose hit rule is not idempotent with the
+            # fill (RRIP's promotion) still land on the reference state.
             event_mask = np.ones(n_heads, dtype=bool)
             dirty_value = any_write
             age_value = head_orig
+            retouch_value = last_orig > head_orig
 
         event_pos = np.flatnonzero(event_mask)
         n_events = int(event_pos.size)
@@ -1167,6 +1127,7 @@ class VectorCacheState:
         event_lines = head_lines[event_pos]
         event_dirty = dirty_value[event_pos]
         event_age = age_value[event_pos] + self._tick
+        event_retouch = retouch_value[event_pos]
         event_orig = head_orig[event_pos]
         # Event outcome arrays come from the reusable scratch pool: they are
         # consumed below (statistics + forwarded stream) before this method
@@ -1180,7 +1141,8 @@ class VectorCacheState:
 
         if n_events:
             self._run_events(
-                event_sets, event_lines, event_dirty, event_age, hit_out, victim_line, victim_wb
+                event_sets, event_lines, event_dirty, event_age, event_retouch,
+                hit_out, victim_line, victim_wb,
             )
         self._tick += tick_span
 
@@ -1234,6 +1196,7 @@ class VectorCacheState:
         event_lines: np.ndarray,
         event_dirty: np.ndarray,
         event_age: np.ndarray,
+        event_retouch: np.ndarray,
         hit_out: np.ndarray,
         victim_line: np.ndarray,
         victim_wb: np.ndarray,
@@ -1252,22 +1215,23 @@ class VectorCacheState:
             demote_native("injected fault at site 'native_fault' (event walk)")
             kernel = None
         if kernel is not None:
-            policy = {"fifo": 0, "lru": 1, "random": 2}[self.replacement]
             kernel(
                 event_sets.size,
                 np.ascontiguousarray(event_sets),
                 np.ascontiguousarray(event_lines),
                 np.ascontiguousarray(event_dirty),
                 np.ascontiguousarray(event_age),
+                np.ascontiguousarray(event_retouch),
                 hit_out,
                 victim_line,
                 victim_wb,
                 self.associativity,
-                policy,
+                self.policy.wire_id,
                 self.rng_seed & _MASK64,
                 self.tags,
                 self.dirty,
-                self.age if self.replacement == "lru" else self.order,
+                self.recency,
+                self.aux,
                 self.occupancy,
                 self.evictions,
             )
@@ -1285,9 +1249,9 @@ class VectorCacheState:
         starts_desc = starts[by_size]
         neg_sizes = -sizes[by_size]  # ascending
 
-        tags, dirty, age, order = self.tags, self.dirty, self.age, self.order
+        tags, dirty = self.tags, self.dirty
         occupancy = self.occupancy
-        lru = self.replacement == "lru"
+        spec = self.policy
         assoc = self.associativity
         rounds = int(sizes[by_size[0]])
         lanes = np.arange(min(int(starts.size), n_events))
@@ -1308,19 +1272,10 @@ class VectorCacheState:
             full = occ_sel == assoc
             miss = ~hit
             evicting = miss & full
-            if self._random:
-                # Replayable victim stream: each lane is a distinct set, so
-                # drawing with the set's current eviction ordinal — and
-                # advancing only the ordinals of lanes that actually evict —
-                # consumes the per-set stream exactly as the scalar paths do.
-                ranks = _victim_ranks(self.rng_seed, sel, self.evictions[sel], assoc)
-                by_tick = np.argsort(order[sel], axis=1)
-                victim_way = by_tick[lanes[:width], assoc - 1 - ranks]
-                self.evictions[sel[evicting]] += 1
-            elif lru:
-                victim_way = age[sel].argmin(axis=1)
-            else:
-                victim_way = order[sel].argmin(axis=1)
+            # Lanes are distinct sets, so the policy's vectorized hooks see
+            # one independent set per lane (victim state mutations — random
+            # eviction ordinals, RRIP aging — apply to evicting lanes only).
+            victim_way = spec.vector_victims(self, sel, evicting)
             way = np.where(hit, way_hit, np.where(full, victim_way, occ_sel))
             evicted = rows[lanes[:width], way]
             hit_out[idx] = hit
@@ -1328,10 +1283,7 @@ class VectorCacheState:
             victim_wb[idx] = evicting & dirty[sel, way]
             tags[sel, way] = line
             dirty[sel, way] = (dirty[sel, way] & hit) | event_dirty[idx]
-            if lru:
-                age[sel, way] = event_age[idx]
-            else:
-                order[sel, way] = np.where(miss, event_age[idx], order[sel, way])
+            spec.vector_touch(self, sel, way, hit, miss, event_age[idx], event_retouch[idx])
             occupancy[sel] = occ_sel + (miss & ~full)
             round_index += 1
 
@@ -1348,6 +1300,7 @@ class VectorCacheState:
                     event_lines[start:stop].tolist(),
                     event_dirty[start:stop].tolist(),
                     event_age[start:stop].tolist(),
+                    event_retouch[start:stop].tolist(),
                     start,
                     hit_out,
                     victim_line,
@@ -1360,72 +1313,28 @@ class VectorCacheState:
         chain_lines: list,
         chain_dirty: list,
         chain_age: list,
+        chain_retouch: list,
         out_offset: int,
         hit_out: np.ndarray,
         victim_line: np.ndarray,
         victim_wb: np.ndarray,
     ) -> None:
-        """Walk one set's remaining event chain on a ``[tag, dirty, tick]`` list.
+        """Walk one set's remaining event chain through the scalar event path.
 
-        Victims are chosen by *minimum tick*, mirroring the array state's
-        ``argmin`` — chain heads may carry aggregated last-touch ticks that
-        postdate later events of the same set, so a recency-ordered list walk
-        would mispick victims.  Ticks are unique, so min-tick selection is
-        deterministic; for FIFO the tick is the insertion order and hits do
-        not update it, which makes the same selection exact there too.  The
-        random policy instead draws a rank from the replayable victim stream
-        and evicts the rank-th most recently inserted line (max tick first).
+        Each event runs :meth:`_scalar_event`, so victim selection and the
+        touch/insert rule come from the same policy hooks as every other
+        path.  Chain heads may carry aggregated last-touch ticks that
+        postdate later events of the same set; ticks stay unique within a
+        set, so tick-based victim selection stays deterministic.
         """
-        lru = self.replacement == "lru"
-        random_policy = self._random
-        assoc = self.associativity
-        occupancy = int(self.occupancy[set_index])
-        recency = self.age if lru else self.order
-        tag_row = self.tags[set_index]
-        dirty_row = self.dirty[set_index]
-        entries = [
-            [int(tag_row[way]), bool(dirty_row[way]), int(recency[set_index, way])]
-            for way in range(occupancy)
-        ]
-        for position, (line, dirty_value, tick) in enumerate(
-            zip(chain_lines, chain_dirty, chain_age)
+        for position, (line, dirty_value, tick, retouch) in enumerate(
+            zip(chain_lines, chain_dirty, chain_age, chain_retouch)
         ):
-            found = None
-            for slot, entry in enumerate(entries):
-                if entry[0] == line:
-                    found = slot
-                    break
-            if found is not None:
+            hit, evicted_line, evicted_dirty = self._scalar_event(
+                set_index, line, dirty_value, tick, retouch
+            )
+            if hit:
                 hit_out[out_offset + position] = True
-                if dirty_value:
-                    entries[found][1] = True
-                if lru:
-                    entries[found][2] = tick
-                continue
-            if len(entries) >= assoc:
-                if random_policy:
-                    rank = victim_rank(
-                        self.rng_seed, set_index, int(self.evictions[set_index]), assoc
-                    )
-                    self.evictions[set_index] += 1
-                    by_tick = sorted(range(len(entries)), key=lambda s: -entries[s][2])
-                    victim_slot = by_tick[rank]
-                else:
-                    victim_slot = 0
-                    for slot in range(1, len(entries)):
-                        if entries[slot][2] < entries[victim_slot][2]:
-                            victim_slot = slot
-                victim = entries[victim_slot]
-                victim_line[out_offset + position] = victim[0]
-                victim_wb[out_offset + position] = victim[1]
-                entries[victim_slot] = [line, dirty_value, tick]
-            else:
-                entries.append([line, dirty_value, tick])
-        occupancy = len(entries)
-        self.occupancy[set_index] = occupancy
-        for way, entry in enumerate(entries):
-            tag_row[way] = entry[0]
-            dirty_row[way] = entry[1]
-            recency[set_index, way] = entry[2]
-        tag_row[occupancy:] = -1
-        dirty_row[occupancy:] = False
+            elif evicted_line >= 0:
+                victim_line[out_offset + position] = evicted_line
+                victim_wb[out_offset + position] = evicted_dirty

@@ -61,7 +61,10 @@ from repro.sim.stats import SimulationStats
 #: v3: replacement policy per hierarchy level and the random-replacement
 #: ``rng_seed`` joined the key (the seed only when a random level is
 #: present — it cannot affect deterministic-policy results).
-CACHE_SCHEMA_VERSION = 3
+#: v4: the unified policy registry added PLRU and RRIP (new aux state
+#: planes join the simulated behaviour, and new policy names must never
+#: alias a digest computed before they existed).
+CACHE_SCHEMA_VERSION = 4
 
 #: Orphaned write scratch (``.{key}.{pid}.tmp``) older than this is removed
 #: when a cache attaches to a disk directory; younger files may belong to a
@@ -69,10 +72,18 @@ CACHE_SCHEMA_VERSION = 3
 STALE_TMP_MAX_AGE_S = 600.0
 
 
-def _has_random_level(hierarchy: dict) -> bool:
-    """Whether any level of an ``asdict``-ed hierarchy config is random-replacement."""
+def _has_victim_stream_level(hierarchy: dict) -> bool:
+    """Whether any level of an ``asdict``-ed hierarchy config uses a policy
+    that consumes the replayable victim stream
+    (:attr:`repro.sim.policies.PolicySpec.uses_victim_stream`), making the
+    ``rng_seed`` result-relevant.
+    """
+    from repro.sim.policies import POLICIES
+
     return any(
-        isinstance(level, dict) and level.get("replacement") == "random"
+        isinstance(level, dict)
+        and level.get("replacement") in POLICIES
+        and POLICIES[level["replacement"]].uses_victim_stream
         for level in hierarchy.values()
     )
 
@@ -166,16 +177,16 @@ class SimulationCache:
         like the two engines, both representations produce bit-identical
         statistics, so results memoized under one serve the other.  The
         random-replacement ``rng_seed`` is part of the key whenever any
-        hierarchy level uses the random policy — two runs with different
-        seeds can never share a cached result — and is normalised out
-        otherwise, where the replayable victim stream is never consumed and
-        the seed provably cannot affect statistics.
+        hierarchy level uses a victim-stream policy — two runs with
+        different seeds can never share a cached result — and is normalised
+        out otherwise, where the replayable victim stream is never consumed
+        and the seed provably cannot affect statistics.
         """
         hierarchy = asdict(hierarchy_config)
         trace = asdict(trace_options)
         trace.pop("engine", None)  # resolved and keyed separately
         trace.pop("trace", None)  # representation-neutral results
-        if not _has_random_level(hierarchy):
+        if not _has_victim_stream_level(hierarchy):
             trace.pop("rng_seed", None)  # seed-neutral results
         payload = {
             "program": program.content_digest(),

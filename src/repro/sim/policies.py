@@ -1,0 +1,540 @@
+"""Unified replacement-policy registry shared by every simulation engine.
+
+One :class:`PolicySpec` per policy defines everything the four execution
+layers need to agree on:
+
+* the **wire id** — the stable integer the compiled C kernels dispatch on
+  (``fifo=0, lru=1, random=2, plru=3, rrip=4``; ids are append-only, they
+  join the native ABI and the memoization contract);
+* the **per-set state** the policy carries beyond the shared tag store —
+  recency ticks (all policies write the insertion tick; LRU also touches it
+  on hits), per-set eviction ordinals (consumed only by the replayable
+  random victim stream), and an optional ``aux`` plane: one int64 of
+  tree-PLRU node bits per set, or one 2-bit RRIP re-reference counter per
+  way (stored in an int64 each);
+* the **touch/insert rule** (:meth:`PolicySpec.touch` and the vectorized
+  :meth:`PolicySpec.vector_touch`) updating that state on hits and fills;
+* the **victim rule** (:meth:`PolicySpec.victim_way` /
+  :meth:`PolicySpec.vector_victims`) selecting the way to evict from a
+  full set.
+
+The scalar hooks run against a duck-typed state (``associativity``,
+``rng_seed``, ``recency[set][way]``, ``aux``, ``evictions[set]``), so the
+same rule drives the reference engine's pure-Python
+:class:`ReferenceCacheState` *and* the vectorized engine's NumPy arrays
+(:class:`repro.sim.engine.VectorCacheState` — its scalar event walk and
+chain tails).  The vectorized hooks operate on whole lanes of distinct
+sets at once (rank rounds).  The compiled kernels in
+:mod:`repro.sim._native` hard-code the same rules behind a policy-traits
+dispatch table keyed on the wire id; the reference-loop implementations
+here are the equivalence oracle, and the hypothesis suites in
+``tests/test_policies.py`` pin all five paths bit-identical.
+
+Policies
+--------
+``lru``
+    Evicts the minimum recency tick; hits re-touch the tick.  The only
+    policy with *exact* stack gating (``exact_stack``): a re-touch within
+    ``associativity`` set events is a guaranteed hit, which the chunk
+    engines exploit to pre-resolve re-touch chains.
+``fifo``
+    Evicts the minimum insertion tick; hits leave state untouched.
+``random``
+    Draws a rank from the replayable counter-based victim stream
+    (:func:`victim_rank`) keyed on ``(rng_seed, set, eviction ordinal)``
+    and evicts the rank-th most recently *inserted* line.
+``plru``
+    Tree-PLRU: each set keeps one bit per internal node of a binary tree
+    over ``next_pow2(associativity)`` leaves, packed into a single int64
+    (node ``i``'s children are ``2i+1``/``2i+2``; bit ``1`` points the
+    victim walk right).  Touching way ``w`` flips every node on its
+    root-to-leaf path to point *away* from ``w``; the victim walk follows
+    the bits, forced left whenever the right half holds no valid way
+    (non-power-of-two associativities, e.g. the ARM L1I's 3 ways).
+``rrip``
+    SRRIP with 2-bit re-reference prediction values: lines insert at RRPV
+    ``2``, hits promote to ``0``, and the victim is the lowest-index way
+    at RRPV ``3`` — when none is, every way of the set ages by the same
+    increment until one is (computed in closed form as ``3 - max(rrpv)``).
+
+Adding a policy is one registry entry: subclass :class:`PolicySpec`,
+assign the next wire id, implement the four hooks, extend the C kernel's
+dispatch table, and the config validation, plumbing, equivalence suites
+and benchmark matrix pick it up by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Mixing constants of the replayable random-replacement victim stream
+#: (SplitMix64 finalizer over a product-combined ``(seed, set, ordinal)``
+#: key).  The C event kernel in :mod:`repro.sim._native` hard-codes the same
+#: constants; change them only together.
+_MASK64 = (1 << 64) - 1
+_MIX_SEED = 0x9E3779B97F4A7C15
+_MIX_SET = 0xC2B2AE3D27D4EB4F
+_MIX_ORDINAL = 0x165667B19E3779F9
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+
+#: SRRIP re-reference prediction values (2-bit): the distant-future value
+#: evicted at, the long-interval value inserted at, and the near-immediate
+#: value hits promote to.  The C kernels hard-code the same constants.
+RRIP_MAX = 3
+RRIP_INSERT = 2
+RRIP_HIT = 0
+
+
+def victim_rank(rng_seed: int, set_index: int, ordinal: int, associativity: int) -> int:
+    """Victim rank of the ``ordinal``-th eviction in ``set_index``.
+
+    The rank indexes the set's resident lines by descending insertion tick:
+    rank 0 evicts the most recently inserted line (the head of the reference
+    engine's per-set list).  The stream is a pure function of its key, so
+    every engine — and every schedule inside the vectorized engine — draws
+    identical victims for the same seed without sharing RNG state.
+    """
+    key = (
+        (rng_seed & _MASK64) * _MIX_SEED
+        ^ set_index * _MIX_SET
+        ^ ordinal * _MIX_ORDINAL
+    ) & _MASK64
+    z = ((key ^ (key >> 30)) * _MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+    z ^= z >> 31
+    return z % associativity
+
+
+def _victim_ranks(
+    rng_seed: int, set_indices: np.ndarray, ordinals: np.ndarray, associativity: int
+) -> np.ndarray:
+    """Vectorized :func:`victim_rank` over parallel set/ordinal arrays."""
+    key = (
+        np.uint64((rng_seed & _MASK64) * _MIX_SEED & _MASK64)
+        ^ set_indices.astype(np.uint64) * np.uint64(_MIX_SET)
+        ^ ordinals.astype(np.uint64) * np.uint64(_MIX_ORDINAL)
+    )
+    z = (key ^ (key >> np.uint64(30))) * np.uint64(_MIX_A)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_B)
+    z ^= z >> np.uint64(31)
+    return (z % np.uint64(associativity)).astype(np.int64)
+
+
+def _tree_leaves(associativity: int) -> int:
+    """Leaf count of the PLRU tree: the next power of two >= associativity."""
+    return 1 << (associativity - 1).bit_length() if associativity > 1 else 1
+
+
+def _plru_touch_bits(bits: int, way: int, associativity: int) -> int:
+    """Walk the root-to-leaf path of ``way``, pointing every node away from it."""
+    size = _tree_leaves(associativity)
+    node = 0
+    lo = 0
+    while size > 1:
+        half = size >> 1
+        if way < lo + half:
+            bits |= 1 << node  # touched left; victim walk goes right
+            node = 2 * node + 1
+        else:
+            bits &= ~(1 << node)
+            node = 2 * node + 2
+            lo += half
+        size = half
+    return bits
+
+
+def _plru_victim_way(bits: int, associativity: int) -> int:
+    """Follow the tree bits to the victim leaf, forced left over empty halves."""
+    size = _tree_leaves(associativity)
+    node = 0
+    lo = 0
+    while size > 1:
+        half = size >> 1
+        direction = (bits >> node) & 1
+        if direction and lo + half >= associativity:
+            direction = 0  # the right half holds no valid way
+        node = 2 * node + 1 + direction
+        if direction:
+            lo += half
+        size = half
+    return lo
+
+
+class PolicySpec:
+    """Behaviour of one replacement policy across every execution layer.
+
+    Subclasses override the class attributes and the four hooks; one frozen
+    instance per policy lives in :data:`POLICIES`.  ``state`` arguments are
+    duck-typed: scalar hooks need ``associativity``, ``rng_seed``,
+    ``recency[set][way]`` (read/write), ``evictions[set]`` and — for
+    policies with ``aux_kind`` — ``aux``; vectorized hooks additionally
+    assume NumPy arrays (``recency``/``aux`` 2-D or 1-D, lanes of distinct
+    sets).
+    """
+
+    #: Registry name (also the config-facing string).
+    name: str = ""
+    #: Stable integer the C kernels dispatch on (append-only ABI).
+    wire_id: int = -1
+    #: Whether a re-touch within ``associativity`` set events is a
+    #: *guaranteed* hit — exact LRU stack gating.  Enables the chunk
+    #: engines' re-touch chain pre-resolution; policies without it degrade
+    #: gracefully to plain chain/event evaluation.
+    exact_stack: bool = False
+    #: Whether hits re-touch the recency tick (LRU only; everything else
+    #: records insertion order only).
+    touch_on_hit: bool = False
+    #: Whether victims consume the per-set eviction ordinals of the
+    #: replayable victim stream (random only) — and hence whether results
+    #: depend on ``rng_seed``.
+    uses_victim_stream: bool = False
+    #: Extra per-set state plane: ``None``, ``"set"`` (one int64 per set,
+    #: PLRU tree bits) or ``"way"`` (one int64 per way, RRIP counters).
+    aux_kind: Optional[str] = None
+    #: Associativity ceiling, when the state packing imposes one.
+    max_associativity: Optional[int] = None
+
+    # -- geometry / state construction --------------------------------------
+    def validate_geometry(self, associativity: int) -> None:
+        """Raise ``ValueError`` when the policy cannot represent the geometry."""
+        limit = self.max_associativity
+        if limit is not None and associativity > limit:
+            raise ValueError(
+                f"{self.name} replacement supports at most {limit} ways, "
+                f"got {associativity}"
+            )
+
+    def new_aux_arrays(self, sets: int, associativity: int) -> np.ndarray:
+        """Fresh NumPy aux plane (a 1-element dummy when the policy has none,
+        so the native-kernel ABI stays uniform)."""
+        if self.aux_kind == "set":
+            return np.zeros(sets, dtype=np.int64)
+        if self.aux_kind == "way":
+            return np.zeros((sets, associativity), dtype=np.int64)
+        return np.zeros(1, dtype=np.int64)
+
+    def new_aux_lists(self, sets: int, associativity: int):
+        """Fresh pure-Python aux plane for the reference engine."""
+        if self.aux_kind == "set":
+            return [0] * sets
+        if self.aux_kind == "way":
+            return [[0] * associativity for _ in range(sets)]
+        return None
+
+    # -- scalar rules --------------------------------------------------------
+    def victim_way(self, state, set_index: int) -> int:
+        """Way to evict from the full set ``set_index`` (may consume state)."""
+        raise NotImplementedError
+
+    def touch(
+        self, state, set_index: int, way: int, tick: int, hit: bool,
+        retouch: bool = False,
+    ) -> None:
+        """Update policy state after an access to ``way`` (hit or fill).
+
+        ``retouch`` marks an access standing for a collapsed run of
+        consecutive same-line accesses: the later members are guaranteed
+        hits, so state must end as if the line was hit right after the
+        fill (RRIP leaves the line promoted instead of at the insertion
+        RRPV; the other policies' hit rules are no-ops or idempotent with
+        the fill touch, so they ignore the flag).
+        """
+        raise NotImplementedError
+
+    # -- vectorized rules (lanes of distinct sets) ---------------------------
+    def vector_victims(
+        self, state, sel: np.ndarray, evicting: np.ndarray
+    ) -> np.ndarray:
+        """Victim ways per lane; state mutations apply to evicting lanes only.
+
+        Values of non-evicting lanes are unspecified (the caller masks them).
+        """
+        raise NotImplementedError
+
+    def vector_touch(
+        self,
+        state,
+        sel: np.ndarray,
+        way: np.ndarray,
+        hit: np.ndarray,
+        miss: np.ndarray,
+        ticks: np.ndarray,
+        retouch: np.ndarray,
+    ) -> None:
+        """Vectorized :meth:`touch` over one rank round."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"PolicySpec({self.name!r}, wire_id={self.wire_id})"
+
+
+class _LruSpec(PolicySpec):
+    name = "lru"
+    wire_id = 1
+    exact_stack = True
+    touch_on_hit = True
+
+    def victim_way(self, state, set_index):
+        row = state.recency[set_index]
+        best = 0
+        for way in range(1, state.associativity):
+            if row[way] < row[best]:
+                best = way
+        return best
+
+    def touch(self, state, set_index, way, tick, hit, retouch=False):
+        state.recency[set_index][way] = tick
+
+    def vector_victims(self, state, sel, evicting):
+        return state.recency[sel].argmin(axis=1)
+
+    def vector_touch(self, state, sel, way, hit, miss, ticks, retouch):
+        state.recency[sel, way] = ticks
+
+
+class _FifoSpec(PolicySpec):
+    name = "fifo"
+    wire_id = 0
+
+    def victim_way(self, state, set_index):
+        row = state.recency[set_index]
+        best = 0
+        for way in range(1, state.associativity):
+            if row[way] < row[best]:
+                best = way
+        return best
+
+    def touch(self, state, set_index, way, tick, hit, retouch=False):
+        if not hit:
+            state.recency[set_index][way] = tick
+
+    def vector_victims(self, state, sel, evicting):
+        return state.recency[sel].argmin(axis=1)
+
+    def vector_touch(self, state, sel, way, hit, miss, ticks, retouch):
+        recency = state.recency
+        recency[sel, way] = np.where(miss, ticks, recency[sel, way])
+
+
+class _RandomSpec(PolicySpec):
+    name = "random"
+    wire_id = 2
+    uses_victim_stream = True
+
+    def victim_way(self, state, set_index):
+        ordinal = int(state.evictions[set_index])
+        state.evictions[set_index] = ordinal + 1
+        assoc = state.associativity
+        rank = victim_rank(state.rng_seed, set_index, ordinal, assoc)
+        row = state.recency[set_index]
+        # Rank 0 is the most recently inserted line; insertion ticks are
+        # unique within a set, so the descending-tick order is total.
+        by_tick = sorted(range(assoc), key=lambda w: -int(row[w]))
+        return by_tick[rank]
+
+    def touch(self, state, set_index, way, tick, hit, retouch=False):
+        if not hit:
+            state.recency[set_index][way] = tick
+
+    def vector_victims(self, state, sel, evicting):
+        # Replayable victim stream: each lane is a distinct set, so drawing
+        # with the set's current eviction ordinal — and advancing only the
+        # ordinals of lanes that actually evict — consumes the per-set
+        # stream exactly as the scalar paths do.
+        assoc = state.associativity
+        ranks = _victim_ranks(state.rng_seed, sel, state.evictions[sel], assoc)
+        by_tick = np.argsort(state.recency[sel], axis=1)
+        lanes = np.arange(sel.size)
+        victims = by_tick[lanes, assoc - 1 - ranks]
+        state.evictions[sel[evicting]] += 1
+        return victims
+
+    def vector_touch(self, state, sel, way, hit, miss, ticks, retouch):
+        recency = state.recency
+        recency[sel, way] = np.where(miss, ticks, recency[sel, way])
+
+
+class _PlruSpec(PolicySpec):
+    name = "plru"
+    wire_id = 3
+    aux_kind = "set"
+    #: One int64 packs the bits of a tree over <= 64 leaves (63 nodes).
+    max_associativity = 64
+
+    def victim_way(self, state, set_index):
+        return _plru_victim_way(int(state.aux[set_index]), state.associativity)
+
+    def touch(self, state, set_index, way, tick, hit, retouch=False):
+        if not hit:
+            state.recency[set_index][way] = tick
+        state.aux[set_index] = _plru_touch_bits(
+            int(state.aux[set_index]), way, state.associativity
+        )
+
+    def vector_victims(self, state, sel, evicting):
+        assoc = state.associativity
+        bits = state.aux[sel]
+        size = _tree_leaves(assoc)
+        node = np.zeros(sel.size, dtype=np.int64)
+        lo = np.zeros(sel.size, dtype=np.int64)
+        one = np.int64(1)
+        while size > 1:
+            half = size >> 1
+            direction = (bits >> node) & one
+            if lo.size and half:
+                direction = np.where(lo + half >= assoc, 0, direction)
+            node = 2 * node + 1 + direction
+            lo += direction * half
+            size = half
+        return lo
+
+    def vector_touch(self, state, sel, way, hit, miss, ticks, retouch):
+        recency = state.recency
+        recency[sel, way] = np.where(miss, ticks, recency[sel, way])
+        assoc = state.associativity
+        bits = state.aux[sel]
+        size = _tree_leaves(assoc)
+        node = np.zeros(sel.size, dtype=np.int64)
+        lo = np.zeros(sel.size, dtype=np.int64)
+        one = np.int64(1)
+        while size > 1:
+            half = size >> 1
+            go_right = way >= lo + half
+            mask = one << node
+            bits = np.where(go_right, bits & ~mask, bits | mask)
+            node = 2 * node + 1 + go_right
+            lo += go_right * half
+            size = half
+        state.aux[sel] = bits
+
+
+class _RripSpec(PolicySpec):
+    name = "rrip"
+    wire_id = 4
+    aux_kind = "way"
+
+    def victim_way(self, state, set_index):
+        row = state.aux[set_index]
+        assoc = state.associativity
+        highest = int(row[0])
+        for way in range(1, assoc):
+            value = int(row[way])
+            if value > highest:
+                highest = value
+        if highest < RRIP_MAX:
+            increment = RRIP_MAX - highest
+            for way in range(assoc):
+                row[way] += increment
+        for way in range(assoc):
+            if row[way] == RRIP_MAX:
+                return way
+        raise AssertionError("unreachable: aging leaves a way at RRIP_MAX")
+
+    def touch(self, state, set_index, way, tick, hit, retouch=False):
+        if hit:
+            state.aux[set_index][way] = RRIP_HIT
+        else:
+            state.recency[set_index][way] = tick
+            # A collapsed run's later members are guaranteed hits right
+            # after the fill: the line ends promoted, not at insertion RRPV.
+            state.aux[set_index][way] = RRIP_HIT if retouch else RRIP_INSERT
+
+    def vector_victims(self, state, sel, evicting):
+        rows = state.aux[sel]  # fancy indexing copies; scatter aging back
+        highest = rows.max(axis=1)
+        need = np.where(evicting & (highest < RRIP_MAX), RRIP_MAX - highest, 0)
+        rows = rows + need[:, None]
+        if evicting.any():
+            state.aux[sel[evicting]] = rows[evicting]
+        return (rows == RRIP_MAX).argmax(axis=1)
+
+    def vector_touch(self, state, sel, way, hit, miss, ticks, retouch):
+        recency = state.recency
+        recency[sel, way] = np.where(miss, ticks, recency[sel, way])
+        aux = state.aux
+        aux[sel, way] = np.where(hit | retouch, RRIP_HIT, RRIP_INSERT)
+
+
+#: The registry: one immutable spec per policy, keyed by name.  Iteration
+#: order is the wire-id order, which the CLI/choice surfaces reuse.
+POLICIES: Dict[str, PolicySpec] = {
+    spec.name: spec
+    for spec in sorted(
+        (_LruSpec(), _FifoSpec(), _RandomSpec(), _PlruSpec(), _RripSpec()),
+        key=lambda spec: spec.wire_id,
+    )
+}
+
+#: Registry names in wire-id order (``fifo, lru, random, plru, rrip``).
+POLICY_NAMES: Tuple[str, ...] = tuple(POLICIES)
+
+
+class ReplacementPolicy:
+    """Replacement policy identifiers (mirrors the registry names)."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+    PLRU = "plru"
+    RRIP = "rrip"
+
+    ALL = (LRU, FIFO, RANDOM, PLRU, RRIP)
+
+
+def get_policy(name: str) -> PolicySpec:
+    """The :class:`PolicySpec` registered under ``name`` (raises ``ValueError``)."""
+    spec = POLICIES.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {POLICY_NAMES}"
+        )
+    return spec
+
+
+def policy_wire_id(name: str) -> int:
+    """The stable kernel-facing integer id of policy ``name``."""
+    return get_policy(name).wire_id
+
+
+class ReferenceCacheState:
+    """Pure-Python way-slot state of the reference engine.
+
+    The reference loop in :mod:`repro.sim.cache` drives this through the
+    registry's scalar hooks: parallel per-set lists indexed by way (``-1``
+    tags mark empty ways; ways fill in order, so ``occupancy[set]`` ways
+    are exactly the valid ones), a monotone access tick, and the policy's
+    aux plane.  It is the equivalence oracle for every fast path.
+    """
+
+    __slots__ = (
+        "associativity",
+        "rng_seed",
+        "tags",
+        "dirty",
+        "recency",
+        "occupancy",
+        "evictions",
+        "aux",
+        "tick",
+    )
+
+    def __init__(self, spec: PolicySpec, sets: int, associativity: int, rng_seed: int):
+        self.associativity = associativity
+        self.rng_seed = rng_seed
+        self.tags: List[List[int]] = [[-1] * associativity for _ in range(sets)]
+        self.dirty: List[List[int]] = [[0] * associativity for _ in range(sets)]
+        self.recency: List[List[int]] = [[0] * associativity for _ in range(sets)]
+        self.occupancy: List[int] = [0] * sets
+        self.evictions: List[int] = [0] * sets
+        self.aux = spec.new_aux_lists(sets, associativity)
+        self.tick = 1
+
+    def resident_lines(self) -> int:
+        return sum(self.occupancy)
+
+    def contains_line(self, line: int, set_index: int) -> bool:
+        row = self.tags[set_index]
+        return any(row[way] == line for way in range(self.occupancy[set_index]))

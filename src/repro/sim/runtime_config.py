@@ -20,6 +20,10 @@ service process.
 ``trace``                 ``REPRO_SIM_TRACE``      trace representation
                                                    (``expanded``/``descriptor``;
                                                    default by engine)
+``replacement``           ``REPRO_SIM_REPLACEMENT``  uniform replacement policy
+                                                   for every hierarchy level
+                                                   (registry name; default:
+                                                   per-level Table I policies)
 ``native``                ``REPRO_SIM_NATIVE``     compiled C kernels (``0``
                                                    disables; default on)
 ``arena``                 ``REPRO_SIM_ARENA``      cross-chunk arena batching
@@ -63,6 +67,8 @@ from repro.sim.engine import resolve_engine, resolve_trace_mode
 ENV_SURFACE: Tuple[Tuple[str, str, str], ...] = (
     ("engine", "REPRO_SIM_ENGINE", "cache-simulation engine (reference/vectorized)"),
     ("trace", "REPRO_SIM_TRACE", "trace representation (expanded/descriptor)"),
+    ("replacement", "REPRO_SIM_REPLACEMENT",
+     "replacement policy of every hierarchy level (registry name; default Table I)"),
     ("native", "REPRO_SIM_NATIVE", "compiled C kernels (0 disables)"),
     ("arena", "REPRO_SIM_ARENA", "cross-chunk arena batching (0 disables)"),
     ("runner_batch", "REPRO_RUNNER_BATCH", "candidate-batch measurement path"),
@@ -97,6 +103,10 @@ class RuntimeConfig:
     engine: Optional[str] = None
     #: Trace representation; ``None`` defers to ``REPRO_SIM_TRACE`` / engine.
     trace: Optional[str] = None
+    #: Replacement policy applied to every hierarchy level (a
+    #: :data:`repro.sim.policies.POLICIES` name); ``None`` defers to
+    #: ``REPRO_SIM_REPLACEMENT`` and then the Table I per-level defaults.
+    replacement: Optional[str] = None
     #: Compiled-kernel toggle (process-global; see :meth:`apply_process_toggles`).
     native: Optional[bool] = None
     #: Arena-batching toggle (process-global; see :meth:`apply_process_toggles`).
@@ -126,6 +136,7 @@ class RuntimeConfig:
         return cls(
             engine=env.get("REPRO_SIM_ENGINE") or None,
             trace=env.get("REPRO_SIM_TRACE") or None,
+            replacement=env.get("REPRO_SIM_REPLACEMENT") or None,
             native=_native_flag(env.get("REPRO_SIM_NATIVE")),
             arena=_native_flag(env.get("REPRO_SIM_ARENA")),
             runner_batch=_batch_flag(env.get("REPRO_RUNNER_BATCH")),
@@ -147,6 +158,16 @@ class RuntimeConfig:
     def resolved_trace(self, engine: str, override: Optional[str] = None) -> str:
         """The effective trace mode for ``engine`` (same precedence chain)."""
         return resolve_trace_mode(override or self.trace, engine)
+
+    def resolved_replacement(self) -> Optional[str]:
+        """The effective uniform replacement override, validated against the
+        policy registry; ``None`` keeps the hierarchy's per-level defaults."""
+        value = self.replacement or os.environ.get("REPRO_SIM_REPLACEMENT") or None
+        if value is not None:
+            from repro.sim.policies import get_policy
+
+            get_policy(value)  # raises ValueError on unknown names
+        return value
 
     def resolved_native(self) -> bool:
         """The effective compiled-kernel toggle (field, else ``REPRO_SIM_NATIVE``)."""
@@ -201,6 +222,7 @@ class RuntimeConfig:
         """Resolve and type-check every field; raises ``ValueError`` on nonsense."""
         engine = self.resolved_engine()
         self.resolved_trace(engine)
+        self.resolved_replacement()
         self.resolved_retry()
         if self.timeout_s < 0:
             raise ValueError(f"timeout_s must be >= 0, got {self.timeout_s}")
@@ -212,6 +234,7 @@ class RuntimeConfig:
         resolved = {
             "engine": engine,
             "trace": self.resolved_trace(engine),
+            "replacement": self.resolved_replacement() or "per-level default",
             "native": "on" if self.resolved_native() else "off",
             "arena": "on" if self.resolved_arena() else "off",
             "runner_batch": "on" if self.resolved_runner_batch() else "off",

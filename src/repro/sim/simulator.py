@@ -44,7 +44,7 @@ from repro.reliability import (
     deadline_scope,
 )
 from repro.reliability import faults
-from repro.sim.configs import CACHE_HIERARCHIES
+from repro.sim.configs import CACHE_HIERARCHIES, hierarchy_with_replacement
 from repro.sim.cpu import AtomicSimpleCPU, TraceOptions
 from repro.sim.engine import (
     ARENA_ACCESS_BATCH,
@@ -145,12 +145,19 @@ class Simulator:
         ``config`` field > ``TraceOptions`` field > environment > default.
         """
         self.arch = arch.strip().lower()
+        self.config = config if config is not None else RuntimeConfig()
         if hierarchy_config is None:
             if self.arch not in CACHE_HIERARCHIES:
                 raise KeyError(f"no default cache hierarchy for architecture {arch!r}")
-            hierarchy_config = CACHE_HIERARCHIES[self.arch]
+            # A uniform replacement override swaps the policy of every Table I
+            # level while keeping the geometry; an explicit hierarchy_config
+            # is authoritative and never rewritten.
+            replacement = self.config.resolved_replacement()
+            if replacement is not None:
+                hierarchy_config = hierarchy_with_replacement(self.arch, replacement)
+            else:
+                hierarchy_config = CACHE_HIERARCHIES[self.arch]
         self.hierarchy_config = hierarchy_config
-        self.config = config if config is not None else RuntimeConfig()
         if engine is _UNSET:
             engine = None
         else:

@@ -107,6 +107,21 @@ class TestConfigSpace:
         entity = self._space().get(0)
         assert set(entity.to_dict()) == {"tile_x", "vectorize"}
 
+    def test_define_replacement_defaults_to_registry(self):
+        from repro.sim import POLICY_NAMES
+
+        cfg = ConfigSpace()
+        cfg.define_replacement()
+        assert [e.val for e in cfg.candidates("replacement")] == list(POLICY_NAMES)
+        assert cfg["replacement"].val == POLICY_NAMES[0]
+
+    def test_define_replacement_validates_explicit_policies(self):
+        cfg = ConfigSpace()
+        cfg.define_replacement(policies=["lru", "plru"])
+        assert [e.val for e in cfg.candidates("replacement")] == ["lru", "plru"]
+        with pytest.raises(ValueError):
+            ConfigSpace().define_replacement(policies=["mru"])
+
     def test_split_entity_apply(self):
         a = te.placeholder((4, 12), name="a")
         b = te.compute((4, 12), lambda i, j: a[i, j] + 1, name="b")

@@ -30,7 +30,7 @@ class TestCacheConfig:
 
     def test_unknown_policy(self):
         with pytest.raises(ValueError):
-            CacheConfig.from_geometry("bad", sets=4, associativity=2, replacement="plru")
+            CacheConfig.from_geometry("bad", sets=4, associativity=2, replacement="mru")
 
     def test_from_geometry_size(self):
         config = CacheConfig.from_geometry("c", sets=64, associativity=8, line_bytes=64)
