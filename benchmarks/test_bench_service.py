@@ -8,6 +8,11 @@ drives a candidate batch through the HTTP client twice:
 * **warm** — a *fresh* service process state (cold in-memory LRU) over the
   same store; every request must be served from the DB-backed store.
 
+A third **journal-drain** pass submits a batch of *new* candidates with
+``wait=false`` — the durable write-ahead path (202 → journal → worker wave →
+store) — and polls ``wait_result`` until every job settles, recording the
+journal counter group alongside the request-rate numbers.
+
 Writes ``benchmarks/results/service_throughput.txt`` plus a machine-readable
 ``service_throughput.json`` so the trajectory stays diffable across PRs.
 
@@ -39,7 +44,13 @@ import repro.workloads  # noqa: F401 — registers the tuning templates
 from repro.autotune import LocalBuilder, MeasureInput, create_task
 from repro.codegen.target import Target
 from repro.service import ResultStore, ServiceClient, ServiceServer, SimulationService
-from repro.sim import BatchSimulator, RuntimeConfig, SimulationResult, TraceOptions
+from repro.sim import (
+    BatchSimulator,
+    RuntimeConfig,
+    SimulationCache,
+    SimulationResult,
+    TraceOptions,
+)
 from repro.utils.tabulate import format_table
 
 from benchmarks.conftest import write_result
@@ -54,10 +65,10 @@ WARM_HIT_RATE_FLOOR = 0.5 if SMOKE else 0.9
 ARCH = "arm"
 
 
-def _candidate_batch():
+def _candidate_batch(offset: int = 0):
     task = create_task("matmul", (16, 16, 16), Target.from_name(ARCH))
     space = task.config_space
-    indices = [i % len(space) for i in range(CANDIDATES)]
+    indices = [(offset + i) % len(space) for i in range(CANDIDATES)]
     builds = LocalBuilder().build([MeasureInput(task, space.get(i)) for i in indices])
     assert all(build.ok for build in builds)
     return [build.program for build in builds]
@@ -109,15 +120,51 @@ def test_bench_service_throughput(results_dir):
         stats = warm_client.stats()
     finally:
         warm_server.stop()
-        store.close()
     assert all(isinstance(r, SimulationResult) for r in warm)
     assert [_flat(r) for r in warm] == [_flat(r) for r in local]
+
+    # Journal drain: new candidates through the durable wait=false path.
+    drain_programs = _candidate_batch(offset=CANDIDATES)
+    local_drain = list(
+        BatchSimulator(
+            ARCH, trace_options=trace, config=RuntimeConfig(memoize=False)
+        ).iter_batch(drain_programs)
+    )
+    drain_service = SimulationService(ARCH, store, trace_options=trace)
+    drain_server = ServiceServer(drain_service, port=0).start_in_thread()
+    try:
+        drain_client = ServiceClient(drain_server.url)
+        t_drain_start = time.perf_counter()
+        for program in drain_programs:
+            drain_client.simulate(program, wait=False)  # 202: journaled
+        digests = [
+            SimulationCache.make_key(
+                program,
+                drain_service.simulator.hierarchy_config,
+                drain_service.simulator.trace_options,
+                drain_service.simulator.engine,
+            )
+            for program in drain_programs
+        ]
+        drained = [
+            drain_client.wait_result(digest, deadline_s=600.0) for digest in digests
+        ]
+        t_drain = time.perf_counter() - t_drain_start
+        journal = drain_client.stats()["journal"]
+    finally:
+        drain_server.stop()
+        store.close()
+    assert all(isinstance(r, SimulationResult) for r in drained)
+    assert [_flat(r) for r in drained] == [_flat(r) for r in local_drain]
+    assert journal["drained"] >= len(drain_programs)
+    assert journal["queued"] == 0.0 and journal["leased"] == 0.0
 
     warm_hit_rate = stats["hit_rate"]
     n = len(programs)
     rows = [
         ["cold (computed)", n, t_cold, n / t_cold],
         ["warm (store-served)", n, t_warm, n / t_warm],
+        ["journal drain (wait=false)", n, t_drain, n / t_drain],
     ]
     table = format_table(
         ["pass", "requests", "total s", "req/s"],
@@ -136,11 +183,14 @@ def test_bench_service_throughput(results_dir):
         "candidates": n,
         "cold_seconds": t_cold,
         "warm_seconds": t_warm,
+        "drain_seconds": t_drain,
         "cold_requests_per_second": n / t_cold,
         "warm_requests_per_second": n / t_warm,
+        "drain_requests_per_second": n / t_drain,
         "warm_speedup": t_cold / t_warm,
         "warm_hit_rate": warm_hit_rate,
         "store": stats["store"],
+        "journal": journal,
         "hit_rate_floor": WARM_HIT_RATE_FLOOR,
     }
     (results_dir / "service_throughput.json").write_text(

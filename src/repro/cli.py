@@ -184,7 +184,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     tenants = {}
     for index, spec in enumerate(args.api_key or []):
         name, _, key = spec.rpartition(":")
-        tenants[key] = Tenant(name=name or f"tenant{index}", api_key=key, quota=args.quota)
+        tenants[key] = Tenant(
+            name=name or f"tenant{index}", api_key=key, quota=args.quota,
+            rate_limit=args.rate_limit, rate_window_s=args.rate_window,
+        )
     store = ResultStore(args.db, max_entries=args.max_entries, max_age_s=args.max_age)
     if args.import_memo_dir:
         imported = store.import_disk_cache(args.import_memo_dir)
@@ -192,15 +195,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
     config.apply_process_toggles()
     trace_options = TraceOptions(max_accesses=args.trace) if args.trace else None
     service = SimulationService(
-        args.arch, store, config=config, tenants=tenants, trace_options=trace_options
+        args.arch, store, config=config, tenants=tenants, trace_options=trace_options,
+        max_queue_depth=args.queue_depth, lease_s=args.lease,
     )
     server = ServiceServer(service, host=args.host, port=args.port)
+    # SIGTERM/SIGINT trigger a graceful drain: the event loop unwinds (the
+    # shutdown call is non-blocking and signal-safe), serve_forever returns,
+    # and the finally block finishes the in-flight wave and journals the
+    # rest — a restarted service settles them from the same database.
+    import signal
+
+    def _graceful(_signo, _frame) -> None:
+        server.shutdown()
+
+    for signo in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signo, _graceful)
+        except (ValueError, OSError):  # not the main thread (tests)
+            break
     print(f"serving {args.arch} simulations on http://{args.host}:{args.port} "
           f"(db {args.db}, {len(tenants)} tenant(s))")
     try:
         server.serve_forever()
     finally:
-        service.close()
+        service.close(drain=True)
         store.close()
     return 0
 
@@ -273,7 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--api-key", action="append", metavar="NAME:KEY",
                        help="register one tenant (repeatable); no keys = open dev mode")
     serve.add_argument("--quota", type=int, default=0,
-                       help="per-tenant request quota (0 = unlimited)")
+                       help="per-tenant lifetime request quota (0 = unlimited)")
+    serve.add_argument("--rate-limit", type=int, default=0,
+                       help="per-tenant requests per sliding window (0 = no limit)")
+    serve.add_argument("--rate-window", type=float, default=1.0,
+                       help="sliding rate-limit window in seconds")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="miss-queue bound before 503 shedding "
+                       "(default: REPRO_SERVICE_QUEUE_DEPTH or 256; 0 = unbounded)")
+    serve.add_argument("--lease", type=float, default=None,
+                       help="journal lease seconds before a claimed job is "
+                       "reclaimable (default: REPRO_SERVICE_LEASE_S or 30)")
     serve.add_argument("--max-entries", type=int, default=100_000,
                        help="LRU bound of the result store")
     serve.add_argument("--max-age", type=float, default=0.0,

@@ -17,6 +17,7 @@ The package is a leaf: it imports nothing from the rest of ``repro``, so
 every layer can depend on it without cycles.
 """
 
+from repro.reliability.breaker import CircuitBreaker
 from repro.reliability.deadline import (
     Deadline,
     DeadlineExceeded,
@@ -64,6 +65,7 @@ class MemoQuarantineWarning(RuntimeWarning):
 
 __all__ = [
     "BackendDegradationWarning",
+    "CircuitBreaker",
     "Deadline",
     "DeadlineExceeded",
     "FaultRegistry",

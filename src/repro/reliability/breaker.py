@@ -1,0 +1,149 @@
+"""Circuit breaker guarding the simulation backend behind the service.
+
+:class:`CircuitBreaker` is the classic three-state machine:
+
+* **closed** — traffic flows; consecutive whole-wave faults are counted and
+  ``failure_threshold`` of them in a row trip the breaker;
+* **open** — work is refused (the HTTP layer sheds misses with ``503`` and
+  a ``Retry-After``) until the probe deadline passes;
+* **half-open** — exactly one probe is let through; success closes the
+  breaker, failure re-opens it with a fresh probe deadline.
+
+Determinism follows the rest of :mod:`repro.reliability`: the probe delay
+is ``reset_timeout_s`` shaved by a deterministic SplitMix64 jitter draw —
+the same ``(seed, key, ordinal)`` mapping :class:`~repro.reliability.retry.
+RetryPolicy` uses — and the clock is injectable, so breaker trajectories
+replay exactly in tests (pass a fake ``clock`` and drive it by hand).
+
+The breaker never raises; callers ask :meth:`CircuitBreaker.allow` before
+doing guarded work and report outcomes with :meth:`record_success` /
+:meth:`record_failure`.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from repro.reliability.faults import _unit_float
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker with a deterministic probe schedule."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        key: str = "breaker",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.key = key
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._probe_at = 0.0
+        #: Ordinal of the jitter draw: one per open transition, so repeated
+        #: trips walk a deterministic, replayable probe schedule.
+        self._opens = 0
+        self.successes = 0
+        self.failures = 0
+        self.probes = 0
+
+    # -- state machine ------------------------------------------------------
+    def _probe_delay_s(self) -> float:
+        """Jittered open→half-open delay; same shave-off shape as retry.py."""
+        raw = self.reset_timeout_s
+        if self.jitter <= 0.0:
+            return raw
+        draw = _unit_float(self.seed, f"breaker:{self.key}", self._opens)
+        return raw * (1.0 - self.jitter * draw)
+
+    def _open_locked(self) -> None:
+        self._state = self.OPEN
+        self._opens += 1
+        self._probe_at = self.clock() + self._probe_delay_s()
+
+    def allow(self) -> bool:
+        """Whether guarded work may proceed right now.
+
+        In the open state this flips to half-open once the probe deadline
+        passes and admits exactly one probe; further calls are refused until
+        the probe settles through :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN and self.clock() >= self._probe_at:
+                self._state = self.HALF_OPEN
+                self.probes += 1
+                return True
+            return False  # open before the deadline, or a probe in flight
+
+    def record_success(self) -> None:
+        """A guarded unit of work succeeded; closes a half-open breaker."""
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            if self._state != self.CLOSED:
+                self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """A guarded unit of work faulted wholesale; may trip the breaker."""
+        with self._lock:
+            self.failures += 1
+            if self._state == self.HALF_OPEN:
+                self._open_locked()  # failed probe: back to open, new deadline
+                return
+            if self._state == self.OPEN:
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._open_locked()
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe is due (0 when traffic flows)."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return 0.0
+            if self._state == self.HALF_OPEN:
+                return self._probe_delay_s()  # a probe is in flight; come back soon
+            return max(self._probe_at - self.clock(), 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": float(self._consecutive_failures),
+                "opens": float(self._opens),
+                "probes": float(self.probes),
+                "successes": float(self.successes),
+                "failures": float(self.failures),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"threshold={self.failure_threshold}, opens={self._opens})"
+        )

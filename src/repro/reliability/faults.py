@@ -3,10 +3,13 @@
 Production code is sprinkled with *injection sites* — named points where a
 fault can be provoked on demand: the simulator pool workers
 (``worker_crash``), the disk-memo read/write path (``memo_corrupt_read`` /
-``memo_corrupt_write``), the native kernel dispatch (``native_fault``) and
-the first-use library probe (``native_probe``).  With no profile configured
-every site is a no-op costing one dictionary lookup, so the fault-free path
-is unchanged.
+``memo_corrupt_write``), the native kernel dispatch (``native_fault``), the
+first-use library probe (``native_probe``), and the service layer — a
+dropped client connection (``service_conn_drop``), a failing result-store
+query (``store_io_error``), a dying service worker thread
+(``worker_thread_crash``) and a garbled journaled program blob
+(``journal_corrupt``).  With no profile configured every site is a no-op
+costing one dictionary lookup, so the fault-free path is unchanged.
 
 A profile is a semicolon-separated list of clauses::
 

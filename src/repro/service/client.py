@@ -8,6 +8,16 @@ bit-identical statistics, with ``host_seconds`` reporting the round-trip
 time instead of the remote walk time (exactly the memoized-result
 convention).
 
+The client is resilient by default: transport-level failures (connection
+refused/reset, a service restarting underneath the request) and ``503``
+shedding responses are retried under a
+:class:`~repro.reliability.RetryPolicy` — bounded attempts, exponential
+backoff, deterministic jitter — honouring the server's ``Retry-After`` hint
+when one is sent.  Every request the client makes is idempotent on the
+server (``POST /simulate`` is keyed by content digest), so replays are
+safe.  ``429`` quota/rate responses are *never* retried automatically: they
+are a budget signal for the caller, not a transient fault.
+
 :meth:`ServiceClient.simulator_run` adapts the client to the autotuning
 registry's ``"autotvm.simulator_run"`` override signature, so a tuner can
 run its whole measurement loop against a shared service::
@@ -28,6 +38,7 @@ from http.client import HTTPConnection
 from typing import Dict, List, Optional, Sequence
 from urllib.parse import urlsplit
 
+from repro.reliability import RetryPolicy
 from repro.sim.hierarchy import CacheHierarchyConfig
 from repro.sim.memo import stats_from_flat
 from repro.sim.simulator import ResilientOutcome, SimulationFailure, SimulationResult
@@ -42,19 +53,28 @@ class ServiceError(RuntimeError):
         self.payload = payload
 
 
+#: Default transport retry: 4 attempts, 50 ms base backoff.  Modest on
+#: purpose — enough to ride out a service restart or a breaker probe window
+#: without turning a dead service into a minutes-long hang.
+DEFAULT_CLIENT_RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.05, max_delay_s=2.0)
+
+
 class ServiceClient:
     """Blocking client for one simulation service endpoint."""
 
     def __init__(self, base_url: str, api_key: Optional[str] = None,
-                 timeout_s: float = 600.0):
+                 timeout_s: float = 600.0, retry: Optional[RetryPolicy] = None):
         parts = urlsplit(base_url)
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 80
         self.api_key = api_key
         self.timeout_s = float(timeout_s)
+        self.retry = retry if retry is not None else DEFAULT_CLIENT_RETRY
+        #: Transport-level retries performed over this client's lifetime.
+        self.retries = 0
 
     # -- transport ----------------------------------------------------------
-    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+    def _request_once(self, method: str, path: str, payload: Optional[dict] = None):
         connection = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
         headers = {"Content-Type": "application/json"}
         if self.api_key is not None:
@@ -67,6 +87,41 @@ class ServiceClient:
             return response.status, (json.loads(text) if text else {})
         finally:
             connection.close()
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None):
+        """One request under the retry policy.
+
+        Connection faults (refused, reset mid-request, service restarting)
+        and ``503`` shedding are retried with backoff, honouring the
+        server's ``retry_after`` hint when present; ``429`` and every other
+        definitive response return immediately.  All service requests are
+        idempotent (simulation is keyed by content digest), so replaying a
+        request whose response was lost is safe.
+        """
+        retry = self.retry
+        for attempt in range(1, retry.max_attempts + 1):
+            try:
+                status, response = self._request_once(method, path, payload)
+            except (ConnectionError, OSError):
+                if attempt >= retry.max_attempts:
+                    raise
+                self.retries += 1
+                time.sleep(retry.delay_s(attempt, key=path))
+                continue
+            if status == 503 and attempt < retry.max_attempts:
+                hint = 0.0
+                if isinstance(response, dict) and "retry_after" in response:
+                    try:
+                        hint = float(response["retry_after"])
+                    except (TypeError, ValueError):
+                        hint = 0.0
+                self.retries += 1
+                time.sleep(
+                    max(retry.delay_s(attempt, key=path), min(hint, retry.max_delay_s))
+                )
+                continue
+            return status, response
+        raise AssertionError("unreachable: retry loop exits by return or raise")
 
     @staticmethod
     def _decode_outcome(payload: dict, host_seconds: float) -> ResilientOutcome:
@@ -131,17 +186,44 @@ class ServiceClient:
         """Simulate many programs (one request each, coalesced server-side)."""
         return [self.simulate(program, hierarchy) for program in programs]
 
-    def result(self, digest: str) -> Optional[SimulationResult]:
-        """Fetch a stored result by digest; ``None`` when unknown."""
+    def result(self, digest: str) -> Optional[ResilientOutcome]:
+        """Fetch a settled outcome by digest.
+
+        Returns the stored :class:`SimulationResult`, a
+        :class:`SimulationFailure` when the journal settled the job as
+        failed, or ``None`` while the digest is unknown or still
+        queued/leased.
+        """
         start = time.perf_counter()
         status, body = self._request("GET", f"/results/{digest}")
-        if status == 404:
+        if status in (404, 202):
             return None
+        if status == 500 and body.get("status") == "failed":
+            return self._decode_outcome(body, time.perf_counter() - start)
         if status != 200:
             raise ServiceError(status, body)
-        outcome = self._decode_outcome(body, time.perf_counter() - start)
-        assert isinstance(outcome, SimulationResult)
-        return outcome
+        return self._decode_outcome(body, time.perf_counter() - start)
+
+    def wait_result(
+        self, digest: str, deadline_s: float = 60.0, poll_s: float = 0.05
+    ) -> ResilientOutcome:
+        """Poll ``/results/{digest}`` until the job settles.
+
+        The companion to ``simulate(wait=False)``: returns the stored result
+        or the journaled failure once the service (or its restarted
+        successor) settles the digest.  Raises :class:`TimeoutError` if the
+        deadline passes first.
+        """
+        deadline = time.monotonic() + float(deadline_s)
+        while True:
+            outcome = self.result(digest)
+            if outcome is not None:
+                return outcome
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"digest {digest} did not settle within {deadline_s:g}s"
+                )
+            time.sleep(poll_s)
 
     def stats(self) -> dict:
         """The service's ``GET /stats`` counters."""

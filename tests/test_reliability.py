@@ -39,6 +39,7 @@ from repro.pipeline.dataset import (
 )
 from repro.reliability import (
     BackendDegradationWarning,
+    CircuitBreaker,
     Deadline,
     DeadlineExceeded,
     InjectedFault,
@@ -237,6 +238,106 @@ class TestRetryPolicy:
         monkeypatch.setenv("REPRO_RETRY_BASE_DELAY_S", "0.01")
         policy = RetryPolicy.from_env()
         assert policy.max_attempts == 4 and policy.base_delay_s == 0.01
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class _FakeClock:
+    """Hand-driven monotonic clock for deterministic breaker trajectories."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=5.0, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # two in a row: not yet
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after_s() > 0.0
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=_FakeClock())
+        breaker.record_failure()
+        breaker.record_success()  # streak broken
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=4.0, jitter=0.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()  # before the probe deadline
+        clock.advance(4.0)
+        assert breaker.allow()  # the single probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # probe in flight: everyone else refused
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_with_a_fresh_deadline(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=2.0, jitter=0.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe faulted
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after_s() == pytest.approx(2.0)
+        clock.advance(2.0)
+        assert breaker.allow()
+
+    def test_probe_schedule_is_deterministic_and_jitter_bounded(self):
+        def trajectory():
+            clock = _FakeClock()
+            breaker = CircuitBreaker(
+                failure_threshold=1, reset_timeout_s=10.0, jitter=0.5,
+                seed=3, key="svc", clock=clock,
+            )
+            delays = []
+            for _ in range(4):
+                breaker.record_failure()
+                delays.append(breaker.retry_after_s())
+                clock.advance(delays[-1])
+                assert breaker.allow()
+            return delays
+
+        first, second = trajectory(), trajectory()
+        assert first == second  # replayable: pure function of (seed, key, opens)
+        assert all(5.0 <= delay <= 10.0 for delay in first)
+        assert len(set(first)) > 1  # jitter actually varies per open
+
+    def test_counters_and_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        breaker = CircuitBreaker(failure_threshold=1, clock=_FakeClock())
+        breaker.record_failure()
+        counters = breaker.counters()
+        assert counters["state"] == CircuitBreaker.OPEN
+        assert counters["opens"] == 1.0
+        assert counters["failures"] == 1.0
 
 
 # ---------------------------------------------------------------------------

@@ -658,3 +658,451 @@ class TestServeCli:
         monkeypatch.setenv("REPRO_SIM_ENGINE", "warp-drive")
         assert main(["serve", "--check"]) == 2
         assert "invalid runtime configuration" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Durable job journal
+# ---------------------------------------------------------------------------
+
+
+class TestJobJournal:
+    def test_enqueue_claim_settle_roundtrip(self):
+        store = ResultStore(":memory:")
+        assert store.journal_enqueue("d1", b"blob-1", tenant="alice")
+        assert store.journal_pending() == 1
+        assert store.journal_status("d1") == ("queued", None, 0)
+        (job,) = store.journal_claim(limit=8, lease_s=30.0)
+        assert (job.digest, job.program_blob, job.tenant) == ("d1", b"blob-1", "alice")
+        assert job.attempts == 1
+        assert store.journal_status("d1")[0] == "leased"
+        store.journal_settle("d1", "done")
+        assert store.journal_status("d1") == ("done", None, 1)
+        assert store.journal_pending() == 0
+        assert store.journal_claim(limit=8, lease_s=30.0) == []  # settled: done
+        store.close()
+
+    def test_enqueue_is_idempotent_while_pending_and_rearms_settled(self):
+        store = ResultStore(":memory:")
+        assert store.journal_enqueue("d1", b"v1")
+        assert not store.journal_enqueue("d1", b"v2")  # already queued: no-op
+        assert store.journal_claim(1, 30.0)[0].program_blob == b"v1"
+        assert not store.journal_enqueue("d1", b"v2")  # leased: still a no-op
+        store.journal_settle("d1", "failed", "boom")
+        assert store.journal_status("d1") == ("failed", "boom", 1)
+        # A settled row re-arms (result evicted / caller wants a recompute).
+        assert store.journal_enqueue("d1", b"v3")
+        assert store.journal_status("d1") == ("queued", None, 0)
+        assert store.journal_claim(1, 30.0)[0].program_blob == b"v3"
+        store.close()
+
+    def test_expired_lease_is_reclaimable(self):
+        store = ResultStore(":memory:")
+        store.journal_enqueue("d1", b"blob")
+        assert store.journal_claim(1, lease_s=0.01)  # claimed by a worker that dies
+        time.sleep(0.05)
+        assert store.journal_recover() == 1  # expired lease → queued
+        (job,) = store.journal_claim(1, lease_s=30.0)
+        assert job.attempts == 2  # at-least-once: the second delivery
+        store.close()
+
+    def test_claim_treats_expired_lease_as_claimable_directly(self):
+        store = ResultStore(":memory:")
+        store.journal_enqueue("d1", b"blob")
+        store.journal_claim(1, lease_s=0.01)
+        time.sleep(0.05)
+        # Even without an explicit recover sweep, an expired lease is claimable.
+        assert len(store.journal_claim(1, lease_s=30.0)) == 1
+        store.close()
+
+    def test_requeue_returns_leased_jobs_immediately(self):
+        store = ResultStore(":memory:")
+        store.journal_enqueue("d1", b"b1")
+        store.journal_enqueue("d2", b"b2")
+        store.journal_claim(2, lease_s=300.0)
+        assert store.journal_requeue(["d1", "d2"]) == 2
+        assert store.journal_status("d1")[0] == "queued"
+        assert len(store.journal_claim(2, lease_s=300.0)) == 2
+        store.close()
+
+    def test_journal_survives_reopen(self, tmp_path):
+        db = tmp_path / "svc.db"
+        first = ResultStore(db)
+        first.journal_enqueue("d1", b"durable", tenant="t")
+        first.close()
+        second = ResultStore(db)
+        assert second.journal_pending() == 1
+        (job,) = second.journal_claim(1, 30.0)
+        assert job.program_blob == b"durable"
+        second.close()
+
+    def test_prune_drops_only_old_settled_rows(self):
+        store = ResultStore(":memory:")
+        store.journal_enqueue("done", b"x")
+        store.journal_claim(1, 30.0)
+        store.journal_settle("done", "done")
+        store.journal_enqueue("live", b"y")
+        time.sleep(0.05)
+        assert store.journal_prune(max_age_s=0.01) == 1
+        assert store.journal_status("done") is None
+        assert store.journal_status("live")[0] == "queued"
+        store.close()
+
+    def test_journal_counters(self):
+        store = ResultStore(":memory:")
+        store.journal_enqueue("a", b"1")
+        store.journal_enqueue("b", b"2")
+        store.journal_claim(1, 30.0)
+        store.journal_settle("a", "done")
+        counters = store.journal_counters()
+        assert counters["queued"] == 1.0 and counters["done"] == 1.0
+        assert counters["enqueued"] == 2.0 and counters["claimed"] == 1.0
+        assert counters["drained"] == 1.0
+        store.close()
+
+    def test_wait_false_goes_through_the_journal(self, programs):
+        """The write-ahead path: wait=false is journaled before the 202 and
+        the worker settles both the journal row and the result store."""
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            queued = client.simulate(programs[1], wait=False)
+            assert isinstance(queued, SimulationFailure)
+            digest = SimulationCache.make_key(
+                programs[1],
+                service.simulator.hierarchy_config,
+                service.simulator.trace_options,
+                service.simulator.engine,
+            )
+            outcome = client.wait_result(digest, deadline_s=30.0)
+            assert isinstance(outcome, SimulationResult)
+            assert flat(outcome) == flat(Simulator("arm").run(programs[1]))
+            assert store.journal_status(digest)[0] == "done"
+            assert store.journal_enqueued == 1
+            assert client.stats()["journal"]["drained"] == 1.0
+        finally:
+            server.stop()
+            store.close()
+
+
+# ---------------------------------------------------------------------------
+# Backpressure, rate limiting, health
+# ---------------------------------------------------------------------------
+
+
+def _simulate_payload(program, wait=False):
+    import base64
+    import pickle
+
+    return {
+        "program": base64.b64encode(pickle.dumps(program)).decode("ascii"),
+        "wait": wait,
+    }
+
+
+class TestBackpressure:
+    def test_queue_full_sheds_with_503(self, programs):
+        store = ResultStore(":memory:")
+        service = SimulationService("arm", store, max_queue_depth=1)
+        try:
+            service.worker.stop()  # freeze the drain so the backlog holds
+            status, body = service.handle_simulate(_simulate_payload(programs[0]))
+            assert status == 202
+            status, body = service.handle_simulate(_simulate_payload(programs[1]))
+            assert status == 503
+            assert "queue is full" in body["error"]
+            assert body["retry_after"] > 0
+            assert service.shed_queue_full == 1
+        finally:
+            service.close()
+            store.close()
+
+    def test_open_breaker_sheds_misses_but_store_hits_serve(self, programs):
+        store = ResultStore(":memory:")
+        service = SimulationService("arm", store)
+        try:
+            # Warm one digest, then trip the breaker by hand.
+            status, warm = service.handle_simulate(
+                dict(_simulate_payload(programs[0]), wait=True)
+            )
+            assert status == 200
+            for _ in range(service.breaker.failure_threshold):
+                service.breaker.record_failure()
+            assert service.breaker.state != "closed"
+            status, body = service.handle_simulate(_simulate_payload(programs[1]))
+            assert status == 503
+            assert "circuit breaker" in body["error"]
+            assert service.shed_breaker == 1
+            # The stored digest still serves: degradation sheds misses only.
+            status, again = service.handle_simulate(
+                dict(_simulate_payload(programs[0]), wait=True)
+            )
+            assert status == 200 and again["cached"]
+        finally:
+            service.close()
+            store.close()
+
+    def test_healthz_reports_degradation_reasons(self):
+        store = ResultStore(":memory:")
+        service = SimulationService("arm", store, supervise=False)
+        try:
+            assert service.health() == (200, {"status": "ok"})
+            service.worker.stop()  # no supervisor: the dead worker stays dead
+            for _ in range(service.breaker.failure_threshold):
+                service.breaker.record_failure()
+            store._note_io_error()
+            status, body = service.health()
+            assert status == 503
+            assert body["status"] == "degraded"
+            assert "worker dead" in body["reasons"]
+            assert any(r.startswith("breaker") for r in body["reasons"])
+            assert "store io errors" in body["reasons"]
+        finally:
+            service.close()
+            store.close()
+
+    def test_healthz_degraded_over_http(self):
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            assert client.healthy()
+            for _ in range(service.breaker.failure_threshold):
+                service.breaker.record_failure()
+            assert not client.healthy()  # 503 degraded
+        finally:
+            server.stop()
+            store.close()
+
+
+class TestTenantLimits:
+    def test_quota_race_admits_exactly_one(self):
+        """N requests racing one remaining quota slot admit exactly one."""
+        store = ResultStore(":memory:")
+        tenant = Tenant(name="alice", api_key="k", quota=1)
+        service = SimulationService("arm", store, tenants={"k": tenant})
+        try:
+            n_threads = 8
+            barrier = threading.Barrier(n_threads)
+            outcomes = [None] * n_threads
+
+            def race(slot):
+                barrier.wait()
+                outcomes[slot] = service.authenticate("k")
+
+            threads = [
+                threading.Thread(target=race, args=(slot,)) for slot in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(10.0)
+            admitted = [o for o in outcomes if o[1] is None]
+            rejected = [o for o in outcomes if o[1] is not None]
+            assert len(admitted) == 1
+            assert len(rejected) == n_threads - 1
+            assert all(error[0] == 429 for _, error in rejected)
+            assert tenant.requests == 1
+        finally:
+            service.close()
+            store.close()
+
+    def test_rate_limit_resets_where_quota_does_not(self):
+        """The sliding window frees up as it slides; the lifetime quota never."""
+        store = ResultStore(":memory:")
+        tenant = Tenant(name="bob", api_key="k", rate_limit=2, rate_window_s=0.2)
+        service = SimulationService("arm", store, tenants={"k": tenant})
+        try:
+            assert service.authenticate("k")[1] is None
+            assert service.authenticate("k")[1] is None
+            _, error = service.authenticate("k")
+            assert error is not None and error[0] == 429
+            assert error[1]["retry_after"] > 0
+            assert service.rate_limited == 1
+            time.sleep(0.25)  # the window slides past both admissions
+            assert service.authenticate("k")[1] is None  # rate limit reset
+            assert tenant.requests == 3  # ... but the lifetime count kept going
+
+            quota_tenant = Tenant(name="carol", api_key="q", quota=2)
+            service.tenants["q"] = quota_tenant
+            assert service.authenticate("q")[1] is None
+            assert service.authenticate("q")[1] is None
+            time.sleep(0.25)
+            _, error = service.authenticate("q")
+            assert error is not None and error[0] == 429  # quota never resets
+        finally:
+            service.close()
+            store.close()
+
+    def test_rate_limited_responses_carry_retry_after_header(self):
+        tenants = {"k": Tenant(name="t", api_key="k", rate_limit=1, rate_window_s=5.0)}
+        server, service, store = _service(tenants=tenants)
+        try:
+            from http.client import HTTPConnection
+
+            def stats_response():
+                conn = HTTPConnection(server.host, server.port, timeout=10.0)
+                try:
+                    conn.request("GET", "/stats", headers={"X-Api-Key": "k"})
+                    response = conn.getresponse()
+                    response.read()
+                    return response.status, response.headers
+                finally:
+                    conn.close()
+
+            status, _ = stats_response()
+            assert status == 200
+            status, headers = stats_response()
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.stop()
+            store.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP protocol edges
+# ---------------------------------------------------------------------------
+
+
+class TestHttpProtocol:
+    @staticmethod
+    def _raw_exchange(server, head: bytes, body: bytes, half_close: bool = False):
+        import socket
+
+        with socket.create_connection((server.host, server.port), timeout=10.0) as sock:
+            sock.sendall(head + body)
+            if half_close:
+                sock.shutdown(socket.SHUT_WR)
+            sock.settimeout(10.0)
+            chunks = []
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks).decode("latin-1")
+
+    def test_oversized_body_is_413_not_500(self):
+        from repro.service.server import MAX_BODY_BYTES
+
+        server, service, store = _service()
+        try:
+            head = (
+                f"POST /simulate HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n"
+            ).encode("latin-1")
+            response = self._raw_exchange(server, head, b"tiny")
+            assert response.startswith("HTTP/1.1 413 Payload Too Large")
+            assert "exceeds" in response
+        finally:
+            server.stop()
+            store.close()
+
+    def test_truncated_body_is_400_not_500(self):
+        server, service, store = _service()
+        try:
+            head = (
+                b"POST /simulate HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\n"
+            )
+            response = self._raw_exchange(server, head, b"only-ten-b", half_close=True)
+            assert response.startswith("HTTP/1.1 400 Bad Request")
+            assert "truncated" in response
+        finally:
+            server.stop()
+            store.close()
+
+    def test_shed_responses_carry_retry_after_header(self):
+        server, service, store = _service()
+        try:
+            for _ in range(service.breaker.failure_threshold):
+                service.breaker.record_failure()
+            head = (
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            response = self._raw_exchange(server, head, b"")
+            assert response.startswith("HTTP/1.1 503 Service Unavailable")
+            assert "Retry-After:" in response
+        finally:
+            server.stop()
+            store.close()
+
+
+# ---------------------------------------------------------------------------
+# Resilient client
+# ---------------------------------------------------------------------------
+
+
+class TestResilientClient:
+    def _stub_client(self, responses):
+        """A client whose transport replays ``responses`` (callables raise)."""
+        client = ServiceClient(
+            "http://127.0.0.1:1",
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.0, jitter=0.0),
+        )
+        calls = []
+
+        def replay(method, path, payload=None):
+            calls.append((method, path))
+            item = responses[min(len(calls) - 1, len(responses) - 1)]
+            if callable(item):
+                raise item()
+            return item
+
+        client._request_once = replay
+        return client, calls
+
+    def test_connection_errors_are_retried(self):
+        client, calls = self._stub_client(
+            [lambda: ConnectionRefusedError("down"), (200, {"ok": True})]
+        )
+        assert client._request("GET", "/stats") == (200, {"ok": True})
+        assert len(calls) == 2
+        assert client.retries == 1
+
+    def test_503_is_retried_honouring_retry_after(self):
+        slept = []
+        client, calls = self._stub_client(
+            [(503, {"error": "shed", "retry_after": 0.01}), (200, {"ok": True})]
+        )
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(time, "sleep", slept.append)
+            assert client._request("GET", "/stats") == (200, {"ok": True})
+        assert client.retries == 1
+        assert slept and slept[0] >= 0.01  # the server's hint was honoured
+
+    def test_429_is_never_retried(self):
+        client, calls = self._stub_client([(429, {"error": "quota"})])
+        with pytest.raises(ServiceError) as excinfo:
+            client.stats()
+        assert excinfo.value.status == 429
+        assert len(calls) == 1
+        assert client.retries == 0
+
+    def test_exhausted_retries_raise_the_transport_error(self):
+        client, calls = self._stub_client([lambda: ConnectionResetError("gone")])
+        with pytest.raises(ConnectionResetError):
+            client._request("GET", "/stats")
+        assert len(calls) == 4  # max_attempts
+
+    def test_wait_result_times_out(self):
+        server, service, store = _service()
+        try:
+            client = ServiceClient(server.url)
+            with pytest.raises(TimeoutError):
+                client.wait_result("0" * 64, deadline_s=0.2, poll_s=0.02)
+        finally:
+            server.stop()
+            store.close()
+
+    def test_result_surfaces_journaled_failures(self):
+        """A journal row settled as failed becomes a SimulationFailure."""
+        server, service, store = _service()
+        try:
+            store.journal_enqueue("deadbeef", b"not a pickle")
+            client = ServiceClient(server.url)
+            outcome = client.wait_result("deadbeef", deadline_s=15.0)
+            assert isinstance(outcome, SimulationFailure)
+            assert "undecodable journaled program" in outcome.error
+            assert service.worker.corrupt_jobs == 1
+        finally:
+            server.stop()
+            store.close()

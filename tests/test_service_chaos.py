@@ -1,0 +1,344 @@
+"""Service survivability chaos suite: crash, restart, recover, verify bits.
+
+Drives the durable job journal, worker supervision, circuit breaker and
+resilient client through injected service-layer faults
+(``service_conn_drop``, ``store_io_error``, ``worker_thread_crash``,
+``journal_corrupt``) and through hard teardowns.  The invariant throughout
+mirrors the rest of the chaos harness: every job settles as a structured
+outcome — never lost, never duplicated — and every recovered result is
+bit-identical to a fault-free run (``sim.host_seconds``, a wall-clock
+observable, is excluded from every comparison).
+
+The acceptance test at the bottom adopts the ambient ``REPRO_FAULT_INJECT``
+profile (the CI service-chaos leg exports one); everything else shields
+itself and configures its own profile explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+import repro.workloads  # noqa: F401 — registers the schedule templates
+from repro.autotune import LocalBuilder, MeasureInput, create_task
+from repro.codegen import Target
+from repro.reliability import CircuitBreaker, RetryPolicy, faults
+from repro.service import (
+    ResultStore,
+    ServiceClient,
+    ServiceServer,
+    SimulationService,
+)
+from repro.service.worker import SimulationWorker
+from repro.sim import (
+    SimulationCache,
+    SimulationFailure,
+    SimulationResult,
+    Simulator,
+    TraceOptions,
+)
+from repro.sim.simulator import BatchSimulator
+
+TRACE = TraceOptions(max_accesses=15_000)
+
+
+@pytest.fixture(autouse=True)
+def _fault_free():
+    """Shield every test from ambient ``REPRO_FAULT_INJECT``; only the
+    acceptance test at the bottom opts into the ambient profile."""
+    faults.configure("")
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def matmul_task():
+    return create_task("matmul", (8, 8, 8), Target.arm())
+
+
+@pytest.fixture(scope="module")
+def programs(matmul_task):
+    inputs = [
+        MeasureInput(matmul_task, matmul_task.config_space.get(i)) for i in (0, 1, 2, 3)
+    ]
+    builds = LocalBuilder().build(inputs)
+    assert all(build.ok for build in builds)
+    return [build.program for build in builds]
+
+
+def flat(result):
+    """Statistics of one simulation, minus the wall-clock observable."""
+    stats = dict(result.stats.as_dict())
+    stats.pop("sim.host_seconds", None)
+    return stats
+
+
+def _worker_rig(store, **kwargs):
+    """A supervised worker over a real batch simulator and the given store."""
+    simulator = BatchSimulator(
+        "arm", None, TRACE, memo_cache=SimulationCache(store=store)
+    )
+    defaults = dict(journal=store, poll_s=0.01, heartbeat_s=0.05, lease_s=5.0)
+    defaults.update(kwargs)
+    worker = SimulationWorker(simulator, **defaults)
+    return simulator, worker
+
+
+def _digest(simulator, program):
+    return SimulationCache.make_key(
+        program, simulator.hierarchy_config, simulator.trace_options, simulator.engine
+    )
+
+
+def _wait_until(predicate, deadline_s=30.0, poll_s=0.02):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# Restart recovery (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestRestartRecovery:
+    def test_restarted_service_settles_every_journaled_job_bit_identically(
+        self, tmp_path, programs
+    ):
+        """Kill a service holding queued *and* leased jobs; a fresh service
+        over the same database settles all of them — none lost, none
+        duplicated, every result bit-identical to a fault-free run."""
+        baseline = {
+            program.name: flat(Simulator("arm").run(program)) for program in programs
+        }
+        db = tmp_path / "service.db"
+
+        # Service A: the worker is dead (a crashed drain thread nobody
+        # restarts), so accepted wait=false jobs pile up in the journal.
+        store_a = ResultStore(db)
+        service_a = SimulationService("arm", store_a, supervise=False)
+        service_a.worker.stop()
+        server_a = ServiceServer(service_a, port=0).start_in_thread()
+        client_a = ServiceClient(server_a.url)
+        digests = {}
+        try:
+            for program in programs:
+                queued = client_a.simulate(program, wait=False)
+                assert isinstance(queued, SimulationFailure)  # 202 placeholder
+                digests[program.name] = _digest(service_a.simulator, program)
+            assert store_a.journal_pending() == len(programs)
+            # Two of the jobs were mid-wave when the "crash" hit: leased
+            # under a short lease that the dead worker will never settle.
+            leased = store_a.journal_claim(2, lease_s=0.2)
+            assert len(leased) == 2
+        finally:
+            server_a.stop()  # hard teardown: no drain, journal untouched
+            store_a.close()
+
+        # Service B over the same database: startup recovery plus the
+        # supervisor sweep reclaim everything and settle it.
+        store_b = ResultStore(db)
+        service_b = SimulationService("arm", store_b)
+        server_b = ServiceServer(service_b, port=0).start_in_thread()
+        client_b = ServiceClient(server_b.url)
+        try:
+            for program in programs:
+                outcome = client_b.wait_result(digests[program.name], deadline_s=60.0)
+                assert isinstance(outcome, SimulationResult)
+                assert flat(outcome) == baseline[program.name]
+            counters = store_b.journal_counters()
+            assert counters["queued"] == 0.0 and counters["leased"] == 0.0
+            assert counters["done"] == float(len(programs))
+            # Digest-keyed rows: exactly one result per job, no duplicates.
+            assert len(store_b) == len(programs)
+        finally:
+            server_b.stop()
+            store_b.close()
+
+    def test_stop_drain_journals_the_inflight_queue(self, programs):
+        """A graceful drain loses nothing: queued-but-unstarted in-memory
+        jobs land in the journal for the next service over the database."""
+        store = ResultStore(":memory:")
+        _, worker = _worker_rig(store, supervise=False)
+        worker.stop()  # freeze the drain loop first
+        for index, program in enumerate(programs[:3]):
+            worker.submit(f"digest-{index}", program)
+        worker.stop(drain=True)
+        assert worker.journaled_on_drain == 3
+        assert store.journal_pending() == 3
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker supervision and the circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestSupervision:
+    def test_supervisor_restarts_a_crashed_worker_and_rescues_the_wave(
+        self, programs
+    ):
+        store = ResultStore(":memory:")
+        simulator, worker = _worker_rig(store)
+        try:
+            faults.configure("worker_thread_crash:n=1", seed=1)
+            job = worker.submit(_digest(simulator, programs[0]), programs[0])
+            outcome = job.wait(30.0)
+            assert isinstance(outcome, SimulationResult)
+            assert flat(outcome) == flat(Simulator("arm", trace_options=TRACE).run(programs[0]))
+            assert worker.restarts == 1
+            assert worker.healthy()
+        finally:
+            worker.stop()
+            store.close()
+
+    def test_repeated_crashes_trip_the_breaker_then_a_probe_closes_it(
+        self, programs
+    ):
+        store = ResultStore(":memory:")
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=0.4, jitter=0.0)
+        simulator, worker = _worker_rig(store, breaker=breaker)
+        digest = _digest(simulator, programs[1])
+        try:
+            faults.configure("worker_thread_crash:n=2", seed=1)
+            store.journal_enqueue(digest, pickle.dumps(programs[1]))
+            # Crash #1 and #2: each dead thread is one whole-wave fault, and
+            # two in a row trip the breaker.
+            assert _wait_until(lambda: breaker.state == CircuitBreaker.OPEN)
+            assert worker.restarts >= 2
+            # While open the worker claims nothing — the rescued job waits.
+            assert store.journal_status(digest)[0] == "queued"
+            # After the probe deadline the half-open probe wave runs the job
+            # (no more crashes are armed) and closes the breaker.
+            assert _wait_until(lambda: store.journal_status(digest)[0] == "done")
+            assert _wait_until(lambda: breaker.state == CircuitBreaker.CLOSED)
+            result = store.get(digest)
+            assert result is not None
+        finally:
+            worker.stop()
+            store.close()
+
+    def test_corrupt_journal_blob_settles_failed_not_fatal(self, programs):
+        """The ``journal_corrupt`` site garbles a claimed program blob; the
+        worker settles the row as failed instead of dying on the pickle."""
+        store = ResultStore(":memory:")
+        simulator, worker = _worker_rig(store)
+        digest = _digest(simulator, programs[2])
+        try:
+            faults.configure("journal_corrupt:once", seed=2)
+            store.journal_enqueue(digest, pickle.dumps(programs[2]))
+            assert _wait_until(lambda: store.journal_status(digest)[0] == "failed")
+            state, error, _ = store.journal_status(digest)
+            assert "undecodable journaled program" in error
+            assert worker.corrupt_jobs == 1
+            assert worker.healthy()  # the worker shrugged it off
+        finally:
+            worker.stop()
+            store.close()
+
+
+# ---------------------------------------------------------------------------
+# Client resilience against injected transport/store faults
+# ---------------------------------------------------------------------------
+
+
+class TestClientResilience:
+    def test_dropped_connection_is_retried_transparently(self, programs):
+        store = ResultStore(":memory:")
+        service = SimulationService("arm", store)
+        server = ServiceServer(service, port=0).start_in_thread()
+        client = ServiceClient(
+            server.url, retry=RetryPolicy(max_attempts=4, base_delay_s=0.01)
+        )
+        try:
+            warm = client.simulate(programs[0])
+            assert isinstance(warm, SimulationResult)
+            faults.configure("service_conn_drop:n=1", seed=3)
+            again = client.simulate(programs[0])
+            assert isinstance(again, SimulationResult)
+            assert again.cached
+            assert flat(again) == flat(warm)
+            assert client.retries >= 1
+        finally:
+            server.stop()
+            store.close()
+
+    def test_store_io_error_degrades_health_but_requests_still_serve(
+        self, tmp_path, programs
+    ):
+        db = tmp_path / "service.db"
+        store_a = ResultStore(db)
+        service_a = SimulationService("arm", store_a)
+        server_a = ServiceServer(service_a, port=0).start_in_thread()
+        try:
+            warm = ServiceClient(server_a.url).simulate(programs[0])
+            assert isinstance(warm, SimulationResult)
+        finally:
+            server_a.stop()
+            store_a.close()
+
+        # A fresh service (cold memory LRU) whose first store read faults:
+        # the memo layer contains it as a miss, the request recomputes the
+        # same bits, and the health probe reports the struggling store.
+        faults.configure("store_io_error:n=1", seed=5)
+        store_b = ResultStore(db)
+        service_b = SimulationService("arm", store_b)
+        server_b = ServiceServer(service_b, port=0).start_in_thread()
+        client = ServiceClient(server_b.url)
+        try:
+            served = client.simulate(programs[0])
+            assert isinstance(served, SimulationResult)
+            assert flat(served) == flat(warm)
+            assert store_b.io_errors == 1
+            assert not client.healthy()  # degraded: recent store I/O errors
+            status, body = service_b.health()
+            assert status == 503 and "store io errors" in body["reasons"]
+        finally:
+            server_b.stop()
+            store_b.close()
+
+
+# ---------------------------------------------------------------------------
+# Acceptance-scale ambient chaos run
+# ---------------------------------------------------------------------------
+
+
+#: Default acceptance profile; the CI service-chaos leg overrides it through
+#: the environment (``REPRO_FAULT_INJECT``) to stress different rates/seeds.
+SERVICE_CHAOS_PROFILE = "service_conn_drop:p=0.15;store_io_error:p=0.1;seed=33"
+
+
+class TestServiceChaosAcceptance:
+    def test_service_settles_a_batch_under_ambient_faults(self, programs):
+        baseline = {
+            program.name: flat(Simulator("arm").run(program)) for program in programs
+        }
+        faults.configure(os.environ.get(faults.ENV_VAR) or SERVICE_CHAOS_PROFILE)
+        store = ResultStore(":memory:")
+        service = SimulationService("arm", store)
+        server = ServiceServer(service, port=0).start_in_thread()
+        client = ServiceClient(
+            server.url, retry=RetryPolicy(max_attempts=6, base_delay_s=0.02)
+        )
+        try:
+            # Two passes over the batch: the first computes under injected
+            # connection drops / store faults / worker crashes, the second
+            # must serve the identical bits (from cache or by recompute).
+            for _ in range(2):
+                for program in programs:
+                    outcome = client.simulate(program)
+                    assert isinstance(outcome, SimulationResult)
+                    assert flat(outcome) == baseline[program.name]
+        finally:
+            faults.configure("")
+            server.stop()
+            store.close()
+        # A clean follow-up run is bit-identical to the pristine baseline.
+        for program in programs:
+            assert flat(Simulator("arm").run(program)) == baseline[program.name]
